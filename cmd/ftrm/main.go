@@ -1,0 +1,100 @@
+// Command ftrm runs the FlowTime resource manager: a miniature YARN-like
+// RM speaking the rmproto HTTP/JSON API, with a pluggable scheduler.
+//
+// Usage:
+//
+//	ftrm [-addr :8030] [-sched FlowTime] [-slot 10s] [-slack 60s]
+//	     [-manual-tick]
+//
+// With -manual-tick the RM advances only on POST /v1/tick (useful for
+// scripted demos and tests); otherwise it ticks every slot duration.
+// Node managers (ftnode) register and heartbeat; ftsubmit submits traces.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flowtime/internal/core"
+	"flowtime/internal/experiments"
+	"flowtime/internal/rmserver"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	var (
+		addr       = flag.String("addr", ":8030", "listen address")
+		schedName  = flag.String("sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus")
+		slot       = flag.Duration("slot", 10*time.Second, "scheduling slot duration")
+		slack      = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
+		manualTick = flag.Bool("manual-tick", false, "advance slots only via POST /v1/tick")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *schedName, *slot, *slack, *manualTick); err != nil {
+		log.Println("ftrm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schedName string, slot, slack time.Duration, manualTick bool) error {
+	cfg := core.DefaultConfig()
+	cfg.Slack = slack
+	s, err := experiments.NewScheduler(schedName, nil, cfg)
+	if err != nil {
+		return err
+	}
+	rm, err := rmserver.New(rmserver.Config{
+		SlotDur:    slot,
+		Scheduler:  s,
+		NodeExpiry: 3 * slot,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ftrm: scheduler=%s slot=%v listening on %s", s.Name(), slot, addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if !manualTick {
+		ticker = time.NewTicker(slot)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	for {
+		select {
+		case now := <-tick:
+			if err := rm.Tick(now); err != nil {
+				log.Println("ftrm: tick:", err)
+			}
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			err := srv.Shutdown(shutdownCtx)
+			<-errc // wait for the serve goroutine to exit
+			return err
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command ftsim replays a workload trace (see ftgen) through a scheduler
+// on a simulated cluster and prints the paper's metrics.
+//
+// Usage:
+//
+//	ftsim -trace trace.json [-sched FlowTime] [-cores 100] [-mem-mb 204800]
+//	      [-slot 10s] [-horizon 8000] [-slack 60s] [-cp-decompose] [-v]
+//	      [-dip from:until:percent]
+//
+// -dip injects a capacity outage: e.g. -dip 120:240:50 halves the cluster
+// between slots 120 and 240.
+//
+// -sched accepts FlowTime, CORA, EDF, Fair, FIFO, Morpheus, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"flowtime/internal/cluster"
+	"flowtime/internal/core"
+	"flowtime/internal/experiments"
+	"flowtime/internal/metrics"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+	"flowtime/internal/sim"
+	"flowtime/internal/trace"
+	"flowtime/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		tracePath = flag.String("trace", "", "trace JSON file (required)")
+		schedName = flag.String("sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus, all")
+		cores     = flag.Int64("cores", 100, "cluster vcores")
+		memMB     = flag.Int64("mem-mb", 200*1024, "cluster memory (MiB)")
+		slot      = flag.Duration("slot", 10*time.Second, "slot duration")
+		horizon   = flag.Int64("horizon", 8000, "horizon in slots")
+		slack     = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
+		cpDecomp  = flag.Bool("cp-decompose", false, "use critical-path decomposition")
+		dip       = flag.String("dip", "", "capacity outage as from:until:percent (slots, % remaining)")
+		verbose   = flag.Bool("v", false, "print per-job outcomes")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *schedName, *cores, *memMB, *slot, *horizon, *slack, *cpDecomp, *dip, *verbose); err != nil {
+		log.Println("ftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, horizon int64, slack time.Duration, cpDecomp bool, dip string, verbose bool) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	names := []string{schedName}
+	if schedName == "all" {
+		names = experiments.AllAlgorithms()
+	}
+
+	capacity := resource.New(cores, memMB)
+	profile := cluster.Constant(capacity)
+	if dip != "" {
+		var from, until, pct int64
+		if _, err := fmt.Sscanf(dip, "%d:%d:%d", &from, &until, &pct); err != nil {
+			return fmt.Errorf("bad -dip %q (want from:until:percent): %w", dip, err)
+		}
+		profile, err = profile.WithDip(from, until, pct, 100)
+		if err != nil {
+			return err
+		}
+	}
+	rows := [][]string{{
+		"scheduler", "jobs missed", "wf missed", "lateness max", "avg ad-hoc turnaround",
+	}}
+	for _, name := range names {
+		wfs, adhoc, err := tr.ToWorkload()
+		if err != nil {
+			return err
+		}
+		var history sched.History
+		if name == "Morpheus" {
+			history, err = workload.SynthesizeHistory(rand.New(rand.NewSource(1)), wfs, 10, 0.1)
+			if err != nil {
+				return err
+			}
+		}
+		cfg := core.DefaultConfig()
+		cfg.Slack = slack
+		s, err := experiments.NewScheduler(name, history, cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(sim.Config{
+			SlotDur:           slot,
+			Horizon:           horizon,
+			Capacity:          profile.Func(),
+			Scheduler:         s,
+			Workflows:         wfs,
+			AdHoc:             adhoc,
+			ForceCriticalPath: cpDecomp,
+		})
+		if err != nil {
+			return err
+		}
+		sum := metrics.Summarize(name, res)
+		late := metrics.Describe(sum.JobLateness)
+		rows = append(rows, []string{
+			sum.Algorithm,
+			fmt.Sprintf("%d/%d", sum.JobsMissed, sum.DeadlineJobs),
+			fmt.Sprintf("%d/%d", sum.WorkflowsMissed, sum.Workflows),
+			metrics.Seconds(late.Max),
+			metrics.Seconds(sum.AvgTurnaround),
+		})
+		if verbose {
+			for _, j := range res.Jobs {
+				status := "met"
+				if j.Missed() {
+					status = "MISSED"
+				}
+				fmt.Printf("  %s/%s: deadline %v, completed %v (%s)\n",
+					j.WorkflowID, j.JobName, j.Deadline, j.Completion, status)
+			}
+		}
+	}
+	fmt.Print(metrics.Table(rows))
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command quickstart reproduces the paper's motivating example (Fig. 1):
+// one deadline workflow W1 of two chained jobs sharing a cluster with two
+// ad-hoc jobs A1 (arriving at t=0) and A2 (arriving at t=1000s).
+//
+// Under EDF the workflow monopolizes the cluster until it finishes, so A1
+// waits ~1000s; under FlowTime the workflow is spread across its loose
+// window (deadline 2000s), the skyline stays at half the cluster, and both
+// ad-hoc jobs start immediately — the average ad-hoc turnaround drops by
+// about a third, exactly the 150 -> 100 improvement of Fig. 1 scaled to
+// this cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flowtime"
+	"flowtime/internal/metrics"
+	"flowtime/internal/resource"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Println("quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func buildWorkload() (*flowtime.Workflow, []flowtime.AdHoc) {
+	// W1: two chained jobs, each 10 tasks x 500s x <1 core, 100 MB>; the
+	// cluster has 10 cores, so each job needs the whole cluster for 500s.
+	// Deadline 2000s is loose: the workflow can finish in 1000s.
+	w := flowtime.NewWorkflow("W1", 0, 2000*time.Second)
+	job1 := w.AddJob(flowtime.Job{
+		Name: "job1", Tasks: 10,
+		TaskDuration: 500 * time.Second,
+		TaskDemand:   flowtime.NewResources(1, 100),
+	})
+	job2 := w.AddJob(flowtime.Job{
+		Name: "job2", Tasks: 10,
+		TaskDuration: 500 * time.Second,
+		TaskDemand:   flowtime.NewResources(1, 100),
+	})
+	w.AddDep(job1, job2)
+
+	adhoc := []flowtime.AdHoc{
+		{ID: "A1", Submit: 0, Tasks: 5,
+			TaskDuration: 500 * time.Second, TaskDemand: flowtime.NewResources(1, 100)},
+		{ID: "A2", Submit: 1000 * time.Second, Tasks: 5,
+			TaskDuration: 500 * time.Second, TaskDemand: flowtime.NewResources(1, 100)},
+	}
+	return w, adhoc
+}
+
+func run() error {
+	for _, s := range []flowtime.Scheduler{
+		flowtime.NewEDF(),
+		flowtime.NewScheduler(flowtime.DefaultSchedulerConfig()),
+	} {
+		w, adhoc := buildWorkload()
+		res, err := flowtime.Simulate(flowtime.SimConfig{
+			SlotDur:    10 * time.Second,
+			Horizon:    600,
+			Capacity:   flowtime.ConstantCapacity(flowtime.NewResources(10, 1000)),
+			Scheduler:  s,
+			Workflows:  []*flowtime.Workflow{w},
+			AdHoc:      adhoc,
+			RecordLoad: true,
+		})
+		if err != nil {
+			return err
+		}
+		sum := flowtime.Summarize(s.Name(), res)
+
+		fmt.Printf("=== %s ===\n", s.Name())
+		fmt.Printf("workflow W1: deadline %v, completed at %v (missed: %v)\n",
+			res.Workflows[0].Deadline, res.Workflows[0].Completion, res.Workflows[0].Missed())
+		for _, a := range res.AdHoc {
+			fmt.Printf("ad-hoc %-2s: submitted %6v, finished %6v, turnaround %6v\n",
+				a.ID[len("adhoc/"):], a.Submit, a.Completion, a.Turnaround(res.HorizonEnd))
+		}
+		fmt.Printf("average ad-hoc turnaround: %v\n\n", sum.AvgTurnaround)
+
+		// Render the paper's Fig. 1 load diagram: '#' deadline work,
+		// '+' ad-hoc work, '.' idle.
+		fmt.Print(metrics.RenderTimeline(res.Load, 10*time.Second, resource.VCores, 12, 50))
+		fmt.Println()
+	}
+	return nil
+}

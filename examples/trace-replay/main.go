@@ -1,0 +1,150 @@
+// Command trace-replay shows the trace workflow the paper's trace-driven
+// simulations use: generate a synthetic production trace (recurring
+// workflows with very loose deadlines plus an ad-hoc stream), write it to
+// a JSON file, read it back, and replay it under several schedulers.
+//
+// Usage:
+//
+//	trace-replay [trace.json]
+//
+// With an argument, the trace is written there and kept; otherwise a
+// temporary file is used.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"flowtime"
+	"flowtime/internal/metrics"
+	"flowtime/internal/trace"
+	"flowtime/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Println("trace-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func generate() (*trace.Trace, error) {
+	rng := rand.New(rand.NewSource(42))
+	var wfs []*flowtime.Workflow
+	shapes := []workload.Shape{workload.ShapeMontage, workload.ShapeEpigenomics, workload.ShapeDiamond}
+	for i := 0; i < 3; i++ {
+		w, err := workload.GenerateWorkflow(rng, workload.WorkflowSpec{
+			ID:     fmt.Sprintf("recurring-%d", i),
+			Shape:  shapes[i%len(shapes)],
+			Jobs:   10,
+			Submit: time.Duration(i) * 10 * time.Minute,
+			// The paper's trace observation: deadlines far looser than
+			// runtimes (24h deadline, ~2h run).
+			DeadlineFactor: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wfs = append(wfs, w)
+	}
+	adhoc, err := workload.GenerateAdHoc(rng, workload.AdHocSpec{
+		Count:            30,
+		MeanInterarrival: 90 * time.Second,
+		MinTasks:         1, MaxTasks: 8,
+		MinTaskDur: 20 * time.Second, MaxTaskDur: 3 * time.Minute,
+		Demand: flowtime.NewResources(1, 1024),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromWorkload(wfs, adhoc)
+}
+
+func run() error {
+	path := ""
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	} else {
+		f, err := os.CreateTemp("", "flowtime-trace-*.json")
+		if err != nil {
+			return err
+		}
+		path = f.Name()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		defer func() {
+			if err := os.Remove(path); err != nil {
+				log.Println("cleanup:", err)
+			}
+		}()
+	}
+
+	tr, err := generate()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s\n\n", path)
+
+	// Read it back and replay.
+	rf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := rf.Close(); err != nil {
+			log.Println("close:", err)
+		}
+	}()
+	loaded, err := trace.Read(rf)
+	if err != nil {
+		return err
+	}
+
+	rows := [][]string{{"algorithm", "jobs missed", "workflows missed", "avg ad-hoc turnaround"}}
+	for _, s := range []flowtime.Scheduler{
+		flowtime.NewScheduler(flowtime.DefaultSchedulerConfig()),
+		flowtime.NewEDF(),
+		flowtime.NewFair(),
+	} {
+		wfs, adhoc, err := loaded.ToWorkload()
+		if err != nil {
+			return err
+		}
+		res, err := flowtime.Simulate(flowtime.SimConfig{
+			SlotDur:   10 * time.Second,
+			Horizon:   6000,
+			Capacity:  flowtime.ConstantCapacity(flowtime.NewResources(64, 128*1024)),
+			Scheduler: s,
+			Workflows: wfs,
+			AdHoc:     adhoc,
+		})
+		if err != nil {
+			return err
+		}
+		sum := flowtime.Summarize(s.Name(), res)
+		rows = append(rows, []string{
+			sum.Algorithm,
+			fmt.Sprintf("%d/%d", sum.JobsMissed, sum.DeadlineJobs),
+			fmt.Sprintf("%d/%d", sum.WorkflowsMissed, sum.Workflows),
+			sum.AvgTurnaround.String(),
+		})
+	}
+	fmt.Print(metrics.Table(rows))
+	return nil
+}

@@ -1,0 +1,89 @@
+package flowtime_test
+
+import (
+	"testing"
+	"time"
+
+	"flowtime"
+)
+
+// TestPublicAPIEndToEnd exercises the library exactly as the README's
+// quickstart does: build a workflow, decompose it, simulate it under
+// FlowTime and a baseline, summarize.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	build := func() *flowtime.Workflow {
+		w := flowtime.NewWorkflow("daily-etl", 0, 30*time.Minute)
+		extract := w.AddJob(flowtime.Job{
+			Name: "extract", Tasks: 16,
+			TaskDuration: 60 * time.Second,
+			TaskDemand:   flowtime.NewResources(1, 2048),
+		})
+		transform := w.AddJob(flowtime.Job{
+			Name: "transform", Tasks: 8,
+			TaskDuration: 120 * time.Second,
+			TaskDemand:   flowtime.NewResources(2, 4096),
+		})
+		load := w.AddJob(flowtime.Job{
+			Name: "load", Tasks: 4,
+			TaskDuration: 90 * time.Second,
+			TaskDemand:   flowtime.NewResources(1, 1024),
+		})
+		w.AddDep(extract, transform)
+		w.AddDep(transform, load)
+		return w
+	}
+
+	w := build()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	dec, err := flowtime.Decompose(w, flowtime.DecomposeOptions{
+		Slot:       10 * time.Second,
+		ClusterCap: flowtime.NewResources(32, 64*1024),
+	})
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if len(dec.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(dec.Windows))
+	}
+	if dec.Windows[2].Deadline != w.Deadline {
+		t.Errorf("last window deadline = %v, want %v", dec.Windows[2].Deadline, w.Deadline)
+	}
+
+	for _, s := range []flowtime.Scheduler{
+		flowtime.NewScheduler(flowtime.DefaultSchedulerConfig()),
+		flowtime.NewEDF(),
+		flowtime.NewFIFO(),
+		flowtime.NewFair(),
+		flowtime.NewCORA(),
+		flowtime.NewMorpheus(nil),
+	} {
+		res, err := flowtime.Simulate(flowtime.SimConfig{
+			SlotDur:   10 * time.Second,
+			Horizon:   400,
+			Capacity:  flowtime.ConstantCapacity(flowtime.NewResources(32, 64*1024)),
+			Scheduler: s,
+			Workflows: []*flowtime.Workflow{build()},
+			AdHoc: []flowtime.AdHoc{{
+				ID: "q1", Submit: 30 * time.Second, Tasks: 4,
+				TaskDuration: 60 * time.Second,
+				TaskDemand:   flowtime.NewResources(1, 1024),
+			}},
+		})
+		if err != nil {
+			t.Fatalf("Simulate(%s): %v", s.Name(), err)
+		}
+		sum := flowtime.Summarize(s.Name(), res)
+		if sum.DeadlineJobs != 3 || sum.AdHocJobs != 1 {
+			t.Fatalf("%s: summary %+v missing jobs", s.Name(), sum)
+		}
+		if sum.JobsMissed != 0 {
+			t.Errorf("%s missed %d deadlines on a trivially loose workflow", s.Name(), sum.JobsMissed)
+		}
+		if sum.AdHocIncomplete != 0 {
+			t.Errorf("%s left the ad-hoc job incomplete", s.Name())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module flowtime
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package cluster models the simulated datacenter's capacity over time.
+// The paper's formulation indexes capacity by slot (C[t][r], Eq. 4) and
+// notes that "the resource cap could vary with time to provide more
+// flexibility to different situations"; this package provides the profile
+// machinery behind that: machine sets, scheduled joins/leaves (rolling
+// maintenance, failures), and step-function caps, all compiled into the
+// CapAt(slot) function the schedulers and simulator consume.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flowtime/internal/resource"
+)
+
+// Machine is one node of the cluster.
+type Machine struct {
+	// ID identifies the machine.
+	ID string
+	// Capacity is the machine's resources.
+	Capacity resource.Vector
+	// From is the first slot the machine is available (inclusive).
+	From int64
+	// Until is the last slot the machine is available (exclusive);
+	// 0 means forever.
+	Until int64
+}
+
+// Validate checks the machine invariants.
+func (m Machine) Validate() error {
+	if m.ID == "" {
+		return errors.New("cluster: machine with empty ID")
+	}
+	if err := m.Capacity.Validate(); err != nil {
+		return fmt.Errorf("cluster: machine %s: %w", m.ID, err)
+	}
+	if m.Capacity.IsZero() {
+		return fmt.Errorf("cluster: machine %s: zero capacity", m.ID)
+	}
+	if m.From < 0 {
+		return fmt.Errorf("cluster: machine %s: negative From %d", m.ID, m.From)
+	}
+	if m.Until != 0 && m.Until <= m.From {
+		return fmt.Errorf("cluster: machine %s: Until %d <= From %d", m.ID, m.Until, m.From)
+	}
+	return nil
+}
+
+// Profile is a compiled capacity-over-time function. The zero value is an
+// empty cluster; build profiles with New or Constant.
+type Profile struct {
+	// breakpoints are slot indices where capacity changes; caps[i] applies
+	// to slots in [breakpoints[i], breakpoints[i+1]).
+	breakpoints []int64
+	caps        []resource.Vector
+}
+
+// Constant returns a profile with fixed capacity at every slot.
+func Constant(c resource.Vector) *Profile {
+	return &Profile{breakpoints: []int64{0}, caps: []resource.Vector{c}}
+}
+
+// New compiles a machine set into a step-function profile.
+func New(machines []Machine) (*Profile, error) {
+	seen := make(map[string]bool, len(machines))
+	type event struct {
+		slot  int64
+		delta resource.Vector
+		neg   bool
+	}
+	var events []event
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate machine ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		events = append(events, event{slot: m.From, delta: m.Capacity})
+		if m.Until > 0 {
+			events = append(events, event{slot: m.Until, delta: m.Capacity, neg: true})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].slot < events[b].slot })
+
+	p := &Profile{}
+	var current resource.Vector
+	push := func(slot int64) {
+		n := len(p.breakpoints)
+		if n > 0 && p.breakpoints[n-1] == slot {
+			p.caps[n-1] = current
+			return
+		}
+		p.breakpoints = append(p.breakpoints, slot)
+		p.caps = append(p.caps, current)
+	}
+	if len(events) == 0 || events[0].slot > 0 {
+		push(0) // empty until the first machine joins
+	}
+	for _, e := range events {
+		if e.neg {
+			current = current.SubClamped(e.delta)
+		} else {
+			current = current.Add(e.delta)
+		}
+		push(e.slot)
+	}
+	return p, nil
+}
+
+// CapAt returns the capacity at the given slot. Slots before 0 report the
+// slot-0 capacity.
+func (p *Profile) CapAt(slot int64) resource.Vector {
+	if len(p.breakpoints) == 0 {
+		return resource.Vector{}
+	}
+	// Binary search for the last breakpoint <= slot.
+	i := sort.Search(len(p.breakpoints), func(k int) bool { return p.breakpoints[k] > slot })
+	if i == 0 {
+		return p.caps[0]
+	}
+	return p.caps[i-1]
+}
+
+// Func adapts the profile to the func(slot) capacity signature used by
+// sim.Config and sched.ClusterView.
+func (p *Profile) Func() func(int64) resource.Vector {
+	return p.CapAt
+}
+
+// Peak returns the maximum capacity over all steps.
+func (p *Profile) Peak() resource.Vector {
+	var peak resource.Vector
+	for _, c := range p.caps {
+		peak = peak.Max(c)
+	}
+	return peak
+}
+
+// WithDip returns a copy of the profile with capacity multiplied by
+// num/den during [from, until) — a convenient way to model partial
+// outages and maintenance windows in experiments.
+func (p *Profile) WithDip(from, until int64, num, den int64) (*Profile, error) {
+	if until <= from {
+		return nil, fmt.Errorf("cluster: dip window [%d, %d) empty", from, until)
+	}
+	if num < 0 || den <= 0 || num > den {
+		return nil, fmt.Errorf("cluster: dip fraction %d/%d out of range", num, den)
+	}
+	out := &Profile{}
+	addStep := func(slot int64, c resource.Vector) {
+		n := len(out.breakpoints)
+		if n > 0 && out.breakpoints[n-1] == slot {
+			out.caps[n-1] = c
+			return
+		}
+		if n > 0 && out.caps[n-1] == c {
+			return
+		}
+		out.breakpoints = append(out.breakpoints, slot)
+		out.caps = append(out.caps, c)
+	}
+	scale := func(c resource.Vector) resource.Vector {
+		var s resource.Vector
+		for _, k := range resource.Kinds() {
+			s = s.With(k, c.Get(k)*num/den)
+		}
+		return s
+	}
+	// Merge the original breakpoints with the dip boundaries.
+	slots := append([]int64(nil), p.breakpoints...)
+	slots = append(slots, from, until)
+	sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
+	prev := int64(-1)
+	for _, s := range slots {
+		if s == prev {
+			continue
+		}
+		prev = s
+		c := p.CapAt(s)
+		if s >= from && s < until {
+			c = scale(c)
+		}
+		addStep(s, c)
+	}
+	return out, nil
+}

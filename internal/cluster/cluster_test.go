@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+func machine(id string, cores int64, from, until int64) Machine {
+	return Machine{
+		ID:       id,
+		Capacity: resource.New(cores, cores*2048),
+		From:     from,
+		Until:    until,
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Machine
+		ok   bool
+	}{
+		{"valid", machine("a", 4, 0, 0), true},
+		{"valid bounded", machine("a", 4, 5, 10), true},
+		{"empty id", machine("", 4, 0, 0), false},
+		{"zero capacity", Machine{ID: "a"}, false},
+		{"negative from", machine("a", 4, -1, 0), false},
+		{"until before from", machine("a", 4, 10, 5), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestConstant(t *testing.T) {
+	p := Constant(resource.New(10, 100))
+	for _, slot := range []int64{0, 1, 1000} {
+		if got := p.CapAt(slot); got != resource.New(10, 100) {
+			t.Errorf("CapAt(%d) = %v", slot, got)
+		}
+	}
+}
+
+func TestNewStepFunction(t *testing.T) {
+	p, err := New([]Machine{
+		machine("a", 10, 0, 0), // always
+		machine("b", 6, 5, 20), // joins at 5, leaves at 20
+		machine("c", 4, 10, 0), // joins at 10
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tests := []struct {
+		slot  int64
+		cores int64
+	}{
+		{0, 10}, {4, 10}, {5, 16}, {9, 16}, {10, 20}, {19, 20}, {20, 14}, {100, 14},
+	}
+	for _, tt := range tests {
+		if got := p.CapAt(tt.slot).Get(resource.VCores); got != tt.cores {
+			t.Errorf("CapAt(%d) cores = %d, want %d", tt.slot, got, tt.cores)
+		}
+	}
+	if got := p.Peak().Get(resource.VCores); got != 20 {
+		t.Errorf("Peak cores = %d, want 20", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Machine{machine("a", 4, 0, 0), machine("a", 4, 0, 0)}); err == nil {
+		t.Error("duplicate machine accepted")
+	}
+	if _, err := New([]Machine{{ID: "x"}}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	p, err := New(nil)
+	if err != nil {
+		t.Fatalf("New(nil): %v", err)
+	}
+	if got := p.CapAt(5); !got.IsZero() {
+		t.Errorf("empty cluster CapAt = %v, want zero", got)
+	}
+}
+
+func TestDelayedFirstMachine(t *testing.T) {
+	p, err := New([]Machine{machine("a", 8, 10, 0)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := p.CapAt(0); !got.IsZero() {
+		t.Errorf("CapAt(0) = %v, want zero before first join", got)
+	}
+	if got := p.CapAt(10).Get(resource.VCores); got != 8 {
+		t.Errorf("CapAt(10) cores = %d, want 8", got)
+	}
+}
+
+func TestWithDip(t *testing.T) {
+	p := Constant(resource.New(100, 1000))
+	dipped, err := p.WithDip(10, 20, 1, 2)
+	if err != nil {
+		t.Fatalf("WithDip: %v", err)
+	}
+	tests := []struct {
+		slot  int64
+		cores int64
+	}{
+		{0, 100}, {9, 100}, {10, 50}, {19, 50}, {20, 100},
+	}
+	for _, tt := range tests {
+		if got := dipped.CapAt(tt.slot).Get(resource.VCores); got != tt.cores {
+			t.Errorf("CapAt(%d) = %d, want %d", tt.slot, got, tt.cores)
+		}
+	}
+
+	if _, err := p.WithDip(20, 10, 1, 2); err == nil {
+		t.Error("empty dip window accepted")
+	}
+	if _, err := p.WithDip(0, 5, 3, 2); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := p.WithDip(0, 5, -1, 2); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	p := Constant(resource.New(7, 70))
+	f := p.Func()
+	if got := f(3); got != resource.New(7, 70) {
+		t.Errorf("Func()(3) = %v", got)
+	}
+}

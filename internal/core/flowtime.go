@@ -1,0 +1,756 @@
+// Package core implements the FlowTime scheduler — the paper's primary
+// contribution (§V): after workflow deadlines have been decomposed into
+// per-job windows, deadline jobs are placed by a linear program that
+// lexicographically minimizes the normalized cluster usage skyline
+// z[t][r]/C[t][r] (Eq. 1–5), so ad-hoc jobs arriving at any time find the
+// most leftover capacity possible and start immediately.
+//
+// The scheduler is event-driven (paper §III): it rebuilds its multi-slot
+// plan whenever the plan goes stale — a job arrived, finished early or
+// late, or was blocked where the plan expected it to run — and serves
+// per-slot grants from the plan otherwise. On-schedule completions do not
+// trigger replans: the remaining plan is still optimal.
+//
+// Pipeline per replan, independently per resource kind (the formulation's
+// kinds share no variables or constraints, so the lexicographic optimum
+// decomposes):
+//
+//  1. Effective windows: each job's decomposed window, intersected with
+//     [now, horizon) and tightened by the deadline slack (§VII-B.2);
+//     overdue jobs get an as-soon-as-possible window.
+//  2. Feasibility: a greedy earliest-deadline water-fill under hard
+//     capacity proves most instances feasible outright; only when it
+//     fails does a shortfall-minimizing LP decide what cannot fit (that
+//     demand is deferred to the overdue path — it will miss, as it must,
+//     but still completes).
+//  3. LexMinMax: the paper's Eq. 1 objective over the feasible demand,
+//     via the iterative realization of Lemma 1.
+//  4. Integral repair: the fractional optimum is converted into integer
+//     per-slot grants by cumulative-rounded budgets and
+//     earliest-deadline-first water-filling — exactness is guaranteed by
+//     the total unimodularity of the constraint structure (Lemma 2) plus
+//     a final hard-cap sweep.
+//
+// Grants left over after serving the plan go to overdue deadline jobs
+// first and then to ad-hoc jobs in arrival order, fulfilling the paper's
+// "schedule deadline work while minimally impacting ad-hoc jobs".
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flowtime/internal/lp"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+)
+
+// Config tunes the FlowTime scheduler.
+type Config struct {
+	// Slack is the deadline slack (paper §VII-B.2): the LP is asked to
+	// finish each job this much before its true deadline. Default 60s
+	// (the paper's empirical setting); zero disables.
+	Slack time.Duration
+	// MaxLexRounds caps the lexicographic refinement rounds per replan
+	// and per resource kind (0 = exact). The maximum level — what ad-hoc
+	// jobs feel first — is always exact; deeper levels are refined while
+	// rounds remain.
+	MaxLexRounds int
+	// PlanSlots bounds the planning lookahead: jobs whose window opens
+	// more than PlanSlots slots in the future are left out of the current
+	// plan and picked up by a replan when their release arrives. The
+	// paper's evaluation plans 100 slots (1000 s) ahead (§VII, Fig. 7).
+	// 0 means unbounded.
+	PlanSlots int64
+}
+
+// DefaultConfig returns the paper's settings: 60s slack, bounded rounds,
+// 120-slot lookahead.
+func DefaultConfig() Config {
+	return Config{Slack: 60 * time.Second, MaxLexRounds: 4, PlanSlots: 120}
+}
+
+// FlowTime is the paper's scheduler. Create with New; it implements
+// sched.Scheduler. Assign must be called once per slot (the plan cursor
+// advances with ctx.Now relative to the slot the plan was built at).
+type FlowTime struct {
+	cfg Config
+
+	plan     map[string][]resource.Vector
+	planFrom int64
+	load     []resource.Vector // planned deadline load per slot (diagnostics)
+	// planRemaining tracks, per job, how much planned allocation lies at or
+	// after the current slot; it is the staleness detector.
+	planRemaining map[string]resource.Vector
+	// deferred records demand the last replan could not fit within its
+	// window (genuine shortfall); it does not count as staleness until
+	// deferredRetry, bounding the replan rate under overload.
+	deferred      map[string]resource.Vector
+	deferredRetry int64
+	// planCap records the capacity the plan assumed per slot, so live
+	// capacity changes (node loss, maintenance dips) invalidate the plan.
+	planCap []resource.Vector
+
+	stats Stats
+}
+
+// deferredRetryInterval is how many slots to wait before re-attempting to
+// place deferred (shortfall) demand.
+const deferredRetryInterval = 10
+
+// Stats reports scheduler telemetry.
+type Stats struct {
+	// Replans is the number of plan rebuilds.
+	Replans int
+	// LPRounds is the total number of min-θ LPs solved.
+	LPRounds int
+	// StageASkipped counts replan-kind passes where the greedy water-fill
+	// proved feasibility and the shortfall LP was skipped.
+	StageASkipped int
+	// ShortfallEvents counts replans where some demand could not fit
+	// within its deadline window.
+	ShortfallEvents int
+	// SlackDropped counts replans where the deadline slack made the
+	// instance jointly infeasible and was dropped for that plan (the
+	// paper's slack is a preference, not a cause for deadline misses).
+	SlackDropped int
+}
+
+var _ sched.Scheduler = (*FlowTime)(nil)
+
+// New returns a FlowTime scheduler.
+func New(cfg Config) *FlowTime {
+	return &FlowTime{cfg: cfg}
+}
+
+// Name implements sched.Scheduler.
+func (*FlowTime) Name() string { return "FlowTime" }
+
+// Stats returns accumulated telemetry.
+func (f *FlowTime) Stats() Stats { return f.stats }
+
+// PlannedLoad returns the planned deadline-work load for the slot offsets
+// of the current plan (diagnostics and tests).
+func (f *FlowTime) PlannedLoad() []resource.Vector {
+	return append([]resource.Vector(nil), f.load...)
+}
+
+// qualityReplanInterval rate-limits replans whose only purpose is to
+// reflow freed capacity (early completions): correctness never depends on
+// them, so they are batched to at most one per interval.
+const qualityReplanInterval = 5
+
+// Assign implements sched.Scheduler.
+func (f *FlowTime) Assign(ctx sched.AssignContext) (map[string]resource.Vector, error) {
+	urgent, quality := f.planNeeds(ctx)
+	if urgent || (quality && ctx.Now >= f.planFrom+qualityReplanInterval) {
+		if err := f.replan(ctx); err != nil {
+			return nil, err
+		}
+	}
+	offset := ctx.Now - f.planFrom
+	avail := ctx.Cluster.CapAt(ctx.Now)
+	grants := make(map[string]resource.Vector, len(ctx.Jobs))
+
+	// Serve the plan. The planned slice is consumed from planRemaining
+	// whether or not the job could take it — a blocked job makes the plan
+	// stale, which triggers a replan on the next slot.
+	for _, j := range ctx.Jobs {
+		if j.Kind != sched.DeadlineJob {
+			continue
+		}
+		slots, ok := f.plan[j.ID]
+		if !ok || offset < 0 || offset >= int64(len(slots)) {
+			continue
+		}
+		slice := slots[offset]
+		if slice.IsZero() {
+			continue
+		}
+		f.planRemaining[j.ID] = f.planRemaining[j.ID].SubClamped(slice)
+		if !j.Ready || j.Request.IsZero() {
+			continue
+		}
+		want := slice.Min(j.Request)
+		if g := grantIn(want, &avail); !g.IsZero() {
+			grants[j.ID] = g
+		}
+	}
+
+	// Overdue deadline jobs (deadline passed or demand deferred by the
+	// shortfall stage) run best-effort ahead of ad-hoc jobs, earliest
+	// deadline first.
+	overdue := make([]sched.JobState, 0, 4)
+	for _, j := range ctx.Jobs {
+		if j.Kind != sched.DeadlineJob || !j.Ready || j.Request.IsZero() {
+			continue
+		}
+		if int64(j.Deadline/ctx.Cluster.SlotDur) <= ctx.Now {
+			overdue = append(overdue, j)
+		}
+	}
+	sort.SliceStable(overdue, func(a, b int) bool {
+		if overdue[a].Deadline != overdue[b].Deadline {
+			return overdue[a].Deadline < overdue[b].Deadline
+		}
+		return overdue[a].ID < overdue[b].ID
+	})
+	for _, j := range overdue {
+		got := grants[j.ID]
+		want := j.Request.SubClamped(got)
+		if g := grantIn(want, &avail); !g.IsZero() {
+			grants[j.ID] = got.Add(g)
+		}
+	}
+
+	// Revision backlog: demand discovered beyond the plan (upward estimate
+	// revisions when a job outlives its estimate) runs from leftover
+	// capacity ahead of ad-hoc work, earliest deadline first, until the
+	// next quality replan folds it into the skyline.
+	backlog := make([]sched.JobState, 0, 4)
+	for _, j := range ctx.Jobs {
+		if j.Kind != sched.DeadlineJob || !j.Ready || j.Request.IsZero() {
+			continue
+		}
+		covered := f.planRemaining[j.ID].Add(f.deferred[j.ID])
+		if !j.EstRemaining.FitsIn(covered) {
+			backlog = append(backlog, j)
+		}
+	}
+	sort.SliceStable(backlog, func(a, b int) bool {
+		if backlog[a].Deadline != backlog[b].Deadline {
+			return backlog[a].Deadline < backlog[b].Deadline
+		}
+		return backlog[a].ID < backlog[b].ID
+	})
+	for _, j := range backlog {
+		got := grants[j.ID]
+		unplanned := j.EstRemaining.SubClamped(f.planRemaining[j.ID]).SubClamped(f.deferred[j.ID])
+		want := unplanned.Min(j.Request.SubClamped(got))
+		if g := grantIn(want, &avail); !g.IsZero() {
+			grants[j.ID] = got.Add(g)
+		}
+	}
+
+	// Ad-hoc jobs take all remaining capacity in arrival order (paper
+	// §II-B: "the remaining resources can be used by the ad-hoc jobs").
+	adhoc := make([]sched.JobState, 0, len(ctx.Jobs))
+	for _, j := range ctx.Jobs {
+		if j.Kind == sched.AdHocJob && j.Ready && !j.Request.IsZero() {
+			adhoc = append(adhoc, j)
+		}
+	}
+	sort.SliceStable(adhoc, func(a, b int) bool {
+		if adhoc[a].Arrived != adhoc[b].Arrived {
+			return adhoc[a].Arrived < adhoc[b].Arrived
+		}
+		return adhoc[a].ID < adhoc[b].ID
+	})
+	for _, j := range adhoc {
+		if g := grantIn(j.Request, &avail); !g.IsZero() {
+			grants[j.ID] = g
+		}
+	}
+	return grants, nil
+}
+
+// planNeeds classifies why the current plan no longer matches reality.
+// urgent: a live deadline job needs more than the plan still holds for it
+// (new arrival, underestimate, blocked grants), the capacity profile
+// changed, or deferred demand is due for a retry — replanning affects
+// correctness. quality: planned work refers to a job that is gone or
+// finished early — capacity is worth reflowing, but the plan stays valid.
+func (f *FlowTime) planNeeds(ctx sched.AssignContext) (urgent, quality bool) {
+	if f.plan == nil {
+		return true, false
+	}
+	if f.deferredRetry > 0 && ctx.Now >= f.deferredRetry {
+		// Time to retry placing demand the last plan could not fit.
+		return true, false
+	}
+	if off := ctx.Now - f.planFrom; off >= 0 && off < int64(len(f.planCap)) {
+		if ctx.Cluster.CapAt(ctx.Now) != f.planCap[off] {
+			// The capacity profile changed under the plan (node loss or
+			// recovery); the skyline must be re-flattened.
+			return true, false
+		}
+	}
+	live := make(map[string]bool, len(ctx.Jobs))
+	for _, j := range ctx.Jobs {
+		if j.Kind != sched.DeadlineJob {
+			continue
+		}
+		if j.EstRemaining.IsZero() {
+			continue
+		}
+		live[j.ID] = true
+		rem := f.planRemaining[j.ID].Add(f.deferred[j.ID])
+		if !j.EstRemaining.FitsIn(rem) {
+			if !f.planKnown(j.ID) {
+				if int64(j.Release/ctx.Cluster.SlotDur) > ctx.Now {
+					// Beyond the planning lookahead: picked up by the
+					// replan that fires when its release arrives.
+					continue
+				}
+				// A new arrival with an open window needs a plan now.
+				return true, quality
+			}
+			// A planned job revised its estimate upward (or a blocked slot
+			// wasted its slice): the backlog stage in Assign feeds it from
+			// leftover capacity immediately; folding it into the plan is a
+			// quality matter.
+			quality = true
+		}
+	}
+	for id, rem := range f.planRemaining {
+		if !rem.IsZero() && !live[id] {
+			quality = true
+		}
+	}
+	return false, quality
+}
+
+func (f *FlowTime) planKnown(id string) bool {
+	_, ok := f.plan[id]
+	return ok
+}
+
+func grantIn(request resource.Vector, avail *resource.Vector) resource.Vector {
+	g := request.Min(*avail)
+	*avail = avail.Sub(g)
+	return g
+}
+
+// planJob is the per-job working state during a replan.
+type planJob struct {
+	state   sched.JobState
+	relSlot int64 // inclusive, absolute
+	dlSlot  int64 // exclusive, absolute
+}
+
+// replan rebuilds the multi-slot plan with the per-kind LP pipeline.
+func (f *FlowTime) replan(ctx sched.AssignContext) error {
+	f.stats.Replans++
+	f.planFrom = ctx.Now
+	f.plan = make(map[string][]resource.Vector)
+	f.planRemaining = make(map[string]resource.Vector)
+	f.deferred = make(map[string]resource.Vector)
+	f.deferredRetry = 0
+	f.load = nil
+	f.planCap = nil
+
+	slackSlots := int64(0)
+	if f.cfg.Slack > 0 {
+		slackSlots = int64(f.cfg.Slack / ctx.Cluster.SlotDur)
+	}
+
+	jobs, order, nSlots := f.computeWindows(ctx, slackSlots)
+	if len(jobs) == 0 {
+		return nil
+	}
+
+	// Deadline slack is a preference, not a feasibility constraint: if the
+	// slack-tightened windows cannot jointly host the demand, plan against
+	// the true windows instead (paper §VII-B.2 introduces slack to absorb
+	// estimation error, not to manufacture misses).
+	if slackSlots > 0 && !f.feasibleUnderWindows(ctx, jobs, order, nSlots) {
+		f.stats.SlackDropped++
+		jobs, order, nSlots = f.computeWindows(ctx, 0)
+	}
+
+	f.load = make([]resource.Vector, nSlots)
+	f.planCap = make([]resource.Vector, nSlots)
+	for t := int64(0); t < nSlots; t++ {
+		f.planCap[t] = ctx.Cluster.CapAt(ctx.Now + t)
+	}
+	alloc := make(map[string][]resource.Vector, len(jobs))
+	for _, pj := range jobs {
+		alloc[pj.state.ID] = make([]resource.Vector, nSlots)
+	}
+
+	for _, kind := range resource.Kinds() {
+		if err := f.replanKind(ctx, kind, jobs, order, alloc, nSlots); err != nil {
+			return err
+		}
+	}
+
+	f.plan = alloc
+	anyDeferred := false
+	for id, slots := range alloc {
+		var total resource.Vector
+		for _, g := range slots {
+			total = total.Add(g)
+		}
+		f.planRemaining[id] = total
+	}
+	for _, pj := range jobs {
+		if d := pj.state.EstRemaining.SubClamped(f.planRemaining[pj.state.ID]); !d.IsZero() {
+			f.deferred[pj.state.ID] = d
+			anyDeferred = true
+		}
+	}
+	if anyDeferred {
+		f.deferredRetry = ctx.Now + deferredRetryInterval
+	}
+	return nil
+}
+
+// computeWindows collects live deadline jobs with their effective windows
+// under the given slack, plus the shared EDF processing order and the plan
+// length in slots.
+func (f *FlowTime) computeWindows(ctx sched.AssignContext, slackSlots int64) ([]*planJob, []*planJob, int64) {
+	jobs := make([]*planJob, 0, len(ctx.Jobs))
+	maxDl := ctx.Now + 1
+	for _, j := range ctx.Jobs {
+		if j.Kind != sched.DeadlineJob || j.EstRemaining.IsZero() {
+			continue
+		}
+		pj := &planJob{state: j}
+		pj.relSlot = int64(j.Release / ctx.Cluster.SlotDur)
+		if pj.relSlot < ctx.Now {
+			pj.relSlot = ctx.Now
+		}
+		pj.dlSlot = int64(j.Deadline/ctx.Cluster.SlotDur) - slackSlots
+		if pj.dlSlot <= pj.relSlot {
+			pj.dlSlot = pj.relSlot + 1
+		}
+		if pj.dlSlot <= ctx.Now {
+			// Overdue: finish as soon as possible.
+			minS := j.MinSlots
+			if minS < 1 {
+				minS = 1
+			}
+			pj.relSlot, pj.dlSlot = ctx.Now, ctx.Now+minS
+		}
+		if f.cfg.PlanSlots > 0 && pj.relSlot >= ctx.Now+f.cfg.PlanSlots {
+			// Beyond the lookahead: planStale fires a replan when the
+			// job's release arrives.
+			continue
+		}
+		if pj.dlSlot > maxDl {
+			maxDl = pj.dlSlot
+		}
+		jobs = append(jobs, pj)
+	}
+	if len(jobs) == 0 {
+		return nil, nil, 0
+	}
+
+	horizon := maxDl
+	if horizon > ctx.Cluster.Horizon {
+		horizon = ctx.Cluster.Horizon
+	}
+	if horizon <= ctx.Now {
+		horizon = ctx.Now + 1
+	}
+	for _, pj := range jobs {
+		if pj.dlSlot > horizon {
+			pj.dlSlot = horizon
+		}
+		if pj.relSlot >= pj.dlSlot {
+			pj.relSlot = pj.dlSlot - 1
+		}
+	}
+
+	order := make([]*planJob, len(jobs))
+	copy(order, jobs)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].dlSlot != order[b].dlSlot {
+			return order[a].dlSlot < order[b].dlSlot
+		}
+		return order[a].state.ID < order[b].state.ID
+	})
+	return jobs, order, horizon - ctx.Now
+}
+
+// feasibleUnderWindows reports whether every kind's demand fits within the
+// jobs' current windows (greedy check; false negatives only make the plan
+// fall back to true windows, which is safe).
+func (f *FlowTime) feasibleUnderWindows(ctx sched.AssignContext, jobs, order []*planJob, nSlots int64) bool {
+	for _, kind := range resource.Kinds() {
+		demand := make(map[*planJob]int64, len(jobs))
+		for _, pj := range jobs {
+			if d := pj.state.EstRemaining.Get(kind); d > 0 {
+				demand[pj] = d
+			}
+		}
+		if len(demand) == 0 {
+			continue
+		}
+		capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
+		if !greedyFeasible(order, demand, capAt, kind, ctx.Now, nSlots) {
+			return false
+		}
+	}
+	return true
+}
+
+// replanKind runs the feasibility + lexmin + repair pipeline for one
+// resource kind and writes integral grants into alloc.
+func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs, order []*planJob, alloc map[string][]resource.Vector, nSlots int64) error {
+	// Demands and caps for this kind.
+	demand := make(map[*planJob]int64, len(jobs))
+	for _, pj := range jobs {
+		if d := pj.state.EstRemaining.Get(kind); d > 0 {
+			demand[pj] = d
+		}
+	}
+	if len(demand) == 0 {
+		return nil
+	}
+	capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
+
+	// Feasibility precheck: greedy EDF water-fill under hard caps. If all
+	// demand places, the instance is feasible and the shortfall LP is
+	// unnecessary.
+	shortfall := make(map[*planJob]int64)
+	if !greedyFeasible(order, demand, capAt, kind, ctx.Now, nSlots) {
+		short, err := f.shortfallLP(ctx, kind, jobs, demand, capAt, nSlots)
+		if err != nil {
+			return err
+		}
+		shortfall = short
+		if len(shortfall) > 0 {
+			f.stats.ShortfallEvents++
+		}
+	} else {
+		f.stats.StageASkipped++
+	}
+
+	// Stage B: lexicographic min-max LP over the feasible demand.
+	model := lp.NewModel()
+	vars := make(map[*planJob][]lp.Var, len(jobs))
+	for _, pj := range jobs {
+		d := demand[pj] - shortfall[pj]
+		if d <= 0 {
+			continue
+		}
+		n := pj.dlSlot - pj.relSlot
+		vs := make([]lp.Var, n)
+		terms := make([]lp.Term, 0, n)
+		hi := float64(pj.state.ParallelCap.Get(kind))
+		for s := int64(0); s < n; s++ {
+			v, err := model.NewVar("", 0, hi)
+			if err != nil {
+				return fmt.Errorf("core: replan: %w", err)
+			}
+			vs[s] = v
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+		vars[pj] = vs
+		if err := model.AddConstraint(terms, lp.EQ, float64(d)); err != nil {
+			return fmt.Errorf("core: replan: %w", err)
+		}
+	}
+
+	slotTerms := make([][]lp.Term, nSlots)
+	for pj, vs := range vars {
+		for s, v := range vs {
+			t := pj.relSlot - ctx.Now + int64(s)
+			slotTerms[t] = append(slotTerms[t], lp.Term{Var: v, Coef: 1})
+		}
+	}
+	var groups []lp.LoadGroup
+	groupSlot := make([]int64, 0, nSlots)
+	for t := int64(0); t < nSlots; t++ {
+		if len(slotTerms[t]) == 0 {
+			continue
+		}
+		c := capAt(t)
+		if c <= 0 {
+			if err := model.AddConstraint(slotTerms[t], lp.LE, 0); err != nil {
+				return fmt.Errorf("core: replan: %w", err)
+			}
+			continue
+		}
+		groups = append(groups, lp.LoadGroup{Terms: slotTerms[t], Cap: float64(c)})
+		groupSlot = append(groupSlot, t)
+	}
+
+	res, err := lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{MaxRounds: f.cfg.MaxLexRounds})
+	if err != nil {
+		return fmt.Errorf("core: replan stage B (%v): %w", kind, err)
+	}
+	f.stats.LPRounds += res.Rounds
+
+	// Integral repair: budgets by cumulative rounding of the LP skyline,
+	// EDF water-fill within budgets, then a hard-cap sweep.
+	lpLoad := make([]float64, nSlots)
+	for gi, g := range groups {
+		load := 0.0
+		for _, tm := range g.Terms {
+			load += tm.Coef * res.Solution.Value(tm.Var)
+		}
+		lpLoad[groupSlot[gi]] = load
+	}
+	remaining := make(map[*planJob]int64, len(jobs))
+	for pj, d := range demand {
+		if left := d - shortfall[pj]; left > 0 {
+			remaining[pj] = left
+		}
+	}
+	cum := 0.0
+	budgetUsed := int64(0)
+	for t := int64(0); t < nSlots; t++ {
+		cum += lpLoad[t]
+		budget := int64(cum+0.5) - budgetUsed
+		if c := capAt(t); budget > c {
+			budget = c
+		}
+		budgetUsed += f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, budget)
+	}
+	for t := int64(0); t < nSlots; t++ {
+		f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, capAt(t)-f.load[t].Get(kind))
+	}
+	// Any demand still left could not fit in windows at all; it is served
+	// by the overdue path at run time.
+	return nil
+}
+
+// greedyFeasible reports whether the EDF water-fill can place every unit
+// of demand within its window under hard caps. A true result proves
+// feasibility; a false result is decided properly by the shortfall LP.
+func greedyFeasible(order []*planJob, demand map[*planJob]int64, capAt func(int64) int64, kind resource.Kind, now, nSlots int64) bool {
+	remaining := make(map[*planJob]int64, len(demand))
+	total := int64(0)
+	for pj, d := range demand {
+		remaining[pj] = d
+		total += d
+	}
+	for t := int64(0); t < nSlots && total > 0; t++ {
+		budget := capAt(t)
+		if budget <= 0 {
+			continue
+		}
+		abs := now + t
+		for _, pj := range order {
+			rem := remaining[pj]
+			if rem <= 0 || abs < pj.relSlot || abs >= pj.dlSlot {
+				continue
+			}
+			g := pj.state.ParallelCap.Get(kind)
+			if g > rem {
+				g = rem
+			}
+			if g > budget {
+				g = budget
+			}
+			if g <= 0 {
+				continue
+			}
+			remaining[pj] = rem - g
+			total -= g
+			budget -= g
+			if budget == 0 {
+				break
+			}
+		}
+	}
+	return total == 0
+}
+
+// shortfallLP solves the stage-A feasibility LP for one kind: minimize
+// total shortfall subject to windows, rate caps and hard capacity.
+// Returns the integral shortfall per job.
+func (f *FlowTime) shortfallLP(ctx sched.AssignContext, kind resource.Kind, jobs []*planJob, demand map[*planJob]int64, capAt func(int64) int64, nSlots int64) (map[*planJob]int64, error) {
+	model := lp.NewModel()
+	shortVars := make(map[*planJob]lp.Var, len(jobs))
+	slotTerms := make([][]lp.Term, nSlots)
+	var obj []lp.Term
+	for _, pj := range jobs {
+		d := demand[pj]
+		if d <= 0 {
+			continue
+		}
+		n := pj.dlSlot - pj.relSlot
+		terms := make([]lp.Term, 0, n+1)
+		hi := float64(pj.state.ParallelCap.Get(kind))
+		for s := int64(0); s < n; s++ {
+			v, err := model.NewVar("", 0, hi)
+			if err != nil {
+				return nil, fmt.Errorf("core: shortfall: %w", err)
+			}
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+			t := pj.relSlot - ctx.Now + int64(s)
+			slotTerms[t] = append(slotTerms[t], lp.Term{Var: v, Coef: 1})
+		}
+		sv, err := model.NewVar("", 0, float64(d))
+		if err != nil {
+			return nil, fmt.Errorf("core: shortfall: %w", err)
+		}
+		shortVars[pj] = sv
+		terms = append(terms, lp.Term{Var: sv, Coef: 1})
+		if err := model.AddConstraint(terms, lp.EQ, float64(d)); err != nil {
+			return nil, fmt.Errorf("core: shortfall: %w", err)
+		}
+		obj = append(obj, lp.Term{Var: sv, Coef: 1})
+	}
+	for t := int64(0); t < nSlots; t++ {
+		if len(slotTerms[t]) == 0 {
+			continue
+		}
+		c := capAt(t)
+		if c < 0 {
+			c = 0
+		}
+		if err := model.AddConstraint(slotTerms[t], lp.LE, float64(c)); err != nil {
+			return nil, fmt.Errorf("core: shortfall: %w", err)
+		}
+	}
+	if err := model.SetObjective(obj); err != nil {
+		return nil, fmt.Errorf("core: shortfall: %w", err)
+	}
+	sol, err := model.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: shortfall (%v): %w", kind, err)
+	}
+	out := make(map[*planJob]int64)
+	for pj, sv := range shortVars {
+		// Round up so the remaining demand is certainly feasible.
+		if s := int64(sol.Value(sv) + 0.999999); s > 0 {
+			if s > demand[pj] {
+				s = demand[pj]
+			}
+			out[pj] = s
+		}
+	}
+	return out, nil
+}
+
+// fillSlot grants up to budget units of kind at slot offset t (absolute
+// slot now+t) to jobs in EDF order whose windows cover the slot, updating
+// remaining, alloc and the load skyline. Returns units granted.
+func (f *FlowTime) fillSlot(order []*planJob, remaining map[*planJob]int64, alloc map[string][]resource.Vector, kind resource.Kind, t, now, budget int64) int64 {
+	if budget <= 0 {
+		return 0
+	}
+	granted := int64(0)
+	abs := now + t
+	for _, pj := range order {
+		rem := remaining[pj]
+		if rem <= 0 || abs < pj.relSlot || abs >= pj.dlSlot {
+			continue
+		}
+		slots := alloc[pj.state.ID]
+		have := slots[t].Get(kind)
+		g := pj.state.ParallelCap.Get(kind) - have
+		if g > rem {
+			g = rem
+		}
+		if g > budget-granted {
+			g = budget - granted
+		}
+		if g <= 0 {
+			continue
+		}
+		slots[t] = slots[t].With(kind, have+g)
+		remaining[pj] = rem - g
+		f.load[t] = f.load[t].With(kind, f.load[t].Get(kind)+g)
+		granted += g
+		if granted >= budget {
+			break
+		}
+	}
+	return granted
+}

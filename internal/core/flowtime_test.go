@@ -1,0 +1,341 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+)
+
+const slotDur = 10 * time.Second
+
+func view(capacity resource.Vector, horizon int64) sched.ClusterView {
+	return sched.ClusterView{
+		SlotDur: slotDur,
+		Horizon: horizon,
+		CapAt:   func(int64) resource.Vector { return capacity },
+	}
+}
+
+func dlJob(id string, release, deadlineSlots int64, volume, capV resource.Vector) sched.JobState {
+	return sched.JobState{
+		ID:           id,
+		Kind:         sched.DeadlineJob,
+		WorkflowID:   "wf",
+		JobName:      id,
+		Release:      time.Duration(release) * slotDur,
+		Deadline:     time.Duration(deadlineSlots) * slotDur,
+		EstRemaining: volume,
+		ParallelCap:  capV,
+		MinSlots:     1,
+		Request:      capV.Min(volume),
+		Ready:        true,
+	}
+}
+
+func adhoc(id string, arrived time.Duration, request resource.Vector) sched.JobState {
+	return sched.JobState{
+		ID: id, Kind: sched.AdHocJob, Arrived: arrived, Request: request, Ready: true,
+	}
+}
+
+func TestNameAndConfig(t *testing.T) {
+	f := New(DefaultConfig())
+	if f.Name() != "FlowTime" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if DefaultConfig().Slack != 60*time.Second {
+		t.Errorf("default slack = %v, want 60s (the paper's setting)", DefaultConfig().Slack)
+	}
+}
+
+func TestFlattensLooseJobAcrossWindow(t *testing.T) {
+	// One job: volume 100 cores over a 100-slot window on a 10-core
+	// cluster. The lexmin plan must run it at ~1 core/slot, leaving ~9
+	// cores/slot to ad-hoc work — the essence of Fig. 1(b).
+	f := New(Config{Slack: 0, MaxLexRounds: 8})
+	job := dlJob("j", 0, 100, resource.New(100, 10000), resource.New(10, 1000))
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true,
+		Jobs:    []sched.JobState{job, adhoc("a", 0, resource.New(10, 1000))},
+		Cluster: view(resource.New(10, 1000), 200),
+	}
+	grants, err := f.Assign(ctx)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	jg := grants["j"]
+	if jg.Get(resource.VCores) > 2 {
+		t.Errorf("deadline job granted %v in slot 0, want ~1 core (flattened)", jg)
+	}
+	ag := grants["a"]
+	if ag.Get(resource.VCores) < 8 {
+		t.Errorf("ad-hoc granted %v, want ~9 cores of leftover", ag)
+	}
+}
+
+func TestPlanMeetsDemandByDeadline(t *testing.T) {
+	// Three jobs with staggered windows; summing the plan must cover each
+	// job's demand within its window.
+	f := New(Config{Slack: 0})
+	jobs := []sched.JobState{
+		dlJob("a", 0, 10, resource.New(40, 4000), resource.New(8, 800)),
+		dlJob("b", 5, 20, resource.New(60, 6000), resource.New(10, 1000)),
+		dlJob("c", 10, 30, resource.New(30, 3000), resource.New(5, 500)),
+	}
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true, Jobs: jobs,
+		Cluster: view(resource.New(10, 1000), 40),
+	}
+	if _, err := f.Assign(ctx); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	for _, j := range jobs {
+		var got resource.Vector
+		plan := f.plan[j.ID]
+		rel := int64(j.Release / slotDur)
+		dl := int64(j.Deadline / slotDur)
+		for t0, g := range plan {
+			if g.IsZero() {
+				continue
+			}
+			if int64(t0) < rel || int64(t0) >= dl {
+				t.Errorf("job %s allocated %v at slot %d outside window [%d, %d)", j.ID, g, t0, rel, dl)
+			}
+			if !g.FitsIn(j.ParallelCap) {
+				t.Errorf("job %s slot %d grant %v exceeds parallel cap %v", j.ID, t0, g, j.ParallelCap)
+			}
+			got = got.Add(g)
+		}
+		if got != j.EstRemaining {
+			t.Errorf("job %s planned %v, want exactly %v", j.ID, got, j.EstRemaining)
+		}
+	}
+	// Planned load never exceeds capacity.
+	for t0, l := range f.load {
+		if !l.FitsIn(resource.New(10, 1000)) {
+			t.Errorf("slot %d planned load %v exceeds capacity", t0, l)
+		}
+	}
+}
+
+func TestPlanIsIntegral(t *testing.T) {
+	// Lemma 2 (total unimodularity) + integral repair: grants are integers
+	// by construction (resource.Vector is integer-typed), and they must
+	// conserve demand exactly even when the LP optimum is fractional
+	// (demand 7 over 3 slots).
+	f := New(Config{Slack: 0})
+	job := dlJob("j", 0, 3, resource.New(7, 700), resource.New(10, 1000))
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true, Jobs: []sched.JobState{job},
+		Cluster: view(resource.New(10, 1000), 10),
+	}
+	if _, err := f.Assign(ctx); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	var total resource.Vector
+	for _, g := range f.plan["j"] {
+		total = total.Add(g)
+	}
+	if total != job.EstRemaining {
+		t.Errorf("plan total = %v, want %v", total, job.EstRemaining)
+	}
+}
+
+func TestSlackShiftsWorkEarlier(t *testing.T) {
+	// With 60s (6-slot) slack, a job whose window is [0, 10) must be fully
+	// served by slot 4.
+	f := New(Config{Slack: 60 * time.Second})
+	job := dlJob("j", 0, 10, resource.New(20, 2000), resource.New(10, 1000))
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true, Jobs: []sched.JobState{job},
+		Cluster: view(resource.New(10, 1000), 20),
+	}
+	if _, err := f.Assign(ctx); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	var before, after resource.Vector
+	for t0, g := range f.plan["j"] {
+		if t0 < 4 {
+			before = before.Add(g)
+		} else {
+			after = after.Add(g)
+		}
+	}
+	if !after.IsZero() {
+		t.Errorf("slack ignored: %v allocated at/after the slacked deadline", after)
+	}
+	if before != job.EstRemaining {
+		t.Errorf("allocated %v before slacked deadline, want %v", before, job.EstRemaining)
+	}
+}
+
+func TestOverdueJobServedBestEffort(t *testing.T) {
+	// Deadline already passed: the job must still be fed (ahead of ad-hoc).
+	f := New(Config{Slack: 0})
+	job := dlJob("late", 0, 5, resource.New(30, 3000), resource.New(10, 1000))
+	ctx := sched.AssignContext{
+		Now: 8, Changed: true,
+		Jobs:    []sched.JobState{job, adhoc("a", 0, resource.New(10, 1000))},
+		Cluster: view(resource.New(10, 1000), 50),
+	}
+	grants, err := f.Assign(ctx)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if g := grants["late"]; g.Get(resource.VCores) < 10 {
+		t.Errorf("overdue job granted %v, want the full cluster before ad-hoc", g)
+	}
+	if g := grants["a"]; !g.IsZero() {
+		t.Errorf("ad-hoc granted %v while an overdue deadline job is starving", g)
+	}
+}
+
+func TestInfeasibleDemandDegradesGracefully(t *testing.T) {
+	// Demand beyond any feasible schedule within the window: FlowTime must
+	// not error; the shortfall path schedules what fits and the rest runs
+	// overdue.
+	f := New(Config{Slack: 0})
+	job := dlJob("big", 0, 4, resource.New(1000, 100000), resource.New(10, 1000))
+	job.Request = resource.New(10, 1000)
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true, Jobs: []sched.JobState{job},
+		Cluster: view(resource.New(10, 1000), 50),
+	}
+	grants, err := f.Assign(ctx)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if g := grants["big"]; g.Get(resource.VCores) != 10 {
+		t.Errorf("grant = %v, want full capacity for the doomed job", g)
+	}
+	if f.Stats().ShortfallEvents == 0 {
+		t.Error("ShortfallEvents = 0, want > 0 (per-kind shortfalls recorded)")
+	}
+}
+
+func TestNotReadyJobNotGranted(t *testing.T) {
+	f := New(Config{Slack: 0})
+	blocked := dlJob("blocked", 0, 10, resource.New(20, 2000), resource.New(10, 1000))
+	blocked.Ready = false
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true, Jobs: []sched.JobState{blocked},
+		Cluster: view(resource.New(10, 1000), 20),
+	}
+	grants, err := f.Assign(ctx)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if g := grants["blocked"]; !g.IsZero() {
+		t.Errorf("blocked job granted %v", g)
+	}
+}
+
+func TestPlanReusedWhileOnSchedule(t *testing.T) {
+	// A job consuming exactly its planned grants must never force a
+	// replan; a new arrival must.
+	f := New(Config{Slack: 0})
+	job := dlJob("j", 0, 20, resource.New(40, 4000), resource.New(10, 1000))
+	cl := view(resource.New(10, 1000), 40)
+
+	for now := int64(0); now < 4; now++ {
+		grants, err := f.Assign(sched.AssignContext{
+			Now: now, Changed: now == 0, Jobs: []sched.JobState{job}, Cluster: cl,
+		})
+		if err != nil {
+			t.Fatalf("Assign(%d): %v", now, err)
+		}
+		job.EstRemaining = job.EstRemaining.SubClamped(grants["j"])
+		job.Request = job.ParallelCap.Min(job.EstRemaining)
+	}
+	if got := f.Stats().Replans; got != 1 {
+		t.Errorf("Replans = %d, want 1 (on-schedule consumption must reuse the plan)", got)
+	}
+
+	newcomer := dlJob("k", 4, 30, resource.New(20, 2000), resource.New(10, 1000))
+	if _, err := f.Assign(sched.AssignContext{
+		Now: 4, Changed: true, Jobs: []sched.JobState{job, newcomer}, Cluster: cl,
+	}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if got := f.Stats().Replans; got != 2 {
+		t.Errorf("Replans = %d, want 2 after an arrival", got)
+	}
+}
+
+func TestEmptyContext(t *testing.T) {
+	f := New(DefaultConfig())
+	grants, err := f.Assign(sched.AssignContext{
+		Now: 0, Changed: true,
+		Cluster: view(resource.New(10, 1000), 10),
+	})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if len(grants) != 0 {
+		t.Errorf("grants = %v, want empty", grants)
+	}
+}
+
+func TestAdHocFIFOOverLeftovers(t *testing.T) {
+	f := New(Config{Slack: 0})
+	ctx := sched.AssignContext{
+		Now: 0, Changed: true,
+		Jobs: []sched.JobState{
+			adhoc("second", 20*time.Second, resource.New(8, 800)),
+			adhoc("first", 0, resource.New(8, 800)),
+		},
+		Cluster: view(resource.New(10, 1000), 10),
+	}
+	grants, err := f.Assign(ctx)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if g := grants["first"]; g != resource.New(8, 800) {
+		t.Errorf("first grant = %v, want full request", g)
+	}
+	if g := grants["second"]; g != resource.New(2, 200) {
+		t.Errorf("second grant = %v, want leftover <2,200>", g)
+	}
+}
+
+func TestReplanOnLiveCapacityChange(t *testing.T) {
+	// The capacity *function* changes between slots (a node died), unlike
+	// a profile step known in advance: the plan must go stale.
+	f := New(Config{Slack: 0, MaxLexRounds: 2})
+	job := dlJob("j", 0, 30, resource.New(60, 6000), resource.New(10, 1000))
+	capacity := resource.New(20, 2000)
+	mk := func(now int64) sched.AssignContext {
+		return sched.AssignContext{
+			Now: now, Changed: now == 0, Jobs: []sched.JobState{job},
+			Cluster: sched.ClusterView{
+				SlotDur: slotDur,
+				Horizon: 100,
+				CapAt:   func(int64) resource.Vector { return capacity },
+			},
+		}
+	}
+	grants, err := f.Assign(mk(0))
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	job.EstRemaining = job.EstRemaining.SubClamped(grants["j"])
+	if got := f.Stats().Replans; got != 1 {
+		t.Fatalf("Replans = %d, want 1", got)
+	}
+
+	capacity = resource.New(8, 800) // a node died
+	if _, err := f.Assign(mk(1)); err != nil {
+		t.Fatalf("Assign after capacity drop: %v", err)
+	}
+	if got := f.Stats().Replans; got != 2 {
+		t.Errorf("Replans = %d, want 2 (live capacity change must replan)", got)
+	}
+	// The new plan must respect the reduced capacity.
+	for off, l := range f.PlannedLoad() {
+		if !l.FitsIn(capacity) {
+			t.Errorf("plan slot %d load %v exceeds reduced capacity %v", off, l, capacity)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package deadline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/workload"
+)
+
+// BenchmarkDecompose measures the decomposition hot path across the DAG
+// sizes of the paper's Fig. 6 (10-200 nodes, edge densities up to ~30%).
+func BenchmarkDecompose(b *testing.B) {
+	opts := Options{Slot: 10 * time.Second, ClusterCap: resource.New(500, 1<<20)}
+	for _, size := range []struct {
+		nodes int
+		dens  float64
+	}{
+		{10, 0.3}, {50, 0.2}, {100, 0.2}, {200, 0.3},
+	} {
+		edges := int(size.dens * float64(size.nodes*(size.nodes-1)) / 2)
+		name := fmt.Sprintf("nodes=%d_edges=%d", size.nodes, edges)
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			w, err := workload.RandomDAGWorkflow(rng, "bench", size.nodes, edges, 24*time.Hour)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompose(w, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCriticalPathDecompose measures the fallback strategy at the
+// largest Fig. 6 size.
+func BenchmarkCriticalPathDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := workload.RandomDAGWorkflow(rng, "bench", 200, 5970, 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Slot: 10 * time.Second, ClusterCap: resource.New(500, 1<<20), ForceCriticalPath: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

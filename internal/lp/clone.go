@@ -1,0 +1,23 @@
+package lp
+
+// Clone returns a deep copy of the model. Solving or mutating the clone
+// never affects the original, which makes Clone the building block for
+// iterative schemes (LexMinMax re-solves a growing family of models derived
+// from one base).
+func (m *Model) Clone() *Model {
+	c := &Model{
+		lo:    append([]float64(nil), m.lo...),
+		hi:    append([]float64(nil), m.hi...),
+		obj:   append([]float64(nil), m.obj...),
+		names: append([]string(nil), m.names...),
+		rows:  make([]row, len(m.rows)),
+	}
+	for i, r := range m.rows {
+		c.rows[i] = row{
+			terms: append([]Term(nil), r.terms...),
+			sense: r.sense,
+			rhs:   r.rhs,
+		}
+	}
+	return c
+}

@@ -1,0 +1,76 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// AddConvexCost encodes the paper's λ-representation (Eq. 8–9) of a
+// separable convex cost f applied to variable y over the discrete domain
+// {lo, lo+1, …, hi}:
+//
+//	f(y) = Σ_{j∈D} f(j)·λ_j,  Σ_j j·λ_j = y,  Σ_j λ_j = 1,  λ_j ≥ 0.
+//
+// Because f is convex, every optimal basic solution places weight only on
+// two adjacent breakpoints, so the piecewise-linear interpolation is exact
+// on integers and convex in between. The f(j)·λ_j terms are added to the
+// model's objective.
+//
+// This is the construction the paper uses (together with total
+// unimodularity) to reduce its ILP to an LP; FlowTime's production path
+// uses the equivalent iterative LexMinMax, but this helper lets tests and
+// examples reproduce the paper's exact formulation on small instances.
+func AddConvexCost(m *Model, y Var, lo, hi int, f func(int) float64) error {
+	if hi < lo {
+		return fmt.Errorf("lp: convex cost: empty domain [%d, %d]", lo, hi)
+	}
+	n := hi - lo + 1
+	lambdas := make([]Var, n)
+	for i := 0; i < n; i++ {
+		v, err := m.NewVar(fmt.Sprintf("lambda(%d)", lo+i), 0, 1)
+		if err != nil {
+			return err
+		}
+		lambdas[i] = v
+		fv := f(lo + i)
+		if math.IsNaN(fv) || math.IsInf(fv, 0) {
+			return fmt.Errorf("lp: convex cost: f(%d) = %v is not finite", lo+i, fv)
+		}
+		if err := m.AddObjectiveTerm(v, fv); err != nil {
+			return err
+		}
+	}
+
+	// Σ λ_j = 1.
+	sum := make([]Term, n)
+	for i, v := range lambdas {
+		sum[i] = Term{Var: v, Coef: 1}
+	}
+	if err := m.AddConstraint(sum, EQ, 1); err != nil {
+		return err
+	}
+
+	// Σ j·λ_j − y = 0.
+	link := make([]Term, 0, n+1)
+	for i, v := range lambdas {
+		if j := lo + i; j != 0 {
+			link = append(link, Term{Var: v, Coef: float64(j)})
+		}
+	}
+	link = append(link, Term{Var: y, Coef: -1})
+	return m.AddConstraint(link, EQ, 0)
+}
+
+// PowerScalarization returns the paper's Lemma-1 scalarizer g(u) = Σ k^{u_i}
+// for an integer vector u, where k = len(u). Lemma 1: for integer vectors
+// u, v of dimension k, g(u) ≤ g(v) ⟺ sorted(u) ⪯ sorted(v)
+// lexicographically. Exposed for the property tests that validate the
+// LexMinMax driver against the paper's original objective.
+func PowerScalarization(u []int) float64 {
+	k := float64(len(u))
+	g := 0.0
+	for _, ui := range u {
+		g += math.Pow(k, float64(ui))
+	}
+	return g
+}

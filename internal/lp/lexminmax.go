@@ -1,0 +1,300 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LoadGroup is one component of a lexicographic min-max objective: a linear
+// load expression normalized by a positive capacity. In FlowTime's
+// formulation (Eq. 1 of the paper) there is one group per (time slot,
+// resource kind) pair, the load is the total allocation z[t][r], and the
+// capacity is C[t][r].
+type LoadGroup struct {
+	// Name is used in diagnostics only.
+	Name string
+	// Terms is the linear load expression.
+	Terms []Term
+	// Cap is the normalizing capacity; must be > 0.
+	Cap float64
+}
+
+// MinMaxResult is the outcome of LexMinMax.
+type MinMaxResult struct {
+	// Solution is the final variable assignment.
+	Solution *Solution
+	// Levels[g] is the normalized load of group g in the final solution.
+	Levels []float64
+	// Rounds is the number of min-θ LPs solved.
+	Rounds int
+}
+
+// LexMinMax lexicographically minimizes the descending-sorted vector of
+// normalized group loads subject to the constraints already present in
+// base. This is the numerically stable realization of the paper's Lemma 1
+// scalarization min Σ k^(z/C): rather than exponentiating (which overflows
+// for k = |T||R|), it repeatedly solves
+//
+//	min θ  s.t.  base constraints, load_g ≤ θ·cap_g for active g,
+//	             load_g ≤ level_g·cap_g for frozen g,
+//
+// then freezes the groups that are saturated in every optimal solution
+// (detected through positive duals on their capacity rows, with an exact
+// minimization probe as a fallback for degenerate bases) and recurses on
+// the rest. The two forms have the same optimum: Lemma 1 states g(u) ≤ g(v)
+// ⟺ u ⪯ v lexicographically, and the iterative scheme computes exactly the
+// ⪯-minimal achievable vector.
+//
+// base is not mutated. Every group must have Cap > 0.
+func LexMinMax(base *Model, groups []LoadGroup) (*MinMaxResult, error) {
+	return LexMinMaxWithOptions(base, groups, MinMaxOptions{})
+}
+
+// MinMaxOptions tunes LexMinMaxWithOptions.
+type MinMaxOptions struct {
+	// MaxRounds caps the number of min-θ LPs. Zero means no cap (exact
+	// lexicographic optimum). When the cap is reached, all still-active
+	// groups are frozen at the last level: the result is feasible, has the
+	// exact optimal maximum level, and is lexicographically optimal down
+	// to the level reached. FlowTime uses a cap to bound event-handling
+	// latency (paper §III: scheduling efficiency).
+	MaxRounds int
+}
+
+// LexMinMaxWithOptions is LexMinMax with tuning options.
+func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (*MinMaxResult, error) {
+	for gi, g := range groups {
+		if g.Cap <= 0 {
+			return nil, fmt.Errorf("lp: lexminmax: group %d (%s) has non-positive capacity %g", gi, g.Name, g.Cap)
+		}
+		if len(g.Terms) == 0 {
+			return nil, fmt.Errorf("lp: lexminmax: group %d (%s) has no terms", gi, g.Name)
+		}
+	}
+
+	const levelTol = 1e-6
+
+	active := make([]int, 0, len(groups))
+	for gi := range groups {
+		active = append(active, gi)
+	}
+	frozen := make(map[int]float64, len(groups))
+
+	var (
+		lastSol *Solution
+		rounds  int
+	)
+	for len(active) > 0 {
+		rounds++
+		if rounds > len(groups)+1 {
+			return nil, fmt.Errorf("lp: lexminmax: failed to converge after %d rounds", rounds)
+		}
+		lastRound := opts.MaxRounds > 0 && rounds >= opts.MaxRounds
+
+		m := base.Clone()
+		theta, err := m.NewVar("theta", 0, Inf)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetObjective([]Term{{Var: theta, Coef: 1}}); err != nil {
+			return nil, err
+		}
+		// Row index of each group's cap constraint, for dual lookup.
+		capRow := make(map[int]int, len(groups))
+		for _, gi := range active {
+			g := groups[gi]
+			terms := append(append(make([]Term, 0, len(g.Terms)+1), g.Terms...),
+				Term{Var: theta, Coef: -g.Cap})
+			capRow[gi] = m.NumConstraints()
+			if err := m.AddConstraint(terms, LE, 0); err != nil {
+				return nil, err
+			}
+		}
+		for gi, level := range frozen {
+			if err := m.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap); err != nil {
+				return nil, err
+			}
+		}
+
+		sol, err := m.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("lp: lexminmax round %d: %w", rounds, err)
+		}
+		lastSol = sol
+		level := sol.Value(theta)
+
+		if level <= levelTol {
+			// Nothing left to flatten: remaining groups are all at ~zero.
+			for _, gi := range active {
+				frozen[gi] = 0
+			}
+			break
+		}
+		if lastRound {
+			for _, gi := range active {
+				frozen[gi] = level
+			}
+			break
+		}
+
+		// Saturated candidates: groups whose load reaches θ·cap.
+		var binding []int
+		for _, gi := range active {
+			load := evalTerms(groups[gi].Terms, sol)
+			if load >= (level-levelTol)*groups[gi].Cap {
+				binding = append(binding, gi)
+			}
+		}
+		if len(binding) == 0 {
+			return nil, fmt.Errorf("lp: lexminmax: no binding group at level %g (internal error)", level)
+		}
+
+		// Freeze groups that must be saturated in every optimum. A nonzero
+		// dual on the cap row certifies that (LE-row duals are <= 0 for a
+		// minimization under this solver's sign convention); for fully
+		// degenerate bases fall back to an exact probe.
+		newFrozen := 0
+		for _, gi := range binding {
+			if sol.Dual(capRow[gi]) < -1e-7 {
+				frozen[gi] = level
+				newFrozen++
+			}
+		}
+		if newFrozen == 0 {
+			for _, gi := range binding {
+				sat, err := probeSaturated(base, groups, frozen, active, gi, level, levelTol)
+				if err != nil {
+					return nil, err
+				}
+				if sat {
+					frozen[gi] = level
+					newFrozen++
+					break
+				}
+			}
+		}
+		if newFrozen == 0 {
+			// Mathematically at least one binding group is saturated in every
+			// optimum; if numerics hid it, freeze all binding groups. This
+			// may slightly over-constrain deeper levels but guarantees
+			// termination with a feasible, near-lexmin plan.
+			for _, gi := range binding {
+				frozen[gi] = level
+				newFrozen++
+			}
+		}
+
+		next := active[:0]
+		for _, gi := range active {
+			if _, ok := frozen[gi]; !ok {
+				next = append(next, gi)
+			}
+		}
+		active = next
+	}
+
+	// One final solve pinning every group to its freeze level, minimizing
+	// the total load as a tie-break so the plan does not carry slack
+	// allocations that frozen caps would permit.
+	final := base.Clone()
+	for gi, level := range frozen {
+		if err := final.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap+1e-9); err != nil {
+			return nil, err
+		}
+	}
+	var objTerms []Term
+	for gi := range groups {
+		objTerms = append(objTerms, groups[gi].Terms...)
+	}
+	if err := final.SetObjective(objTerms); err != nil {
+		return nil, err
+	}
+	sol, err := final.Solve()
+	if err != nil {
+		// The pinned model should always be feasible; fall back to the last
+		// round's solution if tolerances made it marginally infeasible.
+		if lastSol == nil {
+			return nil, fmt.Errorf("lp: lexminmax final solve: %w", err)
+		}
+		sol = lastSol
+	}
+
+	levels := make([]float64, len(groups))
+	for gi := range groups {
+		levels[gi] = evalTerms(groups[gi].Terms, sol) / groups[gi].Cap
+	}
+	return &MinMaxResult{Solution: sol, Levels: levels, Rounds: rounds}, nil
+}
+
+// probeSaturated reports whether group target is saturated (load = θ·cap) in
+// every optimal solution of the current round, by minimizing its load
+// subject to all other groups staying within level.
+func probeSaturated(base *Model, groups []LoadGroup, frozen map[int]float64, active []int, target int, level, tol float64) (bool, error) {
+	m := base.Clone()
+	for _, gi := range active {
+		if gi == target {
+			continue
+		}
+		if err := m.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap+tol); err != nil {
+			return false, err
+		}
+	}
+	for gi, lvl := range frozen {
+		if err := m.AddConstraint(groups[gi].Terms, LE, lvl*groups[gi].Cap+tol); err != nil {
+			return false, err
+		}
+	}
+	if err := m.SetObjective(groups[target].Terms); err != nil {
+		return false, err
+	}
+	sol, err := m.Solve()
+	if err != nil {
+		return false, fmt.Errorf("lp: lexminmax probe: %w", err)
+	}
+	minLoad := evalTerms(groups[target].Terms, sol)
+	return minLoad >= (level-10*tol)*groups[target].Cap, nil
+}
+
+func evalTerms(terms []Term, sol *Solution) float64 {
+	v := 0.0
+	for _, t := range terms {
+		v += t.Coef * sol.Value(t.Var)
+	}
+	return v
+}
+
+// SortedDescending returns a copy of levels sorted high-to-low, the vector
+// the lexicographic objective compares.
+func SortedDescending(levels []float64) []float64 {
+	out := append([]float64(nil), levels...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// LexLess compares two descending-sorted vectors lexicographically with
+// tolerance eps: it reports whether a ⪯ b strictly (a is better).
+func LexLess(a, b []float64, eps float64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]-eps:
+			return true
+		case a[i] > b[i]+eps:
+			return false
+		}
+	}
+	return false
+}
+
+// MaxLevel returns the largest element of levels, or 0 if empty.
+func MaxLevel(levels []float64) float64 {
+	maxL := 0.0
+	for _, l := range levels {
+		maxL = math.Max(maxL, l)
+	}
+	return maxL
+}

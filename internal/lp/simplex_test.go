@@ -1,0 +1,435 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustVar(t *testing.T, m *Model, name string, lo, hi float64) Var {
+	t.Helper()
+	v, err := m.NewVar(name, lo, hi)
+	if err != nil {
+		t.Fatalf("NewVar(%s): %v", name, err)
+	}
+	return v
+}
+
+func mustConstraint(t *testing.T, m *Model, terms []Term, s Sense, rhs float64) {
+	t.Helper()
+	if err := m.AddConstraint(terms, s, rhs); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+}
+
+func mustObjective(t *testing.T, m *Model, terms []Term) {
+	t.Helper()
+	if err := m.SetObjective(terms); err != nil {
+		t.Fatalf("SetObjective: %v", err)
+	}
+}
+
+func mustSolve(t *testing.T, m *Model) *Solution {
+	t.Helper()
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSimpleMaximizationViaNegation(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig
+	// example) has optimum x=2, y=6, obj=36. Minimize the negation.
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, Inf)
+	y := mustVar(t, m, "y", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}}, LE, 4)
+	mustConstraint(t, m, []Term{{y, 2}}, LE, 12)
+	mustConstraint(t, m, []Term{{x, 3}, {y, 2}}, LE, 18)
+	mustObjective(t, m, []Term{{x, -3}, {y, -5}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Objective, -36, 1e-6) {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if !approx(sol.Value(x), 2, 1e-6) || !approx(sol.Value(y), 6, 1e-6) {
+		t.Errorf("solution = (%g, %g), want (2, 6)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x >= 4  ->  x=10? No: y free down to 0.
+	// With x+y=10, minimize 2x+3y = 20 + y, so y=0, x=10. GE x >= 4 holds.
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, Inf)
+	y := mustVar(t, m, "y", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}, {y, 1}}, EQ, 10)
+	mustConstraint(t, m, []Term{{x, 1}}, GE, 4)
+	mustObjective(t, m, []Term{{x, 2}, {y, 3}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Value(x), 10, 1e-6) || !approx(sol.Value(y), 0, 1e-6) {
+		t.Errorf("solution = (%g, %g), want (10, 0)", sol.Value(x), sol.Value(y))
+	}
+	if !approx(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %g, want 20", sol.Objective)
+	}
+}
+
+func TestUpperBoundsBind(t *testing.T) {
+	// min -(x+y) with x in [0,3], y in [0,2], x + y <= 4 -> x=3? x+y<=4
+	// binds with both bounds reachable: best is x=3,y=1 or x=2,y=2; both
+	// give obj -4.
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, 3)
+	y := mustVar(t, m, "y", 0, 2)
+	mustConstraint(t, m, []Term{{x, 1}, {y, 1}}, LE, 4)
+	mustObjective(t, m, []Term{{x, -1}, {y, -1}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Objective, -4, 1e-6) {
+		t.Errorf("objective = %g, want -4", sol.Objective)
+	}
+	if sol.Value(x) > 3+1e-9 || sol.Value(y) > 2+1e-9 {
+		t.Errorf("bounds violated: (%g, %g)", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestBoundFlipOnly(t *testing.T) {
+	// min -x with x in [0, 5] and a vacuous constraint. The optimum x=5 is
+	// reachable only via a bound flip (no basis exchange can move x).
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, 5)
+	y := mustVar(t, m, "y", 0, 1)
+	mustConstraint(t, m, []Term{{y, 1}}, LE, 1)
+	mustObjective(t, m, []Term{{x, -1}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Value(x), 5, 1e-9) {
+		t.Errorf("x = %g, want 5", sol.Value(x))
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 2, 2)
+	y := mustVar(t, m, "y", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}, {y, 1}}, GE, 5)
+	mustObjective(t, m, []Term{{y, 1}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Value(x), 2, 1e-9) {
+		t.Errorf("x = %g, want 2 (fixed)", sol.Value(x))
+	}
+	if !approx(sol.Value(y), 3, 1e-6) {
+		t.Errorf("y = %g, want 3", sol.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, 1)
+	mustConstraint(t, m, []Term{{x, 1}}, GE, 2)
+	mustObjective(t, m, []Term{{x, 1}})
+
+	_, err := m.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Solve = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleEqualitySystem(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, Inf)
+	y := mustVar(t, m, "y", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}, {y, 1}}, EQ, 1)
+	mustConstraint(t, m, []Term{{x, 1}, {y, 1}}, EQ, 2)
+	mustObjective(t, m, []Term{{x, 1}})
+
+	_, err := m.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Solve = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, Inf)
+	y := mustVar(t, m, "y", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}, {y, -1}}, LE, 1)
+	mustObjective(t, m, []Term{{x, -1}})
+
+	_, err := m.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("Solve = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A classically degenerate vertex: multiple constraints meet at the
+	// optimum. Beale's cycling example adapted; Bland's rule must finish.
+	m := NewModel()
+	x1 := mustVar(t, m, "x1", 0, Inf)
+	x2 := mustVar(t, m, "x2", 0, Inf)
+	x3 := mustVar(t, m, "x3", 0, Inf)
+	x4 := mustVar(t, m, "x4", 0, Inf)
+	mustConstraint(t, m, []Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+	mustConstraint(t, m, []Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+	mustConstraint(t, m, []Term{{x3, 1}}, LE, 1)
+	mustObjective(t, m, []Term{{x1, -0.75}, {x2, 150}, {x3, -0.02}, {x4, 6}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Objective, -0.05, 1e-6) {
+		t.Errorf("objective = %g, want -0.05", sol.Objective)
+	}
+	verifyOptimal(t, m, sol)
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, Inf)
+	mustConstraint(t, m, []Term{{x, 1}, {x, 1}}, LE, 4) // 2x <= 4
+	mustObjective(t, m, []Term{{x, -1}})
+
+	sol := mustSolve(t, m)
+	if !approx(sol.Value(x), 2, 1e-6) {
+		t.Errorf("x = %g, want 2", sol.Value(x))
+	}
+}
+
+func TestTransportationIntegrality(t *testing.T) {
+	// A 3x3 transportation problem (TU constraint matrix, integral data)
+	// must yield an integral optimal basic solution — the property the
+	// paper's Lemma 2 relies on.
+	supply := []float64{10, 15, 5}
+	demand := []float64{12, 8, 10}
+	cost := [][]float64{{4, 8, 8}, {16, 24, 16}, {8, 16, 24}}
+
+	m := NewModel()
+	x := make([][]Var, 3)
+	for i := range x {
+		x[i] = make([]Var, 3)
+		for j := range x[i] {
+			x[i][j] = mustVar(t, m, "", 0, Inf)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		terms := make([]Term, 3)
+		for j := 0; j < 3; j++ {
+			terms[j] = Term{x[i][j], 1}
+		}
+		mustConstraint(t, m, terms, EQ, supply[i])
+	}
+	for j := 0; j < 3; j++ {
+		terms := make([]Term, 3)
+		for i := 0; i < 3; i++ {
+			terms[i] = Term{x[i][j], 1}
+		}
+		mustConstraint(t, m, terms, EQ, demand[j])
+	}
+	var obj []Term
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			obj = append(obj, Term{x[i][j], cost[i][j]})
+		}
+	}
+	mustObjective(t, m, obj)
+
+	sol := mustSolve(t, m)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			v := sol.Value(x[i][j])
+			if !approx(v, math.Round(v), 1e-6) {
+				t.Errorf("x[%d][%d] = %g is not integral", i, j, v)
+			}
+		}
+	}
+	verifyOptimal(t, m, sol)
+}
+
+func TestValidationErrors(t *testing.T) {
+	m := NewModel()
+	if _, err := m.NewVar("bad", math.Inf(-1), 0); err == nil {
+		t.Error("NewVar with -Inf lower bound: want error")
+	}
+	if _, err := m.NewVar("bad", 3, 2); err == nil {
+		t.Error("NewVar with hi < lo: want error")
+	}
+	x := mustVar(t, m, "x", 0, 1)
+	if err := m.AddConstraint(nil, LE, 1); err == nil {
+		t.Error("empty constraint: want error")
+	}
+	if err := m.AddConstraint([]Term{{x, 1}}, Sense(0), 1); err == nil {
+		t.Error("invalid sense: want error")
+	}
+	if err := m.AddConstraint([]Term{{x, math.NaN()}}, LE, 1); err == nil {
+		t.Error("NaN coefficient: want error")
+	}
+	if err := m.AddConstraint([]Term{{x, 1}}, LE, math.Inf(1)); err == nil {
+		t.Error("Inf rhs: want error")
+	}
+	if err := m.AddConstraint([]Term{{Var(99), 1}}, LE, 1); err == nil {
+		t.Error("unknown var: want error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewModel()
+	x := mustVar(t, m, "x", 0, 10)
+	mustConstraint(t, m, []Term{{x, 1}}, LE, 4)
+	mustObjective(t, m, []Term{{x, -1}})
+
+	c := m.Clone()
+	mustConstraint(t, c, []Term{{x, 1}}, LE, 2) // tighter only in the clone
+
+	solM := mustSolve(t, m)
+	solC := mustSolve(t, c)
+	if !approx(solM.Value(x), 4, 1e-6) {
+		t.Errorf("original x = %g, want 4", solM.Value(x))
+	}
+	if !approx(solC.Value(x), 2, 1e-6) {
+		t.Errorf("clone x = %g, want 2", solC.Value(x))
+	}
+}
+
+// verifyOptimal checks the full KKT optimality certificate: primal
+// feasibility, dual sign conditions, reduced-cost sign conditions, and
+// complementary slackness. Passing this check proves optimality of the
+// returned point without trusting the solver's internals.
+func verifyOptimal(t *testing.T, m *Model, sol *Solution) {
+	t.Helper()
+	const tol = 1e-5
+
+	// Primal feasibility: bounds and rows.
+	for j := 0; j < m.NumVars(); j++ {
+		v := sol.Value(Var(j))
+		if v < m.lo[j]-tol || v > m.hi[j]+tol {
+			t.Errorf("variable %d = %g outside [%g, %g]", j, v, m.lo[j], m.hi[j])
+		}
+	}
+	activity := make([]float64, len(m.rows))
+	for i, r := range m.rows {
+		a := 0.0
+		for _, tm := range r.terms {
+			a += tm.Coef * sol.Value(tm.Var)
+		}
+		activity[i] = a
+		switch r.sense {
+		case LE:
+			if a > r.rhs+tol {
+				t.Errorf("row %d: %g > %g (LE violated)", i, a, r.rhs)
+			}
+		case GE:
+			if a < r.rhs-tol {
+				t.Errorf("row %d: %g < %g (GE violated)", i, a, r.rhs)
+			}
+		case EQ:
+			if !approx(a, r.rhs, tol) {
+				t.Errorf("row %d: %g != %g (EQ violated)", i, a, r.rhs)
+			}
+		}
+	}
+
+	// Dual signs and complementary slackness. For minimization:
+	// LE rows need y <= 0, GE rows y >= 0; slack rows need y = 0.
+	for i, r := range m.rows {
+		y := sol.Dual(i)
+		switch r.sense {
+		case LE:
+			if y > tol {
+				t.Errorf("row %d (LE): dual %g > 0", i, y)
+			}
+			if r.rhs-activity[i] > tol && math.Abs(y) > tol {
+				t.Errorf("row %d (LE): slack %g with dual %g", i, r.rhs-activity[i], y)
+			}
+		case GE:
+			if y < -tol {
+				t.Errorf("row %d (GE): dual %g < 0", i, y)
+			}
+			if activity[i]-r.rhs > tol && math.Abs(y) > tol {
+				t.Errorf("row %d (GE): slack %g with dual %g", i, activity[i]-r.rhs, y)
+			}
+		}
+	}
+
+	// Reduced-cost conditions: at lower bound d >= 0, at upper d <= 0,
+	// interior d = 0.
+	for j := 0; j < m.NumVars(); j++ {
+		v, d := sol.Value(Var(j)), sol.ReducedCost(Var(j))
+		atLo := approx(v, m.lo[j], tol)
+		atHi := !math.IsInf(m.hi[j], 1) && approx(v, m.hi[j], tol)
+		switch {
+		case atLo && atHi: // fixed: any sign
+		case atLo:
+			if d < -tol {
+				t.Errorf("var %d at lower bound with reduced cost %g < 0", j, d)
+			}
+		case atHi:
+			if d > tol {
+				t.Errorf("var %d at upper bound with reduced cost %g > 0", j, d)
+			}
+		default:
+			if math.Abs(d) > tol {
+				t.Errorf("var %d interior with reduced cost %g != 0", j, d)
+			}
+		}
+	}
+}
+
+// TestRandomLPsOptimalityCertificate fuzzes the solver with random small
+// LPs and checks the full KKT certificate on every solved instance.
+func TestRandomLPsOptimalityCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(20180611)) // ICDCS 2018 presentation-ish seed
+	solved, infeasible, unbounded := 0, 0, 0
+	for trial := 0; trial < 400; trial++ {
+		m := NewModel()
+		nv := 1 + rng.Intn(6)
+		nc := 1 + rng.Intn(5)
+		vars := make([]Var, nv)
+		for j := 0; j < nv; j++ {
+			hi := Inf
+			if rng.Intn(2) == 0 {
+				hi = float64(rng.Intn(8))
+			}
+			vars[j] = mustVar(t, m, "", 0, hi)
+		}
+		for i := 0; i < nc; i++ {
+			var terms []Term
+			for j := 0; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{vars[j], float64(rng.Intn(7) - 3)})
+				}
+			}
+			if len(terms) == 0 {
+				terms = append(terms, Term{vars[rng.Intn(nv)], 1})
+			}
+			sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+			mustConstraint(t, m, terms, sense, float64(rng.Intn(21)-5))
+		}
+		obj := make([]Term, nv)
+		for j := 0; j < nv; j++ {
+			obj[j] = Term{vars[j], float64(rng.Intn(11) - 5)}
+		}
+		mustObjective(t, m, obj)
+
+		sol, err := m.Solve()
+		switch {
+		case errors.Is(err, ErrInfeasible):
+			infeasible++
+		case errors.Is(err, ErrUnbounded):
+			unbounded++
+		case err != nil:
+			t.Fatalf("trial %d: unexpected error %v", trial, err)
+		default:
+			solved++
+			verifyOptimal(t, m, sol)
+		}
+	}
+	if solved < 50 {
+		t.Errorf("only %d/400 random LPs solved (infeasible=%d unbounded=%d); generator too hostile", solved, infeasible, unbounded)
+	}
+}

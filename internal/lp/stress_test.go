@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKleeMintyCube solves the classic worst case for Dantzig pricing: the
+// Klee-Minty cube in d dimensions,
+//
+//	max 2^{d-1} x_1 + 2^{d-2} x_2 + ... + x_d
+//	s.t. x_1 <= 5
+//	     4 x_1 + x_2 <= 25
+//	     8 x_1 + 4 x_2 + x_3 <= 125
+//	     ...
+//
+// whose optimum is x = (0, ..., 0, 5^d) with value 5^d. The solver must
+// reach it (possibly through many pivots) without cycling.
+func TestKleeMintyCube(t *testing.T) {
+	for _, d := range []int{3, 6, 9} {
+		m := NewModel()
+		xs := make([]Var, d)
+		for i := range xs {
+			xs[i] = mustVar(t, m, "", 0, Inf)
+		}
+		for i := 0; i < d; i++ {
+			terms := make([]Term, 0, i+1)
+			for j := 0; j < i; j++ {
+				coef := math.Pow(2, float64(i-j+1))
+				terms = append(terms, Term{xs[j], coef})
+			}
+			terms = append(terms, Term{xs[i], 1})
+			mustConstraint(t, m, terms, LE, math.Pow(5, float64(i+1)))
+		}
+		obj := make([]Term, d)
+		for j := 0; j < d; j++ {
+			obj[j] = Term{xs[j], -math.Pow(2, float64(d-1-j))} // maximize via negation
+		}
+		mustObjective(t, m, obj)
+
+		sol := mustSolve(t, m)
+		want := -math.Pow(5, float64(d))
+		if math.Abs(sol.Objective-want) > 1e-6*math.Abs(want) {
+			t.Errorf("d=%d: objective = %g, want %g", d, sol.Objective, want)
+		}
+		verifyOptimal(t, m, sol)
+	}
+}
+
+// TestIntervalSchedulingIntegrality is the Lemma-2 property at package
+// level: random scheduling LPs whose constraint matrices are interval
+// matrices (consecutive-ones columns — demand rows over a window, slot cap
+// rows) with integral data must have integral optimal basic solutions.
+func TestIntervalSchedulingIntegrality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1862))
+	for trial := 0; trial < 60; trial++ {
+		slots := 3 + rng.Intn(6)
+		jobs := 1 + rng.Intn(5)
+		m := NewModel()
+		slotTerms := make([][]Term, slots)
+		var obj []Term
+		for i := 0; i < jobs; i++ {
+			rel := rng.Intn(slots - 1)
+			win := 1 + rng.Intn(slots-rel)
+			capPerSlot := float64(1 + rng.Intn(5))
+			demand := float64(1 + rng.Intn(int(capPerSlot)*win))
+			terms := make([]Term, 0, win)
+			for s := rel; s < rel+win; s++ {
+				v := mustVar(t, m, "", 0, capPerSlot)
+				terms = append(terms, Term{v, 1})
+				slotTerms[s] = append(slotTerms[s], Term{v, 1})
+				// Integral objective coefficients keep the optimum at a
+				// vertex with integral coordinates.
+				obj = append(obj, Term{v, float64(rng.Intn(7) - 3)})
+			}
+			mustConstraint(t, m, terms, EQ, demand)
+		}
+		for s := 0; s < slots; s++ {
+			if len(slotTerms[s]) == 0 {
+				continue
+			}
+			mustConstraint(t, m, slotTerms[s], LE, float64(3+rng.Intn(10)))
+		}
+		mustObjective(t, m, obj)
+
+		sol, err := m.Solve()
+		if err != nil {
+			continue // randomly infeasible instance
+		}
+		for j := 0; j < m.NumVars(); j++ {
+			v := sol.Value(Var(j))
+			if math.Abs(v-math.Round(v)) > 1e-6 {
+				t.Fatalf("trial %d: variable %d = %g not integral (TU violated?)", trial, j, v)
+			}
+		}
+		verifyOptimal(t, m, sol)
+	}
+}

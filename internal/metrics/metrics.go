@@ -1,0 +1,173 @@
+// Package metrics aggregates simulation outcomes into the quantities the
+// paper reports: deadline-miss counts (Fig. 4b, 5b), completion-minus-
+// deadline distributions (Fig. 4a, 5a), and average ad-hoc job turnaround
+// times (Fig. 4c, 5c), plus generic summary statistics used by the
+// benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"flowtime/internal/sim"
+)
+
+// Summary condenses one simulation run.
+type Summary struct {
+	// Algorithm is the scheduler name.
+	Algorithm string
+
+	// DeadlineJobs is the number of deadline-aware jobs.
+	DeadlineJobs int
+	// JobsMissed is the number of deadline jobs that missed their
+	// (decomposed) deadline — the paper's Fig. 4b metric.
+	JobsMissed int
+	// Workflows and WorkflowsMissed are the workflow-level counts.
+	Workflows       int
+	WorkflowsMissed int
+	// JobLateness holds completion-deadline per deadline job (Fig. 4a).
+	JobLateness []time.Duration
+
+	// AdHocJobs is the number of ad-hoc jobs.
+	AdHocJobs int
+	// AdHocIncomplete counts ad-hoc jobs that never finished in-horizon.
+	AdHocIncomplete int
+	// AvgTurnaround is the mean ad-hoc turnaround (Fig. 4c).
+	AvgTurnaround time.Duration
+	// Turnarounds holds each ad-hoc job's turnaround.
+	Turnarounds []time.Duration
+}
+
+// Summarize computes a Summary from a run result.
+func Summarize(algorithm string, res *sim.Result) Summary {
+	s := Summary{Algorithm: algorithm}
+
+	s.DeadlineJobs = len(res.Jobs)
+	s.JobLateness = make([]time.Duration, 0, len(res.Jobs))
+	for _, j := range res.Jobs {
+		if j.Missed() {
+			s.JobsMissed++
+		}
+		s.JobLateness = append(s.JobLateness, j.Lateness(res.HorizonEnd))
+	}
+
+	s.Workflows = len(res.Workflows)
+	for _, w := range res.Workflows {
+		if w.Missed() {
+			s.WorkflowsMissed++
+		}
+	}
+
+	s.AdHocJobs = len(res.AdHoc)
+	s.Turnarounds = make([]time.Duration, 0, len(res.AdHoc))
+	var sum time.Duration
+	for _, a := range res.AdHoc {
+		if !a.Completed {
+			s.AdHocIncomplete++
+		}
+		ta := a.Turnaround(res.HorizonEnd)
+		s.Turnarounds = append(s.Turnarounds, ta)
+		sum += ta
+	}
+	if len(res.AdHoc) > 0 {
+		s.AvgTurnaround = sum / time.Duration(len(res.AdHoc))
+	}
+	return s
+}
+
+// Stats holds order statistics of a duration sample.
+type Stats struct {
+	Min, Max, Mean time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Describe computes order statistics. An empty sample yields zeros.
+func Describe(sample []time.Duration) Stats {
+	if len(sample) == 0 {
+		return Stats{}
+	}
+	sorted := append([]time.Duration(nil), sample...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return Stats{
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / time.Duration(len(sorted)),
+		P50:  Percentile(sorted, 0.50),
+		P90:  Percentile(sorted, 0.90),
+		P99:  Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Table renders aligned rows for terminal output. Rows is a list of cell
+// slices; the first row is the header.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0, 8)
+	for _, r := range rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range r {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as whole-second text ("522.5s" style used in
+// the paper's figures).
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	res := &sim.Result{
+		HorizonEnd: 1000 * time.Second,
+		Jobs: []sim.JobOutcome{
+			{WorkflowID: "w", JobName: "a", Deadline: 100 * time.Second, Completion: 90 * time.Second, Completed: true},
+			{WorkflowID: "w", JobName: "b", Deadline: 100 * time.Second, Completion: 150 * time.Second, Completed: true},
+			{WorkflowID: "w", JobName: "c", Deadline: 200 * time.Second, Completed: false},
+		},
+		Workflows: []sim.WorkflowOutcome{
+			{ID: "w", Deadline: 200 * time.Second, Completed: false},
+		},
+		AdHoc: []sim.AdHocOutcome{
+			{ID: "a1", Submit: 0, Completion: 100 * time.Second, Completed: true},
+			{ID: "a2", Submit: 100 * time.Second, Completion: 400 * time.Second, Completed: true},
+		},
+	}
+	s := Summarize("Test", res)
+	if s.Algorithm != "Test" {
+		t.Errorf("Algorithm = %q", s.Algorithm)
+	}
+	if s.DeadlineJobs != 3 || s.JobsMissed != 2 {
+		t.Errorf("jobs = %d missed = %d, want 3, 2", s.DeadlineJobs, s.JobsMissed)
+	}
+	if s.Workflows != 1 || s.WorkflowsMissed != 1 {
+		t.Errorf("workflows = %d missed = %d, want 1, 1", s.Workflows, s.WorkflowsMissed)
+	}
+	if s.AdHocJobs != 2 || s.AdHocIncomplete != 0 {
+		t.Errorf("adhoc = %d incomplete = %d, want 2, 0", s.AdHocJobs, s.AdHocIncomplete)
+	}
+	if want := 200 * time.Second; s.AvgTurnaround != want {
+		t.Errorf("AvgTurnaround = %v, want %v", s.AvgTurnaround, want)
+	}
+	if len(s.JobLateness) != 3 || s.JobLateness[0] != -10*time.Second {
+		t.Errorf("JobLateness = %v", s.JobLateness)
+	}
+}
+
+func TestDescribeAndPercentile(t *testing.T) {
+	sample := []time.Duration{
+		10 * time.Second, 20 * time.Second, 30 * time.Second,
+		40 * time.Second, 50 * time.Second,
+	}
+	st := Describe(sample)
+	if st.Min != 10*time.Second || st.Max != 50*time.Second {
+		t.Errorf("Min/Max = %v/%v", st.Min, st.Max)
+	}
+	if st.Mean != 30*time.Second {
+		t.Errorf("Mean = %v, want 30s", st.Mean)
+	}
+	if st.P50 != 30*time.Second {
+		t.Errorf("P50 = %v, want 30s", st.P50)
+	}
+	if st.P90 != 46*time.Second {
+		t.Errorf("P90 = %v, want 46s (interpolated)", st.P90)
+	}
+
+	if got := (Stats{}); Describe(nil) != got {
+		t.Error("Describe(nil) not zero")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	if Percentile(sample, 0) != 10*time.Second || Percentile(sample, 1) != 50*time.Second {
+		t.Error("Percentile clamping broken")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"alg", "missed"},
+		{"FlowTime", "0"},
+		{"FIFO", "13"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4 (header, rule, 2 rows):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "alg") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/rule malformed:\n%s", out)
+	}
+	if Table(nil) != "" {
+		t.Error("Table(nil) != empty")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(522500 * time.Millisecond); got != "522.5s" {
+		t.Errorf("Seconds = %q, want 522.5s", got)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	mk := func(slot, dl, ah, cap int64) sim.LoadSample {
+		return sim.LoadSample{
+			Slot:     slot,
+			Deadline: resource.New(dl, dl*100),
+			AdHoc:    resource.New(ah, ah*100),
+			Capacity: resource.New(cap, cap*100),
+		}
+	}
+	load := []sim.LoadSample{
+		mk(0, 5, 0, 10), mk(1, 5, 0, 10),
+		mk(2, 5, 5, 10), mk(3, 5, 5, 10),
+	}
+	out := RenderTimeline(load, 10*time.Second, resource.VCores, 2, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d rows, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "#####") || strings.Contains(lines[0], "+") {
+		t.Errorf("row 0 = %q, want half deadline and no ad-hoc", lines[0])
+	}
+	if !strings.Contains(lines[1], "+++++") {
+		t.Errorf("row 1 = %q, want half ad-hoc", lines[1])
+	}
+	if RenderTimeline(nil, time.Second, resource.VCores, 2, 10) != "" {
+		t.Error("empty load should render empty")
+	}
+	// Zero capacity rows are skipped, not divided by.
+	if got := RenderTimeline([]sim.LoadSample{mk(0, 0, 0, 0)}, time.Second, resource.VCores, 1, 10); got != "" {
+		t.Errorf("zero-capacity render = %q, want empty", got)
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/sim"
+)
+
+// RenderTimeline renders a per-slot load series as an ASCII utilization
+// chart for one resource kind — the terminal rendition of the paper's
+// Fig. 1 load diagrams. Each row aggregates a bucket of slots:
+//
+//	0s     |##########++++++++++..............| dl 50% ah 25%
+//
+// '#' is deadline work, '+' is ad-hoc work, '.' is idle capacity. rows
+// and width control the chart size.
+func RenderTimeline(load []sim.LoadSample, slotDur time.Duration, kind resource.Kind, rows, width int) string {
+	if len(load) == 0 || rows < 1 || width < 1 {
+		return ""
+	}
+	if rows > len(load) {
+		rows = len(load)
+	}
+	per := (len(load) + rows - 1) / rows
+
+	var b strings.Builder
+	for start := 0; start < len(load); start += per {
+		end := start + per
+		if end > len(load) {
+			end = len(load)
+		}
+		var dl, ah, capSum int64
+		for _, s := range load[start:end] {
+			dl += s.Deadline.Get(kind)
+			ah += s.AdHoc.Get(kind)
+			capSum += s.Capacity.Get(kind)
+		}
+		if capSum == 0 {
+			continue
+		}
+		dlCols := int(dl * int64(width) / capSum)
+		ahCols := int(ah * int64(width) / capSum)
+		if dlCols+ahCols > width {
+			ahCols = width - dlCols
+		}
+		idle := width - dlCols - ahCols
+		at := time.Duration(load[start].Slot) * slotDur
+		fmt.Fprintf(&b, "%8s |%s%s%s| dl %3d%% ah %3d%%\n",
+			at,
+			strings.Repeat("#", dlCols),
+			strings.Repeat("+", ahCols),
+			strings.Repeat(".", idle),
+			dl*100/capSum, ah*100/capSum)
+	}
+	return b.String()
+}

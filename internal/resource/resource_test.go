@@ -1,0 +1,164 @@
+package resource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{VCores, "vcores"},
+		{MemoryMB, "memory-mb"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestNewAndGet(t *testing.T) {
+	v := New(4, 8192)
+	if got := v.Get(VCores); got != 4 {
+		t.Errorf("Get(VCores) = %d, want 4", got)
+	}
+	if got := v.Get(MemoryMB); got != 8192 {
+		t.Errorf("Get(MemoryMB) = %d, want 8192", got)
+	}
+}
+
+func TestWith(t *testing.T) {
+	v := New(4, 8192)
+	w := v.With(VCores, 10)
+	if got := w.Get(VCores); got != 10 {
+		t.Errorf("With did not set vcores: got %d", got)
+	}
+	if got := v.Get(VCores); got != 4 {
+		t.Errorf("With mutated receiver: got %d", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := New(4, 100)
+	b := New(1, 30)
+
+	if got, want := a.Add(b), New(5, 130); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := a.Sub(b), New(3, 70); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := b.Sub(a), New(-3, -70); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := b.SubClamped(a), New(0, 0); got != want {
+		t.Errorf("SubClamped = %v, want %v", got, want)
+	}
+	if got, want := a.Scale(3), New(12, 300); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+	if got, want := a.Min(b), New(1, 30); got != want {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+	if got, want := a.Max(b), New(4, 100); got != want {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !(Vector{}).IsZero() {
+		t.Error("zero Vector should be IsZero")
+	}
+	if New(0, 1).IsZero() {
+		t.Error("non-zero Vector reported IsZero")
+	}
+	if !New(2, 50).FitsIn(New(2, 50)) {
+		t.Error("equal vector should fit")
+	}
+	if New(3, 50).FitsIn(New(2, 100)) {
+		t.Error("over-capacity vector should not fit")
+	}
+	if New(1, 1).AnyNegative() {
+		t.Error("positive vector reported negative")
+	}
+	if !New(-1, 1).AnyNegative() {
+		t.Error("negative vector not detected")
+	}
+}
+
+func TestDominantShare(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		cap  Vector
+		want float64
+	}{
+		{"cpu dominant", New(5, 10), New(10, 100), 0.5},
+		{"mem dominant", New(1, 80), New(10, 100), 0.8},
+		{"zero usage", New(0, 0), New(10, 100), 0},
+		{"zero capacity skipped", New(5, 80), New(0, 100), 0.8},
+		{"all zero capacity", New(5, 80), New(0, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.v.DominantShare(tt.cap)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("DominantShare = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(1, 2).Validate(); err != nil {
+		t.Errorf("Validate(valid) = %v", err)
+	}
+	if err := New(-1, 2).Validate(); err == nil {
+		t.Error("Validate(negative) = nil, want error")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := New(4, 8192).String()
+	want := "<vcores:4 memory-mb:8192>"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: Add is commutative and Sub inverts Add.
+func TestAddSubProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 int32) bool {
+		a := New(int64(a0), int64(a1))
+		b := New(int64(b0), int64(b1))
+		if a.Add(b) != b.Add(a) {
+			return false
+		}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Min/Max are element-wise bounds and SubClamped never goes
+// negative.
+func TestMinMaxClampProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 int32) bool {
+		a := New(int64(a0), int64(a1))
+		b := New(int64(b0), int64(b1))
+		lo, hi := a.Min(b), a.Max(b)
+		if !lo.FitsIn(hi) {
+			return false
+		}
+		return !a.SubClamped(b).AnyNegative()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

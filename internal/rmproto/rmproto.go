@@ -1,0 +1,136 @@
+// Package rmproto defines the JSON wire protocol of the miniature
+// YARN-like resource manager (see internal/rmserver): node registration
+// and heartbeats, workload submission, and status reporting. The paper
+// deployed FlowTime inside YARN's resource manager; this protocol stands
+// in for that integration surface.
+package rmproto
+
+import (
+	"fmt"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/trace"
+)
+
+// Resources is the wire form of a resource vector.
+type Resources struct {
+	VCores   int64 `json:"vcores"`
+	MemoryMB int64 `json:"memory_mb"`
+}
+
+// FromVector converts an internal vector to wire form.
+func FromVector(v resource.Vector) Resources {
+	return Resources{
+		VCores:   v.Get(resource.VCores),
+		MemoryMB: v.Get(resource.MemoryMB),
+	}
+}
+
+// ToVector converts wire form to an internal vector.
+func (r Resources) ToVector() resource.Vector {
+	return resource.New(r.VCores, r.MemoryMB)
+}
+
+// Validate checks non-negativity.
+func (r Resources) Validate() error {
+	if r.VCores < 0 || r.MemoryMB < 0 {
+		return fmt.Errorf("rmproto: negative resources %+v", r)
+	}
+	return nil
+}
+
+// RegisterNodeRequest announces a node manager to the resource manager.
+type RegisterNodeRequest struct {
+	NodeID   string    `json:"node_id"`
+	Capacity Resources `json:"capacity"`
+}
+
+// RegisterNodeResponse acknowledges registration.
+type RegisterNodeResponse struct {
+	// HeartbeatMs is the interval the node should heartbeat at.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+}
+
+// Quantum is one slot-sized work lease: the node runs the lease for one
+// scheduling slot and reports it completed on its next heartbeat. Slot
+// leases rather than task-length containers keep the protocol aligned
+// with the paper's slot-based formulation (§V).
+type Quantum struct {
+	ID    string    `json:"id"`
+	JobID string    `json:"job_id"`
+	Grant Resources `json:"grant"`
+}
+
+// HeartbeatRequest reports node liveness and completed quanta.
+type HeartbeatRequest struct {
+	NodeID    string   `json:"node_id"`
+	Completed []string `json:"completed,omitempty"`
+}
+
+// HeartbeatResponse carries new work for the node.
+type HeartbeatResponse struct {
+	Launch []Quantum `json:"launch,omitempty"`
+}
+
+// SubmitWorkflowRequest submits one deadline-aware workflow, reusing the
+// trace schema.
+type SubmitWorkflowRequest struct {
+	Workflow trace.WorkflowRecord `json:"workflow"`
+}
+
+// SubmitAdHocRequest submits one ad-hoc job.
+type SubmitAdHocRequest struct {
+	Job trace.AdHocRecord `json:"job"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	Accepted bool   `json:"accepted"`
+	ID       string `json:"id"`
+}
+
+// JobStatus reports one job's state.
+type JobStatus struct {
+	ID         string `json:"id"`
+	Kind       string `json:"kind"` // "deadline" or "adhoc"
+	WorkflowID string `json:"workflow_id,omitempty"`
+	State      string `json:"state"` // "pending", "running", "completed"
+	// DeadlineSec and CompletedSec are offsets from the RM epoch.
+	DeadlineSec  int64 `json:"deadline_sec,omitempty"`
+	CompletedSec int64 `json:"completed_sec,omitempty"`
+	Missed       bool  `json:"missed,omitempty"`
+}
+
+// StatusResponse is the cluster status snapshot.
+type StatusResponse struct {
+	// Slot is the RM's current scheduling slot.
+	Slot int64 `json:"slot"`
+	// Nodes is the number of live node managers.
+	Nodes int `json:"nodes"`
+	// Capacity is the current total cluster capacity.
+	Capacity Resources `json:"capacity"`
+	// Jobs lists all known jobs.
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// Error is the wire form of an error response.
+type Error struct {
+	Message string `json:"error"`
+}
+
+// Heartbeat timing defaults.
+const (
+	// DefaultSlot is the RM's default scheduling slot.
+	DefaultSlot = 10 * time.Second
+)
+
+// API paths.
+const (
+	PathRegister  = "/v1/nodes/register"
+	PathHeartbeat = "/v1/nodes/heartbeat"
+	PathWorkflows = "/v1/workflows"
+	PathAdHoc     = "/v1/adhoc"
+	PathStatus    = "/v1/status"
+	PathTick      = "/v1/tick"
+)

@@ -1,0 +1,46 @@
+package rmproto
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+func TestResourcesRoundTrip(t *testing.T) {
+	v := resource.New(8, 16384)
+	wire := FromVector(v)
+	if got := wire.ToVector(); got != v {
+		t.Errorf("round trip = %v, want %v", got, v)
+	}
+	if err := wire.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := (Resources{VCores: -1}).Validate(); err == nil {
+		t.Error("negative resources accepted")
+	}
+}
+
+func TestWireJSONStability(t *testing.T) {
+	// The wire format is part of the public protocol; field names must not
+	// drift.
+	q := Quantum{ID: "q-1", JobID: "wf/j#0", Grant: Resources{VCores: 2, MemoryMB: 4096}}
+	raw, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `{"id":"q-1","job_id":"wf/j#0","grant":{"vcores":2,"memory_mb":4096}}`
+	if string(raw) != want {
+		t.Errorf("wire JSON = %s, want %s", raw, want)
+	}
+
+	hb := HeartbeatRequest{NodeID: "n1", Completed: []string{"q-1"}}
+	raw, err = json.Marshal(hb)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want = `{"node_id":"n1","completed":["q-1"]}`
+	if string(raw) != want {
+		t.Errorf("wire JSON = %s, want %s", raw, want)
+	}
+}

@@ -1,0 +1,112 @@
+package rmserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"flowtime/internal/rmproto"
+)
+
+// Client is an HTTP client for the resource manager's API, used by the
+// node-manager agent (cmd/ftnode), the submission tool (cmd/ftsubmit) and
+// the integration tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the RM at base (e.g.
+// "http://localhost:8030"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// RegisterNode announces a node manager.
+func (c *Client) RegisterNode(ctx context.Context, req rmproto.RegisterNodeRequest) (rmproto.RegisterNodeResponse, error) {
+	var resp rmproto.RegisterNodeResponse
+	err := c.post(ctx, rmproto.PathRegister, req, &resp)
+	return resp, err
+}
+
+// Heartbeat reports completions and fetches work.
+func (c *Client) Heartbeat(ctx context.Context, req rmproto.HeartbeatRequest) (rmproto.HeartbeatResponse, error) {
+	var resp rmproto.HeartbeatResponse
+	err := c.post(ctx, rmproto.PathHeartbeat, req, &resp)
+	return resp, err
+}
+
+// SubmitWorkflow submits a deadline workflow.
+func (c *Client) SubmitWorkflow(ctx context.Context, req rmproto.SubmitWorkflowRequest) (rmproto.SubmitResponse, error) {
+	var resp rmproto.SubmitResponse
+	err := c.post(ctx, rmproto.PathWorkflows, req, &resp)
+	return resp, err
+}
+
+// SubmitAdHoc submits an ad-hoc job.
+func (c *Client) SubmitAdHoc(ctx context.Context, req rmproto.SubmitAdHocRequest) (rmproto.SubmitResponse, error) {
+	var resp rmproto.SubmitResponse
+	err := c.post(ctx, rmproto.PathAdHoc, req, &resp)
+	return resp, err
+}
+
+// Tick advances the RM one slot (manual-tick deployments and tests).
+func (c *Client) Tick(ctx context.Context) error {
+	return c.post(ctx, rmproto.PathTick, struct{}{}, &struct {
+		Slot int64 `json:"slot"`
+	}{})
+}
+
+// Status fetches the cluster snapshot.
+func (c *Client) Status(ctx context.Context) (rmproto.StatusResponse, error) {
+	var resp rmproto.StatusResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+rmproto.PathStatus, nil)
+	if err != nil {
+		return resp, fmt.Errorf("rmserver: client: %w", err)
+	}
+	return resp, c.do(req, &resp)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("rmserver: client: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return fmt.Errorf("rmserver: client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("rmserver: client: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e rmproto.Error
+		if derr := json.NewDecoder(resp.Body).Decode(&e); derr == nil && e.Message != "" {
+			return fmt.Errorf("rmserver: %s: %s", resp.Status, e.Message)
+		}
+		return fmt.Errorf("rmserver: unexpected status %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rmserver: client: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package rmserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"flowtime/internal/rmproto"
+)
+
+// Handler returns the RM's HTTP API (see rmproto for paths and types).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/nodes/register", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req rmproto.RegisterNodeRequest) (rmproto.RegisterNodeResponse, error) {
+			return s.RegisterNode(req, time.Now())
+		})
+	})
+	mux.HandleFunc("POST /v1/nodes/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req rmproto.HeartbeatRequest) (rmproto.HeartbeatResponse, error) {
+			return s.Heartbeat(req, time.Now())
+		})
+	})
+	mux.HandleFunc("POST /v1/workflows", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, s.SubmitWorkflow)
+	})
+	mux.HandleFunc("POST /v1/adhoc", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, s.SubmitAdHoc)
+	})
+	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Tick(time.Now()); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Slot int64 `json:"slot"`
+		}{Slot: s.Slot()})
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Status()
+		var pending, running, completed, missed int
+		for _, j := range st.Jobs {
+			switch j.State {
+			case "pending":
+				pending++
+			case "running":
+				running++
+			case "completed":
+				completed++
+			}
+			if j.Missed {
+				missed++
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# TYPE flowtime_rm_slot counter\nflowtime_rm_slot %d\n", st.Slot)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_nodes gauge\nflowtime_rm_nodes %d\n", st.Nodes)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_capacity_vcores gauge\nflowtime_rm_capacity_vcores %d\n", st.Capacity.VCores)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_capacity_memory_mb gauge\nflowtime_rm_capacity_memory_mb %d\n", st.Capacity.MemoryMB)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_pending gauge\nflowtime_rm_jobs_pending %d\n", pending)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_running gauge\nflowtime_rm_jobs_running %d\n", running)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_completed counter\nflowtime_rm_jobs_completed %d\n", completed)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_missed counter\nflowtime_rm_jobs_missed %d\n", missed)
+	})
+	return mux
+}
+
+func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+	var req Req
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	resp, err := fn(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by
+	// the caller's middleware; the payload types here cannot fail to
+	// marshal.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, rmproto.Error{Message: err.Error()})
+}

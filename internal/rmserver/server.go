@@ -1,0 +1,447 @@
+// Package rmserver implements a miniature YARN-like resource manager with
+// a pluggable scheduler — the integration surface the paper used when it
+// deployed FlowTime inside YARN's resource manager.
+//
+// Node managers register and heartbeat over HTTP/JSON (see
+// internal/rmproto); clients submit deadline workflows and ad-hoc jobs in
+// the trace schema. On every scheduling slot the RM invokes its
+// sched.Scheduler over the live job set, converts grants into slot-sized
+// work leases ("quanta"), and places them on nodes first-fit. Nodes
+// execute leases for one slot and confirm them on the next heartbeat;
+// confirmed volume drives job completion, workflow readiness, and
+// deadline accounting.
+//
+// The RM treats submitted estimates as ground truth (nodes "execute"
+// whatever they are leased); estimation-error studies belong to the
+// simulator, which models actual-versus-estimated divergence.
+package rmserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flowtime/internal/deadline"
+	"flowtime/internal/resource"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/trace"
+	"flowtime/internal/workflow"
+)
+
+// Config parameterizes the resource manager.
+type Config struct {
+	// SlotDur is the scheduling slot; must be > 0.
+	SlotDur time.Duration
+	// Scheduler makes per-slot decisions; required.
+	Scheduler sched.Scheduler
+	// Horizon is the planning horizon in slots (default 100000).
+	Horizon int64
+	// NodeExpiry evicts nodes that have not heartbeaten for this long;
+	// zero disables expiry (manual-tick test setups).
+	NodeExpiry time.Duration
+}
+
+// Server is the resource manager. Create with New. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	slot    int64
+	nodes   map[string]*node
+	jobs    map[string]*rmJob
+	wfs     map[string]*wfState
+	nextQID int64
+}
+
+type node struct {
+	id       string
+	capacity resource.Vector
+	lastSeen time.Time
+	pending  []rmproto.Quantum
+}
+
+type wfState struct {
+	wf   *workflow.Workflow
+	jobs []*rmJob // by node index
+}
+
+type rmJob struct {
+	id      string
+	kind    sched.JobKind
+	wfID    string
+	jobName string
+	nodeIdx int
+
+	arrived  time.Duration
+	release  time.Duration
+	deadline time.Duration
+
+	total       resource.Vector // volume to deliver
+	delivered   resource.Vector
+	inFlight    resource.Vector
+	parallelCap resource.Vector
+	minSlots    int64
+
+	done     bool
+	doneSlot int64
+
+	quanta map[string]resource.Vector // in-flight quantum ID -> grant
+}
+
+// New returns a resource manager.
+func New(cfg Config) (*Server, error) {
+	if cfg.SlotDur <= 0 {
+		return nil, fmt.Errorf("rmserver: slot duration %v, want > 0", cfg.SlotDur)
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("rmserver: nil scheduler")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 100000
+	}
+	return &Server{
+		cfg:   cfg,
+		nodes: make(map[string]*node),
+		jobs:  make(map[string]*rmJob),
+		wfs:   make(map[string]*wfState),
+	}, nil
+}
+
+// RegisterNode adds or refreshes a node manager.
+func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (rmproto.RegisterNodeResponse, error) {
+	if req.NodeID == "" {
+		return rmproto.RegisterNodeResponse{}, errors.New("rmserver: empty node ID")
+	}
+	if err := req.Capacity.Validate(); err != nil {
+		return rmproto.RegisterNodeResponse{}, err
+	}
+	capV := req.Capacity.ToVector()
+	if capV.IsZero() {
+		return rmproto.RegisterNodeResponse{}, fmt.Errorf("rmserver: node %s has zero capacity", req.NodeID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[req.NodeID] = &node{id: req.NodeID, capacity: capV, lastSeen: now}
+	return rmproto.RegisterNodeResponse{HeartbeatMs: s.cfg.SlotDur.Milliseconds()}, nil
+}
+
+// Heartbeat processes a node's completion report and hands back queued
+// work leases.
+func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto.HeartbeatResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[req.NodeID]
+	if !ok {
+		return rmproto.HeartbeatResponse{}, fmt.Errorf("rmserver: unknown node %q (register first)", req.NodeID)
+	}
+	n.lastSeen = now
+	for _, qid := range req.Completed {
+		s.completeQuantum(qid)
+	}
+	launch := n.pending
+	n.pending = nil
+	return rmproto.HeartbeatResponse{Launch: launch}, nil
+}
+
+func (s *Server) completeQuantum(qid string) {
+	for _, j := range s.jobs {
+		g, ok := j.quanta[qid]
+		if !ok {
+			continue
+		}
+		delete(j.quanta, qid)
+		j.inFlight = j.inFlight.SubClamped(g)
+		j.delivered = j.delivered.Add(g)
+		if !j.done && j.total.FitsIn(j.delivered) {
+			j.done = true
+			j.doneSlot = s.slot
+		}
+		return
+	}
+}
+
+// SubmitWorkflow accepts a deadline workflow. The submit time is the
+// current slot; the workflow's own submit offset is ignored in the live
+// RM (clients submit when they want the workflow to start). Decomposition
+// happens immediately against current cluster capacity, so at least one
+// node must be registered.
+func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.SubmitResponse, error) {
+	tr := trace.Trace{Version: trace.FormatVersion, Workflows: []trace.WorkflowRecord{req.Workflow}}
+	wfs, _, err := tr.ToWorkload()
+	if err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
+	wf := wfs[0]
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.wfs[wf.ID]; dup {
+		return rmproto.SubmitResponse{}, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
+	}
+	capacity := s.totalCapacityLocked()
+	if capacity.IsZero() {
+		return rmproto.SubmitResponse{}, errors.New("rmserver: no registered nodes; cannot decompose deadlines")
+	}
+
+	// Re-anchor the workflow window at the current slot.
+	now := time.Duration(s.slot) * s.cfg.SlotDur
+	span := wf.Deadline - wf.Submit
+	wf.Submit = now
+	wf.Deadline = now + span
+	if err := wf.Validate(); err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
+
+	dec, err := deadline.Decompose(wf, deadline.Options{Slot: s.cfg.SlotDur, ClusterCap: capacity})
+	if err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
+
+	st := &wfState{wf: wf, jobs: make([]*rmJob, wf.NumJobs())}
+	for i := 0; i < wf.NumJobs(); i++ {
+		job := wf.Job(i)
+		j := &rmJob{
+			id:          fmt.Sprintf("%s/%s#%d", wf.ID, job.Name, i),
+			kind:        sched.DeadlineJob,
+			wfID:        wf.ID,
+			jobName:     job.Name,
+			nodeIdx:     i,
+			arrived:     now,
+			release:     dec.Windows[i].Release,
+			deadline:    dec.Windows[i].Deadline,
+			total:       job.Volume(s.cfg.SlotDur),
+			parallelCap: job.ParallelCap(),
+			minSlots:    job.MinRuntimeSlots(s.cfg.SlotDur, capacity),
+			quanta:      make(map[string]resource.Vector),
+		}
+		st.jobs[i] = j
+		s.jobs[j.id] = j
+	}
+	s.wfs[wf.ID] = st
+	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID}, nil
+}
+
+// SubmitAdHoc accepts an ad-hoc job, effective immediately.
+func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResponse, error) {
+	rec := req.Job
+	a := workflow.AdHoc{
+		ID:           rec.ID,
+		Submit:       0,
+		Tasks:        rec.Tasks,
+		TaskDuration: time.Duration(rec.TaskDurSec) * time.Second,
+		TaskDemand:   resource.New(rec.DemandVCores, rec.DemandMemMB),
+	}
+	if err := a.Validate(); err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := "adhoc/" + a.ID
+	if _, dup := s.jobs[id]; dup {
+		return rmproto.SubmitResponse{}, fmt.Errorf("rmserver: duplicate ad-hoc job %q", a.ID)
+	}
+	j := &rmJob{
+		id:          id,
+		kind:        sched.AdHocJob,
+		arrived:     time.Duration(s.slot) * s.cfg.SlotDur,
+		total:       a.Volume(s.cfg.SlotDur),
+		parallelCap: a.ParallelCap(),
+		quanta:      make(map[string]resource.Vector),
+	}
+	s.jobs[id] = j
+	return rmproto.SubmitResponse{Accepted: true, ID: id}, nil
+}
+
+// Tick advances one scheduling slot: expires silent nodes, invokes the
+// scheduler over the live job set, and queues the resulting work leases
+// on nodes (first-fit). It is called by the RM's run loop every SlotDur,
+// or manually in tests and by the /v1/tick endpoint.
+func (s *Server) Tick(now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.cfg.NodeExpiry > 0 {
+		for id, n := range s.nodes {
+			if now.Sub(n.lastSeen) > s.cfg.NodeExpiry {
+				delete(s.nodes, id)
+			}
+		}
+	}
+	capacity := s.totalCapacityLocked()
+	if capacity.IsZero() {
+		s.slot++
+		return nil
+	}
+
+	states := make([]sched.JobState, 0, len(s.jobs))
+	byID := make(map[string]*rmJob, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.done {
+			continue
+		}
+		st := sched.JobState{
+			ID:      j.id,
+			Kind:    j.kind,
+			Arrived: j.arrived,
+			Ready:   s.readyLocked(j),
+			Request: j.parallelCap.Min(j.total.SubClamped(j.delivered).SubClamped(j.inFlight)),
+		}
+		if j.kind == sched.DeadlineJob {
+			st.WorkflowID = j.wfID
+			st.JobName = j.jobName
+			st.Release = j.release
+			st.Deadline = j.deadline
+			st.EstRemaining = j.total.SubClamped(j.delivered).SubClamped(j.inFlight)
+			st.ParallelCap = j.parallelCap
+			st.MinSlots = j.minSlots
+		}
+		states = append(states, st)
+		byID[j.id] = j
+	}
+	sort.Slice(states, func(a, b int) bool {
+		if states[a].Arrived != states[b].Arrived {
+			return states[a].Arrived < states[b].Arrived
+		}
+		return states[a].ID < states[b].ID
+	})
+
+	grants, err := s.cfg.Scheduler.Assign(sched.AssignContext{
+		Now:     s.slot,
+		Changed: true, // schedulers with staleness detection replan as needed
+		Jobs:    states,
+		Cluster: sched.ClusterView{
+			SlotDur: s.cfg.SlotDur,
+			Horizon: s.cfg.Horizon,
+			CapAt:   func(int64) resource.Vector { return capacity },
+		},
+	})
+	if err != nil {
+		s.slot++
+		return fmt.Errorf("rmserver: scheduler: %w", err)
+	}
+
+	// Place grants on nodes first-fit, splitting across nodes as needed.
+	free := make(map[string]resource.Vector, len(s.nodes))
+	order := make([]string, 0, len(s.nodes))
+	for id, n := range s.nodes {
+		free[id] = n.capacity
+		order = append(order, id)
+	}
+	sort.Strings(order)
+
+	capLeft := capacity
+	for _, st := range states {
+		g, ok := grants[st.ID]
+		if !ok || !st.Ready {
+			continue
+		}
+		g = g.Min(st.Request).Min(capLeft)
+		if g.IsZero() || g.AnyNegative() {
+			continue
+		}
+		capLeft = capLeft.Sub(g)
+		j := byID[st.ID]
+		remaining := g
+		for _, nid := range order {
+			if remaining.IsZero() {
+				break
+			}
+			chunk := remaining.Min(free[nid])
+			if chunk.IsZero() {
+				continue
+			}
+			free[nid] = free[nid].Sub(chunk)
+			remaining = remaining.Sub(chunk)
+			s.nextQID++
+			qid := fmt.Sprintf("q-%d", s.nextQID)
+			j.quanta[qid] = chunk
+			j.inFlight = j.inFlight.Add(chunk)
+			s.nodes[nid].pending = append(s.nodes[nid].pending, rmproto.Quantum{
+				ID:    qid,
+				JobID: j.id,
+				Grant: rmproto.FromVector(chunk),
+			})
+		}
+	}
+	s.slot++
+	return nil
+}
+
+func (s *Server) readyLocked(j *rmJob) bool {
+	if j.kind != sched.DeadlineJob {
+		return true
+	}
+	st := s.wfs[j.wfID]
+	for _, p := range st.wf.DAG().Predecessors(j.nodeIdx) {
+		if !st.jobs[p].done {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) totalCapacityLocked() resource.Vector {
+	var total resource.Vector
+	for _, n := range s.nodes {
+		total = total.Add(n.capacity)
+	}
+	return total
+}
+
+// Status snapshots the cluster.
+func (s *Server) Status() rmproto.StatusResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := rmproto.StatusResponse{
+		Slot:     s.slot,
+		Nodes:    len(s.nodes),
+		Capacity: rmproto.FromVector(s.totalCapacityLocked()),
+	}
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := s.jobs[id]
+		st := rmproto.JobStatus{
+			ID:         j.id,
+			Kind:       j.kind.String(),
+			WorkflowID: j.wfID,
+		}
+		switch {
+		case j.done:
+			st.State = "completed"
+			st.CompletedSec = int64((time.Duration(j.doneSlot) * s.cfg.SlotDur) / time.Second)
+		case !j.delivered.IsZero() || !j.inFlight.IsZero():
+			st.State = "running"
+		default:
+			st.State = "pending"
+		}
+		if j.kind == sched.DeadlineJob {
+			st.DeadlineSec = int64(j.deadline / time.Second)
+			// Completion is observed at the confirmation heartbeat, one
+			// slot after the work ran; grant that slot as grace so a job
+			// finishing exactly at its deadline is not misreported.
+			doneAt := time.Duration(j.doneSlot-1) * s.cfg.SlotDur
+			if j.doneSlot == 0 {
+				doneAt = 0
+			}
+			st.Missed = !j.done && time.Duration(s.slot)*s.cfg.SlotDur > j.deadline ||
+				j.done && doneAt > j.deadline
+		}
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	return resp
+}
+
+// Slot returns the current scheduling slot.
+func (s *Server) Slot() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slot
+}

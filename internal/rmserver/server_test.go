@@ -1,0 +1,313 @@
+package rmserver
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flowtime/internal/core"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/trace"
+)
+
+const slotDur = 10 * time.Second
+
+func newRM(t *testing.T, s sched.Scheduler) *Server {
+	t.Helper()
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: s})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rm
+}
+
+func register(t *testing.T, rm *Server, id string, cores, memMB int64) {
+	t.Helper()
+	_, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID:   id,
+		Capacity: rmproto.Resources{VCores: cores, MemoryMB: memMB},
+	}, time.Now())
+	if err != nil {
+		t.Fatalf("RegisterNode(%s): %v", id, err)
+	}
+}
+
+func chainWorkflow(deadlineSec int64) trace.WorkflowRecord {
+	return trace.WorkflowRecord{
+		ID:          "wf-1",
+		SubmitSec:   0,
+		DeadlineSec: deadlineSec,
+		Jobs: []trace.JobRecord{
+			{Name: "a", Tasks: 4, TaskDurSec: 30, DemandVCores: 1, DemandMemMB: 1024},
+			{Name: "b", Tasks: 4, TaskDurSec: 30, DemandVCores: 1, DemandMemMB: 1024},
+		},
+		Deps: [][2]int{{0, 1}},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SlotDur: 0, Scheduler: sched.NewFIFO()}); err == nil {
+		t.Error("zero slot accepted")
+	}
+	if _, err := New(Config{SlotDur: time.Second}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{NodeID: ""}, time.Now()); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID: "n", Capacity: rmproto.Resources{VCores: -1},
+	}, time.Now()); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{NodeID: "n"}, time.Now()); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSubmitRequiresNodes(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	_, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)})
+	if err == nil || !strings.Contains(err.Error(), "no registered nodes") {
+		t.Errorf("SubmitWorkflow without nodes = %v, want no-nodes error", err)
+	}
+}
+
+func TestHeartbeatUnknownNode(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "ghost"}, time.Now()); err == nil {
+		t.Error("heartbeat from unregistered node accepted")
+	}
+}
+
+// driveToCompletion ticks the RM and heartbeats all nodes until every job
+// completes or maxSlots elapse. It returns the final status.
+func driveToCompletion(t *testing.T, rm *Server, nodes []string, maxSlots int) rmproto.StatusResponse {
+	t.Helper()
+	pending := make(map[string][]string, len(nodes)) // node -> running lease IDs
+	for slot := 0; slot < maxSlots; slot++ {
+		if err := rm.Tick(time.Now()); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		for _, n := range nodes {
+			resp, err := rm.Heartbeat(rmproto.HeartbeatRequest{
+				NodeID:    n,
+				Completed: pending[n],
+			}, time.Now())
+			if err != nil {
+				t.Fatalf("Heartbeat(%s): %v", n, err)
+			}
+			ids := make([]string, 0, len(resp.Launch))
+			for _, q := range resp.Launch {
+				ids = append(ids, q.ID)
+			}
+			pending[n] = ids
+		}
+		st := rm.Status()
+		done := true
+		for _, j := range st.Jobs {
+			if j.State != "completed" {
+				done = false
+				break
+			}
+		}
+		if done && len(st.Jobs) > 0 {
+			return st
+		}
+	}
+	return rm.Status()
+}
+
+func TestWorkflowRunsToCompletionUnderEDF(t *testing.T) {
+	rm := newRM(t, sched.NewEDF())
+	register(t, rm, "n1", 8, 16*1024)
+	register(t, rm, "n2", 8, 16*1024)
+
+	resp, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)})
+	if err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	if !resp.Accepted || resp.ID != "wf-1" {
+		t.Fatalf("SubmitWorkflow = %+v", resp)
+	}
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)}); err == nil {
+		t.Error("duplicate workflow accepted")
+	}
+
+	st := driveToCompletion(t, rm, []string{"n1", "n2"}, 100)
+	if len(st.Jobs) != 2 {
+		t.Fatalf("status has %d jobs, want 2", len(st.Jobs))
+	}
+	for _, j := range st.Jobs {
+		if j.State != "completed" {
+			t.Errorf("job %s state = %s, want completed", j.ID, j.State)
+		}
+		if j.Missed {
+			t.Errorf("job %s missed its deadline", j.ID)
+		}
+	}
+}
+
+func TestWorkflowRunsToCompletionUnderFlowTime(t *testing.T) {
+	rm := newRM(t, core.New(core.DefaultConfig()))
+	register(t, rm, "n1", 16, 32*1024)
+
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(1200)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "q1", Tasks: 2, TaskDurSec: 20, DemandVCores: 1, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+
+	st := driveToCompletion(t, rm, []string{"n1"}, 200)
+	completed := 0
+	for _, j := range st.Jobs {
+		if j.State == "completed" {
+			completed++
+		}
+		if j.Missed {
+			t.Errorf("job %s missed", j.ID)
+		}
+	}
+	if completed != 3 {
+		t.Errorf("completed = %d jobs, want 3 (2 workflow + 1 ad-hoc)", completed)
+	}
+}
+
+func TestDependencyOrderingEnforced(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	register(t, rm, "n1", 64, 128*1024)
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+
+	// Tick once and heartbeat: only job a may receive leases.
+	if err := rm.Tick(time.Now()); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	resp, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, time.Now())
+	if err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	for _, q := range resp.Launch {
+		if strings.Contains(q.JobID, "/b#") {
+			t.Errorf("dependent job leased before predecessor completed: %+v", q)
+		}
+	}
+}
+
+func TestAdHocDuplicateRejected(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	register(t, rm, "n1", 8, 16*1024)
+	job := trace.AdHocRecord{ID: "q", Tasks: 1, TaskDurSec: 10, DemandVCores: 1, DemandMemMB: 256}
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: job}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: job}); err == nil {
+		t.Error("duplicate ad-hoc accepted")
+	}
+}
+
+func TestNodeExpiry(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), NodeExpiry: 25 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := time.Now()
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 4, MemoryMB: 4096},
+	}, base); err != nil {
+		t.Fatalf("RegisterNode: %v", err)
+	}
+	if err := rm.Tick(base.Add(10 * time.Second)); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if st := rm.Status(); st.Nodes != 1 {
+		t.Fatalf("nodes = %d, want 1", st.Nodes)
+	}
+	if err := rm.Tick(base.Add(60 * time.Second)); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if st := rm.Status(); st.Nodes != 0 {
+		t.Errorf("nodes = %d, want 0 after expiry", st.Nodes)
+	}
+}
+
+// TestHTTPEndToEnd drives the whole HTTP surface — register, submit,
+// manual ticks, heartbeats, status — through a real httptest server and
+// the Client.
+func TestHTTPEndToEnd(t *testing.T) {
+	rm := newRM(t, sched.NewEDF())
+	ts := httptest.NewServer(rm.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	client := NewClient(ts.URL, ts.Client())
+
+	if _, err := client.RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 16, MemoryMB: 32 * 1024},
+	}); err != nil {
+		t.Fatalf("RegisterNode: %v", err)
+	}
+	if _, err := client.SubmitWorkflow(ctx, rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	if _, err := client.SubmitAdHoc(ctx, rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "q1", Tasks: 1, TaskDurSec: 10, DemandVCores: 1, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+
+	var running []string
+	for slot := 0; slot < 100; slot++ {
+		if err := client.Tick(ctx); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		hb, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{NodeID: "n1", Completed: running})
+		if err != nil {
+			t.Fatalf("Heartbeat: %v", err)
+		}
+		running = running[:0]
+		for _, q := range hb.Launch {
+			running = append(running, q.ID)
+		}
+		st, err := client.Status(ctx)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		done := len(st.Jobs) == 3
+		for _, j := range st.Jobs {
+			if j.State != "completed" {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+	}
+	t.Fatal("jobs did not complete within 100 slots")
+}
+
+func TestHTTPErrors(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	ts := httptest.NewServer(rm.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	client := NewClient(ts.URL, ts.Client())
+
+	if _, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{NodeID: "ghost"}); err == nil {
+		t.Error("heartbeat from unknown node succeeded over HTTP")
+	}
+	if _, err := client.SubmitWorkflow(ctx, rmproto.SubmitWorkflowRequest{}); err == nil {
+		t.Error("empty workflow accepted over HTTP")
+	}
+}

@@ -1,0 +1,133 @@
+// Package sched defines the scheduler interface shared by FlowTime and the
+// paper's baselines, plus the baseline implementations themselves: FIFO,
+// Fair, EDF (earliest deadline first), CORA (utility min-max, Huang et al.
+// INFOCOM'15), and Morpheus (history-inferred per-job deadlines with
+// reservation packing, Jyothi et al. OSDI'16).
+//
+// A scheduler is invoked once per time slot by the simulator (or by the
+// resource-manager service) and returns the per-job resource grants for
+// that slot. Schedulers that maintain internal multi-slot plans (FlowTime,
+// Morpheus, CORA) rebuild them when Changed reports that the job set or
+// readiness changed — the paper's event-driven re-scheduling on job/task
+// completions (§III).
+package sched
+
+import (
+	"time"
+
+	"flowtime/internal/resource"
+)
+
+// JobKind distinguishes the two workload classes of the paper (§II-A).
+type JobKind int
+
+// Job kinds. Enums start at one.
+const (
+	// DeadlineJob belongs to a deadline-aware workflow; estimates known.
+	DeadlineJob JobKind = iota + 1
+	// AdHocJob is best-effort; its size is unknown to the scheduler.
+	AdHocJob
+)
+
+// String returns the kind name.
+func (k JobKind) String() string {
+	switch k {
+	case DeadlineJob:
+		return "deadline"
+	case AdHocJob:
+		return "adhoc"
+	default:
+		return "unknown"
+	}
+}
+
+// JobState is the scheduler-visible state of one live job. For deadline
+// jobs the estimate fields are populated from the recurring workflow's
+// prior-run knowledge; for ad-hoc jobs only identity, arrival, readiness
+// and the current Request are known (the paper's "no a priori knowledge").
+type JobState struct {
+	// ID is unique across the run.
+	ID string
+	// Kind is DeadlineJob or AdHocJob.
+	Kind JobKind
+	// WorkflowID is the owning workflow (deadline jobs only).
+	WorkflowID string
+	// JobName is the job's name within its workflow (deadline jobs only).
+	JobName string
+
+	// Arrived is when the job entered the system (workflow submit time for
+	// deadline jobs, submission time for ad-hoc jobs).
+	Arrived time.Duration
+	// Release and Deadline bound the job's decomposed scheduling window
+	// (deadline jobs only; zero for ad-hoc jobs).
+	Release  time.Duration
+	Deadline time.Duration
+
+	// EstRemaining is the estimated remaining work volume in
+	// resource-slot units (deadline jobs only).
+	EstRemaining resource.Vector
+	// ParallelCap is the job's estimated per-slot allocation ceiling.
+	ParallelCap resource.Vector
+	// MinSlots is the estimated minimum remaining runtime in slots.
+	MinSlots int64
+
+	// Request is the largest grant the job can consume this slot — its
+	// pending tasks' demand. Observable in a real resource manager for
+	// both kinds.
+	Request resource.Vector
+	// Ready reports whether all dependencies have completed.
+	Ready bool
+}
+
+// ClusterView exposes the cluster to schedulers.
+type ClusterView struct {
+	// SlotDur is the duration of one scheduling slot.
+	SlotDur time.Duration
+	// Horizon is the number of slots in the planning window.
+	Horizon int64
+	// CapAt returns the cluster capacity at the given absolute slot. It
+	// must be callable for any slot in [0, Horizon).
+	CapAt func(slot int64) resource.Vector
+}
+
+// AssignContext is the input to one scheduling decision.
+type AssignContext struct {
+	// Now is the current absolute slot index.
+	Now int64
+	// Changed reports whether the job set, readiness, or capacity changed
+	// since the previous Assign call (always true on the first call).
+	Changed bool
+	// Jobs lists all live (arrived, incomplete) jobs in arrival order.
+	Jobs []JobState
+	// Cluster is the cluster view.
+	Cluster ClusterView
+}
+
+// Scheduler decides per-slot grants. Implementations must be deterministic
+// given the same sequence of AssignContexts.
+type Scheduler interface {
+	// Name returns the algorithm's display name ("FlowTime", "EDF", ...).
+	Name() string
+	// Assign returns the grant for each job for slot ctx.Now, keyed by job
+	// ID. Jobs absent from the map receive nothing. Grants exceeding a
+	// job's Request or the cluster capacity are clamped by the caller, but
+	// well-behaved schedulers stay within both.
+	Assign(ctx AssignContext) (map[string]resource.Vector, error)
+}
+
+// grantUpTo grants min(request, available) component-wise and debits
+// available in place.
+func grantUpTo(request resource.Vector, available *resource.Vector) resource.Vector {
+	g := request.Min(*available)
+	*available = available.Sub(g)
+	return g
+}
+
+// sumGrants is a test/diagnostic helper: total of all grants.
+func sumGrants(grants map[string]resource.Vector) resource.Vector {
+	var total resource.Vector
+	for _, g := range grants {
+		total = total.Add(g)
+	}
+	return total
+}

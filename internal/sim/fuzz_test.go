@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flowtime/internal/core"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+	"flowtime/internal/workflow"
+	"flowtime/internal/workload"
+)
+
+// TestAllSchedulersRandomWorkloadsInvariants fuzzes every scheduler with
+// random workloads and checks the simulator-level invariants that no
+// scheduling policy may break:
+//
+//   - capacity is never exceeded in any slot;
+//   - every job completes when the horizon is generous;
+//   - completions respect DAG order;
+//   - ad-hoc jobs never finish before submit + their minimum runtime.
+func TestAllSchedulersRandomWorkloadsInvariants(t *testing.T) {
+	scheds := func() []sched.Scheduler {
+		return []sched.Scheduler{
+			core.New(core.DefaultConfig()),
+			sched.NewEDF(),
+			sched.NewFair(),
+			sched.NewFIFO(),
+			sched.NewCORA(),
+			sched.NewMorpheus(nil),
+		}
+	}
+	capacity := resource.New(40, 80*1024)
+	shapes := []workload.Shape{
+		workload.ShapeChain, workload.ShapeDiamond, workload.ShapeMontage,
+		workload.ShapeEpigenomics, workload.ShapeCyberShake, workload.ShapeSipht,
+	}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		var wfs []*workflow.Workflow
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			w, err := workload.GenerateWorkflow(rng, workload.WorkflowSpec{
+				ID:             fmt.Sprintf("wf-%d-%d", trial, i),
+				Shape:          shapes[rng.Intn(len(shapes))],
+				Jobs:           6 + rng.Intn(6),
+				Submit:         time.Duration(rng.Intn(120)) * time.Second,
+				DeadlineFactor: 3 + rng.Float64()*3,
+			})
+			if err != nil {
+				t.Fatalf("trial %d: GenerateWorkflow: %v", trial, err)
+			}
+			wfs = append(wfs, w)
+		}
+		adhoc, err := workload.GenerateAdHoc(rng, workload.AdHocSpec{
+			Count:            5 + rng.Intn(8),
+			MeanInterarrival: 30 * time.Second,
+			MinTasks:         1, MaxTasks: 12,
+			MinTaskDur: 10 * time.Second, MaxTaskDur: 90 * time.Second,
+			Demand: resource.New(1, 1024),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: GenerateAdHoc: %v", trial, err)
+		}
+
+		for _, s := range scheds() {
+			res, err := Run(Config{
+				SlotDur:    slotDur,
+				Horizon:    6000,
+				Capacity:   func(int64) resource.Vector { return capacity },
+				Scheduler:  s,
+				Workflows:  cloneWorkflows(t, wfs),
+				AdHoc:      adhoc,
+				RecordLoad: true,
+			})
+			if err != nil {
+				t.Fatalf("trial %d %s: Run: %v", trial, s.Name(), err)
+			}
+			for _, l := range res.Load {
+				if !l.Deadline.Add(l.AdHoc).FitsIn(l.Capacity) {
+					t.Fatalf("trial %d %s: slot %d overcommitted", trial, s.Name(), l.Slot)
+				}
+			}
+			completions := make(map[string]map[string]time.Duration)
+			for _, j := range res.Jobs {
+				if !j.Completed {
+					t.Fatalf("trial %d %s: job %s/%s incomplete", trial, s.Name(), j.WorkflowID, j.JobName)
+				}
+				if completions[j.WorkflowID] == nil {
+					completions[j.WorkflowID] = make(map[string]time.Duration)
+				}
+				completions[j.WorkflowID][j.JobName] = j.Completion
+			}
+			for _, w := range wfs {
+				dag := w.DAG()
+				for v := 0; v < w.NumJobs(); v++ {
+					for _, p := range dag.Predecessors(v) {
+						if completions[w.ID][w.Job(v).Name] < completions[w.ID][w.Job(p).Name] {
+							t.Fatalf("trial %d %s: %s finished before predecessor %s",
+								trial, s.Name(), w.Job(v).Name, w.Job(p).Name)
+						}
+					}
+				}
+			}
+			for i, a := range res.AdHoc {
+				if !a.Completed {
+					t.Fatalf("trial %d %s: ad-hoc %s incomplete", trial, s.Name(), a.ID)
+				}
+				minRuntime := time.Duration(workflow.Job{
+					Tasks:        adhoc[i].Tasks,
+					TaskDuration: adhoc[i].TaskDuration,
+					TaskDemand:   adhoc[i].TaskDemand,
+				}.DurationSlots(slotDur)) * slotDur
+				if a.Completion < a.Submit+minRuntime {
+					t.Fatalf("trial %d %s: ad-hoc %s finished impossibly fast (%v < %v + %v)",
+						trial, s.Name(), a.ID, a.Completion, a.Submit, minRuntime)
+				}
+			}
+		}
+	}
+}
+
+// cloneWorkflows hands each scheduler fresh workflow objects so runs
+// cannot share state.
+func cloneWorkflows(t *testing.T, wfs []*workflow.Workflow) []*workflow.Workflow {
+	t.Helper()
+	out := make([]*workflow.Workflow, 0, len(wfs))
+	for _, w := range wfs {
+		c := w.Clone()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("clone: %v", err)
+		}
+		out = append(out, c)
+	}
+	return out
+}

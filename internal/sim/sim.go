@@ -1,0 +1,464 @@
+// Package sim is a slot-quantized discrete-event simulator of a YARN-like
+// multi-resource cluster, replacing the paper's 20-node testbed and
+// trace-driven simulator. It executes deadline-aware workflows and ad-hoc
+// jobs under any sched.Scheduler and records per-job and per-workflow
+// outcomes plus the cluster load time series.
+//
+// Execution model (documented in DESIGN.md §3): a job carries a work
+// volume per resource kind; a grant of x units of kind r in a slot
+// consumes x resource-slots of that kind; the job completes at the end of
+// the first slot where every kind's volume is covered. Grants are clamped
+// to the job's current Request — the demand of its pending tasks — and to
+// cluster capacity. Readiness follows the workflow DAG: a job can consume
+// only after all its predecessors completed.
+//
+// The simulator is event-driven toward the scheduler: Assign sees
+// Changed=true only when arrivals, completions, readiness flips, or
+// estimate revisions occurred, matching the paper's event-driven
+// rescheduling (§III).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"flowtime/internal/deadline"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+	"flowtime/internal/workflow"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// SlotDur is the slot duration; must be > 0. The paper uses 10s.
+	SlotDur time.Duration
+	// Horizon is the number of slots to simulate; must be > 0.
+	Horizon int64
+	// Capacity returns cluster capacity for a slot. Required.
+	Capacity func(slot int64) resource.Vector
+	// Scheduler makes the per-slot decisions. Required.
+	Scheduler sched.Scheduler
+	// Workflows are the deadline-aware workflows to run.
+	Workflows []*workflow.Workflow
+	// AdHoc are the ad-hoc jobs to run.
+	AdHoc []workflow.AdHoc
+	// ForceCriticalPath selects the critical-path decomposition for all
+	// workflows (ablation).
+	ForceCriticalPath bool
+	// RecordLoad enables per-slot load series capture.
+	RecordLoad bool
+}
+
+// JobOutcome records one deadline job's result.
+type JobOutcome struct {
+	WorkflowID string
+	JobName    string
+	Release    time.Duration
+	Deadline   time.Duration
+	// Completion is the completion time; Completed is false if the job
+	// never finished within the horizon.
+	Completion time.Duration
+	Completed  bool
+}
+
+// Missed reports whether the job missed its (decomposed) deadline.
+func (o JobOutcome) Missed() bool {
+	return !o.Completed || o.Completion > o.Deadline
+}
+
+// Lateness is completion - deadline (negative when early); for jobs that
+// never completed it is measured at the horizon end.
+func (o JobOutcome) Lateness(horizonEnd time.Duration) time.Duration {
+	if !o.Completed {
+		return horizonEnd - o.Deadline
+	}
+	return o.Completion - o.Deadline
+}
+
+// WorkflowOutcome records one workflow's result.
+type WorkflowOutcome struct {
+	ID       string
+	Deadline time.Duration
+	// Completion is when the last job finished (zero if incomplete).
+	Completion time.Duration
+	Completed  bool
+}
+
+// Missed reports whether the workflow missed its deadline.
+func (o WorkflowOutcome) Missed() bool {
+	return !o.Completed || o.Completion > o.Deadline
+}
+
+// AdHocOutcome records one ad-hoc job's result.
+type AdHocOutcome struct {
+	ID     string
+	Submit time.Duration
+	// Completion is the completion time (zero if incomplete).
+	Completion time.Duration
+	Completed  bool
+}
+
+// Turnaround is completion - submission; incomplete jobs are measured at
+// the horizon end (a pessimistic lower bound).
+func (o AdHocOutcome) Turnaround(horizonEnd time.Duration) time.Duration {
+	if !o.Completed {
+		return horizonEnd - o.Submit
+	}
+	return o.Completion - o.Submit
+}
+
+// LoadSample is the cluster usage in one slot, split by workload class.
+type LoadSample struct {
+	Slot     int64
+	Deadline resource.Vector
+	AdHoc    resource.Vector
+	Capacity resource.Vector
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Jobs       []JobOutcome
+	Workflows  []WorkflowOutcome
+	AdHoc      []AdHocOutcome
+	Load       []LoadSample
+	HorizonEnd time.Duration
+	// Slots is how many slots were actually simulated (early exit when
+	// all work completed).
+	Slots int64
+}
+
+type runJob struct {
+	id      string
+	kind    sched.JobKind
+	wfIdx   int
+	nodeIdx int
+
+	arrived  time.Duration
+	release  time.Duration
+	deadline time.Duration
+
+	estTotal    resource.Vector // estimated volume, revised upward on exhaustion
+	origEst     resource.Vector // the original estimate (revision step size)
+	actualLeft  resource.Vector // true remaining volume
+	consumed    resource.Vector
+	parallelCap resource.Vector
+	minSlots    int64
+
+	arrivedYet bool
+	done       bool
+	doneAt     time.Duration
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.SlotDur <= 0 {
+		return nil, fmt.Errorf("sim: slot duration %v, want > 0", cfg.SlotDur)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon %d, want > 0", cfg.Horizon)
+	}
+	if cfg.Capacity == nil {
+		return nil, errors.New("sim: nil capacity function")
+	}
+	if cfg.Scheduler == nil {
+		return nil, errors.New("sim: nil scheduler")
+	}
+
+	jobs, wfDeadlines, err := buildJobs(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	view := sched.ClusterView{
+		SlotDur: cfg.SlotDur,
+		Horizon: cfg.Horizon,
+		CapAt:   cfg.Capacity,
+	}
+
+	// Index deadline jobs by (workflow, node) for O(preds) readiness checks.
+	byNode := make(map[[2]int]*runJob, len(jobs))
+	for _, j := range jobs {
+		if j.kind == sched.DeadlineJob {
+			byNode[[2]int{j.wfIdx, j.nodeIdx}] = j
+		}
+	}
+
+	res := &Result{HorizonEnd: time.Duration(cfg.Horizon) * cfg.SlotDur}
+	changed := true
+	pendingArrivals := len(jobs)
+	prevCap := cfg.Capacity(0)
+
+	for slot := int64(0); slot < cfg.Horizon; slot++ {
+		now := time.Duration(slot) * cfg.SlotDur
+
+		// Capacity-profile steps (node loss/recovery, maintenance dips)
+		// are scheduling events.
+		if c := cfg.Capacity(slot); c != prevCap {
+			prevCap = c
+			changed = true
+		}
+
+		// Arrivals.
+		for _, j := range jobs {
+			if !j.arrivedYet && j.arrived <= now {
+				j.arrivedYet = true
+				pendingArrivals--
+				changed = true
+			}
+		}
+
+		// Build the scheduler view.
+		states := make([]sched.JobState, 0, len(jobs))
+		idx := make(map[string]*runJob, len(jobs))
+		liveWork := false
+		for _, j := range jobs {
+			if !j.arrivedYet || j.done {
+				continue
+			}
+			liveWork = true
+			st := sched.JobState{
+				ID:      j.id,
+				Kind:    j.kind,
+				Arrived: j.arrived,
+				Ready:   jobReady(j, byNode, cfg),
+				Request: request(j),
+			}
+			if j.kind == sched.DeadlineJob {
+				st.WorkflowID = cfg.Workflows[j.wfIdx].ID
+				st.JobName = cfg.Workflows[j.wfIdx].Job(j.nodeIdx).Name
+				st.Release = j.release
+				st.Deadline = j.deadline
+				st.EstRemaining = estRemaining(j)
+				st.ParallelCap = j.parallelCap
+				st.MinSlots = j.minSlots
+			}
+			states = append(states, st)
+			idx[j.id] = j
+		}
+		if !liveWork && pendingArrivals == 0 {
+			res.Slots = slot
+			break
+		}
+		res.Slots = slot + 1
+
+		grants, err := cfg.Scheduler.Assign(sched.AssignContext{
+			Now:     slot,
+			Changed: changed,
+			Jobs:    states,
+			Cluster: view,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: slot %d: scheduler %s: %w", slot, cfg.Scheduler.Name(), err)
+		}
+		changed = false
+
+		// Apply grants: clamp to request and to capacity, deterministically.
+		capLeft := cfg.Capacity(slot)
+		var dlUsed, ahUsed resource.Vector
+		for _, st := range states {
+			g, ok := grants[st.ID]
+			if !ok {
+				continue
+			}
+			j := idx[st.ID]
+			if !st.Ready {
+				continue // defensive: scheduler granted a blocked job
+			}
+			g = g.Min(st.Request).Min(capLeft)
+			if g.AnyNegative() || g.IsZero() {
+				continue
+			}
+			capLeft = capLeft.Sub(g)
+			j.consumed = j.consumed.Add(g)
+			j.actualLeft = j.actualLeft.SubClamped(g)
+			if j.kind == sched.DeadlineJob {
+				dlUsed = dlUsed.Add(g)
+			} else {
+				ahUsed = ahUsed.Add(g)
+			}
+		}
+
+		if cfg.RecordLoad {
+			res.Load = append(res.Load, LoadSample{
+				Slot: slot, Deadline: dlUsed, AdHoc: ahUsed, Capacity: cfg.Capacity(slot),
+			})
+		}
+
+		// Completions and estimate revisions at slot end.
+		endOfSlot := time.Duration(slot+1) * cfg.SlotDur
+		for _, j := range jobs {
+			if !j.arrivedYet || j.done {
+				continue
+			}
+			if j.actualLeft.IsZero() {
+				j.done = true
+				j.doneAt = endOfSlot
+				changed = true
+				continue
+			}
+			if j.kind == sched.DeadlineJob && estRemaining(j).IsZero() {
+				// The job outlived its estimate: an observable event — the
+				// expected completion time passed. Revise the estimate
+				// upward by a chunk (20% of the original, at least one
+				// full-parallelism wave) and replan (paper §III:
+				// robustness to estimation errors).
+				bump := j.origEst
+				for i := range bump {
+					bump[i] /= 5
+				}
+				bump = bump.Max(j.parallelCap)
+				j.estTotal = j.estTotal.Add(bump)
+				changed = true
+			}
+		}
+	}
+
+	collectOutcomes(cfg, jobs, wfDeadlines, res)
+	return res, nil
+}
+
+// buildJobs materializes run state: decomposes every workflow into job
+// windows and registers ad-hoc jobs.
+func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
+	var jobs []*runJob
+	wfDeadlines := make(map[int]time.Duration, len(cfg.Workflows))
+	seen := make(map[string]bool)
+
+	for wi, wf := range cfg.Workflows {
+		if err := wf.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("sim: %w", err)
+		}
+		if seen[wf.ID] {
+			return nil, nil, fmt.Errorf("sim: duplicate workflow ID %q", wf.ID)
+		}
+		seen[wf.ID] = true
+		wfDeadlines[wi] = wf.Deadline
+
+		dec, err := deadline.Decompose(wf, deadline.Options{
+			Slot:              cfg.SlotDur,
+			ClusterCap:        cfg.Capacity(int64(wf.Submit / cfg.SlotDur)),
+			ForceCriticalPath: cfg.ForceCriticalPath,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: %w", err)
+		}
+		for ni := 0; ni < wf.NumJobs(); ni++ {
+			job := wf.Job(ni)
+			est := job.Volume(cfg.SlotDur)
+			actual := workflow.Job{
+				Name:         job.Name,
+				Tasks:        job.Tasks,
+				TaskDuration: job.EffectiveTaskDuration(),
+				TaskDemand:   job.TaskDemand,
+			}.Volume(cfg.SlotDur)
+			jobs = append(jobs, &runJob{
+				id:          fmt.Sprintf("%s/%s#%d", wf.ID, job.Name, ni),
+				kind:        sched.DeadlineJob,
+				wfIdx:       wi,
+				nodeIdx:     ni,
+				arrived:     wf.Submit,
+				release:     dec.Windows[ni].Release,
+				deadline:    dec.Windows[ni].Deadline,
+				estTotal:    est,
+				origEst:     est,
+				actualLeft:  actual,
+				parallelCap: job.ParallelCap(),
+				minSlots:    job.MinRuntimeSlots(cfg.SlotDur, cfg.Capacity(0)),
+			})
+		}
+	}
+	for _, ah := range cfg.AdHoc {
+		if err := ah.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("sim: %w", err)
+		}
+		id := "adhoc/" + ah.ID
+		if seen[id] {
+			return nil, nil, fmt.Errorf("sim: duplicate ad-hoc ID %q", ah.ID)
+		}
+		seen[id] = true
+		jobs = append(jobs, &runJob{
+			id:          id,
+			kind:        sched.AdHocJob,
+			wfIdx:       -1,
+			arrived:     ah.Submit,
+			actualLeft:  ah.Volume(cfg.SlotDur),
+			parallelCap: ah.ParallelCap(),
+		})
+	}
+	// Deterministic order: arrival, then ID.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].arrived != jobs[b].arrived {
+			return jobs[a].arrived < jobs[b].arrived
+		}
+		return jobs[a].id < jobs[b].id
+	})
+	return jobs, wfDeadlines, nil
+}
+
+// jobReady reports whether all DAG predecessors completed.
+func jobReady(j *runJob, byNode map[[2]int]*runJob, cfg Config) bool {
+	if j.kind != sched.DeadlineJob {
+		return true
+	}
+	for _, p := range cfg.Workflows[j.wfIdx].DAG().Predecessors(j.nodeIdx) {
+		if pj := byNode[[2]int{j.wfIdx, p}]; pj != nil && !pj.done {
+			return false
+		}
+	}
+	return true
+}
+
+// request is the largest grant the job can consume this slot.
+func request(j *runJob) resource.Vector {
+	return j.parallelCap.Min(j.actualLeft)
+}
+
+// estRemaining is the scheduler-visible remaining-work estimate: the
+// (possibly revised) estimate minus consumption.
+func estRemaining(j *runJob) resource.Vector {
+	return j.estTotal.SubClamped(j.consumed)
+}
+
+func collectOutcomes(cfg Config, jobs []*runJob, wfDeadlines map[int]time.Duration, res *Result) {
+	wfDone := make(map[int]time.Duration)
+	wfAll := make(map[int]bool)
+	for wi := range cfg.Workflows {
+		wfAll[wi] = true
+	}
+	for _, j := range jobs {
+		switch j.kind {
+		case sched.DeadlineJob:
+			wf := cfg.Workflows[j.wfIdx]
+			res.Jobs = append(res.Jobs, JobOutcome{
+				WorkflowID: wf.ID,
+				JobName:    wf.Job(j.nodeIdx).Name,
+				Release:    j.release,
+				Deadline:   j.deadline,
+				Completion: j.doneAt,
+				Completed:  j.done,
+			})
+			if !j.done {
+				wfAll[j.wfIdx] = false
+			} else if j.doneAt > wfDone[j.wfIdx] {
+				wfDone[j.wfIdx] = j.doneAt
+			}
+		case sched.AdHocJob:
+			res.AdHoc = append(res.AdHoc, AdHocOutcome{
+				ID:         j.id,
+				Submit:     j.arrived,
+				Completion: j.doneAt,
+				Completed:  j.done,
+			})
+		}
+	}
+	for wi, wf := range cfg.Workflows {
+		res.Workflows = append(res.Workflows, WorkflowOutcome{
+			ID:         wf.ID,
+			Deadline:   wfDeadlines[wi],
+			Completion: wfDone[wi],
+			Completed:  wfAll[wi],
+		})
+	}
+}

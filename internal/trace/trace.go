@@ -1,0 +1,177 @@
+// Package trace defines a JSON interchange format for FlowTime workloads —
+// the stand-in for the paper's proprietary Huawei production traces. A
+// trace captures recurring deadline-aware workflows (with both estimated
+// and actual task durations, so estimation error round-trips) and the
+// ad-hoc job stream; it can be written by the ftgen tool and replayed into
+// the simulator by ftsim and the trace-replay experiments.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/workflow"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// Trace is the top-level document.
+type Trace struct {
+	// Version must equal FormatVersion.
+	Version int `json:"version"`
+	// Workflows are the deadline-aware workflows.
+	Workflows []WorkflowRecord `json:"workflows"`
+	// AdHoc is the ad-hoc job stream.
+	AdHoc []AdHocRecord `json:"adhoc"`
+}
+
+// WorkflowRecord serializes one workflow.
+type WorkflowRecord struct {
+	ID          string      `json:"id"`
+	SubmitSec   int64       `json:"submit_sec"`
+	DeadlineSec int64       `json:"deadline_sec"`
+	Jobs        []JobRecord `json:"jobs"`
+	// Deps lists [from, to] job-index pairs.
+	Deps [][2]int `json:"deps"`
+}
+
+// JobRecord serializes one workflow job.
+type JobRecord struct {
+	Name             string `json:"name"`
+	Tasks            int    `json:"tasks"`
+	TaskDurSec       int64  `json:"task_dur_sec"`
+	ActualTaskDurSec int64  `json:"actual_task_dur_sec,omitempty"`
+	DemandVCores     int64  `json:"demand_vcores"`
+	DemandMemMB      int64  `json:"demand_mem_mb"`
+}
+
+// AdHocRecord serializes one ad-hoc job.
+type AdHocRecord struct {
+	ID           string `json:"id"`
+	SubmitSec    int64  `json:"submit_sec"`
+	Tasks        int    `json:"tasks"`
+	TaskDurSec   int64  `json:"task_dur_sec"`
+	DemandVCores int64  `json:"demand_vcores"`
+	DemandMemMB  int64  `json:"demand_mem_mb"`
+}
+
+// FromWorkload converts in-memory workload objects into a trace.
+func FromWorkload(wfs []*workflow.Workflow, adhoc []workflow.AdHoc) (*Trace, error) {
+	t := &Trace{Version: FormatVersion}
+	for _, w := range wfs {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		rec := WorkflowRecord{
+			ID:          w.ID,
+			SubmitSec:   int64(w.Submit / time.Second),
+			DeadlineSec: int64(w.Deadline / time.Second),
+		}
+		for i := 0; i < w.NumJobs(); i++ {
+			j := w.Job(i)
+			rec.Jobs = append(rec.Jobs, JobRecord{
+				Name:             j.Name,
+				Tasks:            j.Tasks,
+				TaskDurSec:       int64(j.TaskDuration / time.Second),
+				ActualTaskDurSec: int64(j.ActualTaskDuration / time.Second),
+				DemandVCores:     j.TaskDemand.Get(resource.VCores),
+				DemandMemMB:      j.TaskDemand.Get(resource.MemoryMB),
+			})
+		}
+		dag := w.DAG()
+		for from := 0; from < dag.NumNodes(); from++ {
+			for _, to := range dag.Successors(from) {
+				rec.Deps = append(rec.Deps, [2]int{from, to})
+			}
+		}
+		t.Workflows = append(t.Workflows, rec)
+	}
+	for _, a := range adhoc {
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		t.AdHoc = append(t.AdHoc, AdHocRecord{
+			ID:           a.ID,
+			SubmitSec:    int64(a.Submit / time.Second),
+			Tasks:        a.Tasks,
+			TaskDurSec:   int64(a.TaskDuration / time.Second),
+			DemandVCores: a.TaskDemand.Get(resource.VCores),
+			DemandMemMB:  a.TaskDemand.Get(resource.MemoryMB),
+		})
+	}
+	return t, nil
+}
+
+// ToWorkload converts a trace back into workload objects, validating
+// everything.
+func (t *Trace) ToWorkload() ([]*workflow.Workflow, []workflow.AdHoc, error) {
+	if t.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, FormatVersion)
+	}
+	wfs := make([]*workflow.Workflow, 0, len(t.Workflows))
+	for _, rec := range t.Workflows {
+		w := workflow.New(rec.ID,
+			time.Duration(rec.SubmitSec)*time.Second,
+			time.Duration(rec.DeadlineSec)*time.Second)
+		for _, jr := range rec.Jobs {
+			w.AddJob(workflow.Job{
+				Name:               jr.Name,
+				Tasks:              jr.Tasks,
+				TaskDuration:       time.Duration(jr.TaskDurSec) * time.Second,
+				ActualTaskDuration: time.Duration(jr.ActualTaskDurSec) * time.Second,
+				TaskDemand:         resource.New(jr.DemandVCores, jr.DemandMemMB),
+			})
+		}
+		for _, d := range rec.Deps {
+			w.AddDep(d[0], d[1])
+		}
+		if err := w.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("trace: %w", err)
+		}
+		wfs = append(wfs, w)
+	}
+	adhoc := make([]workflow.AdHoc, 0, len(t.AdHoc))
+	for _, ar := range t.AdHoc {
+		a := workflow.AdHoc{
+			ID:           ar.ID,
+			Submit:       time.Duration(ar.SubmitSec) * time.Second,
+			Tasks:        ar.Tasks,
+			TaskDuration: time.Duration(ar.TaskDurSec) * time.Second,
+			TaskDemand:   resource.New(ar.DemandVCores, ar.DemandMemMB),
+		}
+		if err := a.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("trace: %w", err)
+		}
+		adhoc = append(adhoc, a)
+	}
+	return wfs, adhoc, nil
+}
+
+// Write encodes the trace as indented JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes and validates a trace.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	// Validate by round-tripping through the workload types.
+	if _, _, err := t.ToWorkload(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

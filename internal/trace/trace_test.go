@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/workflow"
+	"flowtime/internal/workload"
+)
+
+func sampleWorkload(t *testing.T) ([]*workflow.Workflow, []workflow.AdHoc) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var wfs []*workflow.Workflow
+	for i, shape := range []workload.Shape{workload.ShapeDiamond, workload.ShapeMontage} {
+		w, err := workload.GenerateWorkflow(rng, workload.WorkflowSpec{
+			ID:             shape.String(),
+			Shape:          shape,
+			Jobs:           8,
+			Submit:         time.Duration(i) * time.Minute,
+			DeadlineFactor: 2,
+		})
+		if err != nil {
+			t.Fatalf("GenerateWorkflow: %v", err)
+		}
+		wfs = append(wfs, w)
+	}
+	if err := workload.InjectEstimationError(rng, wfs[0], 0.1, 0.2); err != nil {
+		t.Fatalf("InjectEstimationError: %v", err)
+	}
+	adhoc, err := workload.GenerateAdHoc(rng, workload.AdHocSpec{
+		Count: 10, MeanInterarrival: 20 * time.Second,
+		MinTasks: 1, MaxTasks: 4,
+		MinTaskDur: 10 * time.Second, MaxTaskDur: 30 * time.Second,
+		Demand: resource.New(1, 256),
+	})
+	if err != nil {
+		t.Fatalf("GenerateAdHoc: %v", err)
+	}
+	return wfs, adhoc
+}
+
+func TestRoundTrip(t *testing.T) {
+	wfs, adhoc := sampleWorkload(t)
+	tr, err := FromWorkload(wfs, adhoc)
+	if err != nil {
+		t.Fatalf("FromWorkload: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	wfs2, adhoc2, err := back.ToWorkload()
+	if err != nil {
+		t.Fatalf("ToWorkload: %v", err)
+	}
+
+	if len(wfs2) != len(wfs) || len(adhoc2) != len(adhoc) {
+		t.Fatalf("counts changed: %d/%d workflows, %d/%d adhoc",
+			len(wfs2), len(wfs), len(adhoc2), len(adhoc))
+	}
+	for i, w := range wfs {
+		w2 := wfs2[i]
+		if w2.ID != w.ID || w2.Submit != w.Submit || w2.Deadline != w.Deadline {
+			t.Errorf("workflow %d header changed: %+v vs %+v", i, w2, w)
+		}
+		if w2.NumJobs() != w.NumJobs() {
+			t.Fatalf("workflow %d jobs %d != %d", i, w2.NumJobs(), w.NumJobs())
+		}
+		for j := 0; j < w.NumJobs(); j++ {
+			if w.Job(j) != w2.Job(j) {
+				t.Errorf("workflow %d job %d changed: %+v vs %+v", i, j, w2.Job(j), w.Job(j))
+			}
+		}
+		if w.DAG().NumEdges() != w2.DAG().NumEdges() {
+			t.Errorf("workflow %d edges %d != %d", i, w2.DAG().NumEdges(), w.DAG().NumEdges())
+		}
+	}
+	for i := range adhoc {
+		if adhoc[i] != adhoc2[i] {
+			t.Errorf("adhoc %d changed: %+v vs %+v", i, adhoc2[i], adhoc[i])
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"not json", "nope"},
+		{"wrong version", `{"version": 99, "workflows": [], "adhoc": []}`},
+		{"unknown field", `{"version": 1, "bogus": true}`},
+		{"invalid workflow", `{"version": 1, "workflows": [{"id": "", "submit_sec": 0, "deadline_sec": 10, "jobs": [], "deps": []}], "adhoc": []}`},
+		{"cyclic deps", `{"version": 1, "workflows": [{"id": "w", "submit_sec": 0, "deadline_sec": 100,
+			"jobs": [{"name":"a","tasks":1,"task_dur_sec":10,"demand_vcores":1,"demand_mem_mb":1},
+			         {"name":"b","tasks":1,"task_dur_sec":10,"demand_vcores":1,"demand_mem_mb":1}],
+			"deps": [[0,1],[1,0]]}], "adhoc": []}`},
+		{"invalid adhoc", `{"version": 1, "workflows": [], "adhoc": [{"id": "", "submit_sec": 0, "tasks": 1, "task_dur_sec": 1, "demand_vcores": 1, "demand_mem_mb": 1}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.body)); err == nil {
+				t.Error("Read accepted bad input")
+			}
+		})
+	}
+}
+
+func TestFromWorkloadValidates(t *testing.T) {
+	bad := workflow.New("", 0, time.Minute) // empty ID
+	bad.AddJob(workflow.Job{Name: "j", Tasks: 1, TaskDuration: time.Second, TaskDemand: resource.New(1, 1)})
+	if _, err := FromWorkload([]*workflow.Workflow{bad}, nil); err == nil {
+		t.Error("FromWorkload accepted invalid workflow")
+	}
+	if _, err := FromWorkload(nil, []workflow.AdHoc{{}}); err == nil {
+		t.Error("FromWorkload accepted invalid adhoc job")
+	}
+}
