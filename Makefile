@@ -1,0 +1,24 @@
+# FlowTime build/test targets. `make check` is the CI gate: vet plus the
+# full test suite — including the rmserver chaos tests — under the race
+# detector.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
+
+check: vet race

@@ -3,9 +3,15 @@
 // executes the slot-sized work leases it receives (by holding them for
 // one heartbeat period), and confirms them on the next heartbeat.
 //
+// The agent is fault-tolerant: transient RM failures are retried with
+// capped exponential backoff and jitter, and when the RM answers
+// "unknown node" (RM restart or eviction after missed heartbeats) the
+// agent automatically re-registers and resumes heartbeating.
+//
 // Usage:
 //
 //	ftnode [-rm http://localhost:8030] [-id node-1] [-cores 32] [-mem-mb 65536]
+//	       [-backoff-base 100ms] [-backoff-max 5s]
 package main
 
 import (
@@ -24,10 +30,12 @@ import (
 func main() {
 	log.SetFlags(log.LstdFlags)
 	var (
-		rmURL = flag.String("rm", "http://localhost:8030", "resource manager URL")
-		id    = flag.String("id", "", "node ID (required)")
-		cores = flag.Int64("cores", 32, "node vcores")
-		memMB = flag.Int64("mem-mb", 64*1024, "node memory (MiB)")
+		rmURL       = flag.String("rm", "http://localhost:8030", "resource manager URL")
+		id          = flag.String("id", "", "node ID (required)")
+		cores       = flag.Int64("cores", 32, "node vcores")
+		memMB       = flag.Int64("mem-mb", 64*1024, "node memory (MiB)")
+		backoffBase = flag.Duration("backoff-base", 100*time.Millisecond, "initial retry backoff for RM calls")
+		backoffMax  = flag.Duration("backoff-max", 5*time.Second, "retry backoff cap for RM calls")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -38,53 +46,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *rmURL, *id, *cores, *memMB); err != nil && ctx.Err() == nil {
+	err := rmserver.RunAgent(ctx, rmserver.NewClient(*rmURL, nil), rmserver.AgentConfig{
+		NodeID:   *id,
+		Capacity: rmproto.Resources{VCores: *cores, MemoryMB: *memMB},
+		Backoff:  rmserver.Backoff{Base: *backoffBase, Max: *backoffMax},
+		Logf:     log.Printf,
+	})
+	if err != nil && ctx.Err() == nil {
 		log.Println("ftnode:", err)
 		os.Exit(1)
-	}
-}
-
-func run(ctx context.Context, rmURL, id string, cores, memMB int64) error {
-	client := rmserver.NewClient(rmURL, nil)
-	reg, err := client.RegisterNode(ctx, rmproto.RegisterNodeRequest{
-		NodeID:   id,
-		Capacity: rmproto.Resources{VCores: cores, MemoryMB: memMB},
-	})
-	if err != nil {
-		return err
-	}
-	interval := time.Duration(reg.HeartbeatMs) * time.Millisecond
-	if interval <= 0 {
-		interval = rmproto.DefaultSlot
-	}
-	log.Printf("ftnode %s: registered (%d cores, %d MB), heartbeating every %v", id, cores, memMB, interval)
-
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-
-	// Leases received last heartbeat are "executed" during this interval
-	// and confirmed on the next one.
-	var running []string
-	for {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-ticker.C:
-			resp, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{
-				NodeID:    id,
-				Completed: running,
-			})
-			if err != nil {
-				log.Printf("ftnode %s: heartbeat: %v (will retry)", id, err)
-				continue
-			}
-			running = running[:0]
-			for _, q := range resp.Launch {
-				running = append(running, q.ID)
-			}
-			if len(running) > 0 {
-				log.Printf("ftnode %s: executing %d leases", id, len(running))
-			}
-		}
 	}
 }

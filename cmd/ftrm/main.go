@@ -4,11 +4,16 @@
 // Usage:
 //
 //	ftrm [-addr :8030] [-sched FlowTime] [-slot 10s] [-slack 60s]
-//	     [-manual-tick]
+//	     [-lease-expiry 16] [-drain-timeout 30s] [-manual-tick]
 //
 // With -manual-tick the RM advances only on POST /v1/tick (useful for
 // scripted demos and tests); otherwise it ticks every slot duration.
 // Node managers (ftnode) register and heartbeat; ftsubmit submits traces.
+//
+// On SIGINT/SIGTERM the RM drains instead of exiting mid-slot: it stops
+// issuing new leases, keeps ticking so in-flight quanta can confirm or
+// expire (up to -drain-timeout), logs a final status snapshot including
+// any work a shutdown strands, and then shuts the HTTP server down.
 package main
 
 import (
@@ -30,21 +35,23 @@ import (
 func main() {
 	log.SetFlags(log.LstdFlags)
 	var (
-		addr       = flag.String("addr", ":8030", "listen address")
-		schedName  = flag.String("sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus")
-		slot       = flag.Duration("slot", 10*time.Second, "scheduling slot duration")
-		slack      = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
-		manualTick = flag.Bool("manual-tick", false, "advance slots only via POST /v1/tick")
+		addr         = flag.String("addr", ":8030", "listen address")
+		schedName    = flag.String("sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus")
+		slot         = flag.Duration("slot", 10*time.Second, "scheduling slot duration")
+		slack        = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
+		leaseExpiry  = flag.Int64("lease-expiry", 0, "slots before an unconfirmed lease is reclaimed (0 = default, negative = never)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight leases on shutdown")
+		manualTick   = flag.Bool("manual-tick", false, "advance slots only via POST /v1/tick")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *schedName, *slot, *slack, *manualTick); err != nil {
+	if err := run(*addr, *schedName, *slot, *slack, *leaseExpiry, *drainTimeout, *manualTick); err != nil {
 		log.Println("ftrm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schedName string, slot, slack time.Duration, manualTick bool) error {
+func run(addr, schedName string, slot, slack time.Duration, leaseExpiry int64, drainTimeout time.Duration, manualTick bool) error {
 	cfg := core.DefaultConfig()
 	cfg.Slack = slack
 	s, err := experiments.NewScheduler(schedName, nil, cfg)
@@ -52,9 +59,10 @@ func run(addr, schedName string, slot, slack time.Duration, manualTick bool) err
 		return err
 	}
 	rm, err := rmserver.New(rmserver.Config{
-		SlotDur:    slot,
-		Scheduler:  s,
-		NodeExpiry: 3 * slot,
+		SlotDur:     slot,
+		Scheduler:   s,
+		NodeExpiry:  3 * slot,
+		LeaseExpiry: leaseExpiry,
 	})
 	if err != nil {
 		return err
@@ -85,6 +93,8 @@ func run(addr, schedName string, slot, slack time.Duration, manualTick bool) err
 				log.Println("ftrm: tick:", err)
 			}
 		case <-ctx.Done():
+			drain(rm, tick, drainTimeout)
+			logFinalStatus(rm)
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			err := srv.Shutdown(shutdownCtx)
@@ -96,5 +106,68 @@ func run(addr, schedName string, slot, slack time.Duration, manualTick bool) err
 			}
 			return err
 		}
+	}
+}
+
+// drain stops new lease issue and keeps ticking (in auto-tick mode) until
+// every in-flight quantum confirms or expires, or the timeout elapses.
+// Heartbeats keep flowing during the drain because the HTTP server is
+// still up. In manual-tick mode there is no run loop to advance slots, so
+// the drain only waits for confirmations already on the wire.
+func drain(rm *rmserver.Server, tick <-chan time.Time, timeout time.Duration) {
+	rm.BeginDrain()
+	st := rm.DrainStatus()
+	log.Printf("ftrm: draining: %d leases outstanding, %d jobs unfinished", st.OutstandingLeases, len(st.UnfinishedJobs))
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		st = rm.DrainStatus()
+		if st.Complete {
+			log.Printf("ftrm: drain complete")
+			return
+		}
+		select {
+		case now := <-tick:
+			if err := rm.Tick(now); err != nil {
+				log.Println("ftrm: tick:", err)
+			}
+		case <-deadline.C:
+			log.Printf("ftrm: drain timed out with %d leases outstanding", st.OutstandingLeases)
+			return
+		case <-time.After(100 * time.Millisecond):
+			// Manual-tick mode has no ticker; poll for heartbeat-driven
+			// confirmations instead of blocking forever.
+		}
+	}
+}
+
+// logFinalStatus records what the RM knew at exit: per-state job counts,
+// fault counters, and every job a shutdown at this point strands.
+func logFinalStatus(rm *rmserver.Server) {
+	st := rm.Status()
+	var pending, running, completed, missed int
+	var unfinished []string
+	for _, j := range st.Jobs {
+		switch j.State {
+		case "pending":
+			pending++
+		case "running":
+			running++
+		case "completed":
+			completed++
+		}
+		if j.Missed {
+			missed++
+		}
+		if j.State != "completed" {
+			unfinished = append(unfinished, j.ID)
+		}
+	}
+	log.Printf("ftrm: final status: slot=%d nodes=%d jobs(pending=%d running=%d completed=%d missed=%d) leases_outstanding=%d",
+		st.Slot, st.Nodes, pending, running, completed, missed, st.OutstandingLeases)
+	log.Printf("ftrm: faults: requeued_quanta=%d expired_nodes=%d scheduler_panics=%d stale_confirms=%d",
+		st.Faults.RequeuedQuanta, st.Faults.ExpiredNodes, st.Faults.SchedulerPanics, st.Faults.StaleConfirms)
+	for _, id := range unfinished {
+		log.Printf("ftrm: unfinished at exit: %s", id)
 	}
 }

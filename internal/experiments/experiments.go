@@ -594,7 +594,7 @@ func RunFig1() ([]metrics.Summary, error) {
 }
 
 // ExtEPoint compares schedulers through a mid-run capacity outage
-// (extension E: failure injection, DESIGN.md §7).
+// (extension E: failure injection, DESIGN.md §8).
 type ExtEPoint struct {
 	Algorithm string
 	// Missed is the number of deadline jobs missed.

@@ -60,6 +60,10 @@ type Quantum struct {
 	ID    string    `json:"id"`
 	JobID string    `json:"job_id"`
 	Grant Resources `json:"grant"`
+	// DeadlineSlot is the RM slot by which the lease must be confirmed;
+	// past it the RM reclaims the lease and requeues its volume. Zero
+	// means the RM has lease expiry disabled.
+	DeadlineSlot int64 `json:"deadline_slot,omitempty"`
 }
 
 // HeartbeatRequest reports node liveness and completed quanta.
@@ -112,12 +116,62 @@ type StatusResponse struct {
 	Capacity Resources `json:"capacity"`
 	// Jobs lists all known jobs.
 	Jobs []JobStatus `json:"jobs"`
+	// Draining is true once a drain has begun: the RM stops issuing new
+	// leases and waits for in-flight quanta to confirm or expire.
+	Draining bool `json:"draining,omitempty"`
+	// OutstandingLeases is the number of issued-but-unconfirmed quanta.
+	OutstandingLeases int `json:"outstanding_leases"`
+	// Faults carries the RM's fault-tolerance counters.
+	Faults FaultCounters `json:"faults"`
+}
+
+// FaultCounters tallies control-plane fault handling since RM start.
+type FaultCounters struct {
+	// RequeuedQuanta counts leases reclaimed (node eviction, node
+	// re-registration, or lease expiry) and returned to the job pool.
+	RequeuedQuanta int64 `json:"requeued_quanta"`
+	// ExpiredNodes counts node managers evicted for missed heartbeats.
+	ExpiredNodes int64 `json:"expired_nodes"`
+	// SchedulerPanics counts scheduler invocations that panicked and were
+	// converted into no-grant slots.
+	SchedulerPanics int64 `json:"scheduler_panics"`
+	// StaleConfirms counts completion reports for quanta the RM no longer
+	// tracks (already confirmed, requeued, or from a prior incarnation).
+	StaleConfirms int64 `json:"stale_confirms"`
+}
+
+// DrainRequest asks the RM to stop issuing leases. With WaitMs > 0 the
+// call blocks up to that long for in-flight quanta to confirm or expire.
+type DrainRequest struct {
+	WaitMs int64 `json:"wait_ms,omitempty"`
+}
+
+// DrainResponse reports drain progress.
+type DrainResponse struct {
+	Draining bool `json:"draining"`
+	// Complete is true when no leases remain outstanding.
+	Complete bool `json:"complete"`
+	// OutstandingLeases is the number of still-unconfirmed quanta.
+	OutstandingLeases int `json:"outstanding_leases"`
+	// UnfinishedJobs lists jobs that have not completed, i.e. work that a
+	// shutdown at this point would strand.
+	UnfinishedJobs []string `json:"unfinished_jobs,omitempty"`
 }
 
 // Error is the wire form of an error response.
 type Error struct {
 	Message string `json:"error"`
+	// Code is a machine-readable error class; see the Code* constants.
+	Code string `json:"code,omitempty"`
 }
+
+// Machine-readable error codes.
+const (
+	// CodeUnknownNode is returned to heartbeats from nodes the RM does not
+	// know (never registered, expired, or the RM restarted). The node
+	// agent should re-register and resume.
+	CodeUnknownNode = "unknown_node"
+)
 
 // Heartbeat timing defaults.
 const (
@@ -133,4 +187,5 @@ const (
 	PathAdHoc     = "/v1/adhoc"
 	PathStatus    = "/v1/status"
 	PathTick      = "/v1/tick"
+	PathDrain     = "/v1/drain"
 )

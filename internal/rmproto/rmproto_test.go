@@ -44,3 +44,37 @@ func TestWireJSONStability(t *testing.T) {
 		t.Errorf("wire JSON = %s, want %s", raw, want)
 	}
 }
+
+func TestFaultWireJSONStability(t *testing.T) {
+	// Fault-tolerance additions are protocol surface too: lease deadlines
+	// on quanta, drain responses, and coded errors must not drift.
+	q := Quantum{ID: "q-1", JobID: "wf/j#0", Grant: Resources{VCores: 2, MemoryMB: 4096}, DeadlineSlot: 7}
+	raw, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `{"id":"q-1","job_id":"wf/j#0","grant":{"vcores":2,"memory_mb":4096},"deadline_slot":7}`
+	if string(raw) != want {
+		t.Errorf("wire JSON = %s, want %s", raw, want)
+	}
+
+	dr := DrainResponse{Draining: true, Complete: false, OutstandingLeases: 3, UnfinishedJobs: []string{"adhoc/q"}}
+	raw, err = json.Marshal(dr)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want = `{"draining":true,"complete":false,"outstanding_leases":3,"unfinished_jobs":["adhoc/q"]}`
+	if string(raw) != want {
+		t.Errorf("wire JSON = %s, want %s", raw, want)
+	}
+
+	e := Error{Message: "unknown node", Code: CodeUnknownNode}
+	raw, err = json.Marshal(e)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want = `{"error":"unknown node","code":"unknown_node"}`
+	if string(raw) != want {
+		t.Errorf("wire JSON = %s, want %s", raw, want)
+	}
+}

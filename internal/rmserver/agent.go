@@ -1,0 +1,126 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"flowtime/internal/rmproto"
+)
+
+// AgentConfig parameterizes a node-manager agent (see RunAgent).
+type AgentConfig struct {
+	// NodeID identifies the node to the RM; required.
+	NodeID string
+	// Capacity is the node's advertised capacity; required.
+	Capacity rmproto.Resources
+	// Backoff paces registration attempts and is also installed on the
+	// client for idempotent-call retries. The zero value uses defaults.
+	Backoff Backoff
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RunAgent runs the node-manager control loop used by cmd/ftnode: it
+// registers with the RM, heartbeats on the interval the RM dictates,
+// "executes" the slot-sized leases it receives by holding them for one
+// heartbeat period, and confirms them on the next heartbeat.
+//
+// The loop is built to survive control-plane faults: registration and
+// heartbeats retry transient failures with capped exponential backoff and
+// jitter, an unknown-node rejection (RM restarted or evicted us for
+// silence) triggers automatic re-registration with the in-flight lease
+// set dropped — the RM has already requeued or will expire those quanta,
+// and confirming them after eviction would be stale anyway — and an RM
+// that is down entirely is simply retried forever until ctx is
+// cancelled. RunAgent returns only when ctx is done.
+func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client = client.WithRetry(cfg.Backoff)
+
+	interval, err := registerUntilAccepted(ctx, client, cfg, logf)
+	if err != nil {
+		return err
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	// Leases received last heartbeat are "executed" during this interval
+	// and confirmed on the next one.
+	var running []string
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			resp, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{
+				NodeID:    cfg.NodeID,
+				Completed: running,
+			})
+			switch {
+			case errors.Is(err, ErrUnknownNode):
+				logf("ftnode %s: RM does not know us (restart or eviction); re-registering", cfg.NodeID)
+				running = nil // our leases died with the old registration
+				newInterval, rerr := registerUntilAccepted(ctx, client, cfg, logf)
+				if rerr != nil {
+					return rerr
+				}
+				if newInterval != interval {
+					interval = newInterval
+					ticker.Reset(interval)
+				}
+				continue
+			case err != nil:
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				logf("ftnode %s: heartbeat: %v (will retry)", cfg.NodeID, err)
+				continue
+			}
+			running = running[:0]
+			for _, q := range resp.Launch {
+				running = append(running, q.ID)
+			}
+			if len(running) > 0 {
+				logf("ftnode %s: executing %d leases", cfg.NodeID, len(running))
+			}
+		}
+	}
+}
+
+// registerUntilAccepted registers with the RM, retrying transient
+// failures indefinitely (the RM may be restarting); it gives up only on
+// ctx cancellation or a permanent rejection (e.g. invalid capacity).
+// It returns the heartbeat interval the RM dictated.
+func registerUntilAccepted(ctx context.Context, client *Client, cfg AgentConfig, logf func(string, ...any)) (time.Duration, error) {
+	b := cfg.Backoff.withDefaults()
+	b.MaxAttempts = -1 // outlive any RM outage
+	var reg rmproto.RegisterNodeResponse
+	attempt := 0
+	err := Retry(ctx, b, func() error {
+		var err error
+		reg, err = client.RegisterNode(ctx, rmproto.RegisterNodeRequest{
+			NodeID:   cfg.NodeID,
+			Capacity: cfg.Capacity,
+		})
+		if err != nil && Retryable(err) {
+			attempt++
+			logf("ftnode %s: register attempt %d: %v (will retry)", cfg.NodeID, attempt, err)
+		}
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	interval := time.Duration(reg.HeartbeatMs) * time.Millisecond
+	if interval <= 0 {
+		interval = rmproto.DefaultSlot
+	}
+	logf("ftnode %s: registered (%d vcores, %d MB), heartbeating every %v",
+		cfg.NodeID, cfg.Capacity.VCores, cfg.Capacity.MemoryMB, interval)
+	return interval, nil
+}

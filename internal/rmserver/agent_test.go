@@ -1,0 +1,192 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/trace"
+)
+
+// testLogf collects agent log lines without racing test shutdown.
+func testLogf(t *testing.T) func(string, ...any) {
+	var mu sync.Mutex
+	done := false
+	t.Cleanup(func() { mu.Lock(); done = true; mu.Unlock() })
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !done {
+			t.Logf(format, args...)
+		}
+	}
+}
+
+// serveRM serves rm's handler on ln until the returned shutdown func runs.
+func serveRM(t *testing.T, rm *Server, ln net.Listener) (shutdown func()) {
+	t.Helper()
+	srv := &http.Server{Handler: rm.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return func() {
+		_ = srv.Close()
+		<-done
+	}
+}
+
+// TestAgentRecoversFromRMRestart is the end-to-end resilience test over
+// the real HTTP layer: a node agent registers with one RM process, the RM
+// dies and a brand-new RM (empty state) comes up on the same address, and
+// the agent must re-register on its own — the fresh RM answers its next
+// heartbeat with unknown_node — and then resume lease execution so work
+// submitted to the new RM completes.
+func TestAgentRecoversFromRMRestart(t *testing.T) {
+	const agentSlot = 20 * time.Millisecond
+	newServer := func() *Server {
+		rm, err := New(Config{SlotDur: agentSlot, Scheduler: sched.NewFIFO()})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return rm
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+
+	rm1 := newServer()
+	stop1 := serveRM(t, rm1, ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	agentErr := make(chan error, 1)
+	go func() {
+		agentErr <- RunAgent(ctx, NewClient("http://"+addr, nil), AgentConfig{
+			NodeID:   "n1",
+			Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+			Backoff:  Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Logf:     testLogf(t),
+		})
+	}()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	waitFor("agent to register with RM1", func() bool { return rm1.Status().Nodes == 1 })
+
+	// RM1 dies with the agent mid-flight.
+	stop1()
+
+	// A fresh RM — no node state, the restart case — on the same address.
+	// The port may need a moment to free up.
+	var ln2 net.Listener
+	waitFor("address to be reusable", func() bool {
+		var lerr error
+		ln2, lerr = net.Listen("tcp", addr)
+		return lerr == nil
+	})
+	rm2 := newServer()
+	stop2 := serveRM(t, rm2, ln2)
+	defer stop2()
+
+	waitFor("agent to re-register with RM2", func() bool { return rm2.Status().Nodes == 1 })
+
+	// Prove the agent resumed real work, not just registration: submit a
+	// job to RM2 and tick; the agent's heartbeats must confirm its leases.
+	if _, err := rm2.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "post-restart", Tasks: 2, TaskDurSec: 1, DemandVCores: 1, DemandMemMB: 256,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	tickDone := make(chan struct{})
+	defer close(tickDone)
+	go func() {
+		ticker := time.NewTicker(agentSlot)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-tickDone:
+				return
+			case now := <-ticker.C:
+				_ = rm2.Tick(now)
+			}
+		}
+	}()
+	waitFor("job submitted after restart to complete", func() bool { return allCompleted(rm2.Status()) })
+
+	cancel()
+	if err := <-agentErr; !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("agent exit = %v, want context cancellation", err)
+	}
+}
+
+// TestAgentSurvivesEvictionByRM covers the in-process variant: the RM
+// stays up but evicts the node for silence; the agent's next heartbeat
+// gets unknown_node over HTTP and it re-registers.
+func TestAgentSurvivesEvictionByRM(t *testing.T) {
+	const agentSlot = 20 * time.Millisecond
+	rm, err := New(Config{SlotDur: agentSlot, Scheduler: sched.NewFIFO()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	stop := serveRM(t, rm, ln)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	agentErr := make(chan error, 1)
+	go func() {
+		agentErr <- RunAgent(ctx, NewClient(fmt.Sprintf("http://%s", ln.Addr()), nil), AgentConfig{
+			NodeID:   "n1",
+			Capacity: rmproto.Resources{VCores: 4, MemoryMB: 8 * 1024},
+			Backoff:  Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Logf:     testLogf(t),
+		})
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for rm.Status().Nodes != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Simulate the RM's view of a network partition: evict the node
+	// directly, as Tick would after NodeExpiry silence.
+	rm.mu.Lock()
+	rm.evictNodeLocked("n1")
+	rm.mu.Unlock()
+
+	for time.Now().Before(deadline) {
+		if st := rm.Status(); st.Nodes == 1 {
+			cancel()
+			<-agentErr
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("agent never re-registered after eviction")
+}

@@ -1,0 +1,507 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/trace"
+)
+
+// Chaos suite: every test injects a control-plane fault (node kill,
+// heartbeat loss, lease timeout, scheduler panic, drain under load) and
+// asserts the invariant of the fault-tolerance layer — work is either
+// completed or accounted for and requeued, never silently stranded.
+
+// panicScheduler panics for the first `panics` Assign calls, then
+// delegates to the wrapped scheduler.
+type panicScheduler struct {
+	inner  sched.Scheduler
+	panics int32
+}
+
+func (p *panicScheduler) Name() string { return "panic(" + p.inner.Name() + ")" }
+
+func (p *panicScheduler) Assign(ctx sched.AssignContext) (map[string]resource.Vector, error) {
+	if atomic.AddInt32(&p.panics, -1) >= 0 {
+		panic("injected scheduler fault")
+	}
+	return p.inner.Assign(ctx)
+}
+
+func submitAdHoc(t *testing.T, rm *Server, id string, tasks int, durSec int64) {
+	t.Helper()
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: id, Tasks: tasks, TaskDurSec: durSec, DemandVCores: 1, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc(%s): %v", id, err)
+	}
+}
+
+func allCompleted(st rmproto.StatusResponse) bool {
+	if len(st.Jobs) == 0 {
+		return false
+	}
+	for _, j := range st.Jobs {
+		if j.State != "completed" {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNodeKillMidLeaseRequeues is the seed failure mode: a node dies
+// while holding in-flight quanta. The seed silently deleted the node and
+// the job's inFlight volume never returned — the workflow hung forever.
+// Now eviction requeues the leased volume and the surviving node finishes
+// the work.
+func TestNodeKillMidLeaseRequeues(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewEDF(), NodeExpiry: 25 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := time.Now()
+	reg := func(id string) {
+		t.Helper()
+		if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+			NodeID: id, Capacity: rmproto.Resources{VCores: 4, MemoryMB: 8 * 1024},
+		}, base); err != nil {
+			t.Fatalf("RegisterNode(%s): %v", id, err)
+		}
+	}
+	reg("n1") // sorts first: receives leases first-fit
+	reg("n2")
+
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(2000)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+
+	// Slot 0: leases land on n1 (and possibly n2). n1 launches them and
+	// is then killed — it never heartbeats again.
+	now := base
+	if err := rm.Tick(now); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, now)
+	if err != nil {
+		t.Fatalf("Heartbeat(n1): %v", err)
+	}
+	if len(hb.Launch) == 0 {
+		t.Fatal("n1 received no leases; fault injection needs in-flight quanta on the victim")
+	}
+	if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n2"}, now); err != nil {
+		t.Fatalf("Heartbeat(n2): %v", err)
+	}
+
+	// Drive only n2. Clock advances past NodeExpiry so n1 is evicted.
+	var n2Running []string
+	for slot := 0; slot < 200; slot++ {
+		now = now.Add(slotDur)
+		if err := rm.Tick(now); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		resp, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n2", Completed: n2Running}, now)
+		if err != nil {
+			t.Fatalf("Heartbeat(n2): %v", err)
+		}
+		n2Running = n2Running[:0]
+		for _, q := range resp.Launch {
+			n2Running = append(n2Running, q.ID)
+		}
+		if st := rm.Status(); allCompleted(st) {
+			if st.Faults.ExpiredNodes != 1 {
+				t.Errorf("expired nodes = %d, want 1", st.Faults.ExpiredNodes)
+			}
+			if st.Faults.RequeuedQuanta == 0 {
+				t.Error("no quanta requeued despite node death mid-lease")
+			}
+			if st.OutstandingLeases != 0 {
+				t.Errorf("outstanding leases = %d at completion, want 0", st.OutstandingLeases)
+			}
+			return
+		}
+	}
+	st := rm.Status()
+	t.Fatalf("jobs hung after node kill (seed failure mode): %+v faults=%+v", st.Jobs, st.Faults)
+}
+
+// TestHeartbeatAfterExpiryReRegister covers the heartbeat-after-expiry
+// path: an evicted node's heartbeat is rejected with ErrUnknownNode, and
+// after re-registering, confirms for quanta issued before the eviction
+// are counted stale and ignored — never double-delivered.
+func TestHeartbeatAfterExpiryReRegister(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), NodeExpiry: 25 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := time.Now()
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+	}, base); err != nil {
+		t.Fatalf("RegisterNode: %v", err)
+	}
+	submitAdHoc(t, rm, "q1", 4, 20)
+
+	if err := rm.Tick(base); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, base)
+	if err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	if len(hb.Launch) == 0 {
+		t.Fatal("no leases launched")
+	}
+	staleIDs := make([]string, 0, len(hb.Launch))
+	for _, q := range hb.Launch {
+		staleIDs = append(staleIDs, q.ID)
+	}
+
+	// Node goes silent past expiry; Tick evicts it and requeues.
+	now := base.Add(60 * time.Second)
+	if err := rm.Tick(now); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if st := rm.Status(); st.Nodes != 0 || st.Faults.ExpiredNodes != 1 {
+		t.Fatalf("after silence: nodes=%d expired=%d, want 0/1", st.Nodes, st.Faults.ExpiredNodes)
+	}
+
+	// Heartbeat after eviction is rejected with the re-register signal.
+	if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: staleIDs}, now); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat after expiry = %v, want ErrUnknownNode", err)
+	}
+
+	// Node re-registers and tries to confirm its pre-eviction quanta.
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+	}, now); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: staleIDs}, now); err != nil {
+		t.Fatalf("heartbeat after re-register: %v", err)
+	}
+	st := rm.Status()
+	if got := st.Faults.StaleConfirms; got < int64(len(staleIDs)) {
+		t.Errorf("stale confirms = %d, want >= %d (pre-eviction quanta must not double-confirm)", got, len(staleIDs))
+	}
+	for _, j := range st.Jobs {
+		if j.State == "completed" {
+			t.Errorf("job %s completed from stale confirms alone", j.ID)
+		}
+	}
+
+	// The requeued work then completes for real through the live node.
+	final := driveToCompletion(t, rm, []string{"n1"}, 100)
+	if !allCompleted(final) {
+		t.Fatalf("job did not complete after re-register: %+v", final.Jobs)
+	}
+}
+
+// TestLeaseExpiryReclaims covers the RM-side lease timeout: a node whose
+// heartbeat responses are lost (it stays alive but never confirms) has
+// its leases reclaimed after LeaseExpiry slots, and once the fault heals
+// the job still completes.
+func TestLeaseExpiryReclaims(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), LeaseExpiry: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	register(t, rm, "n1", 8, 16*1024)
+	submitAdHoc(t, rm, "q1", 4, 20)
+
+	now := time.Now()
+	// Black-hole phase: the node heartbeats (stays live) but drops every
+	// launch response, so nothing is ever confirmed.
+	for slot := 0; slot < 8; slot++ {
+		if err := rm.Tick(now); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, now); err != nil {
+			t.Fatalf("Heartbeat: %v", err)
+		}
+	}
+	st := rm.Status()
+	if st.Faults.RequeuedQuanta == 0 {
+		t.Fatalf("lease expiry never fired: faults=%+v outstanding=%d", st.Faults, st.OutstandingLeases)
+	}
+	for _, j := range st.Jobs {
+		if j.State == "completed" {
+			t.Fatalf("job completed without any confirmation: %+v", j)
+		}
+	}
+
+	// Fault heals: the node starts confirming; everything completes.
+	final := driveToCompletion(t, rm, []string{"n1"}, 100)
+	if !allCompleted(final) {
+		t.Fatalf("job did not complete after lease-expiry requeue: %+v", final.Jobs)
+	}
+	if final.OutstandingLeases != 0 {
+		t.Errorf("outstanding leases = %d at completion, want 0", final.OutstandingLeases)
+	}
+}
+
+// TestLeaseDeadlineOnWire checks issued quanta carry their confirmation
+// deadline so nodes can see the budget they are working against.
+func TestLeaseDeadlineOnWire(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), LeaseExpiry: 5})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	register(t, rm, "n1", 8, 16*1024)
+	submitAdHoc(t, rm, "q1", 2, 20)
+	if err := rm.Tick(time.Now()); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, time.Now())
+	if err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	if len(hb.Launch) == 0 {
+		t.Fatal("no leases launched")
+	}
+	for _, q := range hb.Launch {
+		if q.DeadlineSlot != 5 { // issued at slot 0, expiry 5 slots
+			t.Errorf("lease %s deadline slot = %d, want 5", q.ID, q.DeadlineSlot)
+		}
+	}
+}
+
+// TestSchedulerPanicIsolated injects a panicking scheduler and checks the
+// RM converts each panic into an errored, no-grant slot — state stays
+// consistent, jobs stay queued, and scheduling resumes once the scheduler
+// recovers.
+func TestSchedulerPanicIsolated(t *testing.T) {
+	ps := &panicScheduler{inner: sched.NewFIFO(), panics: 3}
+	rm := newRM(t, ps)
+	register(t, rm, "n1", 8, 16*1024)
+	submitAdHoc(t, rm, "q1", 4, 20)
+
+	panicked := 0
+	for slot := 0; slot < 3; slot++ {
+		if err := rm.Tick(time.Now()); err != nil {
+			panicked++
+		}
+		if _, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, time.Now()); err != nil {
+			t.Fatalf("Heartbeat: %v", err)
+		}
+	}
+	if panicked != 3 {
+		t.Errorf("errored ticks = %d, want 3", panicked)
+	}
+	st := rm.Status()
+	if st.Faults.SchedulerPanics != 3 {
+		t.Errorf("scheduler panics = %d, want 3", st.Faults.SchedulerPanics)
+	}
+	if st.OutstandingLeases != 0 {
+		t.Errorf("outstanding leases = %d during panic slots, want 0 (no grants)", st.OutstandingLeases)
+	}
+	if st.Slot != 3 {
+		t.Errorf("slot = %d after 3 panicking ticks, want 3 (state must keep advancing)", st.Slot)
+	}
+
+	final := driveToCompletion(t, rm, []string{"n1"}, 100)
+	if !allCompleted(final) {
+		t.Fatalf("job did not complete after scheduler recovered: %+v", final.Jobs)
+	}
+}
+
+// TestDrainUnderLoad starts a drain while leases are in flight and checks
+// that no new leases are issued, outstanding work confirms, and the
+// unfinished remainder is reported rather than silently dropped.
+func TestDrainUnderLoad(t *testing.T) {
+	rm := newRM(t, sched.NewFIFO())
+	register(t, rm, "n1", 4, 8*1024)
+	submitAdHoc(t, rm, "big", 40, 60) // far more work than one drain can finish
+
+	now := time.Now()
+	if err := rm.Tick(now); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, now)
+	if err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	running := quantumIDs(hb.Launch)
+	if len(running) == 0 {
+		t.Fatal("no in-flight leases before drain")
+	}
+
+	// Drain from another goroutine while the node keeps heartbeating.
+	done := make(chan rmproto.DrainResponse, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- rm.Drain(ctx)
+	}()
+
+	var resp rmproto.DrainResponse
+	confirmLoop := func() {
+		for i := 0; i < 50; i++ {
+			if err := rm.Tick(now); err != nil {
+				t.Errorf("Tick: %v", err)
+				return
+			}
+			hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: running}, now)
+			if err != nil {
+				t.Errorf("Heartbeat: %v", err)
+				return
+			}
+			running = quantumIDs(hb.Launch)
+			select {
+			case resp = <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	confirmLoop()
+
+	if !resp.Draining {
+		t.Fatal("drain response not draining")
+	}
+	if !resp.Complete || resp.OutstandingLeases != 0 {
+		t.Fatalf("drain incomplete: %+v", resp)
+	}
+	if len(resp.UnfinishedJobs) == 0 {
+		t.Error("drain under load reported no unfinished jobs; the big job cannot have finished")
+	}
+
+	// After drain: ticking issues nothing new.
+	if err := rm.Tick(now); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	hb, err = rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1"}, now)
+	if err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	if len(hb.Launch) != 0 {
+		t.Errorf("drained RM issued %d new leases", len(hb.Launch))
+	}
+	if st := rm.Status(); !st.Draining {
+		t.Error("status does not report draining")
+	}
+}
+
+func quantumIDs(qs []rmproto.Quantum) []string {
+	ids := make([]string, 0, len(qs))
+	for _, q := range qs {
+		ids = append(ids, q.ID)
+	}
+	return ids
+}
+
+// TestConcurrentChaosStress hammers every mutating entry point from
+// concurrent goroutines — heartbeats, submissions, ticks, status, a
+// mid-flight node kill and a final drain — and relies on the race
+// detector to catch locking mistakes. Run under go test -race.
+func TestConcurrentChaosStress(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), NodeExpiry: 40 * slotDur, LeaseExpiry: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := time.Now()
+	nodes := []string{"n1", "n2", "n3"}
+	for _, id := range nodes {
+		register(t, rm, id, 8, 16*1024)
+	}
+
+	const iters = 150
+	var wg sync.WaitGroup
+
+	// Ticker: advances slots with a clock marching 1 slot per iteration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = rm.Tick(base.Add(time.Duration(i) * slotDur))
+		}
+	}()
+
+	// Nodes: heartbeat and confirm everything they launched. n3 dies
+	// halfway (stops heartbeating) to mix eviction into the stress.
+	for ni, id := range nodes {
+		wg.Add(1)
+		go func(ni int, id string) {
+			defer wg.Done()
+			var running []string
+			for i := 0; i < iters; i++ {
+				if id == "n3" && i > iters/2 {
+					return
+				}
+				hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: id, Completed: running}, base.Add(time.Duration(i)*slotDur))
+				if err != nil {
+					running = nil
+					continue // evicted under stress: acceptable, keep hammering
+				}
+				running = quantumIDs(hb.Launch)
+			}
+		}(ni, id)
+	}
+
+	// Submitter: a stream of small ad-hoc jobs plus duplicate rejections.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/3; i++ {
+			_, _ = rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+				ID: fmt.Sprintf("s%d", i), Tasks: 1, TaskDurSec: 10, DemandVCores: 1, DemandMemMB: 256,
+			}})
+		}
+	}()
+
+	// Pollers: status and drain-status snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = rm.Status()
+			_ = rm.DrainStatus()
+		}
+	}()
+
+	wg.Wait()
+
+	// Final drain with the surviving nodes confirming.
+	drained := make(chan rmproto.DrainResponse, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- rm.Drain(ctx)
+	}()
+	pending := map[string][]string{}
+	now := base.Add(iters * slotDur)
+	for i := 0; ; i++ {
+		now = now.Add(slotDur)
+		_ = rm.Tick(now)
+		for _, id := range nodes[:2] {
+			hb, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: id, Completed: pending[id]}, now)
+			if err != nil {
+				pending[id] = nil
+				continue
+			}
+			pending[id] = quantumIDs(hb.Launch)
+		}
+		select {
+		case resp := <-drained:
+			if !resp.Complete {
+				t.Fatalf("drain did not complete after stress: %+v", resp)
+			}
+			return
+		case <-time.After(100 * time.Microsecond):
+			// Yield so the drain goroutine can acquire the server lock
+			// between our tick/heartbeat bursts.
+		}
+		if i > 10000 {
+			st := rm.Status()
+			t.Fatalf("drain never completed: outstanding=%d nodes=%d slot=%d faults=%+v draining=%v",
+				st.OutstandingLeases, st.Nodes, st.Slot, st.Faults, st.Draining)
+		}
+	}
+}

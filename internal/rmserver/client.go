@@ -15,8 +15,9 @@ import (
 // node-manager agent (cmd/ftnode), the submission tool (cmd/ftsubmit) and
 // the integration tests.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *Backoff // nil = no retries
 }
 
 // NewClient returns a client for the RM at base (e.g.
@@ -28,17 +29,41 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: base, hc: httpClient}
 }
 
+// WithRetry returns a copy of the client that retries idempotent calls
+// (RegisterNode, Heartbeat, Status) with the given backoff on transient
+// failures — connection errors and 5xx responses. Permanent rejections
+// (4xx, including unknown-node) surface immediately. Non-idempotent
+// calls (Tick, submissions) are never retried.
+func (c *Client) WithRetry(b Backoff) *Client {
+	cc := *c
+	cc.retry = &b
+	return &cc
+}
+
+func (c *Client) retrying(ctx context.Context, op func() error) error {
+	if c.retry == nil {
+		return op()
+	}
+	return Retry(ctx, *c.retry, op)
+}
+
 // RegisterNode announces a node manager.
 func (c *Client) RegisterNode(ctx context.Context, req rmproto.RegisterNodeRequest) (rmproto.RegisterNodeResponse, error) {
 	var resp rmproto.RegisterNodeResponse
-	err := c.post(ctx, rmproto.PathRegister, req, &resp)
+	err := c.retrying(ctx, func() error {
+		return c.post(ctx, rmproto.PathRegister, req, &resp)
+	})
 	return resp, err
 }
 
-// Heartbeat reports completions and fetches work.
+// Heartbeat reports completions and fetches work. Heartbeats are
+// idempotent at the system level: if a retry re-reports a completion the
+// RM already confirmed, the duplicate is counted as stale and ignored.
 func (c *Client) Heartbeat(ctx context.Context, req rmproto.HeartbeatRequest) (rmproto.HeartbeatResponse, error) {
 	var resp rmproto.HeartbeatResponse
-	err := c.post(ctx, rmproto.PathHeartbeat, req, &resp)
+	err := c.retrying(ctx, func() error {
+		return c.post(ctx, rmproto.PathHeartbeat, req, &resp)
+	})
 	return resp, err
 }
 
@@ -63,14 +88,25 @@ func (c *Client) Tick(ctx context.Context) error {
 	}{})
 }
 
+// Drain asks the RM to stop issuing new leases. With req.WaitMs > 0 the
+// RM blocks up to that long for outstanding leases to confirm or expire.
+func (c *Client) Drain(ctx context.Context, req rmproto.DrainRequest) (rmproto.DrainResponse, error) {
+	var resp rmproto.DrainResponse
+	err := c.post(ctx, rmproto.PathDrain, req, &resp)
+	return resp, err
+}
+
 // Status fetches the cluster snapshot.
 func (c *Client) Status(ctx context.Context) (rmproto.StatusResponse, error) {
 	var resp rmproto.StatusResponse
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+rmproto.PathStatus, nil)
-	if err != nil {
-		return resp, fmt.Errorf("rmserver: client: %w", err)
-	}
-	return resp, c.do(req, &resp)
+	err := c.retrying(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+rmproto.PathStatus, nil)
+		if err != nil {
+			return fmt.Errorf("rmserver: client: %w", err)
+		}
+		return c.do(req, &resp)
+	})
+	return resp, err
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
@@ -97,10 +133,8 @@ func (c *Client) do(req *http.Request, out any) error {
 	}()
 	if resp.StatusCode != http.StatusOK {
 		var e rmproto.Error
-		if derr := json.NewDecoder(resp.Body).Decode(&e); derr == nil && e.Message != "" {
-			return fmt.Errorf("rmserver: %s: %s", resp.Status, e.Message)
-		}
-		return fmt.Errorf("rmserver: unexpected status %s", resp.Status)
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &StatusError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Message}
 	}
 	if out == nil {
 		return nil

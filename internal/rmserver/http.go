@@ -1,7 +1,9 @@
 package rmserver
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -20,6 +22,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/nodes/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req rmproto.HeartbeatRequest) (rmproto.HeartbeatResponse, error) {
 			return s.Heartbeat(req, time.Now())
+		})
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req rmproto.DrainRequest) (rmproto.DrainResponse, error) {
+			if req.WaitMs <= 0 {
+				s.BeginDrain()
+				return s.DrainStatus(), nil
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), time.Duration(req.WaitMs)*time.Millisecond)
+			defer cancel()
+			return s.Drain(ctx), nil
 		})
 	})
 	mux.HandleFunc("POST /v1/workflows", func(w http.ResponseWriter, r *http.Request) {
@@ -65,8 +78,21 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_running gauge\nflowtime_rm_jobs_running %d\n", running)
 		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_completed counter\nflowtime_rm_jobs_completed %d\n", completed)
 		fmt.Fprintf(w, "# TYPE flowtime_rm_jobs_missed counter\nflowtime_rm_jobs_missed %d\n", missed)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_leases_outstanding gauge\nflowtime_rm_leases_outstanding %d\n", st.OutstandingLeases)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_draining gauge\nflowtime_rm_draining %d\n", boolToInt(st.Draining))
+		fmt.Fprintf(w, "# TYPE flowtime_rm_quanta_requeued counter\nflowtime_rm_quanta_requeued %d\n", st.Faults.RequeuedQuanta)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_nodes_expired counter\nflowtime_rm_nodes_expired %d\n", st.Faults.ExpiredNodes)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_scheduler_panics counter\nflowtime_rm_scheduler_panics %d\n", st.Faults.SchedulerPanics)
+		fmt.Fprintf(w, "# TYPE flowtime_rm_confirms_stale counter\nflowtime_rm_confirms_stale %d\n", st.Faults.StaleConfirms)
 	})
 	return mux
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
@@ -79,10 +105,17 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 	}
 	resp, err := fn(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func errorStatus(err error) int {
+	if errors.Is(err, ErrUnknownNode) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -95,5 +128,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, rmproto.Error{Message: err.Error()})
+	e := rmproto.Error{Message: err.Error()}
+	if errors.Is(err, ErrUnknownNode) {
+		e.Code = rmproto.CodeUnknownNode
+	}
+	writeJSON(w, status, e)
 }

@@ -1,0 +1,139 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"flowtime/internal/rmproto"
+)
+
+// ErrUnknownNode is reported when the RM rejects a heartbeat because it
+// does not know the node (never registered, expired for silence, or the
+// RM restarted and lost its in-memory state). Node agents should treat it
+// as a signal to re-register, not as a transient failure to retry.
+var ErrUnknownNode = errors.New("rmserver: unknown node")
+
+// StatusError is an RM API error that carries the HTTP status and the
+// machine-readable code from the wire. It unwraps to ErrUnknownNode when
+// the code says so, enabling errors.Is across the HTTP boundary.
+type StatusError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("rmserver: %d: %s", e.StatusCode, e.Message)
+	}
+	return fmt.Sprintf("rmserver: unexpected status %d", e.StatusCode)
+}
+
+// Is matches ErrUnknownNode when the wire code identifies one.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrUnknownNode && e.Code == rmproto.CodeUnknownNode
+}
+
+// Backoff is a capped exponential backoff with jitter, shared by the RM
+// client and the node agent for all idempotent control-plane calls.
+// The zero value uses the defaults documented on each field.
+type Backoff struct {
+	// Base is the first retry delay (default 100ms).
+	Base time.Duration
+	// Max caps the delay growth (default 5s).
+	Max time.Duration
+	// Factor multiplies the delay each attempt (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay drawn uniformly at random,
+	// in [0,1] (default 0.2). Jitter desynchronizes agents that all lost
+	// the RM at the same instant.
+	Jitter float64
+	// MaxAttempts bounds the total tries; 0 means 4, negative means
+	// retry until the context is cancelled.
+	MaxAttempts int
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	if b.MaxAttempts == 0 {
+		b.MaxAttempts = 4
+	}
+	return b
+}
+
+// Delay returns the backoff before retry number attempt (0-based), with
+// jitter applied.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d = d * (1 - b.Jitter + b.Jitter*rand.Float64())
+	}
+	return time.Duration(d)
+}
+
+// Retry runs op until it succeeds, returns a permanent error, exhausts
+// MaxAttempts, or ctx is cancelled. Between attempts it sleeps the
+// backoff delay, honoring ctx cancellation. The last error is returned.
+func Retry(ctx context.Context, b Backoff, op func() error) error {
+	b = b.withDefaults()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = op(); err == nil || !Retryable(err) {
+			return err
+		}
+		if b.MaxAttempts > 0 && attempt+1 >= b.MaxAttempts {
+			return err
+		}
+		t := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Retryable reports whether err is worth retrying: network failures and
+// server-side (5xx) errors are; client-side (4xx) rejections — bad
+// requests, unknown node, duplicates — are permanent and need a different
+// response than repetition.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode >= http.StatusInternalServerError
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-level failure: connection refused, reset, EOF
+}

@@ -1,0 +1,126 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"flowtime/internal/rmproto"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := b.Delay(0)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := &StatusError{StatusCode: http.StatusBadRequest, Message: "bad request"}
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, error(perm)) || calls != 1 {
+		t.Errorf("Retry = %v after %d calls, want permanent error after 1", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond, MaxAttempts: 3}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if err == nil || calls != 3 {
+		t.Errorf("Retry = %v after %d calls, want error after exactly 3", err, calls)
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Retry(ctx, Backoff{Base: time.Hour, MaxAttempts: -1}, func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Retry = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancel must interrupt the backoff sleep)", calls)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"network", errors.New("connection refused"), true},
+		{"5xx", &StatusError{StatusCode: http.StatusInternalServerError}, true},
+		{"4xx", &StatusError{StatusCode: http.StatusBadRequest}, false},
+		{"unknown-node 404", &StatusError{StatusCode: http.StatusNotFound, Code: rmproto.CodeUnknownNode}, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStatusErrorUnknownNodeIs(t *testing.T) {
+	err := error(&StatusError{StatusCode: http.StatusNotFound, Code: rmproto.CodeUnknownNode, Message: "unknown node"})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Error("StatusError with unknown_node code does not match ErrUnknownNode")
+	}
+	other := error(&StatusError{StatusCode: http.StatusNotFound, Message: "not found"})
+	if errors.Is(other, ErrUnknownNode) {
+		t.Error("plain 404 must not match ErrUnknownNode")
+	}
+}

@@ -17,6 +17,7 @@
 package rmserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,6 +32,12 @@ import (
 	"flowtime/internal/workflow"
 )
 
+// DefaultLeaseExpiry is the default per-lease confirmation budget in
+// slots. Healthy nodes confirm a lease one slot after launch, so the
+// default only fires on genuinely lost work (node crash, dropped
+// heartbeat response, wedged node).
+const DefaultLeaseExpiry = 16
+
 // Config parameterizes the resource manager.
 type Config struct {
 	// SlotDur is the scheduling slot; must be > 0.
@@ -40,8 +47,14 @@ type Config struct {
 	// Horizon is the planning horizon in slots (default 100000).
 	Horizon int64
 	// NodeExpiry evicts nodes that have not heartbeaten for this long;
-	// zero disables expiry (manual-tick test setups).
+	// zero disables expiry (manual-tick test setups). Evicting a node
+	// requeues every lease it holds.
 	NodeExpiry time.Duration
+	// LeaseExpiry is the number of slots an issued lease may stay
+	// unconfirmed before the RM reclaims it and returns its volume to the
+	// job's remaining work. Zero means DefaultLeaseExpiry; negative
+	// disables lease expiry.
+	LeaseExpiry int64
 }
 
 // Server is the resource manager. Create with New. All methods are safe
@@ -49,12 +62,16 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	mu      sync.Mutex
-	slot    int64
-	nodes   map[string]*node
-	jobs    map[string]*rmJob
-	wfs     map[string]*wfState
-	nextQID int64
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when the last outstanding lease clears
+	slot     int64
+	nodes    map[string]*node
+	jobs     map[string]*rmJob
+	wfs      map[string]*wfState
+	leases   map[string]*lease // quantum ID -> in-flight lease
+	nextQID  int64
+	draining bool
+	faults   rmproto.FaultCounters
 }
 
 type node struct {
@@ -62,6 +79,19 @@ type node struct {
 	capacity resource.Vector
 	lastSeen time.Time
 	pending  []rmproto.Quantum
+}
+
+// lease tracks one issued quantum: which job it advances, which node
+// holds it, and when the RM gives up waiting for its confirmation. The
+// server-level index makes confirmation O(1) and is what lets the RM
+// reclaim work from dead nodes instead of stranding it.
+type lease struct {
+	qid    string
+	job    *rmJob
+	nodeID string
+	grant  resource.Vector
+	issued int64 // slot the lease was created
+	expiry int64 // slot at which the lease is reclaimed; 0 = never
 }
 
 type wfState struct {
@@ -88,8 +118,6 @@ type rmJob struct {
 
 	done     bool
 	doneSlot int64
-
-	quanta map[string]resource.Vector // in-flight quantum ID -> grant
 }
 
 // New returns a resource manager.
@@ -103,15 +131,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 100000
 	}
-	return &Server{
-		cfg:   cfg,
-		nodes: make(map[string]*node),
-		jobs:  make(map[string]*rmJob),
-		wfs:   make(map[string]*wfState),
-	}, nil
+	if cfg.LeaseExpiry == 0 {
+		cfg.LeaseExpiry = DefaultLeaseExpiry
+	}
+	s := &Server{
+		cfg:    cfg,
+		nodes:  make(map[string]*node),
+		jobs:   make(map[string]*rmJob),
+		wfs:    make(map[string]*wfState),
+		leases: make(map[string]*lease),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
-// RegisterNode adds or refreshes a node manager.
+// RegisterNode adds or refreshes a node manager. Re-registering an ID the
+// RM already tracks means the node restarted: any leases the previous
+// incarnation held will never be confirmed, so they are requeued
+// immediately rather than waiting for lease expiry.
 func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (rmproto.RegisterNodeResponse, error) {
 	if req.NodeID == "" {
 		return rmproto.RegisterNodeResponse{}, errors.New("rmserver: empty node ID")
@@ -125,43 +162,88 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, exists := s.nodes[req.NodeID]; exists {
+		s.requeueNodeLeasesLocked(req.NodeID)
+	}
 	s.nodes[req.NodeID] = &node{id: req.NodeID, capacity: capV, lastSeen: now}
 	return rmproto.RegisterNodeResponse{HeartbeatMs: s.cfg.SlotDur.Milliseconds()}, nil
 }
 
 // Heartbeat processes a node's completion report and hands back queued
-// work leases.
+// work leases. An unknown node gets ErrUnknownNode so the agent knows to
+// re-register instead of retrying a doomed heartbeat.
 func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto.HeartbeatResponse, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n, ok := s.nodes[req.NodeID]
 	if !ok {
-		return rmproto.HeartbeatResponse{}, fmt.Errorf("rmserver: unknown node %q (register first)", req.NodeID)
+		return rmproto.HeartbeatResponse{}, fmt.Errorf("%w %q (register first)", ErrUnknownNode, req.NodeID)
 	}
 	n.lastSeen = now
 	for _, qid := range req.Completed {
-		s.completeQuantum(qid)
+		s.completeQuantumLocked(qid, req.NodeID)
 	}
 	launch := n.pending
 	n.pending = nil
 	return rmproto.HeartbeatResponse{Launch: launch}, nil
 }
 
-func (s *Server) completeQuantum(qid string) {
-	for _, j := range s.jobs {
-		g, ok := j.quanta[qid]
-		if !ok {
-			continue
-		}
-		delete(j.quanta, qid)
-		j.inFlight = j.inFlight.SubClamped(g)
-		j.delivered = j.delivered.Add(g)
-		if !j.done && j.total.FitsIn(j.delivered) {
-			j.done = true
-			j.doneSlot = s.slot
-		}
+// completeQuantumLocked confirms one lease in O(1) via the server-level
+// lease index (the seed scanned every job per confirmation). Confirms for
+// quanta the RM no longer tracks — already confirmed, requeued after the
+// node's eviction, or from before an RM restart — and confirms from a
+// node that does not hold the lease are counted and ignored, so a
+// re-registering node can never double-deliver stale work.
+func (s *Server) completeQuantumLocked(qid, nodeID string) {
+	l, ok := s.leases[qid]
+	if !ok || l.nodeID != nodeID {
+		s.faults.StaleConfirms++
 		return
 	}
+	delete(s.leases, qid)
+	j := l.job
+	j.inFlight = j.inFlight.SubClamped(l.grant)
+	j.delivered = j.delivered.Add(l.grant)
+	if !j.done && j.total.FitsIn(j.delivered) {
+		j.done = true
+		j.doneSlot = s.slot
+	}
+	if len(s.leases) == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// requeueLeaseLocked reclaims one lease: its volume returns to the job's
+// schedulable remainder and the lease stops being awaited.
+func (s *Server) requeueLeaseLocked(l *lease) {
+	delete(s.leases, l.qid)
+	l.job.inFlight = l.job.inFlight.SubClamped(l.grant)
+	s.faults.RequeuedQuanta++
+	if len(s.leases) == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// requeueNodeLeasesLocked reclaims every lease held by nodeID, both
+// launched and still queued on the node's pending list.
+func (s *Server) requeueNodeLeasesLocked(nodeID string) {
+	for _, l := range s.leases {
+		if l.nodeID == nodeID {
+			s.requeueLeaseLocked(l)
+		}
+	}
+	if n, ok := s.nodes[nodeID]; ok {
+		n.pending = nil
+	}
+}
+
+// evictNodeLocked removes a silent node and requeues everything it held,
+// so the scheduler can re-place the work on surviving nodes. The seed's
+// silent delete(s.nodes, id) stranded in-flight volume forever.
+func (s *Server) evictNodeLocked(nodeID string) {
+	s.requeueNodeLeasesLocked(nodeID)
+	delete(s.nodes, nodeID)
+	s.faults.ExpiredNodes++
 }
 
 // SubmitWorkflow accepts a deadline workflow. The submit time is the
@@ -216,7 +298,6 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 			total:       job.Volume(s.cfg.SlotDur),
 			parallelCap: job.ParallelCap(),
 			minSlots:    job.MinRuntimeSlots(s.cfg.SlotDur, capacity),
-			quanta:      make(map[string]resource.Vector),
 		}
 		st.jobs[i] = j
 		s.jobs[j.id] = j
@@ -250,16 +331,18 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 		arrived:     time.Duration(s.slot) * s.cfg.SlotDur,
 		total:       a.Volume(s.cfg.SlotDur),
 		parallelCap: a.ParallelCap(),
-		quanta:      make(map[string]resource.Vector),
 	}
 	s.jobs[id] = j
 	return rmproto.SubmitResponse{Accepted: true, ID: id}, nil
 }
 
-// Tick advances one scheduling slot: expires silent nodes, invokes the
-// scheduler over the live job set, and queues the resulting work leases
-// on nodes (first-fit). It is called by the RM's run loop every SlotDur,
-// or manually in tests and by the /v1/tick endpoint.
+// Tick advances one scheduling slot: expires silent nodes (requeuing
+// their leases), reclaims leases past their confirmation deadline,
+// invokes the scheduler over the live job set, and queues the resulting
+// work leases on nodes (first-fit). It is called by the RM's run loop
+// every SlotDur, or manually in tests and by the /v1/tick endpoint. A
+// panicking scheduler is converted into a no-grant slot: jobs stay
+// queued, state stays consistent, and the RM keeps running.
 func (s *Server) Tick(now time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,9 +350,27 @@ func (s *Server) Tick(now time.Time) error {
 	if s.cfg.NodeExpiry > 0 {
 		for id, n := range s.nodes {
 			if now.Sub(n.lastSeen) > s.cfg.NodeExpiry {
-				delete(s.nodes, id)
+				s.evictNodeLocked(id)
 			}
 		}
+	}
+	if s.cfg.LeaseExpiry > 0 {
+		for _, l := range s.leases {
+			if s.slot >= l.expiry {
+				// If the quantum is still queued on a live node, scrub it so
+				// the node does not burn a slot executing reclaimed work.
+				if n, ok := s.nodes[l.nodeID]; ok {
+					n.pending = dropQuantum(n.pending, l.qid)
+				}
+				s.requeueLeaseLocked(l)
+			}
+		}
+	}
+	if s.draining {
+		// Drain: no new leases; keep ticking so expiry still reclaims
+		// whatever dead nodes hold.
+		s.slot++
+		return nil
 	}
 	capacity := s.totalCapacityLocked()
 	if capacity.IsZero() {
@@ -309,7 +410,7 @@ func (s *Server) Tick(now time.Time) error {
 		return states[a].ID < states[b].ID
 	})
 
-	grants, err := s.cfg.Scheduler.Assign(sched.AssignContext{
+	grants, err := s.safeAssign(sched.AssignContext{
 		Now:     s.slot,
 		Changed: true, // schedulers with staleness detection replan as needed
 		Jobs:    states,
@@ -358,17 +459,53 @@ func (s *Server) Tick(now time.Time) error {
 			remaining = remaining.Sub(chunk)
 			s.nextQID++
 			qid := fmt.Sprintf("q-%d", s.nextQID)
-			j.quanta[qid] = chunk
+			var deadline int64
+			if s.cfg.LeaseExpiry > 0 {
+				deadline = s.slot + s.cfg.LeaseExpiry
+			}
+			s.leases[qid] = &lease{
+				qid:    qid,
+				job:    j,
+				nodeID: nid,
+				grant:  chunk,
+				issued: s.slot,
+				expiry: deadline,
+			}
 			j.inFlight = j.inFlight.Add(chunk)
 			s.nodes[nid].pending = append(s.nodes[nid].pending, rmproto.Quantum{
-				ID:    qid,
-				JobID: j.id,
-				Grant: rmproto.FromVector(chunk),
+				ID:           qid,
+				JobID:        j.id,
+				Grant:        rmproto.FromVector(chunk),
+				DeadlineSlot: deadline,
 			})
 		}
 	}
 	s.slot++
 	return nil
+}
+
+// safeAssign invokes the scheduler with panic isolation: a panic becomes
+// an error and a fault-counter bump instead of an RM crash. Quantum IDs
+// are only allocated after a successful return, so a panic cannot leave
+// the server state half-advanced.
+func (s *Server) safeAssign(ctx sched.AssignContext) (grants map[string]resource.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.faults.SchedulerPanics++
+			grants, err = nil, fmt.Errorf("scheduler %q panicked: %v (no grants this slot)", s.cfg.Scheduler.Name(), r)
+		}
+	}()
+	return s.cfg.Scheduler.Assign(ctx)
+}
+
+// dropQuantum removes the quantum with the given ID from a pending list.
+func dropQuantum(pending []rmproto.Quantum, qid string) []rmproto.Quantum {
+	for i, q := range pending {
+		if q.ID == qid {
+			return append(pending[:i], pending[i+1:]...)
+		}
+	}
+	return pending
 }
 
 func (s *Server) readyLocked(j *rmJob) bool {
@@ -397,9 +534,12 @@ func (s *Server) Status() rmproto.StatusResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	resp := rmproto.StatusResponse{
-		Slot:     s.slot,
-		Nodes:    len(s.nodes),
-		Capacity: rmproto.FromVector(s.totalCapacityLocked()),
+		Slot:              s.slot,
+		Nodes:             len(s.nodes),
+		Capacity:          rmproto.FromVector(s.totalCapacityLocked()),
+		Draining:          s.draining,
+		OutstandingLeases: len(s.leases),
+		Faults:            s.faults,
 	}
 	ids := make([]string, 0, len(s.jobs))
 	for id := range s.jobs {
@@ -424,19 +564,28 @@ func (s *Server) Status() rmproto.StatusResponse {
 		}
 		if j.kind == sched.DeadlineJob {
 			st.DeadlineSec = int64(j.deadline / time.Second)
-			// Completion is observed at the confirmation heartbeat, one
-			// slot after the work ran; grant that slot as grace so a job
-			// finishing exactly at its deadline is not misreported.
-			doneAt := time.Duration(j.doneSlot-1) * s.cfg.SlotDur
-			if j.doneSlot == 0 {
-				doneAt = 0
-			}
-			st.Missed = !j.done && time.Duration(s.slot)*s.cfg.SlotDur > j.deadline ||
-				j.done && doneAt > j.deadline
+			st.Missed = missedDeadline(j.deadline, j.done, j.doneSlot, s.slot, s.cfg.SlotDur)
 		}
 		resp.Jobs = append(resp.Jobs, st)
 	}
 	return resp
+}
+
+// missedDeadline decides whether a deadline job is (or will be reported
+// as) past its deadline at slot nowSlot. Completion is observed at the
+// confirmation heartbeat, one slot after the work actually ran, so a
+// completed job is granted that slot as grace: work confirmed at doneSlot
+// finished during slot doneSlot-1. A job confirmed at slot 0 or earlier
+// (doneSlot <= 0, e.g. zero-volume work confirmed before the first tick)
+// finished at time zero and can never have missed.
+func missedDeadline(deadline time.Duration, done bool, doneSlot, nowSlot int64, slotDur time.Duration) bool {
+	if !done {
+		return time.Duration(nowSlot)*slotDur > deadline
+	}
+	if doneSlot <= 0 {
+		return false
+	}
+	return time.Duration(doneSlot-1)*slotDur > deadline
 }
 
 // Slot returns the current scheduling slot.
@@ -444,4 +593,60 @@ func (s *Server) Slot() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.slot
+}
+
+// BeginDrain flips the RM into drain mode: Tick stops issuing new leases
+// while heartbeats keep confirming (and expiry keeps reclaiming) the
+// in-flight ones. Draining is one-way for the life of the process.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	if len(s.leases) == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// Drain begins a drain and blocks until every outstanding lease has been
+// confirmed or reclaimed, or ctx is done — whichever comes first. The
+// caller must keep the RM ticking (run loop or /v1/tick) so lease expiry
+// can reclaim work from nodes that died, otherwise a dead node's leases
+// hold the drain open until ctx expires. The returned response reports
+// whether the drain completed and which jobs a shutdown would strand.
+func (s *Server) Drain(ctx context.Context) rmproto.DrainResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	for len(s.leases) > 0 && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	return s.drainStatusLocked()
+}
+
+// DrainStatus reports drain progress without blocking.
+func (s *Server) DrainStatus() rmproto.DrainResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drainStatusLocked()
+}
+
+func (s *Server) drainStatusLocked() rmproto.DrainResponse {
+	resp := rmproto.DrainResponse{
+		Draining:          s.draining,
+		Complete:          len(s.leases) == 0,
+		OutstandingLeases: len(s.leases),
+	}
+	for id, j := range s.jobs {
+		if !j.done {
+			resp.UnfinishedJobs = append(resp.UnfinishedJobs, id)
+		}
+	}
+	sort.Strings(resp.UnfinishedJobs)
+	return resp
 }

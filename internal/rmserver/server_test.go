@@ -242,6 +242,81 @@ func TestNodeExpiry(t *testing.T) {
 	}
 }
 
+// TestMissedDeadlineBoundaries pins the confirmation-grace semantics:
+// work confirmed at doneSlot actually ran during slot doneSlot-1, so a
+// job confirmed one slot after its deadline still made it, and a job
+// with doneSlot <= 0 (never really ran, e.g. confirmed before the first
+// tick) can never be reported missed.
+func TestMissedDeadlineBoundaries(t *testing.T) {
+	const slot = 10 * time.Second
+	cases := []struct {
+		name     string
+		deadline time.Duration
+		done     bool
+		doneSlot int64
+		nowSlot  int64
+		want     bool
+	}{
+		{"pending before deadline", 30 * time.Second, false, 0, 3, false},
+		{"pending past deadline", 30 * time.Second, false, 0, 4, true},
+		{"never started at slot zero", 30 * time.Second, false, 0, 0, false},
+		{"done at slot zero", 30 * time.Second, true, 0, 10, false},
+		{"done at slot one ran during slot zero", 0, true, 1, 10, false},
+		{"confirmed exactly one slot after deadline", 30 * time.Second, true, 4, 10, false},
+		{"confirmed two slots after deadline", 30 * time.Second, true, 5, 10, true},
+		{"zero deadline confirmed late", 0, true, 3, 10, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := missedDeadline(c.deadline, c.done, c.doneSlot, c.nowSlot, slot); got != c.want {
+				t.Errorf("missedDeadline(%v, done=%v, doneSlot=%d, now=%d) = %v, want %v",
+					c.deadline, c.done, c.doneSlot, c.nowSlot, got, c.want)
+			}
+		})
+	}
+}
+
+// TestNodeExpiryRequeuesPendingWork checks that expiry of a node that
+// still has quanta queued (never launched) returns that volume too.
+func TestNodeExpiryRequeuesPendingWork(t *testing.T) {
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), NodeExpiry: 25 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	base := time.Now()
+	if _, err := rm.RegisterNode(rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+	}, base); err != nil {
+		t.Fatalf("RegisterNode: %v", err)
+	}
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "q", Tasks: 4, TaskDurSec: 20, DemandVCores: 1, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	// Tick queues quanta on n1's pending list; the node never heartbeats
+	// to pick them up and expires.
+	if err := rm.Tick(base); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if st := rm.Status(); st.OutstandingLeases == 0 {
+		t.Fatal("no leases queued")
+	}
+	if err := rm.Tick(base.Add(60 * time.Second)); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	st := rm.Status()
+	if st.Nodes != 0 {
+		t.Fatalf("nodes = %d, want 0", st.Nodes)
+	}
+	if st.OutstandingLeases != 0 {
+		t.Errorf("outstanding leases = %d after eviction, want 0", st.OutstandingLeases)
+	}
+	if st.Faults.RequeuedQuanta == 0 {
+		t.Error("pending quanta were not requeued on node expiry")
+	}
+}
+
 // TestHTTPEndToEnd drives the whole HTTP surface — register, submit,
 // manual ticks, heartbeats, status — through a real httptest server and
 // the Client.

@@ -12,7 +12,7 @@ import (
 )
 
 // TestCapacityDipRecovery injects a 50% capacity outage in the middle of a
-// run (DESIGN.md §7 failure injection) and checks that every scheduler
+// run (DESIGN.md §8 failure injection) and checks that every scheduler
 // still completes the work, never exceeds the reduced capacity during the
 // dip, and that FlowTime replans around it.
 func TestCapacityDipRecovery(t *testing.T) {
