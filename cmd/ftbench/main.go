@@ -116,6 +116,13 @@ func printFig4Rows(sums []metrics.Summary) {
 		})
 	}
 	fmt.Print(metrics.Table(rows))
+	for _, s := range sums {
+		if s.DegradeLevel == "" {
+			continue
+		}
+		fmt.Printf("planner ladder [%s]: level=%s degraded_replans=%d best_effort_jobs=%d\n",
+			s.Algorithm, s.DegradeLevel, s.DegradedReplans, s.BestEffortJobs)
+	}
 }
 
 func fig5(bool) error {

@@ -5,6 +5,13 @@
 //
 //	ftrm [-addr :8030] [-sched FlowTime] [-slot 10s] [-slack 60s]
 //	     [-lease-expiry 16] [-drain-timeout 30s] [-manual-tick]
+//	     [-lp-max-iter 0] [-lp-max-time 0]
+//
+// -lp-max-iter and -lp-max-time bound each scheduling round's LP work
+// (simplex pivots and wall clock). When a budget trips, the FlowTime
+// scheduler steps down its degradation ladder (full lexicographic →
+// single min-max → greedy EDF water-fill) instead of failing the slot;
+// /metrics and the final status line report the ladder state.
 //
 // With -manual-tick the RM advances only on POST /v1/tick (useful for
 // scripted demos and tests); otherwise it ticks every slot duration.
@@ -29,6 +36,7 @@ import (
 
 	"flowtime/internal/core"
 	"flowtime/internal/experiments"
+	"flowtime/internal/lp"
 	"flowtime/internal/rmserver"
 )
 
@@ -42,18 +50,22 @@ func main() {
 		leaseExpiry  = flag.Int64("lease-expiry", 0, "slots before an unconfirmed lease is reclaimed (0 = default, negative = never)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight leases on shutdown")
 		manualTick   = flag.Bool("manual-tick", false, "advance slots only via POST /v1/tick")
+		lpMaxIter    = flag.Int("lp-max-iter", 0, "simplex pivot budget per LP solve (0 = solver default)")
+		lpMaxTime    = flag.Duration("lp-max-time", 0, "wall-clock budget per LP stage (0 = unlimited)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *schedName, *slot, *slack, *leaseExpiry, *drainTimeout, *manualTick); err != nil {
+	solve := lp.SolveOptions{MaxIter: *lpMaxIter, MaxTime: *lpMaxTime}
+	if err := run(*addr, *schedName, *slot, *slack, solve, *leaseExpiry, *drainTimeout, *manualTick); err != nil {
 		log.Println("ftrm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schedName string, slot, slack time.Duration, leaseExpiry int64, drainTimeout time.Duration, manualTick bool) error {
+func run(addr, schedName string, slot, slack time.Duration, solve lp.SolveOptions, leaseExpiry int64, drainTimeout time.Duration, manualTick bool) error {
 	cfg := core.DefaultConfig()
 	cfg.Slack = slack
+	cfg.Solve = solve
 	s, err := experiments.NewScheduler(schedName, nil, cfg)
 	if err != nil {
 		return err
@@ -165,8 +177,12 @@ func logFinalStatus(rm *rmserver.Server) {
 	}
 	log.Printf("ftrm: final status: slot=%d nodes=%d jobs(pending=%d running=%d completed=%d missed=%d) leases_outstanding=%d",
 		st.Slot, st.Nodes, pending, running, completed, missed, st.OutstandingLeases)
-	log.Printf("ftrm: faults: requeued_quanta=%d expired_nodes=%d scheduler_panics=%d stale_confirms=%d",
-		st.Faults.RequeuedQuanta, st.Faults.ExpiredNodes, st.Faults.SchedulerPanics, st.Faults.StaleConfirms)
+	log.Printf("ftrm: faults: requeued_quanta=%d expired_nodes=%d scheduler_panics=%d stale_confirms=%d best_effort_admissions=%d",
+		st.Faults.RequeuedQuanta, st.Faults.ExpiredNodes, st.Faults.SchedulerPanics, st.Faults.StaleConfirms, st.Faults.BestEffortAdmissions)
+	if d := st.Degradation; d != nil {
+		log.Printf("ftrm: planner ladder: level=%s minmax_fallbacks=%d greedy_fallbacks=%d invalid_plans=%d reason=%q",
+			d.Level, d.MinMaxFallbacks, d.GreedyFallbacks, d.InvalidPlans, d.Reason)
+	}
 	for _, id := range unfinished {
 		log.Printf("ftrm: unfinished at exit: %s", id)
 	}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"flowtime/internal/lp"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+)
+
+// twoJobMix is a feasible two-job instance whose stage-B LP needs many
+// pivots, so a 1-pivot budget reliably trips the ladder.
+func twoJobMix() []sched.JobState {
+	return []sched.JobState{
+		dlJob("a", 0, 10, resource.New(40, 40*512), resource.New(10, 10*512)),
+		dlJob("b", 0, 10, resource.New(60, 60*512), resource.New(12, 12*512)),
+	}
+}
+
+func TestLadderStepsDownToGreedyOnIterationBudget(t *testing.T) {
+	capacity := resource.New(20, 20*1024)
+	f := New(Config{Slack: 0, MaxLexRounds: 3, Solve: lp.SolveOptions{MaxIter: 1}})
+	jobs := twoJobMix()
+	grants, err := f.Assign(sched.AssignContext{
+		Now: 0, Changed: true, Jobs: jobs, Cluster: view(capacity, 100),
+	})
+	if err != nil {
+		t.Fatalf("Assign: %v (solver budget trips must never fail Assign)", err)
+	}
+
+	d := f.Degradation()
+	if d.Level != sched.DegradeGreedy {
+		t.Errorf("Level = %v, want greedy", d.Level)
+	}
+	if d.GreedyFallbacks < 1 {
+		t.Errorf("GreedyFallbacks = %d, want >= 1", d.GreedyFallbacks)
+	}
+	if d.Reason == "" {
+		t.Error("Reason empty after a tripped budget")
+	}
+	if !d.Degraded() {
+		t.Error("Degraded() = false after a greedy fallback")
+	}
+
+	// Regression for the zero-grant-slot bug: a one-shot solver failure
+	// must not leave slot 0 empty while demand and capacity exist.
+	var total resource.Vector
+	for _, g := range grants {
+		total = total.Add(g)
+	}
+	if total.IsZero() {
+		t.Fatal("zero grants in slot 0 despite demand and capacity (solver failure leaked)")
+	}
+
+	// The degraded plan must still satisfy every plan invariant.
+	capAt := func(int64) resource.Vector { return capacity }
+	if err := sched.ValidatePlan(f.plan, f.planFrom, f.planWindows, capAt); err != nil {
+		t.Errorf("greedy plan fails validation: %v", err)
+	}
+	// Conservation: the whole demand fits the window, so nothing defers.
+	for _, j := range jobs {
+		var planned resource.Vector
+		for _, g := range f.plan[j.ID] {
+			planned = planned.Add(g)
+		}
+		if got := planned.Add(f.deferred[j.ID]); got != j.EstRemaining {
+			t.Errorf("job %s planned+deferred %v != demand %v", j.ID, got, j.EstRemaining)
+		}
+	}
+}
+
+func TestLadderStepsDownOnTimeBudget(t *testing.T) {
+	capacity := resource.New(20, 20*1024)
+	f := New(Config{Slack: 0, MaxLexRounds: 3, Solve: lp.SolveOptions{MaxTime: time.Nanosecond}})
+	grants, err := f.Assign(sched.AssignContext{
+		Now: 0, Changed: true, Jobs: twoJobMix(), Cluster: view(capacity, 100),
+	})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if got := f.Degradation().Level; got != sched.DegradeGreedy {
+		t.Errorf("Level = %v, want greedy", got)
+	}
+	if len(grants) == 0 {
+		t.Error("no grants under a tripped time budget")
+	}
+}
+
+func TestLadderRecoversAtNextReplan(t *testing.T) {
+	// Trip the ladder once, then replan with default budgets: the level
+	// must return to full while the fallback counters keep their history.
+	capacity := resource.New(20, 20*1024)
+	f := New(Config{Slack: 0, MaxLexRounds: 3, Solve: lp.SolveOptions{MaxIter: 1}})
+	cl := view(capacity, 100)
+	if _, err := f.Assign(sched.AssignContext{Now: 0, Changed: true, Jobs: twoJobMix(), Cluster: cl}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if f.Degradation().Level != sched.DegradeGreedy {
+		t.Fatalf("Level = %v, want greedy after trip", f.Degradation().Level)
+	}
+	f.cfg.Solve = lp.SolveOptions{}
+	// New arrival forces an urgent replan.
+	jobs := append(twoJobMix(), dlJob("c", 1, 9, resource.New(10, 10*512), resource.New(5, 5*512)))
+	if _, err := f.Assign(sched.AssignContext{Now: 1, Changed: true, Jobs: jobs, Cluster: cl}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	d := f.Degradation()
+	if d.Level != sched.DegradeNone {
+		t.Errorf("Level = %v, want full after budgets restored", d.Level)
+	}
+	if d.GreedyFallbacks < 1 {
+		t.Errorf("GreedyFallbacks = %d, want history preserved", d.GreedyFallbacks)
+	}
+}
+
+func TestDeferredDemandRetriedAfterInterval(t *testing.T) {
+	// Demand 60 in a 3-slot window on a 10/slot cluster: 30 places, 30
+	// defers. The deferred volume is served by the overdue path and the
+	// planner must schedule exactly one retry replan, at now+10.
+	capacity := resource.New(10, 1000)
+	cl := view(capacity, 100)
+	f := New(Config{Slack: 0, MaxLexRounds: 2})
+
+	consumed := resource.Vector{}
+	demand := resource.New(60, 6000)
+	parCap := resource.New(20, 2000)
+	for now := int64(0); now <= 10; now++ {
+		var jobs []sched.JobState
+		if est := demand.SubClamped(consumed); !est.IsZero() {
+			j := dlJob("j", 0, 3, est, parCap)
+			j.Request = parCap.Min(est)
+			jobs = append(jobs, j)
+		}
+		grants, err := f.Assign(sched.AssignContext{
+			Now: now, Changed: now == 0, Jobs: jobs, Cluster: cl,
+		})
+		if err != nil {
+			t.Fatalf("slot %d: Assign: %v", now, err)
+		}
+		consumed = consumed.Add(grants["j"])
+
+		switch now {
+		case 0:
+			if f.stats.Replans != 1 {
+				t.Fatalf("slot 0: Replans = %d, want 1", f.stats.Replans)
+			}
+			if got := f.deferred["j"]; got != resource.New(30, 3000) {
+				t.Fatalf("slot 0: deferred = %v, want <30, 3000>", got)
+			}
+			if f.deferredRetry != deferredRetryInterval {
+				t.Fatalf("slot 0: deferredRetry = %d, want %d", f.deferredRetry, deferredRetryInterval)
+			}
+		case 5:
+			if !demand.FitsIn(consumed) {
+				t.Fatalf("slot 5: consumed %v, want full demand %v (overdue path serves deferral)", consumed, demand)
+			}
+		case 9:
+			if f.stats.Replans != 1 {
+				t.Fatalf("slot 9: Replans = %d, want still 1 (retry not due)", f.stats.Replans)
+			}
+		case 10:
+			if f.stats.Replans != 2 {
+				t.Fatalf("slot 10: Replans = %d, want 2 (deferred retry due)", f.stats.Replans)
+			}
+			if f.deferredRetry != 0 {
+				t.Errorf("slot 10: deferredRetry = %d, want 0 (reset by replan)", f.deferredRetry)
+			}
+		}
+	}
+}
+
+func TestBestEffortJobsExcludedFromPlanning(t *testing.T) {
+	capacity := resource.New(10, 1000)
+	cl := view(capacity, 100)
+	f := New(Config{Slack: 0, MaxLexRounds: 2})
+
+	normal := dlJob("a", 0, 10, resource.New(40, 4000), resource.New(10, 1000))
+	be := dlJob("b", 0, 20, resource.New(5, 500), resource.New(5, 500))
+	be.BestEffort = true
+
+	grants, err := f.Assign(sched.AssignContext{
+		Now: 0, Changed: true, Jobs: []sched.JobState{normal, be}, Cluster: cl,
+	})
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if _, ok := f.plan["b"]; ok {
+		t.Error("best-effort job entered the joint plan")
+	}
+	if _, ok := f.planWindows["b"]; ok {
+		t.Error("best-effort job has a plan window")
+	}
+	if _, ok := f.plan["a"]; !ok {
+		t.Error("normal job missing from the plan")
+	}
+	// The best-effort job still runs, from leftover capacity.
+	if g := grants["b"]; g.IsZero() {
+		t.Error("best-effort job received nothing despite leftover capacity")
+	}
+
+	// An unplanned best-effort job must not trigger a replan loop.
+	replans := f.stats.Replans
+	normal.EstRemaining = normal.EstRemaining.SubClamped(grants["a"])
+	be.EstRemaining = resource.New(5, 500) // still unplanned demand
+	if _, err := f.Assign(sched.AssignContext{
+		Now: 1, Jobs: []sched.JobState{normal, be}, Cluster: cl,
+	}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if f.stats.Replans != replans {
+		t.Errorf("Replans = %d, want %d (best-effort demand is not staleness)", f.stats.Replans, replans)
+	}
+}
+
+// TestPlanValidationProperty fuzzes Assign across ladder-relevant configs
+// and checks every produced plan against the shared validator — the same
+// check replan runs before serving a plan, exercised here end to end.
+func TestPlanValidationProperty(t *testing.T) {
+	configs := map[string]Config{
+		"default":      DefaultConfig(),
+		"tiny-budget":  {Slack: 0, MaxLexRounds: 3, Solve: lp.SolveOptions{MaxIter: 1}},
+		"single-round": {Slack: 0, MaxLexRounds: 1},
+		"tight-slack":  {Slack: 60 * time.Second, MaxLexRounds: 2},
+	}
+	capacity := resource.New(16, 16*1024)
+	cl := view(capacity, 300)
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 15; trial++ {
+				now := rng.Int63n(10)
+				nJobs := 1 + rng.Intn(6)
+				jobs := make([]sched.JobState, 0, nJobs)
+				for i := 0; i < nJobs; i++ {
+					rel := now + rng.Int63n(20)
+					win := 2 + rng.Int63n(30)
+					tasks := int64(1 + rng.Intn(8))
+					perSlot := resource.New(tasks, tasks*512)
+					jobs = append(jobs, dlJob(fmt.Sprintf("j%02d", i), rel, rel+win,
+						perSlot.Scale(1+rng.Int63n(win)), perSlot))
+				}
+				f := New(cfg)
+				if _, err := f.Assign(sched.AssignContext{
+					Now: now, Changed: true, Jobs: jobs, Cluster: cl,
+				}); err != nil {
+					t.Fatalf("trial %d: Assign: %v", trial, err)
+				}
+				capAt := func(int64) resource.Vector { return capacity }
+				if err := sched.ValidatePlan(f.plan, f.planFrom, f.planWindows, capAt); err != nil {
+					t.Fatalf("trial %d: plan fails validation: %v", trial, err)
+				}
+				if n := f.Degradation().InvalidPlans; n != 0 {
+					t.Fatalf("trial %d: InvalidPlans = %d, want 0 (pipeline emitted an invalid plan)", trial, n)
+				}
+			}
+		})
+	}
+}

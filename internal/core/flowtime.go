@@ -31,12 +31,24 @@
 //     the total unimodularity of the constraint structure (Lemma 2) plus
 //     a final hard-cap sweep.
 //
+// The pipeline runs under a degradation ladder: when the LP cannot finish
+// (solve budget tripped, numerical breakdown, infeasible or unbounded
+// model, or even a panic), planning steps down — full lexicographic
+// min-max → single min-θ round → LP-free greedy EDF water-fill — instead
+// of failing the slot. Every plan is post-validated (allocations within
+// windows, under caps, non-negative, demand-conserving) before it is
+// served; a plan that fails validation is rebuilt at the greedy rung.
+// Assign therefore never surfaces a solver error: the worst case is a
+// valid but less load-balanced plan, with the active level and trip
+// reason reported through Degradation().
+//
 // Grants left over after serving the plan go to overdue deadline jobs
 // first and then to ad-hoc jobs in arrival order, fulfilling the paper's
 // "schedule deadline work while minimally impacting ad-hoc jobs".
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -63,6 +75,11 @@ type Config struct {
 	// paper's evaluation plans 100 slots (1000 s) ahead (§VII, Fig. 7).
 	// 0 means unbounded.
 	PlanSlots int64
+	// Solve bounds every LP solve inside a replan (simplex pivot and
+	// wall-clock budgets; see lp.SolveOptions). The zero value keeps the
+	// solver defaults. A tripped budget never fails Assign: the planner
+	// steps down its degradation ladder and emits a valid plan anyway.
+	Solve lp.SolveOptions
 }
 
 // DefaultConfig returns the paper's settings: 60s slack, bounded rounds,
@@ -91,8 +108,12 @@ type FlowTime struct {
 	// planCap records the capacity the plan assumed per slot, so live
 	// capacity changes (node loss, maintenance dips) invalidate the plan.
 	planCap []resource.Vector
+	// planWindows are the effective windows the current plan was validated
+	// against (diagnostics and tests).
+	planWindows map[string]sched.PlanWindow
 
-	stats Stats
+	stats   Stats
+	degrade sched.DegradationStatus
 }
 
 // deferredRetryInterval is how many slots to wait before re-attempting to
@@ -130,6 +151,12 @@ func (*FlowTime) Name() string { return "FlowTime" }
 // Stats returns accumulated telemetry.
 func (f *FlowTime) Stats() Stats { return f.stats }
 
+// Degradation implements sched.DegradationReporter: the ladder level the
+// current plan was built at, the last trip reason, and fallback counters.
+func (f *FlowTime) Degradation() sched.DegradationStatus { return f.degrade }
+
+var _ sched.DegradationReporter = (*FlowTime)(nil)
+
 // PlannedLoad returns the planned deadline-work load for the slot offsets
 // of the current plan (diagnostics and tests).
 func (f *FlowTime) PlannedLoad() []resource.Vector {
@@ -145,9 +172,7 @@ const qualityReplanInterval = 5
 func (f *FlowTime) Assign(ctx sched.AssignContext) (map[string]resource.Vector, error) {
 	urgent, quality := f.planNeeds(ctx)
 	if urgent || (quality && ctx.Now >= f.planFrom+qualityReplanInterval) {
-		if err := f.replan(ctx); err != nil {
-			return nil, err
-		}
+		f.replan(ctx)
 	}
 	offset := ctx.Now - f.planFrom
 	avail := ctx.Cluster.CapAt(ctx.Now)
@@ -278,7 +303,7 @@ func (f *FlowTime) planNeeds(ctx sched.AssignContext) (urgent, quality bool) {
 	}
 	live := make(map[string]bool, len(ctx.Jobs))
 	for _, j := range ctx.Jobs {
-		if j.Kind != sched.DeadlineJob {
+		if j.Kind != sched.DeadlineJob || j.BestEffort {
 			continue
 		}
 		if j.EstRemaining.IsZero() {
@@ -329,8 +354,11 @@ type planJob struct {
 	dlSlot  int64 // exclusive, absolute
 }
 
-// replan rebuilds the multi-slot plan with the per-kind LP pipeline.
-func (f *FlowTime) replan(ctx sched.AssignContext) error {
+// replan rebuilds the multi-slot plan with the per-kind LP pipeline under
+// the degradation ladder. It cannot fail: any solver trouble steps the
+// ladder down toward the LP-free greedy rung, and the resulting plan is
+// validated before it is served.
+func (f *FlowTime) replan(ctx sched.AssignContext) {
 	f.stats.Replans++
 	f.planFrom = ctx.Now
 	f.plan = make(map[string][]resource.Vector)
@@ -339,6 +367,7 @@ func (f *FlowTime) replan(ctx sched.AssignContext) error {
 	f.deferredRetry = 0
 	f.load = nil
 	f.planCap = nil
+	f.planWindows = nil
 
 	slackSlots := int64(0)
 	if f.cfg.Slack > 0 {
@@ -347,7 +376,8 @@ func (f *FlowTime) replan(ctx sched.AssignContext) error {
 
 	jobs, order, nSlots := f.computeWindows(ctx, slackSlots)
 	if len(jobs) == 0 {
-		return nil
+		f.degrade.Level, f.degrade.Reason = sched.DegradeNone, ""
+		return
 	}
 
 	// Deadline slack is a preference, not a feasibility constraint: if the
@@ -369,12 +399,51 @@ func (f *FlowTime) replan(ctx sched.AssignContext) error {
 		alloc[pj.state.ID] = make([]resource.Vector, nSlots)
 	}
 
+	level, reason := sched.DegradeNone, ""
 	for _, kind := range resource.Kinds() {
-		if err := f.replanKind(ctx, kind, jobs, order, alloc, nSlots); err != nil {
-			return err
+		lvl, why := f.replanKind(ctx, kind, jobs, order, alloc, nSlots)
+		if lvl > level {
+			level = lvl
+		}
+		if why != "" {
+			reason = why
 		}
 	}
 
+	// Post-validate before the plan is served. An invalid plan — which the
+	// pipeline should never produce, but numerics are numerics — is
+	// rebuilt at the greedy rung, which is valid by construction.
+	windows := make(map[string]sched.PlanWindow, len(jobs))
+	for _, pj := range jobs {
+		windows[pj.state.ID] = sched.PlanWindow{
+			RelSlot:     pj.relSlot,
+			DlSlot:      pj.dlSlot,
+			ParallelCap: pj.state.ParallelCap,
+			Demand:      pj.state.EstRemaining,
+		}
+	}
+	capAt := func(abs int64) resource.Vector { return f.planCap[abs-ctx.Now] }
+	if err := sched.ValidatePlan(alloc, ctx.Now, windows, capAt); err != nil {
+		f.degrade.InvalidPlans++
+		level, reason = sched.DegradeGreedy, "plan validation: "+err.Error()
+		alloc = f.rebuildGreedy(ctx, jobs, order, nSlots)
+		if err := sched.ValidatePlan(alloc, ctx.Now, windows, capAt); err != nil {
+			// Unreachable by construction; planning nothing is still safe —
+			// every job is then served by the overdue/backlog stages.
+			alloc = make(map[string][]resource.Vector)
+			reason = "greedy plan validation: " + err.Error()
+		}
+	}
+
+	f.degrade.Level, f.degrade.Reason = level, reason
+	switch level {
+	case sched.DegradeMinMax:
+		f.degrade.MinMaxFallbacks++
+	case sched.DegradeGreedy:
+		f.degrade.GreedyFallbacks++
+	}
+
+	f.planWindows = windows
 	f.plan = alloc
 	anyDeferred := false
 	for id, slots := range alloc {
@@ -393,7 +462,6 @@ func (f *FlowTime) replan(ctx sched.AssignContext) error {
 	if anyDeferred {
 		f.deferredRetry = ctx.Now + deferredRetryInterval
 	}
-	return nil
 }
 
 // computeWindows collects live deadline jobs with their effective windows
@@ -403,7 +471,10 @@ func (f *FlowTime) computeWindows(ctx sched.AssignContext, slackSlots int64) ([]
 	jobs := make([]*planJob, 0, len(ctx.Jobs))
 	maxDl := ctx.Now + 1
 	for _, j := range ctx.Jobs {
-		if j.Kind != sched.DeadlineJob || j.EstRemaining.IsZero() {
+		if j.Kind != sched.DeadlineJob || j.EstRemaining.IsZero() || j.BestEffort {
+			// Best-effort jobs (infeasible decompositions) are excluded from
+			// the joint LP; the backlog stage in Assign serves them from
+			// leftover capacity ahead of ad-hoc work.
 			continue
 		}
 		pj := &planJob{state: j}
@@ -487,8 +558,11 @@ func (f *FlowTime) feasibleUnderWindows(ctx sched.AssignContext, jobs, order []*
 }
 
 // replanKind runs the feasibility + lexmin + repair pipeline for one
-// resource kind and writes integral grants into alloc.
-func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs, order []*planJob, alloc map[string][]resource.Vector, nSlots int64) error {
+// resource kind and writes integral grants into alloc. Solver failures
+// never propagate: the ladder steps down — full lexicographic → single
+// min-θ round → LP-free greedy water-fill — and the rung used plus the
+// trip reason (if any) are returned.
+func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs, order []*planJob, alloc map[string][]resource.Vector, nSlots int64) (sched.DegradeLevel, string) {
 	// Demands and caps for this kind.
 	demand := make(map[*planJob]int64, len(jobs))
 	for _, pj := range jobs {
@@ -497,28 +571,139 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 		}
 	}
 	if len(demand) == 0 {
-		return nil
+		return sched.DegradeNone, ""
 	}
 	capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
 
+	level, reason := sched.DegradeNone, ""
+	trip := func(to sched.DegradeLevel, stage string, err error) {
+		level = to
+		reason = fmt.Sprintf("%v %s: %s", kind, stage, tripCause(err))
+	}
+
 	// Feasibility precheck: greedy EDF water-fill under hard caps. If all
 	// demand places, the instance is feasible and the shortfall LP is
-	// unnecessary.
+	// unnecessary. A shortfall-LP failure skips straight to the greedy
+	// rung: without a trustworthy shortfall split, any stage-B plan would
+	// be built on infeasible demand.
 	shortfall := make(map[*planJob]int64)
 	if !greedyFeasible(order, demand, capAt, kind, ctx.Now, nSlots) {
 		short, err := f.shortfallLP(ctx, kind, jobs, demand, capAt, nSlots)
 		if err != nil {
-			return err
-		}
-		shortfall = short
-		if len(shortfall) > 0 {
-			f.stats.ShortfallEvents++
+			trip(sched.DegradeGreedy, "shortfall LP", err)
+		} else {
+			shortfall = short
+			if len(shortfall) > 0 {
+				f.stats.ShortfallEvents++
+			}
 		}
 	} else {
 		f.stats.StageASkipped++
 	}
 
-	// Stage B: lexicographic min-max LP over the feasible demand.
+	// Stage B: lexicographic min-max LP over the feasible demand. The
+	// model is built once; only the LexMinMax attempt is retried with
+	// fewer rounds as the ladder steps down.
+	var (
+		model     *lp.Model
+		groups    []lp.LoadGroup
+		groupSlot []int64
+	)
+	if level < sched.DegradeGreedy {
+		var err error
+		model, groups, groupSlot, err = f.buildStageB(ctx, kind, jobs, demand, shortfall, capAt, nSlots)
+		if err != nil {
+			trip(sched.DegradeGreedy, "stage B model", err)
+		}
+	}
+	for level < sched.DegradeGreedy {
+		rounds := f.cfg.MaxLexRounds
+		if level == sched.DegradeMinMax {
+			// One min-θ round: optimal peak level, no deeper flattening.
+			rounds = 1
+		}
+		res, err := f.lexAttempt(model, groups, rounds)
+		if err != nil {
+			trip(level+1, "stage B", err)
+			continue
+		}
+		f.stats.LPRounds += res.Rounds
+
+		// Integral repair: budgets by cumulative rounding of the LP skyline,
+		// EDF water-fill within budgets, then a hard-cap sweep.
+		lpLoad := make([]float64, nSlots)
+		for gi, g := range groups {
+			load := 0.0
+			for _, tm := range g.Terms {
+				load += tm.Coef * res.Solution.Value(tm.Var)
+			}
+			lpLoad[groupSlot[gi]] = load
+		}
+		remaining := make(map[*planJob]int64, len(jobs))
+		for pj, d := range demand {
+			if left := d - shortfall[pj]; left > 0 {
+				remaining[pj] = left
+			}
+		}
+		cum := 0.0
+		budgetUsed := int64(0)
+		for t := int64(0); t < nSlots; t++ {
+			cum += lpLoad[t]
+			budget := int64(cum+0.5) - budgetUsed
+			if c := capAt(t); budget > c {
+				budget = c
+			}
+			budgetUsed += f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, budget)
+		}
+		for t := int64(0); t < nSlots; t++ {
+			f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, capAt(t)-f.load[t].Get(kind))
+		}
+		// Any demand still left could not fit in windows at all; it is
+		// served by the overdue path at run time.
+		return level, reason
+	}
+
+	// Bottom rung: deterministic EDF water-fill under hard caps. No LP, no
+	// failure mode; whatever cannot fit in-window is deferred and served
+	// by the overdue path, exactly like a shortfall.
+	f.greedyPlanKind(ctx, kind, order, demand, alloc, nSlots)
+	return sched.DegradeGreedy, reason
+}
+
+// lexAttempt runs one LexMinMax under the configured solve budget,
+// converting panics into errors so a solver bug degrades the plan instead
+// of killing the scheduling slot.
+func (f *FlowTime) lexAttempt(model *lp.Model, groups []lp.LoadGroup, rounds int) (res *lp.MinMaxResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: lexminmax panic: %v", r)
+		}
+	}()
+	return lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{MaxRounds: rounds, Solve: f.cfg.Solve})
+}
+
+// tripCause compresses a solver error into a short ladder-trip label.
+func tripCause(err error) string {
+	switch {
+	case errors.Is(err, lp.ErrIterationLimit):
+		return "iteration budget exceeded"
+	case errors.Is(err, lp.ErrTimeLimit):
+		return "time budget exceeded"
+	case errors.Is(err, lp.ErrNumerical):
+		return "numerical instability"
+	case errors.Is(err, lp.ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, lp.ErrUnbounded):
+		return "unbounded"
+	default:
+		return err.Error()
+	}
+}
+
+// buildStageB constructs the stage-B model for one kind: per-(job, slot)
+// allocation variables bounded by the parallelism cap, exact-demand rows,
+// and one load group per slot with positive capacity.
+func (f *FlowTime) buildStageB(ctx sched.AssignContext, kind resource.Kind, jobs []*planJob, demand, shortfall map[*planJob]int64, capAt func(int64) int64, nSlots int64) (*lp.Model, []lp.LoadGroup, []int64, error) {
 	model := lp.NewModel()
 	vars := make(map[*planJob][]lp.Var, len(jobs))
 	for _, pj := range jobs {
@@ -533,14 +718,14 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 		for s := int64(0); s < n; s++ {
 			v, err := model.NewVar("", 0, hi)
 			if err != nil {
-				return fmt.Errorf("core: replan: %w", err)
+				return nil, nil, nil, fmt.Errorf("core: replan: %w", err)
 			}
 			vs[s] = v
 			terms = append(terms, lp.Term{Var: v, Coef: 1})
 		}
 		vars[pj] = vs
 		if err := model.AddConstraint(terms, lp.EQ, float64(d)); err != nil {
-			return fmt.Errorf("core: replan: %w", err)
+			return nil, nil, nil, fmt.Errorf("core: replan: %w", err)
 		}
 	}
 
@@ -560,52 +745,50 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 		c := capAt(t)
 		if c <= 0 {
 			if err := model.AddConstraint(slotTerms[t], lp.LE, 0); err != nil {
-				return fmt.Errorf("core: replan: %w", err)
+				return nil, nil, nil, fmt.Errorf("core: replan: %w", err)
 			}
 			continue
 		}
 		groups = append(groups, lp.LoadGroup{Terms: slotTerms[t], Cap: float64(c)})
 		groupSlot = append(groupSlot, t)
 	}
+	return model, groups, groupSlot, nil
+}
 
-	res, err := lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{MaxRounds: f.cfg.MaxLexRounds})
-	if err != nil {
-		return fmt.Errorf("core: replan stage B (%v): %w", kind, err)
-	}
-	f.stats.LPRounds += res.Rounds
-
-	// Integral repair: budgets by cumulative rounding of the LP skyline,
-	// EDF water-fill within budgets, then a hard-cap sweep.
-	lpLoad := make([]float64, nSlots)
-	for gi, g := range groups {
-		load := 0.0
-		for _, tm := range g.Terms {
-			load += tm.Coef * res.Solution.Value(tm.Var)
-		}
-		lpLoad[groupSlot[gi]] = load
-	}
-	remaining := make(map[*planJob]int64, len(jobs))
+// greedyPlanKind is the ladder's bottom rung for one kind: EDF water-fill
+// of the full demand under hard caps, honoring load already placed.
+func (f *FlowTime) greedyPlanKind(ctx sched.AssignContext, kind resource.Kind, order []*planJob, demand map[*planJob]int64, alloc map[string][]resource.Vector, nSlots int64) {
+	remaining := make(map[*planJob]int64, len(demand))
 	for pj, d := range demand {
-		if left := d - shortfall[pj]; left > 0 {
-			remaining[pj] = left
-		}
+		remaining[pj] = d
 	}
-	cum := 0.0
-	budgetUsed := int64(0)
-	for t := int64(0); t < nSlots; t++ {
-		cum += lpLoad[t]
-		budget := int64(cum+0.5) - budgetUsed
-		if c := capAt(t); budget > c {
-			budget = c
-		}
-		budgetUsed += f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, budget)
-	}
+	capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
 	for t := int64(0); t < nSlots; t++ {
 		f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, capAt(t)-f.load[t].Get(kind))
 	}
-	// Any demand still left could not fit in windows at all; it is served
-	// by the overdue path at run time.
-	return nil
+}
+
+// rebuildGreedy discards all placed allocation and rebuilds the whole
+// plan at the greedy rung (used when post-validation rejects a plan).
+func (f *FlowTime) rebuildGreedy(ctx sched.AssignContext, jobs, order []*planJob, nSlots int64) map[string][]resource.Vector {
+	f.load = make([]resource.Vector, nSlots)
+	alloc := make(map[string][]resource.Vector, len(jobs))
+	for _, pj := range jobs {
+		alloc[pj.state.ID] = make([]resource.Vector, nSlots)
+	}
+	for _, kind := range resource.Kinds() {
+		demand := make(map[*planJob]int64, len(jobs))
+		for _, pj := range jobs {
+			if d := pj.state.EstRemaining.Get(kind); d > 0 {
+				demand[pj] = d
+			}
+		}
+		if len(demand) == 0 {
+			continue
+		}
+		f.greedyPlanKind(ctx, kind, order, demand, alloc, nSlots)
+	}
+	return alloc
 }
 
 // greedyFeasible reports whether the EDF water-fill can place every unit
@@ -701,7 +884,7 @@ func (f *FlowTime) shortfallLP(ctx sched.AssignContext, kind resource.Kind, jobs
 	if err := model.SetObjective(obj); err != nil {
 		return nil, fmt.Errorf("core: shortfall: %w", err)
 	}
-	sol, err := model.Solve()
+	sol, _, err := model.SolveWithOptions(f.cfg.Solve)
 	if err != nil {
 		return nil, fmt.Errorf("core: shortfall (%v): %w", kind, err)
 	}

@@ -1,0 +1,133 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// multiPivotModel needs several simplex pivots: maximize the sum of four
+// bounded variables under a shared capacity row. The optimum packs
+// variables one at a time, so a 1-pivot budget cannot finish.
+func multiPivotModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	var obj []Term
+	var row []Term
+	for i := 0; i < 4; i++ {
+		v, err := m.NewVar("", 0, 6)
+		if err != nil {
+			t.Fatalf("NewVar: %v", err)
+		}
+		obj = append(obj, Term{Var: v, Coef: -1})
+		row = append(row, Term{Var: v, Coef: 1})
+	}
+	if err := m.SetObjective(obj); err != nil {
+		t.Fatalf("SetObjective: %v", err)
+	}
+	if err := m.AddConstraint(row, LE, 10); err != nil {
+		t.Fatalf("AddConstraint: %v", err)
+	}
+	return m
+}
+
+func TestSolveMaxIterTrips(t *testing.T) {
+	m := multiPivotModel(t)
+	sol, stats, err := m.SolveWithOptions(SolveOptions{MaxIter: 1})
+	if !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("err = %v, want ErrIterationLimit", err)
+	}
+	if sol != nil {
+		t.Error("tripped solve returned a non-nil solution")
+	}
+	if stats.Pivots < 1 {
+		t.Errorf("stats.Pivots = %d, want >= 1 (budget was consumed)", stats.Pivots)
+	}
+	if stats.Duration <= 0 {
+		t.Errorf("stats.Duration = %v, want > 0", stats.Duration)
+	}
+}
+
+func TestSolveMaxTimeTrips(t *testing.T) {
+	m := multiPivotModel(t)
+	// A 1ns budget is already expired at the iter-0 deadline check, so the
+	// trip is deterministic regardless of machine speed.
+	_, _, err := m.SolveWithOptions(SolveOptions{MaxTime: time.Nanosecond})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestSolveWithOptionsZeroValueMatchesSolve(t *testing.T) {
+	a := multiPivotModel(t)
+	want, err := a.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	got, stats, err := a.SolveWithOptions(SolveOptions{})
+	if err != nil {
+		t.Fatalf("SolveWithOptions: %v", err)
+	}
+	if got.Objective != want.Objective {
+		t.Errorf("objective = %g, want %g (zero options must match Solve)", got.Objective, want.Objective)
+	}
+	if want.Objective != -10 {
+		t.Errorf("objective = %g, want -10", want.Objective)
+	}
+	if stats.Pivots < 2 {
+		t.Errorf("stats.Pivots = %d, want >= 2 on a multi-pivot model", stats.Pivots)
+	}
+}
+
+func TestGenerousBudgetsDoNotTrip(t *testing.T) {
+	m := multiPivotModel(t)
+	sol, _, err := m.SolveWithOptions(SolveOptions{MaxIter: 1 << 20, MaxTime: time.Minute})
+	if err != nil {
+		t.Fatalf("SolveWithOptions: %v", err)
+	}
+	if sol.Objective != -10 {
+		t.Errorf("objective = %g, want -10", sol.Objective)
+	}
+}
+
+// minMaxInstance is a two-variable load-balancing instance: both loads can
+// be equalized at level 0.5.
+func minMaxInstance(t *testing.T) (*Model, []LoadGroup) {
+	t.Helper()
+	m := NewModel()
+	x := m.MustVar("x", 0, 10)
+	y := m.MustVar("y", 0, 10)
+	m.MustConstraint([]Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, EQ, 10)
+	groups := []LoadGroup{
+		{Name: "s0", Terms: []Term{{Var: x, Coef: 1}}, Cap: 10},
+		{Name: "s1", Terms: []Term{{Var: y, Coef: 1}}, Cap: 10},
+	}
+	return m, groups
+}
+
+func TestLexMinMaxPropagatesBudget(t *testing.T) {
+	m, groups := minMaxInstance(t)
+	_, err := LexMinMaxWithOptions(m, groups, MinMaxOptions{Solve: SolveOptions{MaxTime: time.Nanosecond}})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("err = %v, want ErrTimeLimit", err)
+	}
+}
+
+func TestLexMinMaxAggregatesStats(t *testing.T) {
+	m, groups := minMaxInstance(t)
+	res, err := LexMinMaxWithOptions(m, groups, MinMaxOptions{})
+	if err != nil {
+		t.Fatalf("LexMinMax: %v", err)
+	}
+	if res.Stats.Pivots < 1 {
+		t.Errorf("Stats.Pivots = %d, want >= 1", res.Stats.Pivots)
+	}
+	if res.Stats.Duration <= 0 {
+		t.Errorf("Stats.Duration = %v, want > 0", res.Stats.Duration)
+	}
+	for g, lv := range res.Levels {
+		if lv > 0.5+1e-6 {
+			t.Errorf("group %d level = %g, want <= 0.5 (balanced optimum)", g, lv)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 )
 
 // LoadGroup is one component of a lexicographic min-max objective: a linear
@@ -28,6 +29,9 @@ type MinMaxResult struct {
 	Levels []float64
 	// Rounds is the number of min-θ LPs solved.
 	Rounds int
+	// Stats aggregates solver work across every LP solved by the call
+	// (min-θ rounds, saturation probes, and the final tie-break solve).
+	Stats SolveStats
 }
 
 // LexMinMax lexicographically minimizes the descending-sorted vector of
@@ -60,6 +64,11 @@ type MinMaxOptions struct {
 	// to the level reached. FlowTime uses a cap to bound event-handling
 	// latency (paper §III: scheduling efficiency).
 	MaxRounds int
+	// Solve bounds the solver work. MaxIter applies per inner LP solve;
+	// MaxTime budgets the WHOLE LexMinMax call — elapsed time is tracked
+	// across rounds and the remainder passed to each inner solve, so the
+	// call as a whole returns within roughly MaxTime.
+	Solve SolveOptions
 }
 
 // LexMinMaxWithOptions is LexMinMax with tuning options.
@@ -74,6 +83,24 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 	}
 
 	const levelTol = 1e-6
+
+	// solve runs one inner LP under the caller's budget, charging elapsed
+	// wall-clock time against the whole-call MaxTime and aggregating stats.
+	start := time.Now()
+	var agg SolveStats
+	solve := func(m *Model) (*Solution, error) {
+		o := opts.Solve
+		if o.MaxTime > 0 {
+			rem := o.MaxTime - time.Since(start)
+			if rem <= 0 {
+				return nil, fmt.Errorf("%w after %d pivots (lexminmax budget)", ErrTimeLimit, agg.Pivots)
+			}
+			o.MaxTime = rem
+		}
+		sol, st, err := m.SolveWithOptions(o)
+		agg.Pivots += st.Pivots
+		return sol, err
+	}
 
 	active := make([]int, 0, len(groups))
 	for gi := range groups {
@@ -117,7 +144,7 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 			}
 		}
 
-		sol, err := m.Solve()
+		sol, err := solve(m)
 		if err != nil {
 			return nil, fmt.Errorf("lp: lexminmax round %d: %w", rounds, err)
 		}
@@ -163,7 +190,7 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 		}
 		if newFrozen == 0 {
 			for _, gi := range binding {
-				sat, err := probeSaturated(base, groups, frozen, active, gi, level, levelTol)
+				sat, err := probeSaturated(base, groups, frozen, active, gi, level, levelTol, solve)
 				if err != nil {
 					return nil, err
 				}
@@ -210,10 +237,11 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 	if err := final.SetObjective(objTerms); err != nil {
 		return nil, err
 	}
-	sol, err := final.Solve()
+	sol, err := solve(final)
 	if err != nil {
 		// The pinned model should always be feasible; fall back to the last
-		// round's solution if tolerances made it marginally infeasible.
+		// round's solution if tolerances (or a budget tripping mid-tie-break)
+		// made it fail.
 		if lastSol == nil {
 			return nil, fmt.Errorf("lp: lexminmax final solve: %w", err)
 		}
@@ -224,13 +252,15 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 	for gi := range groups {
 		levels[gi] = evalTerms(groups[gi].Terms, sol) / groups[gi].Cap
 	}
-	return &MinMaxResult{Solution: sol, Levels: levels, Rounds: rounds}, nil
+	agg.Duration = time.Since(start)
+	return &MinMaxResult{Solution: sol, Levels: levels, Rounds: rounds, Stats: agg}, nil
 }
 
 // probeSaturated reports whether group target is saturated (load = θ·cap) in
 // every optimal solution of the current round, by minimizing its load
-// subject to all other groups staying within level.
-func probeSaturated(base *Model, groups []LoadGroup, frozen map[int]float64, active []int, target int, level, tol float64) (bool, error) {
+// subject to all other groups staying within level. solve carries the
+// caller's budget.
+func probeSaturated(base *Model, groups []LoadGroup, frozen map[int]float64, active []int, target int, level, tol float64, solve func(*Model) (*Solution, error)) (bool, error) {
 	m := base.Clone()
 	for _, gi := range active {
 		if gi == target {
@@ -248,7 +278,7 @@ func probeSaturated(base *Model, groups []LoadGroup, frozen map[int]float64, act
 	if err := m.SetObjective(groups[target].Terms); err != nil {
 		return false, err
 	}
-	sol, err := m.Solve()
+	sol, err := solve(m)
 	if err != nil {
 		return false, fmt.Errorf("lp: lexminmax probe: %w", err)
 	}

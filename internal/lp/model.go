@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Inf is the bound value representing "no upper bound".
@@ -32,9 +33,39 @@ var (
 	// ErrUnbounded is returned when the objective can decrease forever.
 	ErrUnbounded = errors.New("lp: unbounded")
 	// ErrIterationLimit is returned when the simplex exceeds its pivot
-	// budget, which indicates a modeling bug or numerical trouble.
+	// budget, which indicates a modeling bug, numerical trouble, or a
+	// deliberately tight SolveOptions.MaxIter.
 	ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+	// ErrTimeLimit is returned when a solve exceeds its wall-clock budget
+	// (SolveOptions.MaxTime).
+	ErrTimeLimit = errors.New("lp: time limit exceeded")
+	// ErrNumerical is returned when the final basis fails the numeric
+	// sanity check: NaN/Inf basic values, or basic values grossly outside
+	// their bounds. Such a "solution" must not be trusted.
+	ErrNumerical = errors.New("lp: numerical instability")
 )
+
+// SolveOptions bounds one Solve call so callers can guarantee the solver
+// returns control instead of grinding on a pathological instance. The
+// zero value reproduces the solver's historical defaults.
+type SolveOptions struct {
+	// MaxIter caps the number of simplex pivots per phase. Zero means the
+	// default formula 200*(rows+cols) + 20000.
+	MaxIter int
+	// MaxTime caps the wall-clock duration of the whole solve (both
+	// phases). Zero means no wall-clock limit.
+	MaxTime time.Duration
+}
+
+// SolveStats reports what a solve cost, whether or not it succeeded.
+// Callers degrading on a tripped budget use it to decide how much budget
+// the failed attempt consumed.
+type SolveStats struct {
+	// Pivots is the number of simplex pivots performed across both phases.
+	Pivots int
+	// Duration is the wall-clock time the solve took.
+	Duration time.Duration
+}
 
 // Sense is the direction of a linear constraint.
 type Sense int

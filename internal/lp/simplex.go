@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 const (
@@ -60,6 +61,10 @@ type simplex struct {
 	pivots int
 	degen  int
 	bland  bool
+	// maxIter caps pivots per phase (0 = default formula); deadline is the
+	// wall-clock cutoff (zero time = none). Both come from SolveOptions.
+	maxIter  int
+	deadline time.Time
 	// priceStart rotates the partial-pricing scan so successive iterations
 	// do not always favour low-index columns.
 	priceStart int
@@ -70,9 +75,33 @@ type simplex struct {
 // Solve does not mutate the model and may be called repeatedly (e.g. after
 // adding constraints).
 func (m *Model) Solve() (*Solution, error) {
+	sol, _, err := m.SolveWithOptions(SolveOptions{})
+	return sol, err
+}
+
+// SolveWithOptions is Solve under explicit budgets. The returned stats
+// are valid even when the solve fails (so callers can tell how much of a
+// tripped budget was consumed). Besides Solve's errors it can return
+// ErrTimeLimit (wall-clock budget) and ErrNumerical (final basis failed
+// the sanity check).
+func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, error) {
+	start := time.Now()
+	var stats SolveStats
+	done := func(sol *Solution, s *simplex, err error) (*Solution, SolveStats, error) {
+		if s != nil {
+			stats.Pivots = s.pivots
+		}
+		stats.Duration = time.Since(start)
+		return sol, stats, err
+	}
+
 	s, err := newSimplex(m)
 	if err != nil {
-		return nil, err
+		return done(nil, nil, err)
+	}
+	s.maxIter = opts.MaxIter
+	if opts.MaxTime > 0 {
+		s.deadline = start.Add(opts.MaxTime)
 	}
 
 	// Phase I: minimize the sum of artificial variables.
@@ -81,10 +110,10 @@ func (m *Model) Solve() (*Solution, error) {
 			s.cost[j] = 1
 		}
 		if err := s.iterate(true); err != nil {
-			return nil, err
+			return done(nil, s, err)
 		}
 		if obj := s.objective(); obj > phase1Tol {
-			return nil, fmt.Errorf("%w (phase-1 residual %g)", ErrInfeasible, obj)
+			return done(nil, s, fmt.Errorf("%w (phase-1 residual %g)", ErrInfeasible, obj))
 		}
 		// Freeze artificials at zero so they can never carry value again.
 		for j := s.n - s.nArt; j < s.n; j++ {
@@ -108,9 +137,35 @@ func (m *Model) Solve() (*Solution, error) {
 	s.bland = false
 	s.degen = 0
 	if err := s.iterate(false); err != nil {
-		return nil, err
+		return done(nil, s, err)
 	}
-	return s.solution(m), nil
+	if err := s.checkNumerics(); err != nil {
+		return done(nil, s, err)
+	}
+	return done(s.solution(m), s, nil)
+}
+
+// checkNumerics guards the callers above the solver: a basis whose values
+// went NaN/Inf or drifted grossly outside their bounds must not be handed
+// out as an optimal solution. The tolerance is loose — relative, well
+// above the pivot tolerances — so it only fires on genuine breakdown, not
+// on the marginal drift that solution() already snaps back to bounds.
+func (s *simplex) checkNumerics() error {
+	for r := 0; r < s.m; r++ {
+		v := s.xB[r]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: basic value %v in row %d", ErrNumerical, v, r)
+		}
+		bv := s.basicVar[r]
+		tol := 1e-5 * (1 + math.Abs(v))
+		if v < s.lo[bv]-tol {
+			return fmt.Errorf("%w: basic value %g below lower bound %g", ErrNumerical, v, s.lo[bv])
+		}
+		if hi := s.hi[bv]; !math.IsInf(hi, 1) && v > hi+tol {
+			return fmt.Errorf("%w: basic value %g above upper bound %g", ErrNumerical, v, hi)
+		}
+	}
+	return nil
 }
 
 // newSimplex builds the computational form: one slack per inequality row,
@@ -255,9 +310,17 @@ func (s *simplex) objective() float64 {
 
 // iterate runs primal simplex pivots until optimality under s.cost.
 func (s *simplex) iterate(phase1 bool) error {
-	maxIter := 200*(s.m+s.n) + 20000
+	maxIter := s.maxIter
+	if maxIter <= 0 {
+		maxIter = 200*(s.m+s.n) + 20000
+	}
 	s.yValid = false // the objective may have changed between phases
 	for iter := 0; iter < maxIter; iter++ {
+		// The deadline check includes iter 0 so even a 1ns budget trips
+		// deterministically rather than depending on pivot count.
+		if iter&63 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return fmt.Errorf("%w after %d pivots", ErrTimeLimit, s.pivots)
+		}
 		if s.pivots > 0 && s.pivots%refactorEvery == 0 {
 			if err := s.refactorize(); err != nil {
 				return err

@@ -33,6 +33,15 @@ type Summary struct {
 
 	// AdHocJobs is the number of ad-hoc jobs.
 	AdHocJobs int
+	// BestEffortJobs counts deadline jobs admitted without a feasible
+	// decomposition and served from leftover capacity.
+	BestEffortJobs int
+	// DegradeLevel is the scheduler's final degradation-ladder rung
+	// ("full", "minmax", "greedy"); empty when the scheduler reports none.
+	DegradeLevel string
+	// DegradedReplans counts replans that stepped below the full
+	// lexicographic pipeline (min-max or greedy fallbacks).
+	DegradedReplans int64
 	// AdHocIncomplete counts ad-hoc jobs that never finished in-horizon.
 	AdHocIncomplete int
 	// AvgTurnaround is the mean ad-hoc turnaround (Fig. 4c).
@@ -74,6 +83,12 @@ func Summarize(algorithm string, res *sim.Result) Summary {
 	}
 	if len(res.AdHoc) > 0 {
 		s.AvgTurnaround = sum / time.Duration(len(res.AdHoc))
+	}
+
+	s.BestEffortJobs = res.BestEffortJobs
+	if d := res.Degradation; d != nil {
+		s.DegradeLevel = d.Level.String()
+		s.DegradedReplans = d.MinMaxFallbacks + d.GreedyFallbacks
 	}
 	return s
 }

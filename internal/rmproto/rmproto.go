@@ -92,6 +92,10 @@ type SubmitAdHocRequest struct {
 type SubmitResponse struct {
 	Accepted bool   `json:"accepted"`
 	ID       string `json:"id"`
+	// BestEffort is true when the workflow was admitted without a
+	// feasible deadline decomposition (admission control): its jobs run
+	// from leftover capacity and the deadline is not guaranteed.
+	BestEffort bool `json:"best_effort,omitempty"`
 }
 
 // JobStatus reports one job's state.
@@ -104,6 +108,8 @@ type JobStatus struct {
 	DeadlineSec  int64 `json:"deadline_sec,omitempty"`
 	CompletedSec int64 `json:"completed_sec,omitempty"`
 	Missed       bool  `json:"missed,omitempty"`
+	// BestEffort marks jobs admitted without a feasible decomposition.
+	BestEffort bool `json:"best_effort,omitempty"`
 }
 
 // StatusResponse is the cluster status snapshot.
@@ -123,6 +129,22 @@ type StatusResponse struct {
 	OutstandingLeases int `json:"outstanding_leases"`
 	// Faults carries the RM's fault-tolerance counters.
 	Faults FaultCounters `json:"faults"`
+	// Degradation is the scheduler's planner-ladder telemetry, present
+	// only when the scheduler maintains a degradation ladder (FlowTime).
+	Degradation *DegradationStatus `json:"degradation,omitempty"`
+}
+
+// DegradationStatus is the wire form of sched.DegradationStatus.
+type DegradationStatus struct {
+	// Level is the ladder rung of the current plan ("full", "minmax",
+	// "greedy"); LevelCode is its numeric form (0, 1, 2) for metrics.
+	Level     string `json:"level"`
+	LevelCode int    `json:"level_code"`
+	// Reason is why the ladder last stepped down (empty at full).
+	Reason          string `json:"reason,omitempty"`
+	MinMaxFallbacks int64  `json:"minmax_fallbacks"`
+	GreedyFallbacks int64  `json:"greedy_fallbacks"`
+	InvalidPlans    int64  `json:"invalid_plans"`
 }
 
 // FaultCounters tallies control-plane fault handling since RM start.
@@ -138,6 +160,9 @@ type FaultCounters struct {
 	// StaleConfirms counts completion reports for quanta the RM no longer
 	// tracks (already confirmed, requeued, or from a prior incarnation).
 	StaleConfirms int64 `json:"stale_confirms"`
+	// BestEffortAdmissions counts workflows admitted without a feasible
+	// deadline decomposition (see SubmitResponse.BestEffort).
+	BestEffortAdmissions int64 `json:"best_effort_admissions"`
 }
 
 // DrainRequest asks the RM to stop issuing leases. With WaitMs > 0 the

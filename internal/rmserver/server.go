@@ -115,6 +115,7 @@ type rmJob struct {
 	inFlight    resource.Vector
 	parallelCap resource.Vector
 	minSlots    int64
+	bestEffort  bool
 
 	done     bool
 	doneSlot int64
@@ -278,14 +279,28 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 		return rmproto.SubmitResponse{}, err
 	}
 
-	dec, err := deadline.Decompose(wf, deadline.Options{Slot: s.cfg.SlotDur, ClusterCap: capacity})
-	if err != nil {
-		return rmproto.SubmitResponse{}, err
+	// Admission control: try the deadline decomposition, then the
+	// critical-path fallback; a workflow infeasible under both is admitted
+	// best-effort — every job gets the whole workflow span as its window
+	// and planners exclude it from the joint LP — instead of rejected.
+	opts := deadline.Options{Slot: s.cfg.SlotDur, ClusterCap: capacity}
+	dec, derr := deadline.Decompose(wf, opts)
+	if derr != nil {
+		opts.ForceCriticalPath = true
+		dec, derr = deadline.Decompose(wf, opts)
+	}
+	bestEffort := derr != nil
+	if bestEffort {
+		s.faults.BestEffortAdmissions++
 	}
 
 	st := &wfState{wf: wf, jobs: make([]*rmJob, wf.NumJobs())}
 	for i := 0; i < wf.NumJobs(); i++ {
 		job := wf.Job(i)
+		release, dl := wf.Submit, wf.Deadline
+		if !bestEffort {
+			release, dl = dec.Windows[i].Release, dec.Windows[i].Deadline
+		}
 		j := &rmJob{
 			id:          fmt.Sprintf("%s/%s#%d", wf.ID, job.Name, i),
 			kind:        sched.DeadlineJob,
@@ -293,17 +308,18 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 			jobName:     job.Name,
 			nodeIdx:     i,
 			arrived:     now,
-			release:     dec.Windows[i].Release,
-			deadline:    dec.Windows[i].Deadline,
+			release:     release,
+			deadline:    dl,
 			total:       job.Volume(s.cfg.SlotDur),
 			parallelCap: job.ParallelCap(),
 			minSlots:    job.MinRuntimeSlots(s.cfg.SlotDur, capacity),
+			bestEffort:  bestEffort,
 		}
 		st.jobs[i] = j
 		s.jobs[j.id] = j
 	}
 	s.wfs[wf.ID] = st
-	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID}, nil
+	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID, BestEffort: bestEffort}, nil
 }
 
 // SubmitAdHoc accepts an ad-hoc job, effective immediately.
@@ -385,11 +401,12 @@ func (s *Server) Tick(now time.Time) error {
 			continue
 		}
 		st := sched.JobState{
-			ID:      j.id,
-			Kind:    j.kind,
-			Arrived: j.arrived,
-			Ready:   s.readyLocked(j),
-			Request: j.parallelCap.Min(j.total.SubClamped(j.delivered).SubClamped(j.inFlight)),
+			ID:         j.id,
+			Kind:       j.kind,
+			Arrived:    j.arrived,
+			Ready:      s.readyLocked(j),
+			Request:    j.parallelCap.Min(j.total.SubClamped(j.delivered).SubClamped(j.inFlight)),
+			BestEffort: j.bestEffort,
 		}
 		if j.kind == sched.DeadlineJob {
 			st.WorkflowID = j.wfID
@@ -565,8 +582,20 @@ func (s *Server) Status() rmproto.StatusResponse {
 		if j.kind == sched.DeadlineJob {
 			st.DeadlineSec = int64(j.deadline / time.Second)
 			st.Missed = missedDeadline(j.deadline, j.done, j.doneSlot, s.slot, s.cfg.SlotDur)
+			st.BestEffort = j.bestEffort
 		}
 		resp.Jobs = append(resp.Jobs, st)
+	}
+	if dr, ok := s.cfg.Scheduler.(sched.DegradationReporter); ok {
+		d := dr.Degradation()
+		resp.Degradation = &rmproto.DegradationStatus{
+			Level:           d.Level.String(),
+			LevelCode:       int(d.Level),
+			Reason:          d.Reason,
+			MinMaxFallbacks: d.MinMaxFallbacks,
+			GreedyFallbacks: d.GreedyFallbacks,
+			InvalidPlans:    d.InvalidPlans,
+		}
 	}
 	return resp
 }

@@ -77,6 +77,12 @@ type JobState struct {
 	Request resource.Vector
 	// Ready reports whether all dependencies have completed.
 	Ready bool
+	// BestEffort marks a deadline job admitted without a feasible window
+	// decomposition (admission control). Planning schedulers exclude such
+	// jobs from their joint optimization — their windows are not
+	// trustworthy — and serve them from leftover capacity instead, ahead
+	// of ad-hoc work.
+	BestEffort bool
 }
 
 // ClusterView exposes the cluster to schedulers.

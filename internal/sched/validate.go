@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"flowtime/internal/resource"
+)
+
+// PlanWindow is the effective scheduling window a plan was built against
+// for one job: the slot range allocation is permitted in, the per-slot
+// parallelism ceiling, and the total remaining demand. Windows are in
+// absolute slots; DlSlot is exclusive.
+type PlanWindow struct {
+	RelSlot     int64
+	DlSlot      int64
+	ParallelCap resource.Vector
+	Demand      resource.Vector
+}
+
+// ValidatePlan checks the invariants every multi-slot plan must satisfy
+// before a simulator or resource manager executes it:
+//
+//   - every granted job has a window;
+//   - no grant is negative;
+//   - no per-slot grant exceeds the job's parallelism cap;
+//   - nonzero grants fall only within the job's [release, deadline) window;
+//   - no job receives more than its remaining demand in total;
+//   - no slot's summed allocation exceeds cluster capacity.
+//
+// plan maps job ID to per-slot grants, offset 0 being absolute slot from;
+// capAt returns cluster capacity at an absolute slot. Returns nil, or an
+// error naming the first violation (jobs are scanned in sorted ID order
+// so the error is deterministic).
+func ValidatePlan(plan map[string][]resource.Vector, from int64, windows map[string]PlanWindow, capAt func(slot int64) resource.Vector) error {
+	ids := make([]string, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var load []resource.Vector
+	for _, id := range ids {
+		win, ok := windows[id]
+		if !ok {
+			return fmt.Errorf("sched: plan allocates to job %q with no window", id)
+		}
+		var total resource.Vector
+		for off, g := range plan[id] {
+			if g.AnyNegative() {
+				return fmt.Errorf("sched: job %q has negative grant %v at slot %d", id, g, from+int64(off))
+			}
+			if g.IsZero() {
+				continue
+			}
+			abs := from + int64(off)
+			if abs < win.RelSlot || abs >= win.DlSlot {
+				return fmt.Errorf("sched: job %q allocated %v at slot %d outside window [%d, %d)", id, g, abs, win.RelSlot, win.DlSlot)
+			}
+			if !g.FitsIn(win.ParallelCap) {
+				return fmt.Errorf("sched: job %q grant %v at slot %d exceeds parallel cap %v", id, g, abs, win.ParallelCap)
+			}
+			total = total.Add(g)
+			for int64(len(load)) <= int64(off) {
+				load = append(load, resource.Vector{})
+			}
+			load[off] = load[off].Add(g)
+		}
+		if !total.FitsIn(win.Demand) {
+			return fmt.Errorf("sched: job %q allocated %v in total, more than its demand %v", id, total, win.Demand)
+		}
+	}
+	for off, l := range load {
+		if l.IsZero() {
+			continue
+		}
+		abs := from + int64(off)
+		if c := capAt(abs); !l.FitsIn(c) {
+			return fmt.Errorf("sched: slot %d load %v exceeds capacity %v", abs, l, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+func vplan(grants ...resource.Vector) map[string][]resource.Vector {
+	return map[string][]resource.Vector{"j": grants}
+}
+
+func vwin(rel, dl int64, parCap, demand resource.Vector) map[string]PlanWindow {
+	return map[string]PlanWindow{"j": {RelSlot: rel, DlSlot: dl, ParallelCap: parCap, Demand: demand}}
+}
+
+func TestValidatePlan(t *testing.T) {
+	capacity := resource.New(10, 1000)
+	capAt := func(int64) resource.Vector { return capacity }
+	par := resource.New(4, 400)
+	demand := resource.New(8, 800)
+	g := resource.New(4, 400)
+
+	tests := []struct {
+		name    string
+		plan    map[string][]resource.Vector
+		from    int64
+		windows map[string]PlanWindow
+		capAt   func(int64) resource.Vector
+		wantErr string
+	}{
+		{
+			name:    "valid plan",
+			plan:    vplan(g, g),
+			windows: vwin(0, 2, par, demand),
+			capAt:   capAt,
+		},
+		{
+			name:    "zero grants outside window are fine",
+			plan:    vplan(resource.Vector{}, g, resource.Vector{}),
+			windows: vwin(1, 2, par, demand),
+			capAt:   capAt,
+		},
+		{
+			name:    "missing window",
+			plan:    vplan(g),
+			windows: map[string]PlanWindow{},
+			capAt:   capAt,
+			wantErr: "no window",
+		},
+		{
+			name:    "negative grant",
+			plan:    vplan(resource.New(-1, 100)),
+			windows: vwin(0, 1, par, demand),
+			capAt:   capAt,
+			wantErr: "negative grant",
+		},
+		{
+			name:    "grant before release",
+			plan:    vplan(g),
+			windows: vwin(1, 3, par, demand),
+			capAt:   capAt,
+			wantErr: "outside window",
+		},
+		{
+			name:    "grant at deadline",
+			plan:    vplan(resource.Vector{}, g),
+			from:    0,
+			windows: vwin(0, 1, par, demand),
+			capAt:   capAt,
+			wantErr: "outside window",
+		},
+		{
+			name:    "grant exceeds parallel cap",
+			plan:    vplan(resource.New(5, 500)),
+			windows: vwin(0, 1, par, demand),
+			capAt:   capAt,
+			wantErr: "parallel cap",
+		},
+		{
+			name:    "total exceeds demand",
+			plan:    vplan(g, g, g),
+			windows: vwin(0, 3, par, demand),
+			capAt:   capAt,
+			wantErr: "more than its demand",
+		},
+		{
+			name: "slot load exceeds capacity",
+			plan: map[string][]resource.Vector{
+				"a": {resource.New(4, 400)},
+				"b": {resource.New(4, 400)},
+				"c": {resource.New(4, 400)},
+			},
+			windows: map[string]PlanWindow{
+				"a": {RelSlot: 0, DlSlot: 1, ParallelCap: par, Demand: demand},
+				"b": {RelSlot: 0, DlSlot: 1, ParallelCap: par, Demand: demand},
+				"c": {RelSlot: 0, DlSlot: 1, ParallelCap: par, Demand: demand},
+			},
+			capAt:   capAt,
+			wantErr: "exceeds capacity",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ValidatePlan(tt.plan, tt.from, tt.windows, tt.capAt)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidatePlan = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("ValidatePlan = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidatePlanOffsetsAreAbsolute(t *testing.T) {
+	// A plan built at slot 5 with a window [5, 7): offset 0 is slot 5.
+	plan := vplan(resource.New(2, 200), resource.New(2, 200))
+	windows := vwin(5, 7, resource.New(4, 400), resource.New(4, 400))
+	capAt := func(slot int64) resource.Vector {
+		if slot < 5 || slot > 6 {
+			t.Errorf("capAt called with slot %d, want 5 or 6", slot)
+		}
+		return resource.New(10, 1000)
+	}
+	if err := ValidatePlan(plan, 5, windows, capAt); err != nil {
+		t.Fatalf("ValidatePlan = %v, want nil", err)
+	}
+}
+
+func TestDegradeLevelString(t *testing.T) {
+	for lv, want := range map[DegradeLevel]string{
+		DegradeNone:      "full",
+		DegradeMinMax:    "minmax",
+		DegradeGreedy:    "greedy",
+		DegradeLevel(99): "level(99)",
+	} {
+		if got := lv.String(); got != want {
+			t.Errorf("DegradeLevel(%d).String() = %q, want %q", lv, got, want)
+		}
+	}
+	var st DegradationStatus
+	if st.Degraded() {
+		t.Error("zero DegradationStatus reports degraded")
+	}
+	st.GreedyFallbacks = 1
+	if !st.Degraded() {
+		t.Error("status with fallbacks does not report degraded")
+	}
+}

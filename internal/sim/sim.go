@@ -49,6 +49,10 @@ type Config struct {
 	ForceCriticalPath bool
 	// RecordLoad enables per-slot load series capture.
 	RecordLoad bool
+	// Faults, when non-nil, perturbs the workload's ground truth (runtime
+	// jitter, stragglers) for chaos-testing the scheduling pipeline; see
+	// FaultInjection.
+	Faults *FaultInjection
 }
 
 // JobOutcome records one deadline job's result.
@@ -127,6 +131,18 @@ type Result struct {
 	// Slots is how many slots were actually simulated (early exit when
 	// all work completed).
 	Slots int64
+	// StalledSlots counts slots where nothing was granted although some
+	// ready, past-release job had a nonzero request and the cluster had
+	// capacity. A healthy scheduler keeps this at zero on greedy-style
+	// plans; plan-flattening schedulers may legitimately idle slots they
+	// have planned around, so this is a diagnostic, not an invariant.
+	StalledSlots int64
+	// BestEffortJobs counts deadline jobs admitted best-effort because
+	// their workflow had no feasible decomposition (admission control).
+	BestEffortJobs int
+	// Degradation is the scheduler's final ladder telemetry, when the
+	// scheduler reports one (sched.DegradationReporter); nil otherwise.
+	Degradation *sched.DegradationStatus
 }
 
 type runJob struct {
@@ -145,6 +161,8 @@ type runJob struct {
 	consumed    resource.Vector
 	parallelCap resource.Vector
 	minSlots    int64
+
+	bestEffort bool
 
 	arrivedYet bool
 	done       bool
@@ -213,17 +231,19 @@ func Run(cfg Config) (*Result, error) {
 		states := make([]sched.JobState, 0, len(jobs))
 		idx := make(map[string]*runJob, len(jobs))
 		liveWork := false
+		demandNow := false
 		for _, j := range jobs {
 			if !j.arrivedYet || j.done {
 				continue
 			}
 			liveWork = true
 			st := sched.JobState{
-				ID:      j.id,
-				Kind:    j.kind,
-				Arrived: j.arrived,
-				Ready:   jobReady(j, byNode, cfg),
-				Request: request(j),
+				ID:         j.id,
+				Kind:       j.kind,
+				Arrived:    j.arrived,
+				Ready:      jobReady(j, byNode, cfg),
+				Request:    request(j),
+				BestEffort: j.bestEffort,
 			}
 			if j.kind == sched.DeadlineJob {
 				st.WorkflowID = cfg.Workflows[j.wfIdx].ID
@@ -233,6 +253,10 @@ func Run(cfg Config) (*Result, error) {
 				st.EstRemaining = estRemaining(j)
 				st.ParallelCap = j.parallelCap
 				st.MinSlots = j.minSlots
+			}
+			if st.Ready && !st.Request.IsZero() &&
+				(st.Kind != sched.DeadlineJob || int64(st.Release/cfg.SlotDur) <= slot) {
+				demandNow = true
 			}
 			states = append(states, st)
 			idx[j.id] = j
@@ -280,6 +304,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
+		if demandNow && dlUsed.IsZero() && ahUsed.IsZero() && !cfg.Capacity(slot).IsZero() {
+			res.StalledSlots++
+		}
+
 		if cfg.RecordLoad {
 			res.Load = append(res.Load, LoadSample{
 				Slot: slot, Deadline: dlUsed, AdHoc: ahUsed, Capacity: cfg.Capacity(slot),
@@ -316,15 +344,32 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	collectOutcomes(cfg, jobs, wfDeadlines, res)
+	for _, j := range jobs {
+		if j.bestEffort {
+			res.BestEffortJobs++
+		}
+	}
+	if dr, ok := cfg.Scheduler.(sched.DegradationReporter); ok {
+		d := dr.Degradation()
+		res.Degradation = &d
+	}
 	return res, nil
 }
 
 // buildJobs materializes run state: decomposes every workflow into job
-// windows and registers ad-hoc jobs.
+// windows and registers ad-hoc jobs. Workflows with no feasible
+// decomposition — even under the critical-path fallback — are admitted
+// best-effort (every job gets the whole workflow span as its window)
+// instead of rejected, so one impossible deadline cannot abort the run or
+// poison the planners' joint LP.
 func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 	var jobs []*runJob
 	wfDeadlines := make(map[int]time.Duration, len(cfg.Workflows))
 	seen := make(map[string]bool)
+	frng, err := cfg.Faults.newRand()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: %w", err)
+	}
 
 	for wi, wf := range cfg.Workflows {
 		if err := wf.Validate(); err != nil {
@@ -336,14 +381,17 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 		seen[wf.ID] = true
 		wfDeadlines[wi] = wf.Deadline
 
-		dec, err := deadline.Decompose(wf, deadline.Options{
+		opts := deadline.Options{
 			Slot:              cfg.SlotDur,
 			ClusterCap:        cfg.Capacity(int64(wf.Submit / cfg.SlotDur)),
 			ForceCriticalPath: cfg.ForceCriticalPath,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("sim: %w", err)
 		}
+		dec, err := deadline.Decompose(wf, opts)
+		if err != nil && !cfg.ForceCriticalPath {
+			opts.ForceCriticalPath = true
+			dec, err = deadline.Decompose(wf, opts)
+		}
+		bestEffort := err != nil
 		for ni := 0; ni < wf.NumJobs(); ni++ {
 			job := wf.Job(ni)
 			est := job.Volume(cfg.SlotDur)
@@ -353,19 +401,24 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 				TaskDuration: job.EffectiveTaskDuration(),
 				TaskDemand:   job.TaskDemand,
 			}.Volume(cfg.SlotDur)
+			release, dl := wf.Submit, wf.Deadline
+			if !bestEffort {
+				release, dl = dec.Windows[ni].Release, dec.Windows[ni].Deadline
+			}
 			jobs = append(jobs, &runJob{
 				id:          fmt.Sprintf("%s/%s#%d", wf.ID, job.Name, ni),
 				kind:        sched.DeadlineJob,
 				wfIdx:       wi,
 				nodeIdx:     ni,
 				arrived:     wf.Submit,
-				release:     dec.Windows[ni].Release,
-				deadline:    dec.Windows[ni].Deadline,
+				release:     release,
+				deadline:    dl,
 				estTotal:    est,
 				origEst:     est,
-				actualLeft:  actual,
+				actualLeft:  cfg.Faults.perturb(frng, actual),
 				parallelCap: job.ParallelCap(),
 				minSlots:    job.MinRuntimeSlots(cfg.SlotDur, cfg.Capacity(0)),
+				bestEffort:  bestEffort,
 			})
 		}
 	}
@@ -383,7 +436,7 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 			kind:        sched.AdHocJob,
 			wfIdx:       -1,
 			arrived:     ah.Submit,
-			actualLeft:  ah.Volume(cfg.SlotDur),
+			actualLeft:  cfg.Faults.perturb(frng, ah.Volume(cfg.SlotDur)),
 			parallelCap: ah.ParallelCap(),
 		})
 	}
