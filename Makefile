@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet fmt bench check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
+# bench runs the micro-benchmarks and then the RM perf probes, leaving a
+# machine-readable BENCH_rm.json (confirm throughput with and without the
+# WAL, fsync percentiles, recovery time) for the perf trajectory.
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json
 
-check: vet race
+check: vet fmt race

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"flowtime/internal/rmproto"
+	"flowtime/internal/rmserver"
+	"flowtime/internal/trace"
+)
+
+// buildFTRM compiles the ftrm binary once per test run.
+func buildFTRM(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "ftrm")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ftrm: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// startFTRM launches the RM process against the given state directory.
+func startFTRM(t *testing.T, bin, stateDir string, port int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-sched", "FIFO",
+		"-slot", "50ms",
+		"-lease-expiry", "8",
+		"-drain-timeout", "5s",
+		"-state-dir", stateDir,
+		"-snapshot-every", "40",
+		"-fsync", "always",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start ftrm: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// waitStatus polls /v1/status until ok reports the poll can stop, the
+// process under test dies, or the deadline passes.
+func waitStatus(t *testing.T, client *rmserver.Client, timeout time.Duration, what string, ok func(rmproto.StatusResponse) bool) rmproto.StatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last rmproto.StatusResponse
+	var lastErr error
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		st, err := client.Status(ctx)
+		cancel()
+		if err == nil {
+			last, lastErr = st, nil
+			if ok(st) {
+				return st
+			}
+		} else {
+			lastErr = err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s: last status %+v, last error %v", what, last, lastErr)
+	return last
+}
+
+// TestKillAndRestartRecovers is the kill-and-restart chaos test: a real
+// ftrm process is SIGKILLed mid-workload and restarted from its state
+// directory. Every submitted job must survive the crash and complete
+// with exactly its required volume delivered — no lost submissions, no
+// double-counted work, no phantom in-flight volume. A subsequent clean
+// SIGTERM shutdown must leave a final snapshot so the next start
+// replays zero WAL records.
+func TestKillAndRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test")
+	}
+	bin := buildFTRM(t)
+	stateDir := t.TempDir()
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	client := rmserver.NewClient(base, nil)
+
+	proc1 := startFTRM(t, bin, stateDir, port)
+
+	// One in-process node agent. It outlives both RM incarnations: on the
+	// RM's restart the heartbeat gets unknown_node and the agent
+	// re-registers with empty hands, exactly like a production ftnode.
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	go rmserver.RunAgent(agentCtx, rmserver.NewClient(base, nil), rmserver.AgentConfig{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 16, MemoryMB: 65536},
+	})
+	waitStatus(t, client, 10*time.Second, "node registration", func(st rmproto.StatusResponse) bool {
+		return st.Nodes == 1
+	})
+
+	// Submit a two-job chain workflow and an ad-hoc job: 3 jobs total.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.SubmitWorkflow(ctx, rmproto.SubmitWorkflowRequest{Workflow: trace.WorkflowRecord{
+		ID: "wf-crash", DeadlineSec: 3600,
+		Jobs: []trace.JobRecord{
+			{Name: "a", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024},
+			{Name: "b", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024},
+		},
+		Deps: [][2]int{{0, 1}},
+	}}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	if _, err := client.SubmitAdHoc(ctx, rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "a1", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+
+	// Let the workload get into flight, then SIGKILL mid-slot.
+	waitStatus(t, client, 15*time.Second, "work in flight", func(st rmproto.StatusResponse) bool {
+		return st.OutstandingLeases > 0
+	})
+	if err := proc1.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	proc1.Wait()
+
+	// Restart from the same state directory and port.
+	startFTRM(t, bin, stateDir, port)
+	st := waitStatus(t, client, 15*time.Second, "restarted RM", func(st rmproto.StatusResponse) bool {
+		return st.Recovery != nil
+	})
+	if !st.Recovery.Performed {
+		t.Fatalf("no recovery after restart: %+v", st.Recovery)
+	}
+	if len(st.Jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3 (lost submissions): %+v", len(st.Jobs), st.Jobs)
+	}
+
+	// Everything must run to completion, exactly once.
+	final := waitStatus(t, client, 60*time.Second, "workload completion", func(st rmproto.StatusResponse) bool {
+		if st.OutstandingLeases != 0 {
+			return false
+		}
+		for _, j := range st.Jobs {
+			if j.State != "completed" {
+				return false
+			}
+		}
+		return len(st.Jobs) == 3
+	})
+	for _, j := range final.Jobs {
+		if j.Delivered != j.Total {
+			t.Errorf("job %s delivered %+v, want exactly %+v (exactly-once violated)", j.ID, j.Delivered, j.Total)
+		}
+	}
+	if final.OutstandingLeases != 0 {
+		t.Errorf("phantom in-flight volume: %d leases outstanding after completion", final.OutstandingLeases)
+	}
+}
+
+// TestGracefulShutdownSnapshotsState verifies the clean-shutdown path: a
+// SIGTERM drain writes a final snapshot, and the next start replays zero
+// WAL records.
+func TestGracefulShutdownSnapshotsState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level test")
+	}
+	bin := buildFTRM(t)
+	stateDir := t.TempDir()
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	client := rmserver.NewClient(base, nil)
+
+	proc1 := startFTRM(t, bin, stateDir, port)
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	go rmserver.RunAgent(agentCtx, rmserver.NewClient(base, nil), rmserver.AgentConfig{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 16, MemoryMB: 65536},
+	})
+	waitStatus(t, client, 10*time.Second, "node registration", func(st rmproto.StatusResponse) bool {
+		return st.Nodes == 1
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := client.SubmitAdHoc(ctx, rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "a1", Tasks: 2, TaskDurSec: 1, DemandVCores: 2, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	waitStatus(t, client, 30*time.Second, "ad-hoc completion", func(st rmproto.StatusResponse) bool {
+		return len(st.Jobs) == 1 && st.Jobs[0].State == "completed" && st.OutstandingLeases == 0
+	})
+
+	if err := proc1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := proc1.Wait(); err != nil {
+		t.Fatalf("ftrm exited with error after SIGTERM: %v", err)
+	}
+
+	startFTRM(t, bin, stateDir, port)
+	st := waitStatus(t, client, 15*time.Second, "restart after graceful shutdown", func(st rmproto.StatusResponse) bool {
+		return st.Recovery != nil
+	})
+	if !st.Recovery.FromSnapshot {
+		t.Errorf("no final snapshot from graceful shutdown: %+v", st.Recovery)
+	}
+	if st.Recovery.RecordsReplayed != 0 {
+		t.Errorf("replayed %d WAL records after clean shutdown, want 0", st.Recovery.RecordsReplayed)
+	}
+	if st.Draining {
+		t.Error("restarted RM is draining; drain must not persist across restarts")
+	}
+	if len(st.Jobs) != 1 || st.Jobs[0].State != "completed" {
+		t.Errorf("completed job lost across clean restart: %+v", st.Jobs)
+	}
+}

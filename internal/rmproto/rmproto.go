@@ -104,6 +104,11 @@ type JobStatus struct {
 	Kind       string `json:"kind"` // "deadline" or "adhoc"
 	WorkflowID string `json:"workflow_id,omitempty"`
 	State      string `json:"state"` // "pending", "running", "completed"
+	// Delivered and Total expose the job's confirmed volume against its
+	// required volume, so exactly-once delivery is externally checkable
+	// (a double-counted confirm would show Delivered > Total).
+	Delivered Resources `json:"delivered"`
+	Total     Resources `json:"total"`
 	// DeadlineSec and CompletedSec are offsets from the RM epoch.
 	DeadlineSec  int64 `json:"deadline_sec,omitempty"`
 	CompletedSec int64 `json:"completed_sec,omitempty"`
@@ -132,6 +137,53 @@ type StatusResponse struct {
 	// Degradation is the scheduler's planner-ladder telemetry, present
 	// only when the scheduler maintains a degradation ladder (FlowTime).
 	Degradation *DegradationStatus `json:"degradation,omitempty"`
+	// Recovery summarizes the crash recovery the RM performed at startup;
+	// present only when the RM started from a state directory.
+	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+	// Durability carries WAL/snapshot counters; present only when the RM
+	// runs with a state store attached.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
+}
+
+// RecoveryStatus summarizes the crash recovery performed at RM startup.
+type RecoveryStatus struct {
+	// Performed is true whenever the RM started with a state store, even
+	// if the directory was empty.
+	Performed bool `json:"performed"`
+	// FromSnapshot is true when a snapshot was restored; SnapshotSlot is
+	// the slot clock it captured.
+	FromSnapshot bool  `json:"from_snapshot,omitempty"`
+	SnapshotSlot int64 `json:"snapshot_slot,omitempty"`
+	// RecordsReplayed is the number of WAL records replayed on top of the
+	// snapshot (or the empty state).
+	RecordsReplayed int `json:"records_replayed"`
+	// WALTruncated is true when a torn or corrupt WAL tail was cut;
+	// TruncatedBytes is how much was discarded.
+	WALTruncated   bool  `json:"wal_truncated,omitempty"`
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	// OrphanLeasesRequeued counts in-flight leases reclaimed at recovery
+	// (their node bindings died with the previous process).
+	OrphanLeasesRequeued int `json:"orphan_leases_requeued,omitempty"`
+	// StaleFilesRemoved counts leftover files from older generations or
+	// interrupted rotations cleaned up at startup.
+	StaleFilesRemoved int `json:"stale_files_removed,omitempty"`
+	// Slot is the slot clock after recovery; Micros is how long recovery
+	// took (store scan plus replay).
+	Slot   int64 `json:"slot"`
+	Micros int64 `json:"micros"`
+}
+
+// DurabilityStatus carries the state store's cumulative I/O counters.
+type DurabilityStatus struct {
+	FsyncPolicy       string `json:"fsync_policy"`
+	Generation        int64  `json:"generation"`
+	WALRecords        int64  `json:"wal_records"`
+	WALBytes          int64  `json:"wal_bytes"`
+	Fsyncs            int64  `json:"fsyncs"`
+	FsyncTotalMicros  int64  `json:"fsync_total_micros"`
+	FsyncMaxMicros    int64  `json:"fsync_max_micros"`
+	Snapshots         int64  `json:"snapshots"`
+	LastSnapshotBytes int    `json:"last_snapshot_bytes"`
 }
 
 // DegradationStatus is the wire form of sched.DegradationStatus.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flowtime/internal/resource"
+	"flowtime/internal/rmproto"
 	"flowtime/internal/sched"
 )
 
@@ -90,6 +91,68 @@ func BenchmarkCompleteQuantumSeedScan(b *testing.B) {
 				s.mu.Lock()
 				seedComplete(qid)
 				s.mu.Unlock()
+			}
+		})
+	}
+}
+
+// benchPending builds a node with n quanta queued for its next
+// heartbeat, for the drop-pending benchmarks.
+func benchPending(n int) *node {
+	nd := &node{id: "n1", capacity: resource.New(1<<20, 1<<30)}
+	for i := 0; i < n; i++ {
+		nd.enqueue(rmproto.Quantum{ID: fmt.Sprintf("q-%d", i), Grant: rmproto.Resources{VCores: 1, MemoryMB: 256}})
+	}
+	return nd
+}
+
+// BenchmarkDropPendingIndexed measures reclaiming a queued quantum via
+// the node's pendingPos index (O(1) tombstone).
+func BenchmarkDropPendingIndexed(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("pending=%d", n), func(b *testing.B) {
+			nd := benchPending(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qid := fmt.Sprintf("q-%d", i%n)
+				if !nd.dropPending(qid) {
+					// Re-arm: restore the tombstoned entry.
+					j := i % n
+					nd.pending[j] = rmproto.Quantum{ID: qid}
+					nd.pendingPos[qid] = j
+					nd.dropped--
+					nd.dropPending(qid)
+				}
+				j := i % n
+				nd.pending[j] = rmproto.Quantum{ID: qid}
+				nd.pendingPos[qid] = j
+				nd.dropped--
+			}
+		})
+	}
+}
+
+// BenchmarkDropPendingSeedScan is the seed's linear dropQuantum scan
+// (copy-and-filter of the whole pending slice per drop), reconstructed
+// as the baseline the index replaces.
+func BenchmarkDropPendingSeedScan(b *testing.B) {
+	seedDrop := func(pending []rmproto.Quantum, qid string) []rmproto.Quantum {
+		out := pending[:0]
+		for _, q := range pending {
+			if q.ID != qid {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	for _, n := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("pending=%d", n), func(b *testing.B) {
+			nd := benchPending(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qid := fmt.Sprintf("q-%d", i%n)
+				nd.pending = seedDrop(nd.pending, qid)
+				nd.pending = append(nd.pending, rmproto.Quantum{ID: qid}) // re-arm
 			}
 		})
 	}

@@ -91,6 +91,22 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# TYPE flowtime_sched_fallback_greedy_total counter\nflowtime_sched_fallback_greedy_total %d\n", d.GreedyFallbacks)
 			fmt.Fprintf(w, "# TYPE flowtime_sched_invalid_plans_total counter\nflowtime_sched_invalid_plans_total %d\n", d.InvalidPlans)
 		}
+		if d := st.Durability; d != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_records_total counter\nflowtime_rm_wal_records_total %d\n", d.WALRecords)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_bytes_total counter\nflowtime_rm_wal_bytes_total %d\n", d.WALBytes)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_fsyncs_total counter\nflowtime_rm_wal_fsyncs_total %d\n", d.Fsyncs)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_fsync_micros_total counter\nflowtime_rm_wal_fsync_micros_total %d\n", d.FsyncTotalMicros)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_fsync_micros_max gauge\nflowtime_rm_wal_fsync_micros_max %d\n", d.FsyncMaxMicros)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_snapshots_total counter\nflowtime_rm_snapshots_total %d\n", d.Snapshots)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_snapshot_bytes gauge\nflowtime_rm_snapshot_bytes %d\n", d.LastSnapshotBytes)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_generation gauge\nflowtime_rm_wal_generation %d\n", d.Generation)
+		}
+		if r := st.Recovery; r != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_records_replayed gauge\nflowtime_rm_recovery_records_replayed %d\n", r.RecordsReplayed)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_micros gauge\nflowtime_rm_recovery_micros %d\n", r.Micros)
+			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_wal_truncated gauge\nflowtime_rm_recovery_wal_truncated %d\n", boolToInt(r.WALTruncated))
+			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_orphan_leases gauge\nflowtime_rm_recovery_orphan_leases %d\n", r.OrphanLeasesRequeued)
+		}
 	})
 	return mux
 }

@@ -1,0 +1,564 @@
+// Durability: the RM journals every state mutation to a write-ahead log
+// (internal/store) and periodically snapshots its full state. WAL
+// records capture the *outcome* of a mutation (decomposed windows,
+// issued lease IDs, confirmed quanta), not its input, so replay is
+// deterministic without nodes, a scheduler, or the deadline decomposer
+// — and idempotent, so replaying the same tail twice (or recovering the
+// same directory twice) converges to the same state.
+//
+// What is journaled and what is not:
+//
+//   - Workflow and ad-hoc submissions, with their decomposed windows
+//     and min-slot counts (capacity at submit time is not recoverable).
+//   - Every tick: the new slot value, leases granted, leases requeued
+//     by node eviction or lease expiry, and the fault counters.
+//   - Heartbeat confirmations that actually applied (stale confirms
+//     change nothing and are not journaled).
+//   - Lease requeues triggered by node re-registration.
+//   - NOT journaled: node registrations and heartbeat liveness. Nodes
+//     are soft state re-established by the agents' re-register loop;
+//     accordingly, recovery requeues every in-flight lease (its node
+//     binding died with the process) and re-grants the work.
+//   - NOT journaled: drain state. Draining is a property of the process
+//     ("for the life of the process"), not of the workload — a restarted
+//     RM schedules again, otherwise a post-shutdown restart would come
+//     up permanently refusing work.
+package rmserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/trace"
+	"flowtime/internal/workflow"
+)
+
+// snapVersion identifies the snapshot schema.
+const snapVersion = 1
+
+// walRecord is the one-of union journaled per mutation.
+type walRecord struct {
+	Workflow *recWorkflow `json:"wf,omitempty"`
+	AdHoc    *recAdHoc    `json:"adhoc,omitempty"`
+	Tick     *recTick     `json:"tick,omitempty"`
+	Confirm  *recConfirm  `json:"confirm,omitempty"`
+	Requeue  *recRequeue  `json:"requeue,omitempty"`
+}
+
+// recWorkflow journals one admitted workflow: the original trace record
+// (for the DAG and job specs) plus everything admission computed — the
+// re-anchored window and the per-job decomposed windows.
+type recWorkflow struct {
+	WF         trace.WorkflowRecord `json:"wf"`
+	SubmitNS   int64                `json:"submit_ns"`
+	DeadlineNS int64                `json:"deadline_ns"`
+	Slot       int64                `json:"slot"`
+	BestEffort bool                 `json:"best_effort,omitempty"`
+	Windows    []recWindow          `json:"windows"`
+}
+
+type recWindow struct {
+	ReleaseNS  int64 `json:"release_ns"`
+	DeadlineNS int64 `json:"deadline_ns"`
+	MinSlots   int64 `json:"min_slots"`
+}
+
+type recAdHoc struct {
+	Job  trace.AdHocRecord `json:"job"`
+	Slot int64             `json:"slot"`
+}
+
+// recTick journals one slot advance: the post-advance slot value, the
+// leases reclaimed by eviction/expiry during the tick, the leases
+// granted, and the authoritative fault counters at tick end.
+type recTick struct {
+	Slot     int64                 `json:"slot"`
+	Requeued []string              `json:"requeued,omitempty"`
+	Grants   []recGrant            `json:"grants,omitempty"`
+	Faults   rmproto.FaultCounters `json:"faults"`
+}
+
+type recGrant struct {
+	QID    string          `json:"qid"`
+	JobID  string          `json:"job"`
+	NodeID string          `json:"node"`
+	Grant  resource.Vector `json:"grant"`
+	Expiry int64           `json:"expiry,omitempty"`
+}
+
+// recConfirm journals the quanta one heartbeat actually confirmed.
+type recConfirm struct {
+	Slot   int64                 `json:"slot"`
+	QIDs   []string              `json:"qids"`
+	Faults rmproto.FaultCounters `json:"faults"`
+}
+
+// recRequeue journals leases reclaimed outside a tick (node
+// re-registration).
+type recRequeue struct {
+	QIDs   []string              `json:"qids"`
+	Faults rmproto.FaultCounters `json:"faults"`
+}
+
+// snapState is the full-state snapshot payload.
+type snapState struct {
+	Version   int                   `json:"version"`
+	SlotDurNS int64                 `json:"slot_dur_ns"`
+	Slot      int64                 `json:"slot"`
+	NextQID   int64                 `json:"next_qid"`
+	Faults    rmproto.FaultCounters `json:"faults"`
+	Workflows []snapWorkflow        `json:"workflows,omitempty"`
+	AdHoc     []snapJob             `json:"adhoc,omitempty"`
+	Leases    []snapLease           `json:"leases,omitempty"`
+}
+
+type snapWorkflow struct {
+	WF         trace.WorkflowRecord `json:"wf"`
+	SubmitNS   int64                `json:"submit_ns"`
+	DeadlineNS int64                `json:"deadline_ns"`
+	Jobs       []snapJob            `json:"jobs"` // in node-index order
+}
+
+type snapJob struct {
+	ID          string          `json:"id"`
+	Kind        int             `json:"kind"`
+	JobName     string          `json:"job_name,omitempty"`
+	NodeIdx     int             `json:"node_idx"`
+	ArrivedNS   int64           `json:"arrived_ns"`
+	ReleaseNS   int64           `json:"release_ns"`
+	DeadlineNS  int64           `json:"deadline_ns"`
+	Total       resource.Vector `json:"total"`
+	Delivered   resource.Vector `json:"delivered"`
+	InFlight    resource.Vector `json:"in_flight"`
+	ParallelCap resource.Vector `json:"parallel_cap"`
+	MinSlots    int64           `json:"min_slots"`
+	BestEffort  bool            `json:"best_effort,omitempty"`
+	Done        bool            `json:"done,omitempty"`
+	DoneSlot    int64           `json:"done_slot,omitempty"`
+}
+
+type snapLease struct {
+	QID    string          `json:"qid"`
+	JobID  string          `json:"job"`
+	NodeID string          `json:"node"`
+	Grant  resource.Vector `json:"grant"`
+	Issued int64           `json:"issued"`
+	Expiry int64           `json:"expiry,omitempty"`
+}
+
+// journalLocked appends one record to the WAL, returning its commit
+// handle (0 with no store). Must be called with s.mu held so record
+// order matches mutation order.
+func (s *Server) journalLocked(rec walRecord) (int64, error) {
+	if s.store == nil {
+		return 0, nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	return s.store.Append(payload)
+}
+
+// commitSeq makes a journaled record durable per the store's fsync
+// policy. Called WITHOUT s.mu so a slow fsync never blocks the control
+// plane; concurrent committers group-commit.
+func (s *Server) commitSeq(seq int64) error {
+	if s.store == nil || seq <= 0 {
+		return nil
+	}
+	if err := s.store.Commit(seq); err != nil {
+		return fmt.Errorf("rmserver: wal commit: %w", err)
+	}
+	return nil
+}
+
+// qidNum extracts the numeric suffix of a quantum ID ("q-42" -> 42).
+func qidNum(qid string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(qid, "q-"), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// recoverLocked rebuilds state from the store: restore the recovered
+// snapshot, replay the WAL tail, then reclaim every in-flight lease —
+// the node bindings died with the previous process, and the agents will
+// re-register with empty hands. Replay is idempotent: duplicate
+// submissions are skipped, grants are gated on the quantum-ID
+// watermark, and confirms/requeues of unknown leases are no-ops.
+func (s *Server) recoverLocked() error {
+	start := time.Now()
+	info := s.store.Recovery()
+	rec := rmproto.RecoveryStatus{
+		Performed:         true,
+		WALTruncated:      info.Truncated,
+		TruncatedBytes:    info.TruncatedBytes,
+		StaleFilesRemoved: info.StaleFilesRemoved,
+	}
+	if snap := s.store.RecoveredSnapshot(); snap != nil {
+		var st snapState
+		if err := json.Unmarshal(snap, &st); err != nil {
+			return fmt.Errorf("decode snapshot: %w", err)
+		}
+		if err := s.restoreSnapshotLocked(&st); err != nil {
+			return err
+		}
+		rec.FromSnapshot = true
+		rec.SnapshotSlot = st.Slot
+	}
+	for i, payload := range s.store.RecoveredRecords() {
+		if err := s.applyRecordLocked(payload); err != nil {
+			return fmt.Errorf("replay record %d/%d: %w", i+1, info.Records, err)
+		}
+		rec.RecordsReplayed++
+	}
+	rec.OrphanLeasesRequeued = s.requeueAllLeasesLocked()
+	rec.Slot = s.slot
+	rec.Micros = (time.Since(start) + info.Elapsed).Microseconds()
+	s.recovery = &rec
+	return nil
+}
+
+// requeueAllLeasesLocked reclaims every in-flight lease (recovery: no
+// node holds them anymore) in deterministic order.
+func (s *Server) requeueAllLeasesLocked() int {
+	if len(s.leases) == 0 {
+		return 0
+	}
+	qids := make([]string, 0, len(s.leases))
+	for qid := range s.leases {
+		qids = append(qids, qid)
+	}
+	sort.Strings(qids)
+	for _, qid := range qids {
+		s.requeueLeaseLocked(s.leases[qid])
+	}
+	return len(qids)
+}
+
+func (s *Server) restoreSnapshotLocked(st *snapState) error {
+	if st.Version != snapVersion {
+		return fmt.Errorf("snapshot version %d, want %d", st.Version, snapVersion)
+	}
+	if got := time.Duration(st.SlotDurNS); got != s.cfg.SlotDur {
+		return fmt.Errorf("state dir was written with slot=%v, server runs slot=%v", got, s.cfg.SlotDur)
+	}
+	s.slot = st.Slot
+	s.nextQID = st.NextQID
+	s.faults = st.Faults
+	for i := range st.Workflows {
+		sw := &st.Workflows[i]
+		wf, err := workflowFromRecord(sw.WF, sw.SubmitNS, sw.DeadlineNS)
+		if err != nil {
+			return fmt.Errorf("snapshot workflow %s: %w", sw.WF.ID, err)
+		}
+		ws := &wfState{wf: wf, jobs: make([]*rmJob, len(sw.Jobs))}
+		for idx := range sw.Jobs {
+			j := rmJobFromSnap(&sw.Jobs[idx], wf.ID)
+			ws.jobs[idx] = j
+			s.jobs[j.id] = j
+		}
+		s.wfs[wf.ID] = ws
+	}
+	for i := range st.AdHoc {
+		j := rmJobFromSnap(&st.AdHoc[i], "")
+		s.jobs[j.id] = j
+	}
+	for _, sl := range st.Leases {
+		j, ok := s.jobs[sl.JobID]
+		if !ok {
+			return fmt.Errorf("snapshot lease %s references unknown job %s", sl.QID, sl.JobID)
+		}
+		s.leases[sl.QID] = &lease{
+			qid: sl.QID, job: j, nodeID: sl.NodeID,
+			grant: sl.Grant, issued: sl.Issued, expiry: sl.Expiry,
+		}
+	}
+	return nil
+}
+
+func rmJobFromSnap(sj *snapJob, wfID string) *rmJob {
+	return &rmJob{
+		id:          sj.ID,
+		kind:        sched.JobKind(sj.Kind),
+		wfID:        wfID,
+		jobName:     sj.JobName,
+		nodeIdx:     sj.NodeIdx,
+		arrived:     time.Duration(sj.ArrivedNS),
+		release:     time.Duration(sj.ReleaseNS),
+		deadline:    time.Duration(sj.DeadlineNS),
+		total:       sj.Total,
+		delivered:   sj.Delivered,
+		inFlight:    sj.InFlight,
+		parallelCap: sj.ParallelCap,
+		minSlots:    sj.MinSlots,
+		bestEffort:  sj.BestEffort,
+		done:        sj.Done,
+		doneSlot:    sj.DoneSlot,
+	}
+}
+
+func snapFromRMJob(j *rmJob) snapJob {
+	return snapJob{
+		ID:          j.id,
+		Kind:        int(j.kind),
+		JobName:     j.jobName,
+		NodeIdx:     j.nodeIdx,
+		ArrivedNS:   int64(j.arrived),
+		ReleaseNS:   int64(j.release),
+		DeadlineNS:  int64(j.deadline),
+		Total:       j.total,
+		Delivered:   j.delivered,
+		InFlight:    j.inFlight,
+		ParallelCap: j.parallelCap,
+		MinSlots:    j.minSlots,
+		BestEffort:  j.bestEffort,
+		Done:        j.done,
+		DoneSlot:    j.doneSlot,
+	}
+}
+
+// workflowFromRecord rebuilds a workflow object from its trace record
+// and re-anchors its window to the journaled nanosecond offsets (the
+// record's whole-second fields cannot express sub-second slot clocks).
+func workflowFromRecord(rec trace.WorkflowRecord, submitNS, deadlineNS int64) (*workflow.Workflow, error) {
+	tr := trace.Trace{Version: trace.FormatVersion, Workflows: []trace.WorkflowRecord{rec}}
+	wfs, _, err := tr.ToWorkload()
+	if err != nil {
+		return nil, err
+	}
+	wf := wfs[0]
+	wf.Submit = time.Duration(submitNS)
+	wf.Deadline = time.Duration(deadlineNS)
+	return wf, nil
+}
+
+func (s *Server) applyRecordLocked(payload []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	switch {
+	case rec.Workflow != nil:
+		return s.applyWorkflowLocked(rec.Workflow)
+	case rec.AdHoc != nil:
+		return s.applyAdHocLocked(rec.AdHoc)
+	case rec.Tick != nil:
+		s.applyTickLocked(rec.Tick)
+	case rec.Confirm != nil:
+		s.applyConfirmLocked(rec.Confirm)
+	case rec.Requeue != nil:
+		s.applyRequeueLocked(rec.Requeue)
+	default:
+		return fmt.Errorf("empty WAL record %q", payload)
+	}
+	return nil
+}
+
+func (s *Server) applyWorkflowLocked(r *recWorkflow) error {
+	if _, dup := s.wfs[r.WF.ID]; dup {
+		return nil // idempotent replay
+	}
+	if len(r.Windows) != len(r.WF.Jobs) {
+		return fmt.Errorf("workflow %s: %d windows for %d jobs", r.WF.ID, len(r.Windows), len(r.WF.Jobs))
+	}
+	wf, err := workflowFromRecord(r.WF, r.SubmitNS, r.DeadlineNS)
+	if err != nil {
+		return fmt.Errorf("workflow %s: %w", r.WF.ID, err)
+	}
+	arrived := time.Duration(r.Slot) * s.cfg.SlotDur
+	st := &wfState{wf: wf, jobs: make([]*rmJob, wf.NumJobs())}
+	for i := 0; i < wf.NumJobs(); i++ {
+		job := wf.Job(i)
+		w := r.Windows[i]
+		j := &rmJob{
+			id:          fmt.Sprintf("%s/%s#%d", wf.ID, job.Name, i),
+			kind:        sched.DeadlineJob,
+			wfID:        wf.ID,
+			jobName:     job.Name,
+			nodeIdx:     i,
+			arrived:     arrived,
+			release:     time.Duration(w.ReleaseNS),
+			deadline:    time.Duration(w.DeadlineNS),
+			total:       job.Volume(s.cfg.SlotDur),
+			parallelCap: job.ParallelCap(),
+			minSlots:    w.MinSlots,
+			bestEffort:  r.BestEffort,
+		}
+		st.jobs[i] = j
+		s.jobs[j.id] = j
+	}
+	s.wfs[wf.ID] = st
+	if r.BestEffort {
+		s.faults.BestEffortAdmissions++
+	}
+	return nil
+}
+
+func (s *Server) applyAdHocLocked(r *recAdHoc) error {
+	id := "adhoc/" + r.Job.ID
+	if _, dup := s.jobs[id]; dup {
+		return nil // idempotent replay
+	}
+	a := adHocFromRecord(r.Job)
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("ad-hoc %s: %w", r.Job.ID, err)
+	}
+	s.jobs[id] = &rmJob{
+		id:          id,
+		kind:        sched.AdHocJob,
+		arrived:     time.Duration(r.Slot) * s.cfg.SlotDur,
+		total:       a.Volume(s.cfg.SlotDur),
+		parallelCap: a.ParallelCap(),
+	}
+	return nil
+}
+
+func (s *Server) applyTickLocked(r *recTick) {
+	for _, qid := range r.Requeued {
+		if l, ok := s.leases[qid]; ok {
+			s.requeueLeaseLocked(l)
+		}
+	}
+	for _, g := range r.Grants {
+		n := qidNum(g.QID)
+		if n <= s.nextQID {
+			continue // already applied (prior replay pass or snapshot)
+		}
+		j, ok := s.jobs[g.JobID]
+		if !ok {
+			continue
+		}
+		s.nextQID = n
+		s.leases[g.QID] = &lease{
+			qid: g.QID, job: j, nodeID: g.NodeID,
+			grant: g.Grant, issued: r.Slot - 1, expiry: g.Expiry,
+		}
+		j.inFlight = j.inFlight.Add(g.Grant)
+	}
+	if r.Slot > s.slot {
+		s.slot = r.Slot
+	}
+	s.faults = r.Faults
+}
+
+func (s *Server) applyConfirmLocked(r *recConfirm) {
+	for _, qid := range r.QIDs {
+		if l, ok := s.leases[qid]; ok {
+			s.confirmLeaseLocked(l, r.Slot)
+		}
+	}
+	s.faults = r.Faults
+}
+
+func (s *Server) applyRequeueLocked(r *recRequeue) {
+	for _, qid := range r.QIDs {
+		if l, ok := s.leases[qid]; ok {
+			s.requeueLeaseLocked(l)
+		}
+	}
+	s.faults = r.Faults
+}
+
+// snapshotLocked serializes the full RM state, deterministically (map
+// iteration order must not leak into the payload).
+func (s *Server) snapshotLocked() ([]byte, error) {
+	st := snapState{
+		Version:   snapVersion,
+		SlotDurNS: int64(s.cfg.SlotDur),
+		Slot:      s.slot,
+		NextQID:   s.nextQID,
+		Faults:    s.faults,
+	}
+	wfIDs := make([]string, 0, len(s.wfs))
+	for id := range s.wfs {
+		wfIDs = append(wfIDs, id)
+	}
+	sort.Strings(wfIDs)
+	for _, id := range wfIDs {
+		ws := s.wfs[id]
+		rec, err := workflowToRecord(ws.wf)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot workflow %s: %w", id, err)
+		}
+		sw := snapWorkflow{
+			WF:         rec,
+			SubmitNS:   int64(ws.wf.Submit),
+			DeadlineNS: int64(ws.wf.Deadline),
+			Jobs:       make([]snapJob, len(ws.jobs)),
+		}
+		for i, j := range ws.jobs {
+			sw.Jobs[i] = snapFromRMJob(j)
+		}
+		st.Workflows = append(st.Workflows, sw)
+	}
+	jobIDs := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.kind == sched.AdHocJob {
+			jobIDs = append(jobIDs, id)
+		}
+	}
+	sort.Strings(jobIDs)
+	for _, id := range jobIDs {
+		st.AdHoc = append(st.AdHoc, snapFromRMJob(s.jobs[id]))
+	}
+	qids := make([]string, 0, len(s.leases))
+	for qid := range s.leases {
+		qids = append(qids, qid)
+	}
+	sort.Strings(qids)
+	for _, qid := range qids {
+		l := s.leases[qid]
+		st.Leases = append(st.Leases, snapLease{
+			QID: l.qid, JobID: l.job.id, NodeID: l.nodeID,
+			Grant: l.grant, Issued: l.issued, Expiry: l.expiry,
+		})
+	}
+	return json.Marshal(&st)
+}
+
+// writeSnapshotLocked snapshots the full state and rotates the WAL.
+// Holding s.mu across the disk write is deliberate: it guarantees no
+// record lands in the outgoing segment after the state it captures,
+// which rotation is about to delete.
+func (s *Server) writeSnapshotLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	payload, err := s.snapshotLocked()
+	if err != nil {
+		return fmt.Errorf("rmserver: snapshot: %w", err)
+	}
+	if err := s.store.WriteSnapshot(payload); err != nil {
+		return fmt.Errorf("rmserver: snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot persists a full-state snapshot and rotates the WAL, so
+// a subsequent recovery replays only records appended after this call.
+// A no-op without a store. The RM's run loop calls it on a cadence and
+// after a completed drain.
+func (s *Server) WriteSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeSnapshotLocked()
+}
+
+// workflowToRecord serializes a workflow back into its trace record.
+func workflowToRecord(wf *workflow.Workflow) (trace.WorkflowRecord, error) {
+	tr, err := trace.FromWorkload([]*workflow.Workflow{wf}, nil)
+	if err != nil {
+		return trace.WorkflowRecord{}, err
+	}
+	return tr.Workflows[0], nil
+}

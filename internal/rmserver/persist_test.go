@@ -1,0 +1,312 @@
+package rmserver
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/store"
+	"flowtime/internal/trace"
+)
+
+// newDurableRM opens (or reopens) a state directory and builds an RM on
+// it. The store is closed via t.Cleanup only when close is true — crash
+// tests deliberately abandon the store without closing it, exactly like
+// a SIGKILL would.
+func newDurableRM(t *testing.T, dir string, closeStore bool) (*Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Policy: store.SyncAlways})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	if closeStore {
+		t.Cleanup(func() { st.Close() })
+	}
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), Store: st})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rm, st
+}
+
+// runSlots drives n slots of tick+heartbeat against one node, confirming
+// every launched quantum on the following heartbeat.
+func runSlots(t *testing.T, rm *Server, nodeID string, n int, pending []string) []string {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := rm.Tick(time.Now()); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+		resp, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: nodeID, Completed: pending}, time.Now())
+		if err != nil {
+			t.Fatalf("Heartbeat: %v", err)
+		}
+		pending = pending[:0]
+		for _, q := range resp.Launch {
+			pending = append(pending, q.ID)
+		}
+	}
+	return pending
+}
+
+func submitBoth(t *testing.T, rm *Server) {
+	t.Helper()
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	if _, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "a1", Tasks: 2, TaskDurSec: 20, DemandVCores: 1, DemandMemMB: 512,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+}
+
+// TestCrashRecoveryResumesWork kills an RM mid-workload (the store is
+// abandoned un-closed, like SIGKILL) and verifies the successor recovers
+// the jobs, requeues the orphaned leases, and runs everything to
+// completion with exactly the required volume delivered — no lost and no
+// double-counted work.
+func TestCrashRecoveryResumesWork(t *testing.T) {
+	dir := t.TempDir()
+
+	rm1, _ := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	// A few slots in, with confirms applied and leases still in flight.
+	pending := runSlots(t, rm1, "n1", 3, nil)
+	if len(pending) == 0 {
+		t.Fatal("expected in-flight leases at crash point")
+	}
+	crashSlot := rm1.Slot()
+	// Crash: rm1 and its store are simply abandoned.
+
+	rm2, _ := newDurableRM(t, dir, true)
+	rec := rm2.Recovery()
+	if rec == nil || !rec.Performed {
+		t.Fatal("no recovery status after restart")
+	}
+	if rec.RecordsReplayed == 0 {
+		t.Fatalf("recovery replayed 0 records: %+v", rec)
+	}
+	if rec.OrphanLeasesRequeued != len(pending) {
+		t.Errorf("orphan leases requeued = %d, want %d", rec.OrphanLeasesRequeued, len(pending))
+	}
+	if rm2.Slot() != crashSlot {
+		t.Errorf("recovered slot = %d, want %d", rm2.Slot(), crashSlot)
+	}
+	st := rm2.Status()
+	if len(st.Jobs) != 3 { // 2 workflow jobs + 1 ad-hoc
+		t.Fatalf("recovered %d jobs, want 3", len(st.Jobs))
+	}
+	if st.OutstandingLeases != 0 {
+		t.Errorf("outstanding leases after recovery = %d, want 0 (all orphans requeued)", st.OutstandingLeases)
+	}
+
+	// The dead node's confirms must be rejected as stale, and the
+	// re-registered node must carry the remaining work to completion.
+	if _, err := rm2.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: pending}, time.Now()); err == nil {
+		t.Error("heartbeat from unregistered node accepted after recovery")
+	}
+	register(t, rm2, "n1", 8, 32768)
+	final := driveToCompletion(t, rm2, []string{"n1"}, 200)
+	for _, j := range final.Jobs {
+		if j.State != "completed" {
+			t.Errorf("job %s not completed after recovery: %s", j.ID, j.State)
+		}
+		if j.Delivered != j.Total {
+			t.Errorf("job %s delivered %+v, want exactly %+v", j.ID, j.Delivered, j.Total)
+		}
+	}
+}
+
+// normalizeStatus zeroes the fields that legitimately differ between two
+// recoveries of the same directory (timings and per-process I/O
+// counters), leaving all scheduling state for comparison.
+func normalizeStatus(st rmproto.StatusResponse) rmproto.StatusResponse {
+	if st.Recovery != nil {
+		r := *st.Recovery
+		r.Micros = 0
+		st.Recovery = &r
+	}
+	st.Durability = nil
+	return st
+}
+
+// TestRecoveryIdempotent recovers the same state directory twice and
+// requires bit-identical status: replaying the same WAL twice must
+// converge to the same state, not double-apply anything.
+func TestRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	rm1, _ := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	runSlots(t, rm1, "n1", 4, nil)
+
+	rmA, stA := newDurableRM(t, dir, false)
+	a, _ := json.Marshal(normalizeStatus(rmA.Status()))
+	stA.Close()
+
+	rmB, _ := newDurableRM(t, dir, true)
+	b, _ := json.Marshal(normalizeStatus(rmB.Status()))
+	if string(a) != string(b) {
+		t.Errorf("two recoveries of the same directory diverge:\n%s\n%s", a, b)
+	}
+}
+
+// TestRecoveryFromSnapshotPlusTail snapshots mid-run, keeps mutating,
+// crashes, and verifies recovery restores snapshot state plus the WAL
+// tail written after it.
+func TestRecoveryFromSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	rm1, _ := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	pending := runSlots(t, rm1, "n1", 2, nil)
+	if err := rm1.WriteSnapshot(); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snapSlot := rm1.Slot()
+	runSlots(t, rm1, "n1", 2, pending)
+	wantSlot := rm1.Slot()
+
+	rm2, _ := newDurableRM(t, dir, true)
+	rec := rm2.Recovery()
+	if !rec.FromSnapshot {
+		t.Fatalf("recovery did not use the snapshot: %+v", rec)
+	}
+	if rec.SnapshotSlot != snapSlot {
+		t.Errorf("snapshot slot = %d, want %d", rec.SnapshotSlot, snapSlot)
+	}
+	if rec.RecordsReplayed == 0 {
+		t.Error("no WAL tail replayed on top of the snapshot")
+	}
+	if rm2.Slot() != wantSlot {
+		t.Errorf("recovered slot = %d, want %d", rm2.Slot(), wantSlot)
+	}
+}
+
+// TestRecoveryTruncatesTornTail appends garbage to the WAL (a torn write
+// from a crash mid-append) and verifies startup truncates it instead of
+// failing, recovering everything before the tear.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	rm1, _ := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	runSlots(t, rm1, "n1", 3, nil)
+	wantSlot := rm1.Slot()
+
+	walFile := ""
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal-" {
+			walFile = dir + "/" + e.Name()
+		}
+	}
+	if walFile == "" {
+		t.Fatal("no WAL file found")
+	}
+	f, err := os.OpenFile(walFile, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x13, 0x37, 0x00}) // torn partial frame
+	f.Close()
+
+	rm2, _ := newDurableRM(t, dir, true)
+	rec := rm2.Recovery()
+	if !rec.WALTruncated || rec.TruncatedBytes != 3 {
+		t.Errorf("torn tail not truncated: %+v", rec)
+	}
+	if rm2.Slot() != wantSlot {
+		t.Errorf("recovered slot = %d, want %d (torn tail must not cost valid records)", rm2.Slot(), wantSlot)
+	}
+	if len(rm2.Status().Jobs) != 3 {
+		t.Errorf("recovered %d jobs, want 3", len(rm2.Status().Jobs))
+	}
+}
+
+// TestDrainWritesFinalSnapshot verifies a completed drain rotates the
+// WAL behind a final snapshot, so a clean shutdown restarts with zero
+// records to replay.
+func TestDrainWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	rm1, st1 := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	pending := runSlots(t, rm1, "n1", 3, nil)
+	go func() {
+		// Confirm the stragglers so the drain can complete.
+		for len(pending) > 0 {
+			rm1.Tick(time.Now())
+			resp, err := rm1.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: pending}, time.Now())
+			if err != nil {
+				return
+			}
+			pending = pending[:0]
+			for _, q := range resp.Launch {
+				pending = append(pending, q.ID)
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp := rm1.Drain(ctx)
+	if !resp.Complete {
+		t.Fatalf("drain did not complete: %+v", resp)
+	}
+	st1.Close()
+
+	rm2, _ := newDurableRM(t, dir, true)
+	rec := rm2.Recovery()
+	if !rec.FromSnapshot {
+		t.Fatalf("no final snapshot after drain: %+v", rec)
+	}
+	if rec.RecordsReplayed != 0 {
+		t.Errorf("replayed %d records after a clean drain, want 0", rec.RecordsReplayed)
+	}
+	if rm2.Status().Draining {
+		t.Error("drain flag survived restart; draining is per-process and must not persist")
+	}
+}
+
+// TestRecoverySlotMismatchRejected: a state directory written under one
+// slot duration must refuse to load under another, loudly.
+func TestRecoverySlotMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	rm1, st1 := newDurableRM(t, dir, false)
+	register(t, rm1, "n1", 8, 32768)
+	submitBoth(t, rm1)
+	runSlots(t, rm1, "n1", 1, nil)
+	if err := rm1.WriteSnapshot(); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st1.Close()
+
+	st2, err := store.Open(store.Options{Dir: dir, Policy: store.SyncAlways})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer st2.Close()
+	_, err = New(Config{SlotDur: slotDur * 2, Scheduler: sched.NewFIFO(), Store: st2})
+	if err == nil {
+		t.Fatal("snapshot written under a different slot duration was accepted")
+	}
+}
+
+// TestEmptyDirRecovery: starting from a fresh directory performs a
+// trivial recovery and reports it.
+func TestEmptyDirRecovery(t *testing.T) {
+	rm, _ := newDurableRM(t, t.TempDir(), true)
+	rec := rm.Recovery()
+	if rec == nil || !rec.Performed || rec.FromSnapshot || rec.RecordsReplayed != 0 {
+		t.Errorf("empty-dir recovery = %+v, want trivial performed recovery", rec)
+	}
+	if st := rm.Status(); st.Durability == nil || st.Durability.FsyncPolicy != "always" {
+		t.Errorf("status durability = %+v, want fsync policy reported", rm.Status().Durability)
+	}
+}

@@ -11,6 +11,12 @@
 // confirmed volume drives job completion, workflow readiness, and
 // deadline accounting.
 //
+// With a state store attached (Config.Store), every mutation is
+// journaled to a write-ahead log and the full state is periodically
+// snapshotted, so a crashed RM restarts with its jobs, workflows,
+// decomposed windows, slot clock, and accounting intact; see persist.go
+// for the durability model.
+//
 // The RM treats submitted estimates as ground truth (nodes "execute"
 // whatever they are leased); estimation-error studies belong to the
 // simulator, which models actual-versus-estimated divergence.
@@ -28,6 +34,7 @@ import (
 	"flowtime/internal/resource"
 	"flowtime/internal/rmproto"
 	"flowtime/internal/sched"
+	"flowtime/internal/store"
 	"flowtime/internal/trace"
 	"flowtime/internal/workflow"
 )
@@ -55,12 +62,19 @@ type Config struct {
 	// job's remaining work. Zero means DefaultLeaseExpiry; negative
 	// disables lease expiry.
 	LeaseExpiry int64
+	// Store, when non-nil, makes the RM durable: New recovers the state
+	// the store holds (latest snapshot plus WAL replay) and every
+	// subsequent mutation is journaled. The server does not close the
+	// store; the owner does, after the server stops. A store written
+	// under one SlotDur cannot be recovered under another.
+	Store *store.Store
 }
 
 // Server is the resource manager. Create with New. All methods are safe
 // for concurrent use.
 type Server struct {
-	cfg Config
+	cfg   Config
+	store *store.Store
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signalled when the last outstanding lease clears
@@ -72,13 +86,64 @@ type Server struct {
 	nextQID  int64
 	draining bool
 	faults   rmproto.FaultCounters
+	recovery *rmproto.RecoveryStatus // non-nil after a store recovery
 }
 
+// node tracks one node manager. pending holds quanta queued for the next
+// heartbeat; pendingPos indexes it by quantum ID so reclaiming a queued
+// quantum (lease expiry racing launch) is O(1) instead of a scan.
+// Reclaimed entries become tombstones (zero ID) and are skipped at
+// flush.
 type node struct {
-	id       string
-	capacity resource.Vector
-	lastSeen time.Time
-	pending  []rmproto.Quantum
+	id         string
+	capacity   resource.Vector
+	lastSeen   time.Time
+	pending    []rmproto.Quantum
+	pendingPos map[string]int
+	dropped    int
+}
+
+// enqueue queues a quantum for the node's next heartbeat.
+func (n *node) enqueue(q rmproto.Quantum) {
+	if n.pendingPos == nil {
+		n.pendingPos = make(map[string]int)
+	}
+	n.pendingPos[q.ID] = len(n.pending)
+	n.pending = append(n.pending, q)
+}
+
+// dropPending removes one queued quantum by ID in O(1), reporting
+// whether it was present.
+func (n *node) dropPending(qid string) bool {
+	i, ok := n.pendingPos[qid]
+	if !ok {
+		return false
+	}
+	n.pending[i] = rmproto.Quantum{}
+	delete(n.pendingPos, qid)
+	n.dropped++
+	return true
+}
+
+// takePending flushes the queue for a heartbeat response, compacting
+// out tombstones.
+func (n *node) takePending() []rmproto.Quantum {
+	out := n.pending
+	if n.dropped > 0 {
+		out = make([]rmproto.Quantum, 0, len(n.pending)-n.dropped)
+		for _, q := range n.pending {
+			if q.ID != "" {
+				out = append(out, q)
+			}
+		}
+	}
+	n.pending, n.pendingPos, n.dropped = nil, nil, 0
+	return out
+}
+
+// clearPending discards the queue (node eviction or re-registration).
+func (n *node) clearPending() {
+	n.pending, n.pendingPos, n.dropped = nil, nil, 0
 }
 
 // lease tracks one issued quantum: which job it advances, which node
@@ -121,7 +186,11 @@ type rmJob struct {
 	doneSlot int64
 }
 
-// New returns a resource manager.
+// New returns a resource manager. With Config.Store set, New performs
+// crash recovery before returning: the store's snapshot is restored,
+// its WAL tail replayed, and every recovered in-flight lease requeued
+// (their nodes died with the previous process). The recovery summary is
+// reported in Status().Recovery.
 func New(cfg Config) (*Server, error) {
 	if cfg.SlotDur <= 0 {
 		return nil, fmt.Errorf("rmserver: slot duration %v, want > 0", cfg.SlotDur)
@@ -137,13 +206,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:    cfg,
+		store:  cfg.Store,
 		nodes:  make(map[string]*node),
 		jobs:   make(map[string]*rmJob),
 		wfs:    make(map[string]*wfState),
 		leases: make(map[string]*lease),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.store != nil {
+		if err := s.recoverLocked(); err != nil {
+			return nil, fmt.Errorf("rmserver: recover from %s: %w", s.store.Dir(), err)
+		}
+	}
 	return s, nil
+}
+
+// Recovery returns the summary of the crash recovery New performed, or
+// nil when the server started without a store or from an empty one.
+func (s *Server) Recovery() *rmproto.RecoveryStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
 }
 
 // RegisterNode adds or refreshes a node manager. Re-registering an ID the
@@ -162,30 +245,48 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 		return rmproto.RegisterNodeResponse{}, fmt.Errorf("rmserver: node %s has zero capacity", req.NodeID)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var seq int64
 	if _, exists := s.nodes[req.NodeID]; exists {
-		s.requeueNodeLeasesLocked(req.NodeID)
+		if requeued := s.requeueNodeLeasesLocked(req.NodeID); len(requeued) > 0 {
+			seq, _ = s.journalLocked(walRecord{Requeue: &recRequeue{QIDs: requeued, Faults: s.faults}})
+		}
 	}
 	s.nodes[req.NodeID] = &node{id: req.NodeID, capacity: capV, lastSeen: now}
+	s.mu.Unlock()
+	if err := s.commitSeq(seq); err != nil {
+		return rmproto.RegisterNodeResponse{}, err
+	}
 	return rmproto.RegisterNodeResponse{HeartbeatMs: s.cfg.SlotDur.Milliseconds()}, nil
 }
 
 // Heartbeat processes a node's completion report and hands back queued
 // work leases. An unknown node gets ErrUnknownNode so the agent knows to
-// re-register instead of retrying a doomed heartbeat.
+// re-register instead of retrying a doomed heartbeat. Confirmations
+// that applied are journaled (and, under the always-fsync policy,
+// durable) before the response is released.
 func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto.HeartbeatResponse, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n, ok := s.nodes[req.NodeID]
 	if !ok {
+		s.mu.Unlock()
 		return rmproto.HeartbeatResponse{}, fmt.Errorf("%w %q (register first)", ErrUnknownNode, req.NodeID)
 	}
 	n.lastSeen = now
+	var applied []string
 	for _, qid := range req.Completed {
-		s.completeQuantumLocked(qid, req.NodeID)
+		if s.completeQuantumLocked(qid, req.NodeID) {
+			applied = append(applied, qid)
+		}
 	}
-	launch := n.pending
-	n.pending = nil
+	var seq int64
+	if len(applied) > 0 {
+		seq, _ = s.journalLocked(walRecord{Confirm: &recConfirm{Slot: s.slot, QIDs: applied, Faults: s.faults}})
+	}
+	launch := n.takePending()
+	s.mu.Unlock()
+	if err := s.commitSeq(seq); err != nil {
+		return rmproto.HeartbeatResponse{}, err
+	}
 	return rmproto.HeartbeatResponse{Launch: launch}, nil
 }
 
@@ -194,20 +295,30 @@ func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto
 // quanta the RM no longer tracks — already confirmed, requeued after the
 // node's eviction, or from before an RM restart — and confirms from a
 // node that does not hold the lease are counted and ignored, so a
-// re-registering node can never double-deliver stale work.
-func (s *Server) completeQuantumLocked(qid, nodeID string) {
+// re-registering node can never double-deliver stale work. Reports
+// whether the confirm applied.
+func (s *Server) completeQuantumLocked(qid, nodeID string) bool {
 	l, ok := s.leases[qid]
 	if !ok || l.nodeID != nodeID {
 		s.faults.StaleConfirms++
-		return
+		return false
 	}
-	delete(s.leases, qid)
+	s.confirmLeaseLocked(l, s.slot)
+	return true
+}
+
+// confirmLeaseLocked applies one confirmed lease: its volume moves from
+// in-flight to delivered, completing the job when the total is covered.
+// atSlot is the slot the completion is accounted to (the live path
+// passes the current slot; WAL replay passes the journaled one).
+func (s *Server) confirmLeaseLocked(l *lease, atSlot int64) {
+	delete(s.leases, l.qid)
 	j := l.job
 	j.inFlight = j.inFlight.SubClamped(l.grant)
 	j.delivered = j.delivered.Add(l.grant)
 	if !j.done && j.total.FitsIn(j.delivered) {
 		j.done = true
-		j.doneSlot = s.slot
+		j.doneSlot = atSlot
 	}
 	if len(s.leases) == 0 {
 		s.cond.Broadcast()
@@ -226,32 +337,41 @@ func (s *Server) requeueLeaseLocked(l *lease) {
 }
 
 // requeueNodeLeasesLocked reclaims every lease held by nodeID, both
-// launched and still queued on the node's pending list.
-func (s *Server) requeueNodeLeasesLocked(nodeID string) {
+// launched and still queued on the node's pending list, returning the
+// reclaimed quantum IDs for journaling.
+func (s *Server) requeueNodeLeasesLocked(nodeID string) []string {
+	var requeued []string
 	for _, l := range s.leases {
 		if l.nodeID == nodeID {
+			requeued = append(requeued, l.qid)
 			s.requeueLeaseLocked(l)
 		}
 	}
+	sort.Strings(requeued)
 	if n, ok := s.nodes[nodeID]; ok {
-		n.pending = nil
+		n.clearPending()
 	}
+	return requeued
 }
 
 // evictNodeLocked removes a silent node and requeues everything it held,
 // so the scheduler can re-place the work on surviving nodes. The seed's
 // silent delete(s.nodes, id) stranded in-flight volume forever.
-func (s *Server) evictNodeLocked(nodeID string) {
-	s.requeueNodeLeasesLocked(nodeID)
+func (s *Server) evictNodeLocked(nodeID string) []string {
+	requeued := s.requeueNodeLeasesLocked(nodeID)
 	delete(s.nodes, nodeID)
 	s.faults.ExpiredNodes++
+	return requeued
 }
 
 // SubmitWorkflow accepts a deadline workflow. The submit time is the
 // current slot; the workflow's own submit offset is ignored in the live
 // RM (clients submit when they want the workflow to start). Decomposition
 // happens immediately against current cluster capacity, so at least one
-// node must be registered.
+// node must be registered. The admission — including its decomposed
+// windows — is journaled before the state mutates and made durable
+// before the acceptance is returned, so an acknowledged workflow
+// survives an RM crash.
 func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.SubmitResponse, error) {
 	tr := trace.Trace{Version: trace.FormatVersion, Workflows: []trace.WorkflowRecord{req.Workflow}}
 	wfs, _, err := tr.ToWorkload()
@@ -260,14 +380,27 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 	}
 	wf := wfs[0]
 
+	resp, seq, err := s.admitWorkflow(req.Workflow, wf)
+	if err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
+	if err := s.commitSeq(seq); err != nil {
+		// The workflow is admitted in memory but its journal record may
+		// not be durable; surface the store failure to the client.
+		return rmproto.SubmitResponse{}, err
+	}
+	return resp, nil
+}
+
+func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) (rmproto.SubmitResponse, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.wfs[wf.ID]; dup {
-		return rmproto.SubmitResponse{}, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
+		return rmproto.SubmitResponse{}, 0, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
 	}
 	capacity := s.totalCapacityLocked()
 	if capacity.IsZero() {
-		return rmproto.SubmitResponse{}, errors.New("rmserver: no registered nodes; cannot decompose deadlines")
+		return rmproto.SubmitResponse{}, 0, errors.New("rmserver: no registered nodes; cannot decompose deadlines")
 	}
 
 	// Re-anchor the workflow window at the current slot.
@@ -276,7 +409,7 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 	wf.Submit = now
 	wf.Deadline = now + span
 	if err := wf.Validate(); err != nil {
-		return rmproto.SubmitResponse{}, err
+		return rmproto.SubmitResponse{}, 0, err
 	}
 
 	// Admission control: try the deadline decomposition, then the
@@ -294,6 +427,14 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 		s.faults.BestEffortAdmissions++
 	}
 
+	wrec := recWorkflow{
+		WF:         rec,
+		SubmitNS:   int64(wf.Submit),
+		DeadlineNS: int64(wf.Deadline),
+		Slot:       s.slot,
+		BestEffort: bestEffort,
+		Windows:    make([]recWindow, wf.NumJobs()),
+	}
 	st := &wfState{wf: wf, jobs: make([]*rmJob, wf.NumJobs())}
 	for i := 0; i < wf.NumJobs(); i++ {
 		job := wf.Job(i)
@@ -315,30 +456,27 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 			minSlots:    job.MinRuntimeSlots(s.cfg.SlotDur, capacity),
 			bestEffort:  bestEffort,
 		}
+		wrec.Windows[i] = recWindow{ReleaseNS: int64(release), DeadlineNS: int64(dl), MinSlots: j.minSlots}
 		st.jobs[i] = j
 		s.jobs[j.id] = j
 	}
 	s.wfs[wf.ID] = st
-	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID, BestEffort: bestEffort}, nil
+	seq, _ := s.journalLocked(walRecord{Workflow: &wrec})
+	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID, BestEffort: bestEffort}, seq, nil
 }
 
-// SubmitAdHoc accepts an ad-hoc job, effective immediately.
+// SubmitAdHoc accepts an ad-hoc job, effective immediately. Like
+// workflows, the admission is journaled and made durable before the
+// acceptance is returned.
 func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResponse, error) {
-	rec := req.Job
-	a := workflow.AdHoc{
-		ID:           rec.ID,
-		Submit:       0,
-		Tasks:        rec.Tasks,
-		TaskDuration: time.Duration(rec.TaskDurSec) * time.Second,
-		TaskDemand:   resource.New(rec.DemandVCores, rec.DemandMemMB),
-	}
+	a := adHocFromRecord(req.Job)
 	if err := a.Validate(); err != nil {
 		return rmproto.SubmitResponse{}, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := "adhoc/" + a.ID
 	if _, dup := s.jobs[id]; dup {
+		s.mu.Unlock()
 		return rmproto.SubmitResponse{}, fmt.Errorf("rmserver: duplicate ad-hoc job %q", a.ID)
 	}
 	j := &rmJob{
@@ -349,7 +487,23 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 		parallelCap: a.ParallelCap(),
 	}
 	s.jobs[id] = j
+	seq, _ := s.journalLocked(walRecord{AdHoc: &recAdHoc{Job: req.Job, Slot: s.slot}})
+	s.mu.Unlock()
+	if err := s.commitSeq(seq); err != nil {
+		return rmproto.SubmitResponse{}, err
+	}
 	return rmproto.SubmitResponse{Accepted: true, ID: id}, nil
+}
+
+// adHocFromRecord builds the workload object for one ad-hoc submission.
+func adHocFromRecord(rec trace.AdHocRecord) workflow.AdHoc {
+	return workflow.AdHoc{
+		ID:           rec.ID,
+		Submit:       0,
+		Tasks:        rec.Tasks,
+		TaskDuration: time.Duration(rec.TaskDurSec) * time.Second,
+		TaskDemand:   resource.New(rec.DemandVCores, rec.DemandMemMB),
+	}
 }
 
 // Tick advances one scheduling slot: expires silent nodes (requeuing
@@ -358,15 +512,38 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 // work leases on nodes (first-fit). It is called by the RM's run loop
 // every SlotDur, or manually in tests and by the /v1/tick endpoint. A
 // panicking scheduler is converted into a no-grant slot: jobs stay
-// queued, state stays consistent, and the RM keeps running.
+// queued, state stays consistent, and the RM keeps running. Each tick —
+// slot advance, reclaimed leases, issued grants — is journaled as one
+// WAL record.
 func (s *Server) Tick(now time.Time) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	rec, err := s.tickLocked(now)
+	var seq int64
+	if s.store != nil {
+		var jerr error
+		seq, jerr = s.journalLocked(walRecord{Tick: rec})
+		if jerr != nil && err == nil {
+			err = fmt.Errorf("rmserver: wal append: %w", jerr)
+		}
+	}
+	s.mu.Unlock()
+	if cerr := s.commitSeq(seq); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Server) tickLocked(now time.Time) (*recTick, error) {
+	rec := &recTick{}
+	defer func() {
+		rec.Slot = s.slot
+		rec.Faults = s.faults
+	}()
 
 	if s.cfg.NodeExpiry > 0 {
 		for id, n := range s.nodes {
 			if now.Sub(n.lastSeen) > s.cfg.NodeExpiry {
-				s.evictNodeLocked(id)
+				rec.Requeued = append(rec.Requeued, s.evictNodeLocked(id)...)
 			}
 		}
 	}
@@ -376,8 +553,9 @@ func (s *Server) Tick(now time.Time) error {
 				// If the quantum is still queued on a live node, scrub it so
 				// the node does not burn a slot executing reclaimed work.
 				if n, ok := s.nodes[l.nodeID]; ok {
-					n.pending = dropQuantum(n.pending, l.qid)
+					n.dropPending(l.qid)
 				}
+				rec.Requeued = append(rec.Requeued, l.qid)
 				s.requeueLeaseLocked(l)
 			}
 		}
@@ -386,12 +564,12 @@ func (s *Server) Tick(now time.Time) error {
 		// Drain: no new leases; keep ticking so expiry still reclaims
 		// whatever dead nodes hold.
 		s.slot++
-		return nil
+		return rec, nil
 	}
 	capacity := s.totalCapacityLocked()
 	if capacity.IsZero() {
 		s.slot++
-		return nil
+		return rec, nil
 	}
 
 	states := make([]sched.JobState, 0, len(s.jobs))
@@ -439,7 +617,7 @@ func (s *Server) Tick(now time.Time) error {
 	})
 	if err != nil {
 		s.slot++
-		return fmt.Errorf("rmserver: scheduler: %w", err)
+		return rec, fmt.Errorf("rmserver: scheduler: %w", err)
 	}
 
 	// Place grants on nodes first-fit, splitting across nodes as needed.
@@ -489,16 +667,19 @@ func (s *Server) Tick(now time.Time) error {
 				expiry: deadline,
 			}
 			j.inFlight = j.inFlight.Add(chunk)
-			s.nodes[nid].pending = append(s.nodes[nid].pending, rmproto.Quantum{
+			s.nodes[nid].enqueue(rmproto.Quantum{
 				ID:           qid,
 				JobID:        j.id,
 				Grant:        rmproto.FromVector(chunk),
 				DeadlineSlot: deadline,
 			})
+			rec.Grants = append(rec.Grants, recGrant{
+				QID: qid, JobID: j.id, NodeID: nid, Grant: chunk, Expiry: deadline,
+			})
 		}
 	}
 	s.slot++
-	return nil
+	return rec, nil
 }
 
 // safeAssign invokes the scheduler with panic isolation: a panic becomes
@@ -513,16 +694,6 @@ func (s *Server) safeAssign(ctx sched.AssignContext) (grants map[string]resource
 		}
 	}()
 	return s.cfg.Scheduler.Assign(ctx)
-}
-
-// dropQuantum removes the quantum with the given ID from a pending list.
-func dropQuantum(pending []rmproto.Quantum, qid string) []rmproto.Quantum {
-	for i, q := range pending {
-		if q.ID == qid {
-			return append(pending[:i], pending[i+1:]...)
-		}
-	}
-	return pending
 }
 
 func (s *Server) readyLocked(j *rmJob) bool {
@@ -557,6 +728,7 @@ func (s *Server) Status() rmproto.StatusResponse {
 		Draining:          s.draining,
 		OutstandingLeases: len(s.leases),
 		Faults:            s.faults,
+		Recovery:          s.recovery,
 	}
 	ids := make([]string, 0, len(s.jobs))
 	for id := range s.jobs {
@@ -569,6 +741,8 @@ func (s *Server) Status() rmproto.StatusResponse {
 			ID:         j.id,
 			Kind:       j.kind.String(),
 			WorkflowID: j.wfID,
+			Delivered:  rmproto.FromVector(j.delivered),
+			Total:      rmproto.FromVector(j.total),
 		}
 		switch {
 		case j.done:
@@ -595,6 +769,20 @@ func (s *Server) Status() rmproto.StatusResponse {
 			MinMaxFallbacks: d.MinMaxFallbacks,
 			GreedyFallbacks: d.GreedyFallbacks,
 			InvalidPlans:    d.InvalidPlans,
+		}
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Durability = &rmproto.DurabilityStatus{
+			FsyncPolicy:       s.store.Policy().String(),
+			Generation:        st.Generation,
+			WALRecords:        st.WALRecords,
+			WALBytes:          st.WALBytes,
+			Fsyncs:            st.Fsyncs,
+			FsyncTotalMicros:  st.FsyncTotal.Microseconds(),
+			FsyncMaxMicros:    st.FsyncMax.Microseconds(),
+			Snapshots:         st.Snapshots,
+			LastSnapshotBytes: st.LastSnapLen,
 		}
 	}
 	return resp
@@ -626,7 +814,10 @@ func (s *Server) Slot() int64 {
 
 // BeginDrain flips the RM into drain mode: Tick stops issuing new leases
 // while heartbeats keep confirming (and expiry keeps reclaiming) the
-// in-flight ones. Draining is one-way for the life of the process.
+// in-flight ones. Draining is one-way for the life of the process — and
+// only the process: drain state is deliberately not journaled, so a
+// restarted RM schedules again instead of coming up permanently refusing
+// work.
 func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -642,10 +833,12 @@ func (s *Server) BeginDrain() {
 // can reclaim work from nodes that died, otherwise a dead node's leases
 // hold the drain open until ctx expires. The returned response reports
 // whether the drain completed and which jobs a shutdown would strand.
+// A drain that completes with a store attached writes a final snapshot,
+// so a clean shutdown restarts with zero WAL records to replay.
 func (s *Server) Drain(ctx context.Context) rmproto.DrainResponse {
+	s.BeginDrain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.draining = true
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
 		s.cond.Broadcast()
@@ -654,6 +847,11 @@ func (s *Server) Drain(ctx context.Context) rmproto.DrainResponse {
 	defer stop()
 	for len(s.leases) > 0 && ctx.Err() == nil {
 		s.cond.Wait()
+	}
+	if len(s.leases) == 0 {
+		// Snapshot failures are non-fatal: the WAL already covers the
+		// drained state, recovery just replays more records.
+		_ = s.writeSnapshotLocked()
 	}
 	return s.drainStatusLocked()
 }

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord feeds arbitrary bytes to the frame decoder: it must
+// never panic, and whenever it claims success the decoded payload must
+// re-encode to exactly the bytes it consumed (so a successful decode is
+// always a faithful one, and corruption can only ever surface as an
+// error, not as silently wrong data).
+func FuzzDecodeRecord(f *testing.F) {
+	good, _ := EncodeRecord([]byte("seed-payload"))
+	f.Add(good)
+	f.Add(good[:len(good)-3])                         // torn tail
+	f.Add([]byte{})                                   // empty
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // insane length
+	flipped := append([]byte(nil), good...)
+	flipped[frameHeaderLen] ^= 1
+	f.Add(flipped) // payload bit flip
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeaderLen || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		reenc, eerr := EncodeRecord(payload)
+		if eerr != nil {
+			t.Fatalf("re-encode of decoded payload failed: %v", eerr)
+		}
+		if !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("decode/encode not faithful: got %x want %x", reenc, data[:n])
+		}
+	})
+}
+
+// FuzzRoundTripWithCorruption round-trips a payload through the framing
+// and then verifies that flipping any single byte of the frame is
+// detected — the CRC must catch every 1-byte corruption.
+func FuzzRoundTripWithCorruption(f *testing.F) {
+	f.Add([]byte("hello"), uint16(0))
+	f.Add([]byte{}, uint16(3))
+	f.Add(bytes.Repeat([]byte{0xab}, 300), uint16(150))
+
+	f.Fuzz(func(t *testing.T, payload []byte, flipAt uint16) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		frame, err := EncodeRecord(payload)
+		if err != nil {
+			t.Fatalf("EncodeRecord: %v", err)
+		}
+		got, n, err := DecodeRecord(frame)
+		if err != nil || n != len(frame) || !bytes.Equal(got, payload) {
+			t.Fatalf("clean round trip failed: n=%d err=%v", n, err)
+		}
+		bad := append([]byte(nil), frame...)
+		i := int(flipAt) % len(bad)
+		bad[i] ^= 0x01
+		decoded, _, err := DecodeRecord(bad)
+		if err == nil && bytes.Equal(decoded, payload) {
+			// Only acceptable if the flip landed in the length prefix's
+			// high bytes AND still decoded identical bytes — impossible:
+			// a changed length changes the consumed region or the CRC
+			// coverage, and a changed CRC/payload fails the checksum.
+			t.Fatalf("1-byte corruption at %d went undetected", i)
+		}
+	})
+}
+
+// FuzzDecodeAll checks the multi-record scanner never panics and always
+// reports a truncation offset inside the input.
+func FuzzDecodeAll(f *testing.F) {
+	a, _ := EncodeRecord([]byte("first"))
+	b, _ := EncodeRecord([]byte("second"))
+	f.Add(append(append([]byte{}, a...), b...))
+	f.Add(append(append([]byte{}, a...), b[:4]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, good, err := DecodeAll(data)
+		if good < 0 || good > len(data) {
+			t.Fatalf("good offset %d out of range [0,%d]", good, len(data))
+		}
+		if err == nil && good != len(data) {
+			t.Fatalf("nil error but only %d of %d bytes consumed", good, len(data))
+		}
+		// The clean prefix must re-decode to the same payloads.
+		re, regood, _ := DecodeAll(data[:good])
+		if regood != good || len(re) != len(payloads) {
+			t.Fatalf("prefix re-decode mismatch: %d/%d records, %d/%d bytes", len(re), len(payloads), regood, good)
+		}
+	})
+}

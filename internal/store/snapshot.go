@@ -1,0 +1,81 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapMagic heads every snapshot file; a file without it (empty, torn
+// before the header, or foreign) is rejected as corrupt.
+var snapMagic = []byte("FTSNAP1\n")
+
+// writeSnapshotFile writes a snapshot atomically: the framed payload
+// goes to a temp file in the same directory, is fsynced, and is then
+// renamed into place, followed by a directory fsync. A crash at any
+// point leaves either the old snapshot set or the new one — never a
+// half-written file under the final name.
+func writeSnapshotFile(path string, payload []byte) error {
+	frame, err := EncodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snapMagic); err == nil {
+		_, err = f.Write(frame)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename snapshot: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(b, snapMagic) {
+		return nil, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorruptRecord, filepath.Base(path))
+	}
+	payload, n, err := DecodeRecord(b[len(snapMagic):])
+	if err != nil {
+		return nil, fmt.Errorf("snapshot %s: %w", filepath.Base(path), err)
+	}
+	if len(snapMagic)+n != len(b) {
+		return nil, fmt.Errorf("%w: snapshot %s: %d trailing bytes", ErrCorruptRecord, filepath.Base(path), len(b)-len(snapMagic)-n)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Errors are returned; some filesystems reject directory
+// fsync, in which case callers may choose to tolerate it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
