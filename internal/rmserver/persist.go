@@ -23,6 +23,17 @@
 //     ("for the life of the process"), not of the workload — a restarted
 //     RM schedules again, otherwise a post-shutdown restart would come
 //     up permanently refusing work.
+//
+// Durability ordering: under the always-fsync policy, no side effect of
+// a mutation escapes the RM before its record is durable. Submissions
+// are acknowledged only after commit; a tick's grants are enqueued onto
+// nodes only after the tick record commits, so a heartbeat can never
+// hand a node work that a post-crash recovery would not know was
+// granted; and a heartbeat commits its confirm record before taking the
+// node's pending quanta, so a commit failure fails the heartbeat
+// without handing out (or losing) queued work. Under interval/never
+// policies these windows reopen by design — that is the policy's
+// documented trade.
 package rmserver
 
 import (
@@ -36,6 +47,7 @@ import (
 	"flowtime/internal/resource"
 	"flowtime/internal/rmproto"
 	"flowtime/internal/sched"
+	"flowtime/internal/store"
 	"flowtime/internal/trace"
 	"flowtime/internal/workflow"
 )
@@ -154,27 +166,29 @@ type snapLease struct {
 }
 
 // journalLocked appends one record to the WAL, returning its commit
-// handle (0 with no store). Must be called with s.mu held so record
-// order matches mutation order.
-func (s *Server) journalLocked(rec walRecord) (int64, error) {
+// handle (the zero handle with no store). Must be called with s.mu held
+// so record order matches mutation order.
+func (s *Server) journalLocked(rec walRecord) (store.Handle, error) {
 	if s.store == nil {
-		return 0, nil
+		return store.Handle{}, nil
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return 0, err
+		return store.Handle{}, err
 	}
 	return s.store.Append(payload)
 }
 
-// commitSeq makes a journaled record durable per the store's fsync
+// commitRecord makes a journaled record durable per the store's fsync
 // policy. Called WITHOUT s.mu so a slow fsync never blocks the control
-// plane; concurrent committers group-commit.
-func (s *Server) commitSeq(seq int64) error {
-	if s.store == nil || seq <= 0 {
+// plane; concurrent committers group-commit. The handle is bound to its
+// WAL segment, so committing is safe even if a snapshot rotation has
+// since swapped in a fresh segment.
+func (s *Server) commitRecord(h store.Handle) error {
+	if s.store == nil {
 		return nil
 	}
-	if err := s.store.Commit(seq); err != nil {
+	if err := s.store.Commit(h); err != nil {
 		return fmt.Errorf("rmserver: wal commit: %w", err)
 	}
 	return nil

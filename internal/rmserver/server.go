@@ -245,15 +245,15 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 		return rmproto.RegisterNodeResponse{}, fmt.Errorf("rmserver: node %s has zero capacity", req.NodeID)
 	}
 	s.mu.Lock()
-	var seq int64
+	var h store.Handle
 	if _, exists := s.nodes[req.NodeID]; exists {
 		if requeued := s.requeueNodeLeasesLocked(req.NodeID); len(requeued) > 0 {
-			seq, _ = s.journalLocked(walRecord{Requeue: &recRequeue{QIDs: requeued, Faults: s.faults}})
+			h, _ = s.journalLocked(walRecord{Requeue: &recRequeue{QIDs: requeued, Faults: s.faults}})
 		}
 	}
 	s.nodes[req.NodeID] = &node{id: req.NodeID, capacity: capV, lastSeen: now}
 	s.mu.Unlock()
-	if err := s.commitSeq(seq); err != nil {
+	if err := s.commitRecord(h); err != nil {
 		return rmproto.RegisterNodeResponse{}, err
 	}
 	return rmproto.RegisterNodeResponse{HeartbeatMs: s.cfg.SlotDur.Milliseconds()}, nil
@@ -263,7 +263,9 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 // work leases. An unknown node gets ErrUnknownNode so the agent knows to
 // re-register instead of retrying a doomed heartbeat. Confirmations
 // that applied are journaled (and, under the always-fsync policy,
-// durable) before the response is released.
+// durable) before the response is released; the pending quanta are
+// taken only after that commit succeeds, so a commit failure fails the
+// heartbeat without silently dropping queued work.
 func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto.HeartbeatResponse, error) {
 	s.mu.Lock()
 	n, ok := s.nodes[req.NodeID]
@@ -278,15 +280,24 @@ func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto
 			applied = append(applied, qid)
 		}
 	}
-	var seq int64
+	var h store.Handle
 	if len(applied) > 0 {
-		seq, _ = s.journalLocked(walRecord{Confirm: &recConfirm{Slot: s.slot, QIDs: applied, Faults: s.faults}})
+		h, _ = s.journalLocked(walRecord{Confirm: &recConfirm{Slot: s.slot, QIDs: applied, Faults: s.faults}})
 	}
-	launch := n.takePending()
 	s.mu.Unlock()
-	if err := s.commitSeq(seq); err != nil {
+	if err := s.commitRecord(h); err != nil {
 		return rmproto.HeartbeatResponse{}, err
 	}
+	// Take the pending queue only now, after the confirm record is
+	// durable. The node may have been evicted or re-registered while the
+	// commit ran, so re-look it up; either way its old queue is gone and
+	// there is nothing to launch.
+	s.mu.Lock()
+	var launch []rmproto.Quantum
+	if n, ok := s.nodes[req.NodeID]; ok {
+		launch = n.takePending()
+	}
+	s.mu.Unlock()
 	return rmproto.HeartbeatResponse{Launch: launch}, nil
 }
 
@@ -380,11 +391,11 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 	}
 	wf := wfs[0]
 
-	resp, seq, err := s.admitWorkflow(req.Workflow, wf)
+	resp, h, err := s.admitWorkflow(req.Workflow, wf)
 	if err != nil {
 		return rmproto.SubmitResponse{}, err
 	}
-	if err := s.commitSeq(seq); err != nil {
+	if err := s.commitRecord(h); err != nil {
 		// The workflow is admitted in memory but its journal record may
 		// not be durable; surface the store failure to the client.
 		return rmproto.SubmitResponse{}, err
@@ -392,15 +403,15 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 	return resp, nil
 }
 
-func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) (rmproto.SubmitResponse, int64, error) {
+func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) (rmproto.SubmitResponse, store.Handle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.wfs[wf.ID]; dup {
-		return rmproto.SubmitResponse{}, 0, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
+		return rmproto.SubmitResponse{}, store.Handle{}, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
 	}
 	capacity := s.totalCapacityLocked()
 	if capacity.IsZero() {
-		return rmproto.SubmitResponse{}, 0, errors.New("rmserver: no registered nodes; cannot decompose deadlines")
+		return rmproto.SubmitResponse{}, store.Handle{}, errors.New("rmserver: no registered nodes; cannot decompose deadlines")
 	}
 
 	// Re-anchor the workflow window at the current slot.
@@ -409,7 +420,7 @@ func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) 
 	wf.Submit = now
 	wf.Deadline = now + span
 	if err := wf.Validate(); err != nil {
-		return rmproto.SubmitResponse{}, 0, err
+		return rmproto.SubmitResponse{}, store.Handle{}, err
 	}
 
 	// Admission control: try the deadline decomposition, then the
@@ -461,8 +472,8 @@ func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) 
 		s.jobs[j.id] = j
 	}
 	s.wfs[wf.ID] = st
-	seq, _ := s.journalLocked(walRecord{Workflow: &wrec})
-	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID, BestEffort: bestEffort}, seq, nil
+	h, _ := s.journalLocked(walRecord{Workflow: &wrec})
+	return rmproto.SubmitResponse{Accepted: true, ID: wf.ID, BestEffort: bestEffort}, h, nil
 }
 
 // SubmitAdHoc accepts an ad-hoc job, effective immediately. Like
@@ -487,9 +498,9 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 		parallelCap: a.ParallelCap(),
 	}
 	s.jobs[id] = j
-	seq, _ := s.journalLocked(walRecord{AdHoc: &recAdHoc{Job: req.Job, Slot: s.slot}})
+	h, _ := s.journalLocked(walRecord{AdHoc: &recAdHoc{Job: req.Job, Slot: s.slot}})
 	s.mu.Unlock()
-	if err := s.commitSeq(seq); err != nil {
+	if err := s.commitRecord(h); err != nil {
 		return rmproto.SubmitResponse{}, err
 	}
 	return rmproto.SubmitResponse{Accepted: true, ID: id}, nil
@@ -514,26 +525,52 @@ func adHocFromRecord(rec trace.AdHocRecord) workflow.AdHoc {
 // panicking scheduler is converted into a no-grant slot: jobs stay
 // queued, state stays consistent, and the RM keeps running. Each tick —
 // slot advance, reclaimed leases, issued grants — is journaled as one
-// WAL record.
+// WAL record, and the grants become fetchable by heartbeats only after
+// that record is durable: a crash can then never leave a node executing
+// work the recovered RM does not know it granted.
 func (s *Server) Tick(now time.Time) error {
 	s.mu.Lock()
-	rec, err := s.tickLocked(now)
-	var seq int64
+	rec, planned, err := s.tickLocked(now)
+	var h store.Handle
 	if s.store != nil {
 		var jerr error
-		seq, jerr = s.journalLocked(walRecord{Tick: rec})
+		h, jerr = s.journalLocked(walRecord{Tick: rec})
 		if jerr != nil && err == nil {
 			err = fmt.Errorf("rmserver: wal append: %w", jerr)
 		}
 	}
 	s.mu.Unlock()
-	if cerr := s.commitSeq(seq); cerr != nil && err == nil {
+	if cerr := s.commitRecord(h); cerr != nil && err == nil {
 		err = cerr
+	}
+	// Enqueue the slot's grants now that the tick record is durable (or
+	// the store has already failed and surfaced its error). A lease may
+	// have been reclaimed while the commit ran — node re-registration
+	// runs concurrently — so deliver only quanta whose lease is still
+	// live on a node the RM still tracks.
+	if len(planned) > 0 {
+		s.mu.Lock()
+		for _, p := range planned {
+			if _, live := s.leases[p.q.ID]; !live {
+				continue
+			}
+			if n, ok := s.nodes[p.nodeID]; ok {
+				n.enqueue(p.q)
+			}
+		}
+		s.mu.Unlock()
 	}
 	return err
 }
 
-func (s *Server) tickLocked(now time.Time) (*recTick, error) {
+// plannedLaunch is a quantum a tick granted but has not yet queued on
+// its node: delivery waits for the tick record to commit.
+type plannedLaunch struct {
+	nodeID string
+	q      rmproto.Quantum
+}
+
+func (s *Server) tickLocked(now time.Time) (*recTick, []plannedLaunch, error) {
 	rec := &recTick{}
 	defer func() {
 		rec.Slot = s.slot
@@ -564,12 +601,12 @@ func (s *Server) tickLocked(now time.Time) (*recTick, error) {
 		// Drain: no new leases; keep ticking so expiry still reclaims
 		// whatever dead nodes hold.
 		s.slot++
-		return rec, nil
+		return rec, nil, nil
 	}
 	capacity := s.totalCapacityLocked()
 	if capacity.IsZero() {
 		s.slot++
-		return rec, nil
+		return rec, nil, nil
 	}
 
 	states := make([]sched.JobState, 0, len(s.jobs))
@@ -617,7 +654,7 @@ func (s *Server) tickLocked(now time.Time) (*recTick, error) {
 	})
 	if err != nil {
 		s.slot++
-		return rec, fmt.Errorf("rmserver: scheduler: %w", err)
+		return rec, nil, fmt.Errorf("rmserver: scheduler: %w", err)
 	}
 
 	// Place grants on nodes first-fit, splitting across nodes as needed.
@@ -630,6 +667,7 @@ func (s *Server) tickLocked(now time.Time) (*recTick, error) {
 	sort.Strings(order)
 
 	capLeft := capacity
+	var planned []plannedLaunch
 	for _, st := range states {
 		g, ok := grants[st.ID]
 		if !ok || !st.Ready {
@@ -667,19 +705,19 @@ func (s *Server) tickLocked(now time.Time) (*recTick, error) {
 				expiry: deadline,
 			}
 			j.inFlight = j.inFlight.Add(chunk)
-			s.nodes[nid].enqueue(rmproto.Quantum{
+			planned = append(planned, plannedLaunch{nodeID: nid, q: rmproto.Quantum{
 				ID:           qid,
 				JobID:        j.id,
 				Grant:        rmproto.FromVector(chunk),
 				DeadlineSlot: deadline,
-			})
+			}})
 			rec.Grants = append(rec.Grants, recGrant{
 				QID: qid, JobID: j.id, NodeID: nid, Grant: chunk, Expiry: deadline,
 			})
 		}
 	}
 	s.slot++
-	return rec, nil
+	return rec, planned, nil
 }
 
 // safeAssign invokes the scheduler with panic isolation: a panic becomes

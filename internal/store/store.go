@@ -96,8 +96,10 @@ func walPath(dir string, gen int64) string {
 // file-level half of recovery: it picks the newest generation with a
 // valid snapshot (falling back past corrupt ones), loads that snapshot,
 // scans the matching WAL segment — truncating a torn or corrupt tail —
-// and removes leftovers from interrupted rotations. The recovered
-// snapshot and records are exposed via RecoveredSnapshot and
+// and removes leftovers from interrupted rotations. If snapshot files
+// exist but none of them loads cleanly, Open fails and preserves the
+// files rather than silently recovering from the empty state. The
+// recovered snapshot and records are exposed via RecoveredSnapshot and
 // RecoveredRecords for the owner to replay.
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
@@ -138,11 +140,11 @@ func Open(opts Options) (*Store, error) {
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] > ordered[j] })
 
-	chosen := int64(-1)
+	chosen := int64(0)
 	var snapshot []byte
+	var snapErr error
 	for _, g := range ordered {
 		if g == 0 {
-			chosen = 0
 			break
 		}
 		if !snaps[g] {
@@ -150,13 +152,19 @@ func Open(opts Options) (*Store, error) {
 		}
 		payload, err := readSnapshotFile(snapPath(opts.Dir, g))
 		if err != nil {
+			snapErr = fmt.Errorf("snap gen %d: %w", g, err)
 			continue // corrupt snapshot: fall back to an older generation
 		}
 		chosen, snapshot = g, payload
 		break
 	}
-	if chosen < 0 {
-		return nil, fmt.Errorf("store: no recoverable generation in %s", opts.Dir)
+	// Snapshot files exist but none loads cleanly: the directory holds
+	// acknowledged-durable state we cannot read. Silently recovering from
+	// the empty state would discard it, so fail loudly and leave every
+	// file in place for forensics; the operator resets by moving the
+	// directory aside.
+	if chosen == 0 && snapErr != nil {
+		return nil, fmt.Errorf("store: snapshot present in %s but none loads cleanly (%v); refusing to recover from empty state — move the directory aside to reset", opts.Dir, snapErr)
 	}
 	s.gen = chosen
 	s.recovered = snapshot
@@ -264,31 +272,46 @@ func (s *Store) RecoveredRecords() [][]byte { return s.recoveredRecs }
 // Recovery reports what Open found and repaired.
 func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 
+// Handle identifies one appended record for Commit: the WAL segment it
+// was written to plus its sequence within that segment. Binding the
+// segment into the handle is what makes Commit safe across rotation — a
+// handle from a rotated-out segment resolves against that segment's
+// final synced state instead of waiting on the new, empty one. The zero
+// Handle commits as a no-op.
+type Handle struct {
+	w   *wal
+	seq int64
+}
+
 // Append journals one record payload, returning its commit handle. The
 // record is ordered but not yet durable; pass the handle to Commit
 // before acknowledging the mutation to a client.
-func (s *Store) Append(payload []byte) (int64, error) {
+func (s *Store) Append(payload []byte) (Handle, error) {
 	s.mu.Lock()
 	w := s.w
 	closed := s.closed
 	s.mu.Unlock()
 	if closed {
-		return 0, errors.New("store: closed")
+		return Handle{}, errors.New("store: closed")
 	}
-	return w.append(payload)
+	seq, err := w.append(payload)
+	if err != nil {
+		return Handle{}, err
+	}
+	return Handle{w: w, seq: seq}, nil
 }
 
-// Commit makes the record with the given handle durable per the sync
+// Commit makes the record behind the handle durable per the sync
 // policy: under SyncAlways it group-commits and waits; under
-// SyncInterval and SyncNever it returns immediately.
-func (s *Store) Commit(seq int64) error {
-	if seq <= 0 || s.policy != SyncAlways {
+// SyncInterval and SyncNever it returns immediately. If the handle's
+// segment has been rotated out by WriteSnapshot, the record is already
+// durable (rotation syncs the outgoing segment before swapping) and
+// Commit returns without touching the new segment.
+func (s *Store) Commit(h Handle) error {
+	if h.seq <= 0 || s.policy != SyncAlways {
 		return nil
 	}
-	s.mu.Lock()
-	w := s.w
-	s.mu.Unlock()
-	return w.waitSynced(seq)
+	return h.w.waitSynced(h.seq)
 }
 
 // Sync forces everything appended so far to stable storage regardless
@@ -306,8 +329,9 @@ func (s *Store) Sync() error {
 // After WriteSnapshot returns, recovery will load this snapshot and
 // replay only records appended after it. The caller must guarantee no
 // Append races a WriteSnapshot (the RM calls both under its own state
-// lock); Commit waiters from earlier appends are released by the
-// pre-rotation sync.
+// lock); Commit is rotation-safe on its own — handles are bound to
+// their segment, and the pre-rotation sync makes every record in the
+// outgoing segment durable before the swap.
 func (s *Store) WriteSnapshot(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -215,19 +215,79 @@ func TestCorruptSnapshotFallsBackToOlderGeneration(t *testing.T) {
 	}
 	s.Close()
 
-	// Corrupt the newest snapshot; with gen 1 already deleted by
-	// rotation, recovery must fall back to the empty state rather than
-	// fail, and must clear the unusable files.
+	// Rotation deleted gen 1's files; restore a valid gen-1 snapshot by
+	// hand and corrupt gen 2: recovery must fall back to gen 1, then
+	// clean up the unusable gen-2 files.
+	if err := writeSnapshotFile(snapPath(dir, 1), []byte("GEN1")); err != nil {
+		t.Fatalf("restore gen-1 snapshot: %v", err)
+	}
 	if err := os.WriteFile(snapPath(dir, 2), []byte("garbage"), 0o644); err != nil {
 		t.Fatalf("corrupt snapshot: %v", err)
 	}
 	s2 := open(t, dir, SyncAlways)
 	defer s2.Close()
-	if s2.RecoveredSnapshot() != nil {
-		t.Errorf("recovered snapshot %q from corrupt file", s2.RecoveredSnapshot())
+	if string(s2.RecoveredSnapshot()) != "GEN1" {
+		t.Errorf("recovered snapshot %q, want GEN1", s2.RecoveredSnapshot())
+	}
+	if g := s2.Recovery().Generation; g != 1 {
+		t.Errorf("recovered generation %d, want 1", g)
 	}
 	if s2.Recovery().StaleFilesRemoved == 0 {
 		t.Error("corrupt generation files not cleaned up")
+	}
+}
+
+// TestAllSnapshotsCorruptAbortsRecovery: when snapshot files exist but
+// none loads cleanly there is acknowledged-durable state on disk that
+// cannot be read. Open must fail loudly — not fall through to the empty
+// state — and must preserve the files for forensics.
+func TestAllSnapshotsCorruptAbortsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, SyncAlways)
+	appendAll(t, s, "a")
+	if err := s.WriteSnapshot([]byte("GEN1")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendAll(t, s, "b")
+	s.Close()
+
+	if err := os.WriteFile(snapPath(dir, 1), []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+	if _, err := Open(Options{Dir: dir, Policy: SyncAlways}); err == nil {
+		t.Fatal("Open recovered from empty state despite an unreadable snapshot")
+	}
+	for _, p := range []string{snapPath(dir, 1), walPath(dir, 1)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s not preserved after refused recovery: %v", p, err)
+		}
+	}
+}
+
+// TestCommitAfterRotationDoesNotBlock: a handle appended before a
+// snapshot rotation must commit promptly afterwards — the pre-rotation
+// sync already made its record durable. A commit that resolved against
+// the post-rotation segment instead would wait (hot-spinning fsyncs)
+// for records that may never arrive.
+func TestCommitAfterRotationDoesNotBlock(t *testing.T) {
+	s := open(t, t.TempDir(), SyncAlways)
+	defer s.Close()
+	h, err := s.Append([]byte("pre-rotation"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.WriteSnapshot([]byte("S")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Commit(h) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Commit after rotation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit after rotation blocked on the new segment")
 	}
 }
 
