@@ -5,7 +5,7 @@
 //
 //	ftsim -trace trace.json [-sched FlowTime] [-cores 100] [-mem-mb 204800]
 //	      [-slot 10s] [-horizon 8000] [-slack 60s] [-cp-decompose] [-v]
-//	      [-dip from:until:percent]
+//	      [-dip from:until:percent] [-invariants]
 //
 // -dip injects a capacity outage: e.g. -dip 120:240:50 halves the cluster
 // between slots 120 and 240.
@@ -44,6 +44,7 @@ func main() {
 		slack     = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
 		cpDecomp  = flag.Bool("cp-decompose", false, "use critical-path decomposition")
 		dip       = flag.String("dip", "", "capacity outage as from:until:percent (slots, % remaining)")
+		invar     = flag.Bool("invariants", false, "verify per-slot safety invariants (fail loudly on violation)")
 		verbose   = flag.Bool("v", false, "print per-job outcomes")
 	)
 	flag.Parse()
@@ -51,13 +52,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *schedName, *cores, *memMB, *slot, *horizon, *slack, *cpDecomp, *dip, *verbose); err != nil {
+	if err := run(*tracePath, *schedName, *cores, *memMB, *slot, *horizon, *slack, *cpDecomp, *dip, *invar, *verbose); err != nil {
 		log.Println("ftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, horizon int64, slack time.Duration, cpDecomp bool, dip string, verbose bool) error {
+func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, horizon int64, slack time.Duration, cpDecomp bool, dip string, invariants, verbose bool) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -116,6 +117,7 @@ func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, ho
 			Workflows:         wfs,
 			AdHoc:             adhoc,
 			ForceCriticalPath: cpDecomp,
+			Invariants:        invariants,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,200 @@
+// Command ftverify is the differential verification sweep: it generates
+// seeded scheduling instances and full-pipeline scenarios, checks the
+// production solver and decomposer against the independent oracles in
+// internal/oracle, and reports pass/fail. Every case is derived from
+// seed+index, so a failure's repro line re-runs exactly that case:
+//
+//	ftverify -n 500 -seed 1        # the CI sweep
+//	ftverify -n 1 -seed 137 -v     # replay case 137 of that sweep
+//
+// On failure the offending instance is shrunk to a minimal reproducer
+// and printed, then ftverify exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"flowtime/internal/core"
+	"flowtime/internal/deadline"
+	"flowtime/internal/oracle"
+	"flowtime/internal/resource"
+	"flowtime/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		n       = flag.Int64("n", 200, "number of verification cases")
+		seed    = flag.Int64("seed", 1, "base seed; case i uses seed+i")
+		verbose = flag.Bool("v", false, "log every case")
+	)
+	flag.Parse()
+
+	counts := map[string]int{}
+	start := time.Now()
+	for i := int64(0); i < *n; i++ {
+		caseSeed := *seed + i
+		rng := rand.New(rand.NewSource(caseSeed))
+		kind, err := runCase(rng, *verbose)
+		counts[kind]++
+		if *verbose || err != nil {
+			log.Printf("case seed=%d kind=%s: %v", caseSeed, kind, errString(err))
+		}
+		if err != nil {
+			log.Printf("FAIL after %d/%d cases", i+1, *n)
+			log.Printf("reproduce with: ftverify -n 1 -seed %d -v", caseSeed)
+			os.Exit(1)
+		}
+	}
+	log.Printf("PASS: %d cases in %v (%s)", *n, time.Since(start).Round(time.Millisecond), breakdown(counts))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
+func breakdown(counts map[string]int) string {
+	return fmt.Sprintf("%d small cross-checks, %d large interior checks, %d pipeline scenarios",
+		counts["small"], counts["large"], counts["scenario"])
+}
+
+// runCase dispatches one seeded case. The kind is drawn from the case's
+// own rng, so a single (seed, index) pair fully determines the case.
+func runCase(rng *rand.Rand, verbose bool) (string, error) {
+	switch p := rng.Intn(10); {
+	case p < 6:
+		return "small", smallCase(rng)
+	case p < 8:
+		return "large", largeCase(rng)
+	default:
+		return "scenario", scenarioCase(rng, verbose)
+	}
+}
+
+// smallCase cross-checks the LP against brute force and min-cut on a
+// tiny instance, then exercises the metamorphic relations on it.
+func smallCase(rng *rand.Rand) error {
+	in := oracle.GenInstance(rng)
+	if err := oracle.CrossCheck(in, oracle.Tol); err != nil {
+		return shrunk(in, err, func(c oracle.Instance) bool {
+			return oracle.CrossCheck(c, oracle.Tol) != nil
+		})
+	}
+	if err := oracle.CheckScaleInvariance(in, 1+int64(rng.Intn(4)), oracle.Tol); err != nil {
+		return fmt.Errorf("%w\ninstance: %+v", err, in)
+	}
+	if err := oracle.CheckPermutationInvariance(in, rng, oracle.Tol); err != nil {
+		return fmt.Errorf("%w\ninstance: %+v", err, in)
+	}
+	if err := oracle.CheckSplitSlot(in, rng.Int63n(int64(len(in.Caps))), oracle.Tol); err != nil {
+		return fmt.Errorf("%w\ninstance: %+v", err, in)
+	}
+	return nil
+}
+
+// largeCase verifies the solver from the interior on an instance far
+// beyond enumeration reach.
+func largeCase(rng *rand.Rand) error {
+	in := oracle.GenLargeInstance(rng)
+	res, err := oracle.SolveLP(in)
+	if err != nil {
+		return fmt.Errorf("solver error: %w\ninstance: %+v", err, in)
+	}
+	if !res.Feasible {
+		return nil
+	}
+	if err := oracle.CheckSolution(in, res, oracle.Tol); err != nil {
+		return shrunk(in, err, func(c oracle.Instance) bool {
+			r, serr := oracle.SolveLP(c)
+			return serr == nil && r.Feasible && oracle.CheckSolution(c, r, oracle.Tol) != nil
+		})
+	}
+	return nil
+}
+
+// scenarioCase runs a full pipeline scenario: the decomposition oracle
+// on every workflow, then the simulator with the per-slot invariant
+// checker armed, and (for a third of scenarios) the submission-order
+// permutation relation on the end-to-end outcomes.
+func scenarioCase(rng *rand.Rand, verbose bool) error {
+	sc, err := oracle.GenScenario(rng)
+	if err != nil {
+		return err
+	}
+	opts := deadline.Options{Slot: sc.SlotDur, ClusterCap: sc.Capacity}
+	for wi, wf := range sc.Workflows {
+		res, err := deadline.Decompose(wf, opts)
+		if err != nil {
+			continue // undecomposable; the sim admits it best-effort
+		}
+		if err := oracle.CheckDecomposition(wf, opts, res); err != nil {
+			return fmt.Errorf("workflow %d (%s regime): %w", wi, sc.Regimes[wi], err)
+		}
+	}
+
+	base, err := runScenario(sc, nil)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		log.Printf("  scenario: %d workflows, %d adhoc, %d slots, %d invariant-checked",
+			len(sc.Workflows), len(sc.AdHoc), base.Slots, base.InvariantSlots)
+	}
+	if base.InvariantSlots != base.Slots {
+		return fmt.Errorf("invariant checker covered %d of %d slots", base.InvariantSlots, base.Slots)
+	}
+
+	if rng.Intn(3) == 0 && len(sc.Workflows)+len(sc.AdHoc) > 1 {
+		perm, err := runScenario(sc, rng)
+		if err != nil {
+			return fmt.Errorf("permuted run: %w", err)
+		}
+		if len(base.Jobs) != len(perm.Jobs) {
+			return fmt.Errorf("permutation changed job count %d -> %d", len(base.Jobs), len(perm.Jobs))
+		}
+		for j := range base.Jobs {
+			if base.Jobs[j] != perm.Jobs[j] {
+				return fmt.Errorf("permutation changed outcome of %s/%s: %+v -> %+v",
+					base.Jobs[j].WorkflowID, base.Jobs[j].JobName, base.Jobs[j], perm.Jobs[j])
+			}
+		}
+	}
+	return nil
+}
+
+// runScenario executes the scenario with FlowTime and the invariant
+// checker; a non-nil rng permutes the submission order first.
+func runScenario(sc *oracle.Scenario, rng *rand.Rand) (*sim.Result, error) {
+	wfs := sc.Workflows
+	adhoc := sc.AdHoc
+	if rng != nil {
+		wfs = append(wfs[:0:0], wfs...)
+		adhoc = append(adhoc[:0:0], adhoc...)
+		rng.Shuffle(len(wfs), func(a, b int) { wfs[a], wfs[b] = wfs[b], wfs[a] })
+		rng.Shuffle(len(adhoc), func(a, b int) { adhoc[a], adhoc[b] = adhoc[b], adhoc[a] })
+	}
+	capacity := sc.Capacity
+	return sim.Run(sim.Config{
+		SlotDur:    sc.SlotDur,
+		Horizon:    sc.Horizon,
+		Capacity:   func(int64) resource.Vector { return capacity },
+		Scheduler:  core.New(core.DefaultConfig()),
+		Workflows:  wfs,
+		AdHoc:      adhoc,
+		Invariants: true,
+	})
+}
+
+// shrunk minimizes a failing instance and folds it into the error.
+func shrunk(in oracle.Instance, err error, fails func(oracle.Instance) bool) error {
+	min := oracle.Shrink(in, fails)
+	return fmt.Errorf("%w\noriginal instance: %+v\nminimal reproducer: %+v", err, in, min)
+}

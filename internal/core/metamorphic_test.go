@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+)
+
+// randomAssignContext draws a random slot-0 scheduling decision: a mix
+// of deadline jobs (with decomposed windows of varying tightness) and
+// ad-hoc jobs, on a 10-vcore cluster.
+func randomAssignContext(rng *rand.Rand) sched.AssignContext {
+	capVec := resource.New(10, 1000)
+	horizon := int64(40)
+	n := 1 + rng.Intn(6)
+	jobs := make([]sched.JobState, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			jobs = append(jobs, sched.JobState{
+				ID:      fmt.Sprintf("ah-%d", i),
+				Kind:    sched.AdHocJob,
+				Ready:   true,
+				Request: resource.New(1+rng.Int63n(4), 100*(1+rng.Int63n(4))),
+			})
+			continue
+		}
+		rel := rng.Int63n(horizon - 1)
+		dl := rel + 1 + rng.Int63n(horizon-rel-1) + 1
+		tasks := 1 + rng.Int63n(5)
+		per := resource.New(1, 100)
+		cap := per.Scale(tasks)
+		est := cap.Scale(1 + rng.Int63n(4)) // 1-4 slots of full-parallel work
+		jobs = append(jobs, sched.JobState{
+			ID:           fmt.Sprintf("dl-%d", i),
+			Kind:         sched.DeadlineJob,
+			WorkflowID:   "wf",
+			JobName:      fmt.Sprintf("j%d", i),
+			Release:      time.Duration(rel) * 10 * time.Second,
+			Deadline:     time.Duration(dl) * 10 * time.Second,
+			EstRemaining: est,
+			ParallelCap:  cap,
+			MinSlots:     1,
+			Request:      cap.Min(est),
+			Ready:        rng.Intn(5) != 0,
+		})
+	}
+	return sched.AssignContext{
+		Now:     0,
+		Changed: true,
+		Jobs:    jobs,
+		Cluster: sched.ClusterView{
+			SlotDur: 10 * time.Second,
+			Horizon: horizon,
+			CapAt:   func(int64) resource.Vector { return capVec },
+		},
+	}
+}
+
+// TestQuickAssignSafety is a testing/quick driver over the production
+// planner: for random job mixes, the grants FlowTime emits must respect
+// cluster capacity, per-job parallelism, readiness, and release times —
+// without relying on the simulator's defensive clamping.
+func TestQuickAssignSafety(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := randomAssignContext(rng)
+		grants, err := New(DefaultConfig()).Assign(ctx)
+		if err != nil {
+			t.Logf("seed %d: Assign: %v", seed, err)
+			return false
+		}
+		var used resource.Vector
+		byID := make(map[string]sched.JobState, len(ctx.Jobs))
+		for _, j := range ctx.Jobs {
+			byID[j.ID] = j
+		}
+		for id, g := range grants {
+			j, ok := byID[id]
+			if !ok {
+				t.Logf("seed %d: grant to unknown job %s", seed, id)
+				return false
+			}
+			if g.AnyNegative() {
+				t.Logf("seed %d: negative grant %v to %s", seed, g, id)
+				return false
+			}
+			if j.Kind == sched.DeadlineJob && !j.BestEffort && !g.IsZero() &&
+				!g.FitsIn(j.ParallelCap) {
+				t.Logf("seed %d: grant %v to %s exceeds parallel cap %v", seed, g, id, j.ParallelCap)
+				return false
+			}
+			if !j.Ready && !g.IsZero() {
+				t.Logf("seed %d: grant %v to blocked job %s", seed, g, id)
+				return false
+			}
+			if j.Kind == sched.DeadlineJob && !g.IsZero() &&
+				int64(j.Release/ctx.Cluster.SlotDur) > ctx.Now {
+				t.Logf("seed %d: grant %v to %s before release %v", seed, g, id, j.Release)
+				return false
+			}
+			used = used.Add(g)
+		}
+		if !used.FitsIn(ctx.Cluster.CapAt(ctx.Now)) {
+			t.Logf("seed %d: total grants %v exceed capacity", seed, used)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAssignDeterminism: the Scheduler contract requires identical
+// decisions for identical context sequences; a fresh planner on the same
+// random context must always produce the same grants.
+func TestQuickAssignDeterminism(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := randomAssignContext(rng)
+		a, err1 := New(DefaultConfig()).Assign(ctx)
+		b, err2 := New(DefaultConfig()).Assign(ctx)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Logf("seed %d: same context, different grants:\n%v\n%v", seed, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package deadline
+
+import (
+	"testing"
+	"time"
+
+	"flowtime/internal/workflow"
+)
+
+// TestDecomposeBoundaries pins the decomposition behaviour at the edges
+// of the slack calculation: an exactly-zero-slack window must stay on
+// the resource-demand path with minimum-runtime windows, one slot less
+// must flip to the critical-path fallback, and the smallest workflows
+// (single job, single antichain set) must receive the whole window.
+func TestDecomposeBoundaries(t *testing.T) {
+	// chain jobs are job(4, 30s): minrt = 3 slots each on bigCluster.
+	cases := []struct {
+		name       string
+		build      func(t *testing.T) *workflow.Workflow
+		opts       Options
+		wantMethod Method
+		// wantWindows, when non-nil, are the exact per-job windows.
+		wantWindows []Window
+	}{
+		{
+			name:  "zero slack exact fit stays resource-demand",
+			build: func(t *testing.T) *workflow.Workflow { return chain(t, 3, 90*time.Second) },
+			opts:  Options{Slot: slot, ClusterCap: bigCluster},
+			// 3 sets x minrt 3 slots = 9 slots = the whole 90s window:
+			// slack is exactly zero, each set gets exactly its minimum.
+			wantMethod: ResourceDemand,
+			wantWindows: []Window{
+				{0, 30 * time.Second},
+				{30 * time.Second, 60 * time.Second},
+				{60 * time.Second, 90 * time.Second},
+			},
+		},
+		{
+			name:       "one slot below minimum falls back to critical path",
+			build:      func(t *testing.T) *workflow.Workflow { return chain(t, 3, 80*time.Second) },
+			opts:       Options{Slot: slot, ClusterCap: bigCluster},
+			wantMethod: CriticalPath,
+		},
+		{
+			name:       "forced critical path overrides ample slack",
+			build:      func(t *testing.T) *workflow.Workflow { return chain(t, 3, 600*time.Second) },
+			opts:       Options{Slot: slot, ClusterCap: bigCluster, ForceCriticalPath: true},
+			wantMethod: CriticalPath,
+		},
+		{
+			name: "single job gets the whole window",
+			build: func(t *testing.T) *workflow.Workflow {
+				return chain(t, 1, 100*time.Second)
+			},
+			opts:        Options{Slot: slot, ClusterCap: bigCluster},
+			wantMethod:  ResourceDemand,
+			wantWindows: []Window{{0, 100 * time.Second}},
+		},
+		{
+			name: "single antichain set of parallel jobs shares the whole window",
+			build: func(t *testing.T) *workflow.Workflow {
+				w := workflow.New("par", 0, 120*time.Second)
+				w.AddJob(job(4, 30*time.Second))
+				w.AddJob(job(2, 50*time.Second))
+				w.AddJob(job(8, 10*time.Second))
+				if err := w.Validate(); err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return w
+			},
+			opts:       Options{Slot: slot, ClusterCap: bigCluster},
+			wantMethod: ResourceDemand,
+			wantWindows: []Window{
+				{0, 120 * time.Second},
+				{0, 120 * time.Second},
+				{0, 120 * time.Second},
+			},
+		},
+		{
+			name: "single job at minimum runtime is zero slack",
+			build: func(t *testing.T) *workflow.Workflow {
+				return chain(t, 1, 30*time.Second)
+			},
+			opts:        Options{Slot: slot, ClusterCap: bigCluster},
+			wantMethod:  ResourceDemand,
+			wantWindows: []Window{{0, 30 * time.Second}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := tc.build(t)
+			res, err := Decompose(w, tc.opts)
+			if err != nil {
+				t.Fatalf("Decompose: %v", err)
+			}
+			if res.Method != tc.wantMethod {
+				t.Fatalf("Method = %v, want %v", res.Method, tc.wantMethod)
+			}
+			if tc.wantWindows != nil {
+				for i, want := range tc.wantWindows {
+					if res.Windows[i] != want {
+						t.Errorf("job %d window = %+v, want %+v", i, res.Windows[i], want)
+					}
+				}
+			}
+			if res.Method == CriticalPath && res.Sets != nil {
+				t.Error("critical-path result carries antichain sets")
+			}
+		})
+	}
+}
+
+// TestCriticalPathFallbackWindowsStayInBounds: however tight the window,
+// the fallback must emit slot-aligned windows of at least one slot that
+// never leave [Submit, Deadline] — the over-tight chain forces the
+// clamping branches in criticalPathDecompose.
+func TestCriticalPathFallbackWindowsStayInBounds(t *testing.T) {
+	// 6 chained jobs, minrt 3 slots each (18 needed), only 2 slots given.
+	w := chain(t, 6, 20*time.Second)
+	res, err := Decompose(w, Options{Slot: slot, ClusterCap: bigCluster})
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if res.Method != CriticalPath {
+		t.Fatalf("Method = %v, want CriticalPath", res.Method)
+	}
+	for i, win := range res.Windows {
+		if win.Release < w.Submit || win.Deadline > w.Deadline {
+			t.Errorf("job %d window %+v outside [%v, %v]", i, win, w.Submit, w.Deadline)
+		}
+		if width := win.Deadline - win.Release; width < slot {
+			t.Errorf("job %d window width %v, want >= one slot", i, width)
+		}
+		if (win.Release-w.Submit)%slot != 0 || (win.Deadline-w.Submit)%slot != 0 {
+			t.Errorf("job %d window %+v not slot-aligned", i, win)
+		}
+	}
+}

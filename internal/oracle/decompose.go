@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"flowtime/internal/deadline"
+	"flowtime/internal/workflow"
+)
+
+// CheckDecomposition asserts the paper's Stage-1 invariants on a
+// Decompose result, recomputing every quantity (antichain sets, minimum
+// runtimes, slack) from the workflow itself rather than trusting the
+// decomposer's intermediates:
+//
+//   - every window nests inside the slot-aligned workflow window
+//     [ws, ws + totalSlots·slot] and is aligned to whole slots;
+//   - the method matches the paper's rule: resource-demand when the
+//     recomputed slack is non-negative, critical-path fallback otherwise
+//     (or when forced);
+//   - resource-demand results exactly partition the workflow window into
+//     per-set windows in topological order, give every set at least its
+//     minimum runtime, distribute exactly the total slack, and report
+//     Sets that partition the jobs into true antichains;
+//   - precedence is preserved: strictly (pred deadline ≤ succ release)
+//     for resource-demand; weakly (release and deadline monotone along
+//     edges) for the critical-path fallback, whose slot rounding under
+//     very tight windows can legally overlap adjacent windows.
+func CheckDecomposition(w *workflow.Workflow, opts deadline.Options, res *deadline.Result) error {
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	if res == nil {
+		return fmt.Errorf("oracle: nil decomposition result")
+	}
+	n := w.NumJobs()
+	if len(res.Windows) != n {
+		return fmt.Errorf("oracle: %d windows for %d jobs", len(res.Windows), n)
+	}
+	totalSlots := int64((w.Deadline - w.Submit) / opts.Slot)
+	horizon := w.Submit + time.Duration(totalSlots)*opts.Slot
+
+	for i, win := range res.Windows {
+		if win.Release < w.Submit || win.Deadline > horizon || win.Release >= win.Deadline {
+			return fmt.Errorf("oracle: job %d window [%v, %v) escapes workflow window [%v, %v)",
+				i, win.Release, win.Deadline, w.Submit, horizon)
+		}
+		if (win.Release-w.Submit)%opts.Slot != 0 || (win.Deadline-w.Submit)%opts.Slot != 0 {
+			return fmt.Errorf("oracle: job %d window [%v, %v) not slot-aligned (slot %v)",
+				i, win.Release, win.Deadline, opts.Slot)
+		}
+	}
+
+	// Recompute the method decision independently.
+	sets, err := w.DAG().AntichainSets()
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	minrt := make([]int64, n)
+	for i := 0; i < n; i++ {
+		mr := w.Job(i).MinRuntimeSlots(opts.Slot, opts.ClusterCap)
+		if mr < 0 {
+			return fmt.Errorf("oracle: job %d does not fit the cluster", i)
+		}
+		minrt[i] = mr
+	}
+	setMinrt := make([]int64, len(sets))
+	var sumMinrt int64
+	for k, set := range sets {
+		for _, i := range set {
+			if minrt[i] > setMinrt[k] {
+				setMinrt[k] = minrt[i]
+			}
+		}
+		sumMinrt += setMinrt[k]
+	}
+	slack := totalSlots - sumMinrt
+
+	wantMethod := deadline.ResourceDemand
+	if opts.ForceCriticalPath || slack < 0 {
+		wantMethod = deadline.CriticalPath
+	}
+	if res.Method != wantMethod {
+		return fmt.Errorf("oracle: method %v, recomputed slack %d demands %v", res.Method, slack, wantMethod)
+	}
+
+	// Precedence along every DAG edge.
+	for u := 0; u < n; u++ {
+		for _, v := range w.DAG().Successors(u) {
+			wu, wv := res.Windows[u], res.Windows[v]
+			if res.Method == deadline.ResourceDemand {
+				if wu.Deadline > wv.Release {
+					return fmt.Errorf("oracle: edge %d->%d: pred deadline %v after succ release %v",
+						u, v, wu.Deadline, wv.Release)
+				}
+			} else if wu.Release > wv.Release || wu.Deadline > wv.Deadline {
+				return fmt.Errorf("oracle: edge %d->%d: windows [%v,%v) -> [%v,%v) not monotone",
+					u, v, wu.Release, wu.Deadline, wv.Release, wv.Deadline)
+			}
+		}
+	}
+
+	if res.Method != deadline.ResourceDemand {
+		return nil
+	}
+
+	// Resource-demand specifics: Sets must match the recomputed antichain
+	// sets, every set shares one window, the per-set windows exactly
+	// partition the workflow window, and the widths account for every
+	// slot of slack.
+	if len(res.Sets) != len(sets) {
+		return fmt.Errorf("oracle: %d sets reported, %d recomputed", len(res.Sets), len(sets))
+	}
+	seen := make([]bool, n)
+	cursor := w.Submit
+	var distributed int64
+	for k, set := range res.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("oracle: set %d empty", k)
+		}
+		win := res.Windows[set[0]]
+		for _, i := range set {
+			if i < 0 || i >= n || seen[i] {
+				return fmt.Errorf("oracle: set %d holds invalid or duplicate job %d", k, i)
+			}
+			seen[i] = true
+			if res.Windows[i] != win {
+				return fmt.Errorf("oracle: set %d jobs disagree on window: %v vs %v", k, res.Windows[i], win)
+			}
+		}
+		if win.Release != cursor {
+			return fmt.Errorf("oracle: set %d starts at %v, previous set ended at %v", k, win.Release, cursor)
+		}
+		widthSlots := int64((win.Deadline - win.Release) / opts.Slot)
+		if widthSlots < setMinrt[k] {
+			return fmt.Errorf("oracle: set %d width %d slots below minimum runtime %d", k, widthSlots, setMinrt[k])
+		}
+		distributed += widthSlots - setMinrt[k]
+		cursor = win.Deadline
+
+		// Antichain: no member may reach another through the DAG.
+		inSet := make(map[int]bool, len(set))
+		for _, i := range set {
+			inSet[i] = true
+		}
+		for _, i := range set {
+			stack := append([]int(nil), w.DAG().Successors(i)...)
+			visited := make(map[int]bool)
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				if inSet[v] {
+					return fmt.Errorf("oracle: set %d not an antichain: %d reaches %d", k, i, v)
+				}
+				stack = append(stack, w.DAG().Successors(v)...)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("oracle: job %d missing from sets", i)
+		}
+	}
+	if cursor != horizon {
+		return fmt.Errorf("oracle: sets end at %v, workflow window ends at %v", cursor, horizon)
+	}
+	if distributed != slack {
+		return fmt.Errorf("oracle: distributed slack %d, total slack %d", distributed, slack)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package rmserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/store"
+)
+
+// VerifyRecoveryEquivalence is the durability oracle: it checks, on a
+// live server, that the state a fresh process would rebuild from the
+// store (snapshot + WAL replay) is equivalent to the state the running
+// process holds in memory. Under the server's state lock it captures the
+// in-memory snapshot and copies the store directory byte-for-byte —
+// simulating a SIGKILL at this instant, with no graceful close — then
+// opens the copy through the full recovery path and compares normalized
+// states.
+//
+// Normalization removes exactly what recovery is specified to change:
+// in-flight leases are requeued (their nodes died with the process), so
+// leases are dropped, per-job in-flight volume is zeroed, and fault
+// counters — which recovery legitimately bumps — are cleared. Everything
+// else must match byte-for-byte.
+//
+// scratch must be an empty or nonexistent directory; the copy is left
+// behind on failure for forensics and removed on success.
+func (s *Server) VerifyRecoveryEquivalence(scratch string) error {
+	if s.store == nil {
+		return errors.New("rmserver: recovery equivalence requires a store")
+	}
+
+	s.mu.Lock()
+	live, err := s.snapshotLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("rmserver: live snapshot: %w", err)
+	}
+	err = copyDir(s.store.Dir(), scratch)
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("rmserver: copy store dir: %w", err)
+	}
+
+	st, err := store.Open(store.Options{Dir: scratch, Policy: store.SyncNever})
+	if err != nil {
+		return fmt.Errorf("rmserver: open store copy: %w", err)
+	}
+	rebuilt, rebuildErr := func() ([]byte, error) {
+		defer st.Close()
+		s2, err := New(Config{
+			SlotDur:     s.cfg.SlotDur,
+			Scheduler:   s.cfg.Scheduler,
+			Horizon:     s.cfg.Horizon,
+			LeaseExpiry: s.cfg.LeaseExpiry,
+			Store:       st,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rmserver: recover from copy: %w", err)
+		}
+		s2.mu.Lock()
+		defer s2.mu.Unlock()
+		return s2.snapshotLocked()
+	}()
+	if rebuildErr != nil {
+		return rebuildErr
+	}
+
+	a, err := normalizeSnapshot(live)
+	if err != nil {
+		return fmt.Errorf("rmserver: normalize live state: %w", err)
+	}
+	b, err := normalizeSnapshot(rebuilt)
+	if err != nil {
+		return fmt.Errorf("rmserver: normalize recovered state: %w", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("rmserver: recovery-equivalence violation (store copy kept at %s):\nlive:      %s\nrecovered: %s",
+			scratch, a, b)
+	}
+	return os.RemoveAll(scratch)
+}
+
+// normalizeSnapshot strips the state recovery is allowed to change:
+// leases (requeued wholesale), per-job in-flight volume (returned to the
+// schedulable remainder by the requeue), and fault counters (bumped by
+// the requeues).
+func normalizeSnapshot(payload []byte) ([]byte, error) {
+	var st snapState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, err
+	}
+	st.Leases = nil
+	st.Faults = rmproto.FaultCounters{}
+	for wi := range st.Workflows {
+		for ji := range st.Workflows[wi].Jobs {
+			st.Workflows[wi].Jobs[ji].InFlight = resource.Vector{}
+		}
+	}
+	for ji := range st.AdHoc {
+		st.AdHoc[ji].InFlight = resource.Vector{}
+	}
+	return json.Marshal(&st)
+}
+
+// copyDir copies the flat store directory (WAL segments + snapshots)
+// into dst, creating it. Called with the server lock held so no append
+// races the copy: the result is exactly what a crash at this instant
+// would leave on disk.
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -77,12 +77,12 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 func TestRetryHonorsContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	calls := 0
-	go func() {
-		time.Sleep(10 * time.Millisecond)
-		cancel()
-	}()
+	// Cancel from inside the retried op: deterministic (no timing race),
+	// and the hour-long base delay guarantees that if cancellation did not
+	// interrupt the backoff sleep the test would time out, not flake.
 	err := Retry(ctx, Backoff{Base: time.Hour, MaxAttempts: -1}, func() error {
 		calls++
+		cancel()
 		return errors.New("transient")
 	})
 	if !errors.Is(err, context.Canceled) {

@@ -39,12 +39,13 @@ func chaosConfig(t *testing.T, s sched.Scheduler) Config {
 	t.Helper()
 	wfs, adhoc := chaosWorkload(t)
 	return Config{
-		SlotDur:   slotDur,
-		Horizon:   600,
-		Capacity:  constCap(resource.New(10, 1000)),
-		Scheduler: s,
-		Workflows: wfs,
-		AdHoc:     adhoc,
+		SlotDur:    slotDur,
+		Horizon:    600,
+		Capacity:   constCap(resource.New(10, 1000)),
+		Scheduler:  s,
+		Workflows:  wfs,
+		AdHoc:      adhoc,
+		Invariants: true,
 	}
 }
 

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+
+	"flowtime/internal/resource"
+)
+
+// Observation is one job's state at the end of a slot, as seen by the
+// InvariantChecker: the grant it received this slot, the request and
+// readiness it advertised when the grant was made, and its cumulative
+// accounting after the grant was applied.
+type Observation struct {
+	ID string
+	// Granted is the clamped grant applied this slot (zero if none).
+	Granted resource.Vector
+	// Request and Ready are the values the scheduler saw this slot.
+	Request resource.Vector
+	Ready   bool
+	// Consumed and Remaining are the job's cumulative consumption and
+	// true remaining volume after the grant.
+	Consumed  resource.Vector
+	Remaining resource.Vector
+	// Done reports completion as of the end of this slot.
+	Done bool
+}
+
+// InvariantChecker asserts the simulator's per-slot safety invariants,
+// independent of any scheduler:
+//
+//   - allocation never exceeds cluster capacity in any resource kind;
+//   - a grant never exceeds the job's request, and only ready jobs
+//     receive grants;
+//   - consumption and remaining volume are never negative;
+//   - work is conserved: consumed + remaining is constant per job;
+//   - consumed work is monotone non-decreasing (confirmed work is never
+//     un-confirmed);
+//   - completion is permanent, implies zero remaining work, and no
+//     grants flow to completed jobs.
+//
+// Create with NewInvariantChecker and feed it every simulated slot; it
+// carries per-job history across slots, so one checker serves one run.
+type InvariantChecker struct {
+	consumed map[string]resource.Vector
+	total    map[string]resource.Vector
+	done     map[string]bool
+	slots    int64
+}
+
+// NewInvariantChecker returns a checker with empty history.
+func NewInvariantChecker() *InvariantChecker {
+	return &InvariantChecker{
+		consumed: make(map[string]resource.Vector),
+		total:    make(map[string]resource.Vector),
+		done:     make(map[string]bool),
+	}
+}
+
+// Slots returns how many slots have been checked.
+func (c *InvariantChecker) Slots() int64 { return c.slots }
+
+// CheckSlot verifies one slot's observations against the invariants.
+// The first error found is returned; nil means the slot is clean.
+func (c *InvariantChecker) CheckSlot(slot int64, capacity resource.Vector, obs []Observation) error {
+	var used resource.Vector
+	seen := make(map[string]bool, len(obs))
+	for _, o := range obs {
+		if seen[o.ID] {
+			return fmt.Errorf("invariant: job %s observed twice in slot %d", o.ID, slot)
+		}
+		seen[o.ID] = true
+		if o.Granted.AnyNegative() {
+			return fmt.Errorf("invariant: job %s negative grant %v", o.ID, o.Granted)
+		}
+		used = used.Add(o.Granted)
+		if !o.Granted.FitsIn(o.Request) {
+			return fmt.Errorf("invariant: job %s granted %v over request %v", o.ID, o.Granted, o.Request)
+		}
+		if !o.Ready && !o.Granted.IsZero() {
+			return fmt.Errorf("invariant: job %s granted %v while not ready", o.ID, o.Granted)
+		}
+		if o.Consumed.AnyNegative() {
+			return fmt.Errorf("invariant: job %s negative consumption %v", o.ID, o.Consumed)
+		}
+		if o.Remaining.AnyNegative() {
+			return fmt.Errorf("invariant: job %s negative remaining volume %v", o.ID, o.Remaining)
+		}
+		if prev, ok := c.consumed[o.ID]; ok && !prev.FitsIn(o.Consumed) {
+			return fmt.Errorf("invariant: job %s consumed work regressed: %v -> %v", o.ID, prev, o.Consumed)
+		}
+		c.consumed[o.ID] = o.Consumed
+		total := o.Consumed.Add(o.Remaining)
+		if t0, ok := c.total[o.ID]; !ok {
+			c.total[o.ID] = total
+		} else if total != t0 {
+			return fmt.Errorf("invariant: job %s work not conserved: consumed+remaining %v, was %v", o.ID, total, t0)
+		}
+		if c.done[o.ID] {
+			if !o.Done {
+				return fmt.Errorf("invariant: job %s completion revoked", o.ID)
+			}
+			if !o.Granted.IsZero() {
+				return fmt.Errorf("invariant: job %s granted %v after completion", o.ID, o.Granted)
+			}
+		}
+		if o.Done {
+			if !o.Remaining.IsZero() {
+				return fmt.Errorf("invariant: job %s done with remaining volume %v", o.ID, o.Remaining)
+			}
+			c.done[o.ID] = true
+		}
+	}
+	if !used.FitsIn(capacity) {
+		return fmt.Errorf("invariant: slot %d allocation %v exceeds capacity %v", slot, used, capacity)
+	}
+	c.slots++
+	return nil
+}

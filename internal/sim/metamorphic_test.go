@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowtime/internal/core"
+	"flowtime/internal/oracle"
+	"flowtime/internal/workflow"
+)
+
+// scaleWorkflow rebuilds the workflow with every per-task demand
+// multiplied by k (the DAG, durations, and deadline are unchanged).
+func scaleWorkflow(t *testing.T, w *workflow.Workflow, k int64) *workflow.Workflow {
+	t.Helper()
+	out := workflow.New(w.ID, w.Submit, w.Deadline)
+	for i := 0; i < w.NumJobs(); i++ {
+		j := w.Job(i)
+		j.TaskDemand = j.TaskDemand.Scale(k)
+		out.AddJob(j)
+	}
+	for u := 0; u < w.NumJobs(); u++ {
+		for _, v := range w.DAG().Successors(u) {
+			out.AddDep(u, v)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("scaled workflow invalid: %v", err)
+	}
+	return out
+}
+
+func scenarioConfig(sc *oracle.Scenario) Config {
+	return Config{
+		SlotDur:    sc.SlotDur,
+		Horizon:    sc.Horizon,
+		Capacity:   constCap(sc.Capacity),
+		Scheduler:  core.New(core.DefaultConfig()),
+		Workflows:  sc.Workflows,
+		AdHoc:      sc.AdHoc,
+		Invariants: true,
+	}
+}
+
+type verdict struct{ completed, missed bool }
+
+func jobVerdicts(res *Result) map[string]verdict {
+	out := make(map[string]verdict, len(res.Jobs))
+	for _, j := range res.Jobs {
+		out[j.WorkflowID+"/"+j.JobName] = verdict{j.Completed, j.Missed()}
+	}
+	return out
+}
+
+// TestMetamorphicScaleVerdicts: multiplying the cluster capacity and
+// every job's demand by k leaves the normalized LP instance unchanged,
+// so deadline-miss verdicts must not change. (Completion times may shift
+// by integral-repair rounding; verdicts are the invariant.)
+func TestMetamorphicScaleVerdicts(t *testing.T) {
+	const k = 2
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8; i++ {
+		sc, err := oracle.GenScenario(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(scenarioConfig(sc))
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+
+		scaled := *sc
+		scaled.Capacity = sc.Capacity.Scale(k)
+		scaled.Workflows = nil
+		for _, w := range sc.Workflows {
+			scaled.Workflows = append(scaled.Workflows, scaleWorkflow(t, w, k))
+		}
+		scaled.AdHoc = nil
+		for _, ah := range sc.AdHoc {
+			ah.TaskDemand = ah.TaskDemand.Scale(k)
+			scaled.AdHoc = append(scaled.AdHoc, ah)
+		}
+		scaledRes, err := Run(scenarioConfig(&scaled))
+		if err != nil {
+			t.Fatalf("scenario %d scaled: %v", i, err)
+		}
+
+		a, b := jobVerdicts(base), jobVerdicts(scaledRes)
+		if len(a) != len(b) {
+			t.Fatalf("scenario %d: job count changed %d -> %d", i, len(a), len(b))
+		}
+		for id, va := range a {
+			if vb, ok := b[id]; !ok || va != vb {
+				t.Errorf("scenario %d: job %s verdict changed under x%d scaling: %+v -> %+v",
+					i, id, k, va, b[id])
+			}
+		}
+	}
+}
+
+// TestMetamorphicPermuteSubmissionOrder: the simulator sorts jobs
+// deterministically, so permuting the order workflows and ad-hoc jobs
+// are listed in must not change any outcome (fault injection is off —
+// it perturbs ground truth in listing order by design).
+func TestMetamorphicPermuteSubmissionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 8; i++ {
+		sc, err := oracle.GenScenario(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(scenarioConfig(sc))
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+
+		perm := *sc
+		perm.Workflows = append([]*workflow.Workflow(nil), sc.Workflows...)
+		perm.AdHoc = append([]workflow.AdHoc(nil), sc.AdHoc...)
+		rng.Shuffle(len(perm.Workflows), func(a, b int) {
+			perm.Workflows[a], perm.Workflows[b] = perm.Workflows[b], perm.Workflows[a]
+		})
+		rng.Shuffle(len(perm.AdHoc), func(a, b int) {
+			perm.AdHoc[a], perm.AdHoc[b] = perm.AdHoc[b], perm.AdHoc[a]
+		})
+		permRes, err := Run(scenarioConfig(&perm))
+		if err != nil {
+			t.Fatalf("scenario %d permuted: %v", i, err)
+		}
+
+		if len(base.Jobs) != len(permRes.Jobs) {
+			t.Fatalf("scenario %d: job count changed", i)
+		}
+		for j := range base.Jobs {
+			if base.Jobs[j] != permRes.Jobs[j] {
+				t.Errorf("scenario %d: outcome %d changed under permutation:\n%+v\n%+v",
+					i, j, base.Jobs[j], permRes.Jobs[j])
+			}
+		}
+		for j := range base.AdHoc {
+			if base.AdHoc[j] != permRes.AdHoc[j] {
+				t.Errorf("scenario %d: ad-hoc outcome %d changed under permutation", i, j)
+			}
+		}
+	}
+}
+
+// TestMetamorphicCapacityScaleOnly is the sanity inverse: doubling
+// capacity without touching demand must never turn a met deadline into
+// a miss.
+func TestMetamorphicCapacityScaleOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 6; i++ {
+		sc, err := oracle.GenScenario(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(scenarioConfig(sc))
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		roomy := *sc
+		roomy.Capacity = sc.Capacity.Scale(2)
+		// Reuse requires fresh workflow clones: Run mutates nothing, but
+		// the scheduler is stateful, so build a fresh config.
+		cfg := scenarioConfig(&roomy)
+		roomyRes, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("scenario %d roomy: %v", i, err)
+		}
+		a, b := jobVerdicts(base), jobVerdicts(roomyRes)
+		for id, va := range a {
+			if vb := b[id]; va.completed && !vb.completed {
+				t.Errorf("scenario %d: job %s lost completion when capacity doubled", i, id)
+			}
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// jitter, stragglers) for chaos-testing the scheduling pipeline; see
 	// FaultInjection.
 	Faults *FaultInjection
+	// Invariants enables the per-slot InvariantChecker: every slot's
+	// grants and accounting are verified against the simulator's safety
+	// invariants, and the run fails loudly on the first violation.
+	Invariants bool
 }
 
 // JobOutcome records one deadline job's result.
@@ -143,6 +147,9 @@ type Result struct {
 	// Degradation is the scheduler's final ladder telemetry, when the
 	// scheduler reports one (sched.DegradationReporter); nil otherwise.
 	Degradation *sched.DegradationStatus
+	// InvariantSlots is how many slots the InvariantChecker verified
+	// (zero unless Config.Invariants was set).
+	InvariantSlots int64
 }
 
 type runJob struct {
@@ -207,6 +214,10 @@ func Run(cfg Config) (*Result, error) {
 	changed := true
 	pendingArrivals := len(jobs)
 	prevCap := cfg.Capacity(0)
+	var checker *InvariantChecker
+	if cfg.Invariants {
+		checker = NewInvariantChecker()
+	}
 
 	for slot := int64(0); slot < cfg.Horizon; slot++ {
 		now := time.Duration(slot) * cfg.SlotDur
@@ -281,6 +292,10 @@ func Run(cfg Config) (*Result, error) {
 		// Apply grants: clamp to request and to capacity, deterministically.
 		capLeft := cfg.Capacity(slot)
 		var dlUsed, ahUsed resource.Vector
+		var applied map[string]resource.Vector
+		if checker != nil {
+			applied = make(map[string]resource.Vector, len(states))
+		}
 		for _, st := range states {
 			g, ok := grants[st.ID]
 			if !ok {
@@ -297,6 +312,9 @@ func Run(cfg Config) (*Result, error) {
 			capLeft = capLeft.Sub(g)
 			j.consumed = j.consumed.Add(g)
 			j.actualLeft = j.actualLeft.SubClamped(g)
+			if applied != nil {
+				applied[st.ID] = g
+			}
 			if j.kind == sched.DeadlineJob {
 				dlUsed = dlUsed.Add(g)
 			} else {
@@ -340,6 +358,26 @@ func Run(cfg Config) (*Result, error) {
 				j.estTotal = j.estTotal.Add(bump)
 				changed = true
 			}
+		}
+
+		if checker != nil {
+			obs := make([]Observation, 0, len(states))
+			for _, st := range states {
+				j := idx[st.ID]
+				obs = append(obs, Observation{
+					ID:        j.id,
+					Granted:   applied[st.ID],
+					Request:   st.Request,
+					Ready:     st.Ready,
+					Consumed:  j.consumed,
+					Remaining: j.actualLeft,
+					Done:      j.done,
+				})
+			}
+			if err := checker.CheckSlot(slot, cfg.Capacity(slot), obs); err != nil {
+				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+			res.InvariantSlots = checker.Slots()
 		}
 	}
 

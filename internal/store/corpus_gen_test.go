@@ -1,0 +1,116 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpora under
+// testdata/fuzz/ for the three fuzz targets in this package. It is a
+// no-op unless GEN_CORPUS=1 is set:
+//
+//	GEN_CORPUS=1 go test ./internal/store -run TestGenerateFuzzCorpus
+//
+// The seeds are crafted frames — valid records of several sizes, torn
+// tails at every interesting offset, CRC and length corruptions, and
+// multi-record streams — so that short CI fuzz bursts start from deep
+// coverage instead of rediscovering the framing from zero.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") != "1" {
+		t.Skip("set GEN_CORPUS=1 to regenerate testdata/fuzz seed corpora")
+	}
+
+	rec := func(payload []byte) []byte {
+		frame, err := EncodeRecord(payload)
+		if err != nil {
+			t.Fatalf("EncodeRecord: %v", err)
+		}
+		return frame
+	}
+	small := rec([]byte("a"))
+	empty := rec(nil)
+	med := rec(bytes.Repeat([]byte{0x5a}, 100))
+	jsonish := rec([]byte(`{"kind":"confirm","id":"q-0001","quanta":3}`))
+
+	crcFlip := append([]byte(nil), small...)
+	crcFlip[4] ^= 0xff
+	lenFlip := append([]byte(nil), small...)
+	lenFlip[0] ^= 0x02
+	hugeLen := []byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4}
+
+	writeCorpus(t, "FuzzDecodeRecord", [][]interface{}{
+		{small},
+		{empty},
+		{med},
+		{jsonish},
+		{small[:frameHeaderLen-1]}, // torn inside the header
+		{med[:frameHeaderLen+10]},  // torn inside the payload
+		{crcFlip},
+		{lenFlip},
+		{hugeLen},
+		{concat(small, med)}, // trailing bytes beyond one record
+	})
+
+	writeCorpus(t, "FuzzRoundTripWithCorruption", [][]interface{}{
+		{[]byte(nil), uint16(0)},
+		{[]byte("x"), uint16(4)}, // flip lands in the CRC
+		{[]byte("payload"), uint16(0)},
+		{bytes.Repeat([]byte{0x00}, 64), uint16(40)},
+		{bytes.Repeat([]byte{0xff}, 257), uint16(9)},
+		{[]byte(`{"kind":"submit"}`), uint16(2)},
+	})
+
+	writeCorpus(t, "FuzzDecodeAll", [][]interface{}{
+		{[]byte(nil)},
+		{small},
+		{concat(small, med, jsonish)},
+		{concat(small, med[:len(med)-1])}, // torn tail after a clean record
+		{concat(empty, empty, empty)},
+		{concat(jsonish, crcFlip, small)}, // corruption mid-stream
+		{concat(small, hugeLen)},
+	})
+}
+
+func concat(frames ...[]byte) []byte {
+	var out []byte
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// writeCorpus writes one seed file per entry in the Go native fuzz
+// corpus format ("go test fuzz v1"), one line per argument.
+func writeCorpus(t *testing.T, target string, seeds [][]interface{}) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, args := range seeds {
+		var buf bytes.Buffer
+		buf.WriteString("go test fuzz v1\n")
+		for _, a := range args {
+			switch v := a.(type) {
+			case []byte:
+				fmt.Fprintf(&buf, "[]byte(%s)\n", strconv.Quote(string(v)))
+			case uint16:
+				fmt.Fprintf(&buf, "uint16(%d)\n", v)
+			default:
+				t.Fatalf("unsupported corpus arg type %T", a)
+			}
+		}
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d seeds to %s", len(seeds), dir)
+}
