@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt bench cover verify fuzz check
+.PHONY: build test race vet fmt bench bench-smoke cover verify fuzz check
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,19 @@ fuzz:
 	$(GO) test -fuzz FuzzRoundTripWithCorruption -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 10s -run '^$$' ./internal/store/
 
-# bench runs the micro-benchmarks and then the RM perf probes, leaving a
-# machine-readable BENCH_rm.json (confirm throughput with and without the
-# WAL, fsync percentiles, recovery time) for the perf trajectory.
+# bench runs the micro-benchmarks and then the RM perf probes, leaving
+# machine-readable reports for the perf trajectory: BENCH_rm.json
+# (confirm throughput with and without the WAL, fsync percentiles,
+# recovery time) and BENCH_lp.json (LexMinMax wall time, rounds, pivots,
+# and warm-start hit rate at Fig. 7 scale).
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json
+
+# bench-smoke is the CI form: every benchmark runs exactly once so a
+# broken benchmark fails fast without paying for a measurement run.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -duration 100ms -lpiters 1
 
 check: vet fmt race cover

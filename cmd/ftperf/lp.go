@@ -1,0 +1,136 @@
+// LP solver probe: LexMinMax latency at the paper's Fig. 7 scale, warm
+// (one workspace carried across calls, the replanning RM pattern) versus
+// cold (legacy clone-per-round), written to BENCH_lp.json so the solver's
+// perf trajectory is tracked alongside the control plane's.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"flowtime/internal/lp"
+)
+
+// lpReport is the BENCH_lp.json document.
+type lpReport struct {
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Iters     int    `json:"iters_per_size"`
+
+	Probes []lpProbeResult `json:"probes"`
+}
+
+// lpProbeResult is one instance size, warm vs cold.
+type lpProbeResult struct {
+	Jobs  int `json:"jobs"`
+	Slots int `json:"slots"`
+	// Rounds is the LexMinMax round count of the last warm call (the
+	// instance is fixed, so every call converges in the same rounds).
+	Rounds int `json:"rounds"`
+	// Per-call averages across the iteration loop.
+	WarmWallMS float64 `json:"warm_wall_ms"`
+	ColdWallMS float64 `json:"cold_wall_ms"`
+	WarmPivots float64 `json:"warm_pivots"`
+	ColdPivots float64 `json:"cold_pivots"`
+	// WarmHitRate is warm starts over total inner solves on the warm
+	// path (the first call cold-starts the shared model once).
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	// Speedup is cold wall time over warm wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// lpInstance builds a scheduling-shaped LP: jobs with interval windows
+// and per-slot load groups, the min-theta structure of the paper's
+// stage-B model. Deterministic per size so runs are comparable.
+func lpInstance(jobs, slots int) (*lp.Model, []lp.LoadGroup, error) {
+	rng := rand.New(rand.NewSource(int64(jobs*1000 + slots)))
+	m := lp.NewModel()
+	groupTerms := make([][]lp.Term, slots)
+	for i := 0; i < jobs; i++ {
+		rel := rng.Intn(slots - 1)
+		win := 2 + rng.Intn(slots-rel-1)
+		if rel+win > slots {
+			win = slots - rel
+		}
+		cap := float64(1 + rng.Intn(16))
+		demand := float64(1+rng.Intn(win)) * cap / 2
+		terms := make([]lp.Term, 0, win)
+		for s := rel; s < rel+win; s++ {
+			v, err := m.NewVar("", 0, cap)
+			if err != nil {
+				return nil, nil, err
+			}
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+			groupTerms[s] = append(groupTerms[s], lp.Term{Var: v, Coef: 1})
+		}
+		if err := m.AddConstraint(terms, lp.EQ, demand); err != nil {
+			return nil, nil, err
+		}
+	}
+	groups := make([]lp.LoadGroup, 0, slots)
+	for s := 0; s < slots; s++ {
+		if len(groupTerms[s]) == 0 {
+			continue
+		}
+		groups = append(groups, lp.LoadGroup{Terms: groupTerms[s], Cap: 500})
+	}
+	return m, groups, nil
+}
+
+// lpProbe runs LexMinMax warm and cold at each size and returns the
+// filled report.
+func lpProbe(iters int) (lpReport, error) {
+	rep := lpReport{Iters: iters}
+	for _, size := range []struct{ jobs, slots int }{
+		{50, 100}, {100, 100}, {200, 150},
+	} {
+		base, groups, err := lpInstance(size.jobs, size.slots)
+		if err != nil {
+			return rep, err
+		}
+		res := lpProbeResult{Jobs: size.jobs, Slots: size.slots}
+
+		// Warm: one workspace across the loop, the way the RM carries it
+		// across replans. The first call cold-starts the shared model.
+		ws := &lp.LexWorkspace{}
+		var warm lp.SolveStats
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			r, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{MaxRounds: 6, Workspace: ws})
+			if err != nil {
+				return rep, fmt.Errorf("warm %dx%d: %w", size.jobs, size.slots, err)
+			}
+			warm.Add(r.Stats)
+			res.Rounds = r.Rounds
+		}
+		warmWall := time.Since(start)
+
+		var cold lp.SolveStats
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			r, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{MaxRounds: 6, DisableWarmStart: true})
+			if err != nil {
+				return rep, fmt.Errorf("cold %dx%d: %w", size.jobs, size.slots, err)
+			}
+			cold.Add(r.Stats)
+		}
+		coldWall := time.Since(start)
+
+		n := float64(iters)
+		res.WarmWallMS = float64(warmWall.Milliseconds()) / n
+		res.ColdWallMS = float64(coldWall.Milliseconds()) / n
+		res.WarmPivots = float64(warm.Pivots) / n
+		res.ColdPivots = float64(cold.Pivots) / n
+		if total := warm.WarmStarts + warm.ColdStarts; total > 0 {
+			res.WarmHitRate = float64(warm.WarmStarts) / float64(total)
+		}
+		if warmWall > 0 {
+			res.Speedup = float64(coldWall) / float64(warmWall)
+		}
+		rep.Probes = append(rep.Probes, res)
+	}
+	return rep, nil
+}

@@ -67,8 +67,10 @@ type report struct {
 func main() {
 	log.SetFlags(0)
 	out := flag.String("out", "BENCH_rm.json", "output path for the JSON report")
+	lpOut := flag.String("lpout", "BENCH_lp.json", "output path for the LP solver report (empty to skip)")
 	dur := flag.Duration("duration", 2*time.Second, "wall-clock budget per throughput probe")
 	jobs := flag.Int("jobs", 64, "concurrent ad-hoc jobs per probe")
+	lpIters := flag.Int("lpiters", 3, "LexMinMax calls per instance size in the LP probe")
 	flag.Parse()
 
 	rep := report{
@@ -133,6 +135,23 @@ func main() {
 		log.Fatalf("ftperf: %v", err)
 	}
 	fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*out), data)
+
+	if *lpOut != "" {
+		lrep, err := lpProbe(*lpIters)
+		if err != nil {
+			log.Fatalf("ftperf: lp probe: %v", err)
+		}
+		lrep.Timestamp = rep.Timestamp
+		lrep.GoVersion = rep.GoVersion
+		lrep.GOOS = rep.GOOS
+		lrep.GOARCH = rep.GOARCH
+		ldata, _ := json.MarshalIndent(&lrep, "", "  ")
+		ldata = append(ldata, '\n')
+		if err := os.WriteFile(*lpOut, ldata, 0o644); err != nil {
+			log.Fatalf("ftperf: %v", err)
+		}
+		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*lpOut), ldata)
+	}
 }
 
 // confirmProbe drives tick+heartbeat cycles for the budget and returns

@@ -261,6 +261,8 @@ func logFinalStatus(rm *rmserver.Server) {
 	if d := st.Degradation; d != nil {
 		log.Printf("ftrm: planner ladder: level=%s minmax_fallbacks=%d greedy_fallbacks=%d invalid_plans=%d reason=%q",
 			d.Level, d.MinMaxFallbacks, d.GreedyFallbacks, d.InvalidPlans, d.Reason)
+		log.Printf("ftrm: lp solver: warm_starts=%d cold_starts=%d",
+			d.LPWarmStarts, d.LPColdStarts)
 	}
 	if d := st.Durability; d != nil {
 		log.Printf("ftrm: durability: fsync=%s generation=%d wal_records=%d wal_bytes=%d fsyncs=%d snapshots=%d",

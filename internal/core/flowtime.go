@@ -136,6 +136,9 @@ type Stats struct {
 	// instance jointly infeasible and was dropped for that plan (the
 	// paper's slack is a preference, not a cause for deadline misses).
 	SlackDropped int
+	// LP aggregates solver work across all LexMinMax attempts: pivot
+	// counts, warm/cold starts, and wall time spent inside the solver.
+	LP lp.SolveStats
 }
 
 var _ sched.Scheduler = (*FlowTime)(nil)
@@ -616,18 +619,26 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 			trip(sched.DegradeGreedy, "stage B model", err)
 		}
 	}
+	// One workspace for the whole ladder: when an attempt trips the budget
+	// and the ladder retries with fewer rounds, the retry warm-starts from
+	// the θ-model and basis the failed attempt built instead of paying a
+	// second cold start on the same instance.
+	lexWS := &lp.LexWorkspace{}
 	for level < sched.DegradeGreedy {
 		rounds := f.cfg.MaxLexRounds
 		if level == sched.DegradeMinMax {
 			// One min-θ round: optimal peak level, no deeper flattening.
 			rounds = 1
 		}
-		res, err := f.lexAttempt(model, groups, rounds)
+		res, err := f.lexAttempt(model, groups, rounds, lexWS)
 		if err != nil {
 			trip(level+1, "stage B", err)
 			continue
 		}
 		f.stats.LPRounds += res.Rounds
+		f.stats.LP.Add(res.Stats)
+		f.degrade.LPWarmStarts += int64(res.Stats.WarmStarts)
+		f.degrade.LPColdStarts += int64(res.Stats.ColdStarts)
 
 		// Integral repair: budgets by cumulative rounding of the LP skyline,
 		// EDF water-fill within budgets, then a hard-cap sweep.
@@ -673,13 +684,13 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 // lexAttempt runs one LexMinMax under the configured solve budget,
 // converting panics into errors so a solver bug degrades the plan instead
 // of killing the scheduling slot.
-func (f *FlowTime) lexAttempt(model *lp.Model, groups []lp.LoadGroup, rounds int) (res *lp.MinMaxResult, err error) {
+func (f *FlowTime) lexAttempt(model *lp.Model, groups []lp.LoadGroup, rounds int, lw *lp.LexWorkspace) (res *lp.MinMaxResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("core: lexminmax panic: %v", r)
 		}
 	}()
-	return lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{MaxRounds: rounds, Solve: f.cfg.Solve})
+	return lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{MaxRounds: rounds, Solve: f.cfg.Solve, Workspace: lw})
 }
 
 // tripCause compresses a solver error into a short ladder-trip label.

@@ -8,7 +8,7 @@ import (
 
 // benchScheduling builds a scheduling-shaped LP: jobs with interval
 // windows and per-slot caps, min-theta objective.
-func benchScheduling(b *testing.B, jobs, slots int) (*Model, []LoadGroup) {
+func benchScheduling(b testing.TB, jobs, slots int) (*Model, []LoadGroup) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(int64(jobs*1000 + slots)))
 	m := NewModel()
@@ -76,19 +76,64 @@ func BenchmarkSolveMinTheta(b *testing.B) {
 	}
 }
 
-// BenchmarkLexMinMax measures the full lexicographic driver.
+// BenchmarkLexMinMax measures the full lexicographic driver, warm
+// (incremental shared model, basis reuse) vs cold (legacy clone-per-round)
+// on the same instances.
 func BenchmarkLexMinMax(b *testing.B) {
 	for _, size := range []struct{ jobs, slots int }{
 		{10, 50}, {50, 100},
 	} {
-		b.Run(fmt.Sprintf("jobs=%d_slots=%d", size.jobs, size.slots), func(b *testing.B) {
-			base, groups := benchScheduling(b, size.jobs, size.slots)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{MaxRounds: 4}); err != nil {
-					b.Fatal(err)
+		for _, mode := range []struct {
+			name string
+			cold bool
+		}{{"warm", false}, {"cold", true}} {
+			b.Run(fmt.Sprintf("jobs=%d_slots=%d/%s", size.jobs, size.slots, mode.name), func(b *testing.B) {
+				base, groups := benchScheduling(b, size.jobs, size.slots)
+				opts := MinMaxOptions{MaxRounds: 4, DisableWarmStart: mode.cold}
+				var pivots int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := LexMinMaxWithOptions(base, groups, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pivots += res.Stats.Pivots
 				}
-			}
-		})
+				b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7SolverLatency reproduces the paper's Fig. 7 axis: full
+// LexMinMax latency at event-handling scale (exact, no round cap), with a
+// ladder-style workspace carried across iterations the way a replanning
+// resource manager would carry it across events.
+func BenchmarkFig7SolverLatency(b *testing.B) {
+	for _, size := range []struct{ jobs, slots int }{
+		{50, 100}, {100, 100}, {200, 150},
+	} {
+		for _, mode := range []struct {
+			name string
+			cold bool
+		}{{"warm", false}, {"cold", true}} {
+			b.Run(fmt.Sprintf("jobs=%d_slots=%d/%s", size.jobs, size.slots, mode.name), func(b *testing.B) {
+				base, groups := benchScheduling(b, size.jobs, size.slots)
+				opts := MinMaxOptions{MaxRounds: 6, DisableWarmStart: mode.cold}
+				if !mode.cold {
+					opts.Workspace = &LexWorkspace{}
+				}
+				var pivots int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := LexMinMaxWithOptions(base, groups, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pivots += res.Stats.Pivots
+				}
+				b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			})
+		}
 	}
 }

@@ -30,7 +30,8 @@ type MinMaxResult struct {
 	// Rounds is the number of min-θ LPs solved.
 	Rounds int
 	// Stats aggregates solver work across every LP solved by the call
-	// (min-θ rounds, saturation probes, and the final tie-break solve).
+	// (min-θ rounds, saturation probes, and the final tie-break solve),
+	// including the warm/cold start counters.
 	Stats SolveStats
 }
 
@@ -69,7 +70,24 @@ type MinMaxOptions struct {
 	// across rounds and the remainder passed to each inner solve, so the
 	// call as a whole returns within roughly MaxTime.
 	Solve SolveOptions
+	// DisableWarmStart forces the legacy clone-per-round path: every round
+	// and probe clones base and cold-starts. The default incremental path
+	// builds one θ-model, toggles row activity via SetRHS, and re-solves
+	// against the kept basis (dual-simplex repair). The two paths produce
+	// the same levels within tolerance; the legacy path exists as the
+	// reference for equivalence tests and benchmarks.
+	DisableWarmStart bool
+	// Workspace, when non-nil, carries the incremental θ-model and its
+	// simplex basis across LexMinMax calls on the SAME base model and
+	// group list (e.g. the degradation ladder retrying with a smaller
+	// round budget). The zero value is ready to use. The caller must not
+	// mutate base between calls sharing a workspace.
+	Workspace *LexWorkspace
 }
+
+// levelTol is the normalized-level tolerance used for binding detection,
+// saturation probes, and warm-vs-cold equivalence.
+const levelTol = 1e-6
 
 // LexMinMaxWithOptions is LexMinMax with tuning options.
 func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (*MinMaxResult, error) {
@@ -82,25 +100,361 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 		}
 	}
 
-	const levelTol = 1e-6
-
-	// solve runs one inner LP under the caller's budget, charging elapsed
-	// wall-clock time against the whole-call MaxTime and aggregating stats.
-	start := time.Now()
-	var agg SolveStats
-	solve := func(m *Model) (*Solution, error) {
-		o := opts.Solve
-		if o.MaxTime > 0 {
-			rem := o.MaxTime - time.Since(start)
-			if rem <= 0 {
-				return nil, fmt.Errorf("%w after %d pivots (lexminmax budget)", ErrTimeLimit, agg.Pivots)
-			}
-			o.MaxTime = rem
+	r := &lexRun{base: base, groups: groups, opts: opts, start: time.Now()}
+	if !opts.DisableWarmStart {
+		lw := opts.Workspace
+		if lw == nil {
+			lw = &LexWorkspace{}
 		}
-		sol, st, err := m.SolveWithOptions(o)
-		agg.Pivots += st.Pivots
-		return sol, err
+		if lw.prepare(base, groups) {
+			return r.runIncremental(lw)
+		}
+		// Model construction failed (defensive; clone + append cannot
+		// normally fail) — fall through to the legacy path.
 	}
+	return r.runLegacy()
+}
+
+// lexRun is the shared state of one LexMinMax call (either path).
+type lexRun struct {
+	base   *Model
+	groups []LoadGroup
+	opts   MinMaxOptions
+	start  time.Time
+	agg    SolveStats
+}
+
+// solve runs one inner LP under the caller's budget, charging elapsed
+// wall-clock time against the whole-call MaxTime and aggregating stats.
+// ws may be nil (cold path).
+func (r *lexRun) solve(m *Model, ws *Workspace) (*Solution, error) {
+	o := r.opts.Solve
+	o.Workspace = ws
+	if o.MaxTime > 0 {
+		rem := o.MaxTime - time.Since(r.start)
+		if rem <= 0 {
+			return nil, fmt.Errorf("%w after %d pivots (lexminmax budget)", ErrTimeLimit, r.agg.Pivots)
+		}
+		o.MaxTime = rem
+	}
+	sol, st, err := m.SolveWithOptions(o)
+	r.agg.accumulate(st)
+	return sol, err
+}
+
+// convergenceError reports the active/frozen split so a stuck instance can
+// be debugged from the error alone.
+func (r *lexRun) convergenceError(rounds int, active []int, frozen map[int]float64) error {
+	frozenIdx := make([]int, 0, len(frozen))
+	for gi := range frozen {
+		frozenIdx = append(frozenIdx, gi)
+	}
+	sort.Ints(frozenIdx)
+	return fmt.Errorf("lp: lexminmax: failed to converge after %d rounds: %d of %d groups active %v, %d frozen %v",
+		rounds, len(active), len(r.groups), active, len(frozenIdx), frozenIdx)
+}
+
+// result assembles the MinMaxResult from the final (or fallback) solution.
+func (r *lexRun) result(sol *Solution, rounds int) *MinMaxResult {
+	levels := make([]float64, len(r.groups))
+	for gi := range r.groups {
+		levels[gi] = evalTerms(r.groups[gi].Terms, sol) / r.groups[gi].Cap
+	}
+	r.agg.Duration = time.Since(r.start)
+	return &MinMaxResult{Solution: sol, Levels: levels, Rounds: rounds, Stats: r.agg}
+}
+
+// LexWorkspace carries the incremental θ-model of LexMinMaxWithOptions and
+// the simplex basis it is solved against. One workspace serves repeated
+// calls on the same (base, groups) pair — within one call it makes every
+// round, probe, and the final tie-break a warm re-solve of a single model;
+// across calls (the fallback ladder's retries) it additionally reuses the
+// model build and the last basis. The zero value is ready to use. Not safe
+// for concurrent use.
+type LexWorkspace struct {
+	base     *Model
+	baseVars int
+	baseRows int
+	nGroups  int
+	model    *Model
+	theta    Var
+	// capRow[gi] is group gi's single capacity row. Active form:
+	// load_gi − cap_gi·θ ≤ 0. Frozen form (θ detached via SetCoef):
+	// load_gi ≤ level·cap_gi. One row per group keeps the shared model the
+	// same size as each legacy per-round model, so warm pivots cost the
+	// same O(m²) basis update as cold ones.
+	capRow    []int
+	detached  []bool // detached[gi]: capRow[gi] is currently in frozen form
+	allTerms  []Term // concatenated group terms (final tie-break objective)
+	thetaTerm []Term // {θ, 1} (round objective)
+	ws        Workspace
+}
+
+// Reset discards the kept model and basis.
+func (lw *LexWorkspace) Reset() {
+	*lw = LexWorkspace{}
+}
+
+// matches reports whether the kept model was built for this (base, groups)
+// pair. The group check is shallow (count and capacities): callers sharing
+// a workspace across calls pass the same slice.
+func (lw *LexWorkspace) matches(base *Model, groups []LoadGroup) bool {
+	if lw.model == nil || lw.base != base || lw.nGroups != len(groups) {
+		return false
+	}
+	if lw.baseVars != base.NumVars() || lw.baseRows != base.NumConstraints() {
+		return false
+	}
+	return true
+}
+
+// prepare builds (or reuses) the shared θ-model: the cloned base plus one
+// capacity row per group in active form. It returns false only on a
+// construction failure (defensive; the caller then takes the legacy
+// clone-per-round path).
+func (lw *LexWorkspace) prepare(base *Model, groups []LoadGroup) bool {
+	if lw.matches(base, groups) {
+		return true
+	}
+	lw.Reset()
+
+	m := base.Clone()
+	theta, err := m.NewVar("theta", 0, Inf)
+	if err != nil {
+		return false
+	}
+	capRow := make([]int, len(groups))
+	var allTerms []Term
+	for gi, g := range groups {
+		terms := append(append(make([]Term, 0, len(g.Terms)+1), g.Terms...),
+			Term{Var: theta, Coef: -g.Cap})
+		capRow[gi] = m.NumConstraints()
+		if err := m.AddConstraint(terms, LE, 0); err != nil {
+			return false
+		}
+		allTerms = append(allTerms, g.Terms...)
+	}
+
+	lw.base = base
+	lw.baseVars = base.NumVars()
+	lw.baseRows = base.NumConstraints()
+	lw.nGroups = len(groups)
+	lw.model = m
+	lw.theta = theta
+	lw.capRow = capRow
+	lw.detached = make([]bool, len(groups))
+	lw.allTerms = allTerms
+	lw.thetaTerm = []Term{{Var: theta, Coef: 1}}
+	return true
+}
+
+// runIncremental is the warm-started path: one shared θ-model with a
+// single capacity row per group, every solve starting from the kept
+// basis. A group freezes by detaching θ from its row (SetCoef, one
+// refactorization per round) and fixing the RHS at level·cap, so the
+// model never grows and a warm pivot costs the same basis update as a
+// cold one. Saturation-probe bands and the final tie-break pin the still
+// θ-attached groups through θ's upper bound instead of extra rows.
+func (r *lexRun) runIncremental(lw *LexWorkspace) (*MinMaxResult, error) {
+	groups := r.groups
+	m := lw.model
+
+	active := make([]int, 0, len(groups))
+	for gi := range groups {
+		active = append(active, gi)
+	}
+	frozen := make(map[int]float64, len(groups))
+
+	// Reset the shared model to the all-active state, whatever a previous
+	// call left in it: θ reattached to every row, caps at 0, θ free. The
+	// warm solver absorbs the matrix edits with one refactorization and a
+	// best-effort dual repair; if the old basis is too far gone it falls
+	// back to a cold start on its own.
+	for gi := range groups {
+		if lw.detached[gi] {
+			if err := m.SetCoef(lw.capRow[gi], lw.theta, -groups[gi].Cap); err != nil {
+				return nil, err
+			}
+			lw.detached[gi] = false
+		}
+		if err := m.SetRHS(lw.capRow[gi], 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SetVarBounds(lw.theta, 0, Inf); err != nil {
+		return nil, err
+	}
+	var (
+		lastSol    *Solution
+		rounds     int
+		thetaLevel float64 // level the final θ-attached batch froze at
+	)
+	for len(active) > 0 {
+		rounds++
+		if rounds > len(groups)+1 {
+			return nil, r.convergenceError(rounds, active, frozen)
+		}
+		lastRound := r.opts.MaxRounds > 0 && rounds >= r.opts.MaxRounds
+
+		if err := m.SetObjective(lw.thetaTerm); err != nil {
+			return nil, err
+		}
+		sol, err := r.solve(m, &lw.ws)
+		if err != nil {
+			return nil, fmt.Errorf("lp: lexminmax round %d: %w", rounds, err)
+		}
+		lastSol = sol
+		level := sol.Value(lw.theta)
+
+		if level <= levelTol {
+			for _, gi := range active {
+				frozen[gi] = 0
+			}
+			thetaLevel = 0
+			active = active[:0]
+			break
+		}
+		if lastRound {
+			for _, gi := range active {
+				frozen[gi] = level
+			}
+			thetaLevel = level
+			active = active[:0]
+			break
+		}
+
+		// Saturated candidates: groups whose load reaches θ·cap.
+		var binding []int
+		for _, gi := range active {
+			load := evalTerms(groups[gi].Terms, sol)
+			if load >= (level-levelTol)*groups[gi].Cap {
+				binding = append(binding, gi)
+			}
+		}
+		if len(binding) == 0 {
+			return nil, fmt.Errorf("lp: lexminmax: no binding group at level %g (internal error)", level)
+		}
+
+		// Freeze groups that must be saturated in every optimum. A nonzero
+		// dual on the cap row certifies that (LE-row duals are <= 0 for a
+		// minimization under this solver's sign convention); for fully
+		// degenerate bases fall back to an exact probe.
+		var toFreeze []int
+		for _, gi := range binding {
+			if sol.Dual(lw.capRow[gi]) < -1e-7 {
+				toFreeze = append(toFreeze, gi)
+			}
+		}
+		if len(toFreeze) == 0 {
+			// Probe on the SAME model: pin every group into its current
+			// level band — actives through θ's upper bound, frozen rows by
+			// relaxing their RHS one band-width — then minimize each
+			// candidate's own load. Pinning the candidate too is harmless:
+			// an upper bound at the band cannot raise a minimum that is
+			// already below it.
+			if err := m.SetVarBounds(lw.theta, 0, level+levelTol); err != nil {
+				return nil, err
+			}
+			for gi, lvl := range frozen {
+				if err := m.SetRHS(lw.capRow[gi], (lvl+levelTol)*groups[gi].Cap); err != nil {
+					return nil, err
+				}
+			}
+			for _, gi := range binding {
+				if err := m.SetObjective(groups[gi].Terms); err != nil {
+					return nil, err
+				}
+				psol, err := r.solve(m, &lw.ws)
+				if err != nil {
+					return nil, fmt.Errorf("lp: lexminmax probe: %w", err)
+				}
+				minLoad := evalTerms(groups[gi].Terms, psol)
+				if minLoad >= (level-10*levelTol)*groups[gi].Cap {
+					toFreeze = append(toFreeze, gi)
+					break
+				}
+			}
+			// Restore the frozen pins. θ's ratcheted bound can stay — the
+			// next round's optimum is ≤ this level anyway.
+			for gi, lvl := range frozen {
+				if err := m.SetRHS(lw.capRow[gi], lvl*groups[gi].Cap); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(toFreeze) == 0 {
+			// Mathematically at least one binding group is saturated in every
+			// optimum; if numerics hid it, freeze all binding groups. This
+			// may slightly over-constrain deeper levels but guarantees
+			// termination with a feasible, near-lexmin plan.
+			toFreeze = binding
+		}
+
+		if len(toFreeze) == len(active) {
+			// Final batch: keep θ attached — detaching every remaining row
+			// would zero θ's column and leave the kept basis singular. The
+			// tie-break pins these groups through θ's upper bound instead.
+			for _, gi := range toFreeze {
+				frozen[gi] = level
+			}
+			thetaLevel = level
+			active = active[:0]
+			break
+		}
+		for _, gi := range toFreeze {
+			frozen[gi] = level
+			if err := m.SetCoef(lw.capRow[gi], lw.theta, 0); err != nil {
+				return nil, err
+			}
+			if err := m.SetRHS(lw.capRow[gi], level*groups[gi].Cap); err != nil {
+				return nil, err
+			}
+			lw.detached[gi] = true
+		}
+		next := active[:0]
+		for _, gi := range active {
+			if _, ok := frozen[gi]; !ok {
+				next = append(next, gi)
+			}
+		}
+		active = next
+	}
+
+	// Final tie-break on the same model: θ-detached rows pinned at their
+	// freeze level, the θ-attached batch pinned through θ's upper bound,
+	// total load minimized so the plan does not carry slack allocations
+	// that the frozen bands would permit.
+	for gi := range groups {
+		if !lw.detached[gi] {
+			continue
+		}
+		if err := m.SetRHS(lw.capRow[gi], frozen[gi]*groups[gi].Cap+1e-9); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SetVarBounds(lw.theta, 0, thetaLevel+1e-9); err != nil {
+		return nil, err
+	}
+	if err := m.SetObjective(lw.allTerms); err != nil {
+		return nil, err
+	}
+	sol, err := r.solve(m, &lw.ws)
+	if err != nil {
+		// The pinned model should always be feasible; fall back to the last
+		// round's solution if tolerances (or a budget tripping mid-tie-break)
+		// made it fail.
+		if lastSol == nil {
+			return nil, fmt.Errorf("lp: lexminmax final solve: %w", err)
+		}
+		sol = lastSol
+	}
+	return r.result(sol, rounds), nil
+}
+
+// runLegacy is the clone-per-round reference path (DisableWarmStart, or no
+// finite big-M available for the incremental model).
+func (r *lexRun) runLegacy() (*MinMaxResult, error) {
+	base, groups := r.base, r.groups
 
 	active := make([]int, 0, len(groups))
 	for gi := range groups {
@@ -115,9 +469,9 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 	for len(active) > 0 {
 		rounds++
 		if rounds > len(groups)+1 {
-			return nil, fmt.Errorf("lp: lexminmax: failed to converge after %d rounds", rounds)
+			return nil, r.convergenceError(rounds, active, frozen)
 		}
-		lastRound := opts.MaxRounds > 0 && rounds >= opts.MaxRounds
+		lastRound := r.opts.MaxRounds > 0 && rounds >= r.opts.MaxRounds
 
 		m := base.Clone()
 		theta, err := m.NewVar("theta", 0, Inf)
@@ -144,7 +498,7 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 			}
 		}
 
-		sol, err := solve(m)
+		sol, err := r.solve(m, nil)
 		if err != nil {
 			return nil, fmt.Errorf("lp: lexminmax round %d: %w", rounds, err)
 		}
@@ -177,10 +531,8 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 			return nil, fmt.Errorf("lp: lexminmax: no binding group at level %g (internal error)", level)
 		}
 
-		// Freeze groups that must be saturated in every optimum. A nonzero
-		// dual on the cap row certifies that (LE-row duals are <= 0 for a
-		// minimization under this solver's sign convention); for fully
-		// degenerate bases fall back to an exact probe.
+		// Freeze via duals first, exact probes as the degenerate fallback
+		// (see runIncremental; identical logic on cloned models).
 		newFrozen := 0
 		for _, gi := range binding {
 			if sol.Dual(capRow[gi]) < -1e-7 {
@@ -189,12 +541,32 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 			}
 		}
 		if newFrozen == 0 {
-			for _, gi := range binding {
-				sat, err := probeSaturated(base, groups, frozen, active, gi, level, levelTol, solve)
-				if err != nil {
+			// One shared probe model per round: all active groups pinned
+			// into the level band (pinning the candidate itself is harmless
+			// — an upper bound at level·cap+tol cannot raise a minimum that
+			// is already below it), frozen groups pinned at their levels;
+			// only the objective changes between candidates.
+			pm := base.Clone()
+			for _, gi := range active {
+				if err := pm.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap+levelTol); err != nil {
 					return nil, err
 				}
-				if sat {
+			}
+			for gi, lvl := range frozen {
+				if err := pm.AddConstraint(groups[gi].Terms, LE, lvl*groups[gi].Cap+levelTol); err != nil {
+					return nil, err
+				}
+			}
+			for _, gi := range binding {
+				if err := pm.SetObjective(groups[gi].Terms); err != nil {
+					return nil, err
+				}
+				psol, err := r.solve(pm, nil)
+				if err != nil {
+					return nil, fmt.Errorf("lp: lexminmax probe: %w", err)
+				}
+				minLoad := evalTerms(groups[gi].Terms, psol)
+				if minLoad >= (level-10*levelTol)*groups[gi].Cap {
 					frozen[gi] = level
 					newFrozen++
 					break
@@ -202,10 +574,8 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 			}
 		}
 		if newFrozen == 0 {
-			// Mathematically at least one binding group is saturated in every
-			// optimum; if numerics hid it, freeze all binding groups. This
-			// may slightly over-constrain deeper levels but guarantees
-			// termination with a feasible, near-lexmin plan.
+			// Termination fallback: freeze all binding groups (see
+			// runIncremental).
 			for _, gi := range binding {
 				frozen[gi] = level
 				newFrozen++
@@ -237,53 +607,14 @@ func LexMinMaxWithOptions(base *Model, groups []LoadGroup, opts MinMaxOptions) (
 	if err := final.SetObjective(objTerms); err != nil {
 		return nil, err
 	}
-	sol, err := solve(final)
+	sol, err := r.solve(final, nil)
 	if err != nil {
-		// The pinned model should always be feasible; fall back to the last
-		// round's solution if tolerances (or a budget tripping mid-tie-break)
-		// made it fail.
 		if lastSol == nil {
 			return nil, fmt.Errorf("lp: lexminmax final solve: %w", err)
 		}
 		sol = lastSol
 	}
-
-	levels := make([]float64, len(groups))
-	for gi := range groups {
-		levels[gi] = evalTerms(groups[gi].Terms, sol) / groups[gi].Cap
-	}
-	agg.Duration = time.Since(start)
-	return &MinMaxResult{Solution: sol, Levels: levels, Rounds: rounds, Stats: agg}, nil
-}
-
-// probeSaturated reports whether group target is saturated (load = θ·cap) in
-// every optimal solution of the current round, by minimizing its load
-// subject to all other groups staying within level. solve carries the
-// caller's budget.
-func probeSaturated(base *Model, groups []LoadGroup, frozen map[int]float64, active []int, target int, level, tol float64, solve func(*Model) (*Solution, error)) (bool, error) {
-	m := base.Clone()
-	for _, gi := range active {
-		if gi == target {
-			continue
-		}
-		if err := m.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap+tol); err != nil {
-			return false, err
-		}
-	}
-	for gi, lvl := range frozen {
-		if err := m.AddConstraint(groups[gi].Terms, LE, lvl*groups[gi].Cap+tol); err != nil {
-			return false, err
-		}
-	}
-	if err := m.SetObjective(groups[target].Terms); err != nil {
-		return false, err
-	}
-	sol, err := solve(m)
-	if err != nil {
-		return false, fmt.Errorf("lp: lexminmax probe: %w", err)
-	}
-	minLoad := evalTerms(groups[target].Terms, sol)
-	return minLoad >= (level-10*tol)*groups[target].Cap, nil
+	return r.result(sol, rounds), nil
 }
 
 func evalTerms(terms []Term, sol *Solution) float64 {

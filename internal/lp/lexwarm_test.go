@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLexMinMaxWarmMatchesCold asserts the incremental warm path and the
+// legacy clone-per-round path produce the same level vector (within
+// levelTol) on scheduling-shaped instances, and that the warm path
+// actually warm-starts and does less pivot work.
+func TestLexMinMaxWarmMatchesCold(t *testing.T) {
+	for _, size := range []struct{ jobs, slots int }{
+		{5, 20}, {10, 50}, {25, 60}, {50, 100},
+	} {
+		t.Run(fmt.Sprintf("jobs=%d_slots=%d", size.jobs, size.slots), func(t *testing.T) {
+			base, groups := benchScheduling(t, size.jobs, size.slots)
+
+			warm, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{})
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			cold, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{DisableWarmStart: true})
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+
+			ws, cs := SortedDescending(warm.Levels), SortedDescending(cold.Levels)
+			for i := range ws {
+				if math.Abs(ws[i]-cs[i]) > 10*levelTol {
+					t.Fatalf("sorted level %d: warm %.9g, cold %.9g\nwarm %v\ncold %v",
+						i, ws[i], cs[i], ws, cs)
+				}
+			}
+			if warm.Stats.WarmStarts == 0 {
+				t.Fatalf("warm path never warm-started: %+v", warm.Stats)
+			}
+			if cold.Stats.WarmStarts != 0 {
+				t.Fatalf("cold path warm-started: %+v", cold.Stats)
+			}
+			if warm.Stats.Pivots >= cold.Stats.Pivots {
+				t.Logf("warning: warm pivots %d >= cold pivots %d", warm.Stats.Pivots, cold.Stats.Pivots)
+			}
+			t.Logf("warm: %+v rounds=%d", warm.Stats, warm.Rounds)
+			t.Logf("cold: %+v rounds=%d", cold.Stats, cold.Rounds)
+		})
+	}
+}
+
+// TestLexMinMaxWorkspaceReuse drives the fallback-ladder pattern: repeated
+// LexMinMax calls on the same base/groups through one LexWorkspace. The
+// second and third calls must reuse the shared model (warm starts, no cold
+// start) and agree with a fresh cold run.
+func TestLexMinMaxWorkspaceReuse(t *testing.T) {
+	base, groups := benchScheduling(t, 10, 50)
+	lw := &LexWorkspace{}
+
+	first, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{Workspace: lw})
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if first.Stats.ColdStarts == 0 {
+		t.Fatalf("first call should cold-start once: %+v", first.Stats)
+	}
+
+	for attempt, rounds := range []int{0, 1} {
+		res, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{MaxRounds: rounds, Workspace: lw})
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if res.Stats.ColdStarts != 0 {
+			t.Fatalf("attempt %d cold-started despite kept workspace: %+v", attempt, res.Stats)
+		}
+		if res.Stats.WarmStarts == 0 {
+			t.Fatalf("attempt %d never warm-started: %+v", attempt, res.Stats)
+		}
+		ref, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{MaxRounds: rounds, DisableWarmStart: true})
+		if err != nil {
+			t.Fatalf("attempt %d reference: %v", attempt, err)
+		}
+		if rounds == 0 {
+			// Exact lexmin: the sorted level vector is unique.
+			rs, cs := SortedDescending(res.Levels), SortedDescending(ref.Levels)
+			for i := range rs {
+				if math.Abs(rs[i]-cs[i]) > 10*levelTol {
+					t.Fatalf("attempt %d sorted level %d: workspace %.9g, reference %.9g", attempt, i, rs[i], cs[i])
+				}
+			}
+		} else {
+			// Capped run: only the max level and the tie-break's total load
+			// are pinned; the distribution below the cap is not unique.
+			if got, want := MaxLevel(res.Levels), MaxLevel(ref.Levels); math.Abs(got-want) > 10*levelTol {
+				t.Fatalf("attempt %d max level: workspace %.9g, reference %.9g", attempt, got, want)
+			}
+			var gotLoad, wantLoad float64
+			for gi := range groups {
+				gotLoad += res.Levels[gi] * groups[gi].Cap
+				wantLoad += ref.Levels[gi] * groups[gi].Cap
+			}
+			if math.Abs(gotLoad-wantLoad) > 1e-4*(1+math.Abs(wantLoad)) {
+				t.Fatalf("attempt %d total load: workspace %.9g, reference %.9g", attempt, gotLoad, wantLoad)
+			}
+		}
+	}
+
+	// A different base model must not reuse the kept θ-model.
+	base2, groups2 := benchScheduling(t, 5, 20)
+	res, err := LexMinMaxWithOptions(base2, groups2, MinMaxOptions{Workspace: lw})
+	if err != nil {
+		t.Fatalf("different base: %v", err)
+	}
+	if res.Stats.ColdStarts == 0 {
+		t.Fatalf("different base should have rebuilt and cold-started: %+v", res.Stats)
+	}
+}
+
+// TestLexMinMaxWarmStatsSurface checks that the new SolveStats counters
+// reach MinMaxResult.Stats so telemetry above the solver can report them.
+func TestLexMinMaxWarmStatsSurface(t *testing.T) {
+	base, groups := benchScheduling(t, 10, 50)
+	res, err := LexMinMax(base, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.WarmStarts+st.ColdStarts == 0 {
+		t.Fatalf("no solves recorded: %+v", st)
+	}
+	if st.ColdStarts < 1 {
+		t.Fatalf("first solve of the shared model must be cold: %+v", st)
+	}
+	if st.Pivots < st.DualPivots {
+		t.Fatalf("dual pivots must be a subset of pivots: %+v", st)
+	}
+}
+
+// TestConvergenceErrorReportsSplit pins the convergence-guard error format:
+// it must name the active/frozen group split (the satellite fix this PR
+// ships) so a stuck instance is debuggable from the error alone.
+func TestConvergenceErrorReportsSplit(t *testing.T) {
+	r := &lexRun{groups: make([]LoadGroup, 5)}
+	err := r.convergenceError(7, []int{1, 4}, map[int]float64{0: 1.5, 2: 0.5, 3: 0.25})
+	msg := err.Error()
+	for _, want := range []string{
+		"failed to converge after 7 rounds",
+		"2 of 5 groups active [1 4]",
+		"3 frozen [0 2 3]",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

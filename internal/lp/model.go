@@ -55,16 +55,52 @@ type SolveOptions struct {
 	// MaxTime caps the wall-clock duration of the whole solve (both
 	// phases). Zero means no wall-clock limit.
 	MaxTime time.Duration
+	// Workspace, when non-nil, carries the optimal basis between solves.
+	// A successful solve records its basis into the workspace; a later
+	// solve of the same model (same variables; constraints appended, RHS
+	// retuned via SetRHS, or the objective changed) warm-starts from it —
+	// a dual-simplex phase restores feasibility, then the primal finishes
+	// — instead of cold-starting phase 1 with artificials. Any stall or
+	// numerical trouble on the warm path falls back to the cold start, so
+	// results are identical within tolerance. See Workspace.
+	Workspace *Workspace
 }
 
 // SolveStats reports what a solve cost, whether or not it succeeded.
 // Callers degrading on a tripped budget use it to decide how much budget
 // the failed attempt consumed.
 type SolveStats struct {
-	// Pivots is the number of simplex pivots performed across both phases.
+	// Pivots is the number of basis changes performed (both primal phases
+	// plus any dual-simplex repair pivots).
 	Pivots int
+	// DualPivots is the subset of Pivots performed by the dual-simplex
+	// feasibility repair on warm starts.
+	DualPivots int
+	// WarmStarts counts solves that reused a workspace basis end to end.
+	WarmStarts int
+	// ColdStarts counts solves built from scratch (including the cold
+	// retries behind WarmFallbacks).
+	ColdStarts int
+	// WarmFallbacks counts warm-start attempts abandoned for a cold
+	// restart (stall or numerical trouble on the warm path).
+	WarmFallbacks int
 	// Duration is the wall-clock time the solve took.
 	Duration time.Duration
+}
+
+// Add folds another solve's counters into s (Duration included). It is
+// the exported form of accumulate for callers aggregating stats across
+// LexMinMax calls (e.g. the scheduler's replan telemetry).
+func (s *SolveStats) Add(o SolveStats) { s.accumulate(o) }
+
+// accumulate folds another solve's counters into s (Duration included).
+func (s *SolveStats) accumulate(o SolveStats) {
+	s.Pivots += o.Pivots
+	s.DualPivots += o.DualPivots
+	s.WarmStarts += o.WarmStarts
+	s.ColdStarts += o.ColdStarts
+	s.WarmFallbacks += o.WarmFallbacks
+	s.Duration += o.Duration
 }
 
 // Sense is the direction of a linear constraint.
@@ -112,6 +148,11 @@ type Model struct {
 	names  []string
 
 	rows []row
+	// rev counts coefficient revisions (SetCoef calls). A warm-start
+	// workspace compares it against the revision it captured to know the
+	// constraint matrix changed shape-preservingly and the kept basis
+	// inverse must be refactorized before reuse.
+	rev int
 }
 
 type row struct {
@@ -201,6 +242,77 @@ func (m *Model) AddConstraint(terms []Term, sense Sense, rhs float64) error {
 	own := make([]Term, len(terms))
 	copy(own, terms)
 	m.rows = append(m.rows, row{terms: own, sense: sense, rhs: rhs})
+	return nil
+}
+
+// SetRHS replaces the right-hand side of constraint i (in insertion
+// order), leaving its terms and sense untouched. Retuning an RHS is the
+// incremental-solve primitive: tightening or relaxing a bound changes
+// only b, so a kept basis stays structurally valid and a warm-started
+// solve needs just a dual-simplex repair instead of a cold start.
+func (m *Model) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("lp: unknown constraint index %d", i)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: invalid rhs %v", rhs)
+	}
+	m.rows[i].rhs = rhs
+	return nil
+}
+
+// RHS returns the right-hand side of constraint i (in insertion order).
+func (m *Model) RHS(i int) float64 { return m.rows[i].rhs }
+
+// SetCoef replaces the coefficient of variable v in constraint i, adding
+// the term if the row does not mention v yet. Unlike SetRHS this changes
+// the constraint matrix, so a warm-started solve must refactorize the
+// kept basis (handled automatically via the model's revision counter);
+// the basis itself — which variables are basic — usually survives, which
+// is what makes coefficient toggling (e.g. detaching a shared variable
+// from one row) far cheaper than rebuilding the model.
+func (m *Model) SetCoef(i int, v Var, coef float64) error {
+	if i < 0 || i >= len(m.rows) {
+		return fmt.Errorf("lp: unknown constraint index %d", i)
+	}
+	if err := m.checkVar(v); err != nil {
+		return err
+	}
+	if math.IsNaN(coef) || math.IsInf(coef, 0) {
+		return fmt.Errorf("lp: invalid coefficient %v for variable %q", coef, m.names[v])
+	}
+	r := &m.rows[i]
+	for k := range r.terms {
+		if r.terms[k].Var == v {
+			if r.terms[k].Coef == coef {
+				return nil
+			}
+			r.terms[k].Coef = coef
+			m.rev++
+			return nil
+		}
+	}
+	r.terms = append(r.terms, Term{Var: v, Coef: coef})
+	m.rev++
+	return nil
+}
+
+// SetVarBounds replaces the bounds of variable v, with the same validity
+// rules as NewVar. Bound changes are warm-start friendly: a kept basis
+// stays structurally valid, tightened bounds are repaired by the dual
+// phase and relaxed bounds free the variable without any repair.
+func (m *Model) SetVarBounds(v Var, lo, hi float64) error {
+	if err := m.checkVar(v); err != nil {
+		return err
+	}
+	if math.IsInf(lo, 0) || math.IsNaN(lo) {
+		return fmt.Errorf("lp: variable %q: lower bound must be finite, got %v", m.names[v], lo)
+	}
+	if math.IsNaN(hi) || hi < lo {
+		return fmt.Errorf("lp: variable %q: invalid bounds [%v, %v]", m.names[v], lo, hi)
+	}
+	m.lo[v] = lo
+	m.hi[v] = hi
 	return nil
 }
 

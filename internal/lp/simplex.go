@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -52,8 +53,13 @@ type simplex struct {
 	xN       []float64 // value for nonbasic vars (their active bound)
 	basicVar []int     // basicVar[r] = column basic in row r
 	rowOf    []int     // rowOf[j] = row where j is basic, or -1
-	binv     [][]float64
-	xB       []float64
+	rowSlack []int     // rowSlack[r] = slack column of inequality row r, or -1 (EQ)
+	rowUnit  []int     // rowUnit[r] = a unit column for row r (artificial or slack), for basis repair
+	// binv is the dense basis inverse, flattened row-major into a single
+	// backing slice (row r is binv[r*m : (r+1)*m]). One allocation instead
+	// of m row slices keeps pivot row operations on contiguous memory.
+	binv []float64
+	xB   []float64
 
 	y      []float64 // dual vector, maintained incrementally across pivots
 	yValid bool
@@ -68,6 +74,18 @@ type simplex struct {
 	// priceStart rotates the partial-pricing scan so successive iterations
 	// do not always favour low-index columns.
 	priceStart int
+	// dualPivots counts the dual-simplex basis changes (warm restarts);
+	// they are included in pivots as well.
+	dualPivots int
+	// scratch and resid are reusable buffers for refactorize, so the
+	// periodic refactorization does not allocate on the solve hot path.
+	scratch []float64
+	resid   []float64
+}
+
+// binvRow returns row r of the basis inverse as a subslice.
+func (s *simplex) binvRow(r int) []float64 {
+	return s.binv[r*s.m : (r+1)*s.m]
 }
 
 // Solve optimizes the model and returns the optimal solution.
@@ -89,12 +107,37 @@ func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, erro
 	var stats SolveStats
 	done := func(sol *Solution, s *simplex, err error) (*Solution, SolveStats, error) {
 		if s != nil {
-			stats.Pivots = s.pivots
+			stats.Pivots += s.pivots
 		}
 		stats.Duration = time.Since(start)
 		return sol, stats, err
 	}
 
+	// Warm path: when the caller carries a compatible workspace, repair the
+	// kept basis (dual simplex for feasibility, primal for the objective)
+	// instead of cold-starting phase 1. Failure classified errWarmStart
+	// falls through to the cold start below; consumed budgets and genuine
+	// unboundedness surface directly so the budget is not paid twice.
+	if ws := opts.Workspace; ws != nil && ws.compatible(m) {
+		s := ws.s
+		pivots0, dual0 := s.pivots, s.dualPivots
+		sol, err := ws.warmSolve(m, opts, start)
+		stats.Pivots += s.pivots - pivots0
+		stats.DualPivots += s.dualPivots - dual0
+		if err == nil {
+			stats.WarmStarts++
+			stats.Duration = time.Since(start)
+			return sol, stats, nil
+		}
+		if !errors.Is(err, errWarmStart) {
+			stats.Duration = time.Since(start)
+			return nil, stats, err
+		}
+		stats.WarmFallbacks++
+		ws.Reset()
+	}
+
+	stats.ColdStarts++
 	s, err := newSimplex(m)
 	if err != nil {
 		return done(nil, nil, err)
@@ -141,6 +184,9 @@ func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, erro
 	}
 	if err := s.checkNumerics(); err != nil {
 		return done(nil, s, err)
+	}
+	if ws := opts.Workspace; ws != nil {
+		ws.capture(m, s)
 	}
 	return done(s.solution(m), s, nil)
 }
@@ -219,14 +265,17 @@ func newSimplex(m *Model) (*simplex, error) {
 
 	// Slack columns: LE rows get +1 slack, GE rows get -1 slack; both slacks
 	// live in [0, +inf).
+	s.rowSlack = make([]int, nRows)
 	for i, r := range m.rows {
 		if r.sense == EQ {
+			s.rowSlack[i] = -1
 			continue
 		}
 		coef := 1.0
 		if r.sense == GE {
 			coef = -1.0
 		}
+		s.rowSlack[i] = len(s.cols)
 		s.cols = append(s.cols, sparseCol{rows: []int{i}, vals: []float64{coef}})
 		s.lo = append(s.lo, 0)
 		s.hi = append(s.hi, Inf)
@@ -254,7 +303,8 @@ func newSimplex(m *Model) (*simplex, error) {
 
 	s.basicVar = make([]int, nRows)
 	s.xB = make([]float64, nRows)
-	s.binv = newIdentity(nRows)
+	s.binv = make([]float64, nRows*nRows)
+	s.rowUnit = make([]int, nRows)
 	for i := 0; i < nRows; i++ {
 		coef := 1.0
 		if resid[i] < 0 {
@@ -267,8 +317,9 @@ func newSimplex(m *Model) (*simplex, error) {
 		s.xN = append(s.xN, 0)
 		j := len(s.cols) - 1
 		s.basicVar[i] = j
+		s.rowUnit[i] = j
 		s.xB[i] = math.Abs(resid[i])
-		s.binv[i][i] = coef // inverse of diag(±1) is itself
+		s.binv[i*nRows+i] = coef // inverse of diag(±1) is itself
 	}
 	s.nArt = nRows
 	s.n = len(s.cols)
@@ -283,15 +334,6 @@ func newSimplex(m *Model) (*simplex, error) {
 	s.y = make([]float64, nRows)
 	s.w = make([]float64, nRows)
 	return s, nil
-}
-
-func newIdentity(n int) [][]float64 {
-	mat := make([][]float64, n)
-	for i := range mat {
-		mat[i] = make([]float64, n)
-		mat[i][i] = 1
-	}
-	return mat
 }
 
 // objective returns the current objective value under s.cost.
@@ -354,7 +396,7 @@ func (s *simplex) computeDuals() {
 		if cb == 0 {
 			continue
 		}
-		row := s.binv[r]
+		row := s.binvRow(r)
 		for i := 0; i < s.m; i++ {
 			s.y[i] += cb * row[i]
 		}
@@ -450,7 +492,7 @@ func (s *simplex) computeDirection(j int) {
 	for k, r := range c.rows {
 		v := c.vals[k]
 		for i := 0; i < s.m; i++ {
-			s.w[i] += s.binv[i][r] * v
+			s.w[i] += s.binv[i*s.m+r] * v
 		}
 	}
 }
@@ -562,14 +604,23 @@ func (s *simplex) pivot(j, dir int, dj float64, phase1 bool) error {
 	// Incremental dual update: y' = y + (d_j / w_r) * (old row r of Binv),
 	// which zeroes the entering column's reduced cost. O(m) instead of the
 	// O(m^2) from-scratch recomputation.
-	rowL := s.binv[leave]
+	rowL := s.binvRow(leave)
 	theta := dj / piv
 	for i := range s.y {
 		s.y[i] += theta * rowL[i]
 	}
 
-	// Update Binv: row `leave` scaled by 1/piv, other rows eliminated.
-	inv := 1 / piv
+	s.updateBasis(j, leave, enterVal)
+	s.pivots++
+	return nil
+}
+
+// updateBasis makes column j basic in row leave at value enterVal,
+// applying the product-form update to Binv: row `leave` scaled by the
+// pivot element, other rows eliminated. s.w must hold Binv*A_j.
+func (s *simplex) updateBasis(j, leave int, enterVal float64) {
+	rowL := s.binvRow(leave)
+	inv := 1 / s.w[leave]
 	for i := range rowL {
 		rowL[i] *= inv
 	}
@@ -581,18 +632,15 @@ func (s *simplex) pivot(j, dir int, dj float64, phase1 bool) error {
 		if f == 0 {
 			continue
 		}
-		rowR := s.binv[r]
+		rowR := s.binvRow(r)
 		for i := range rowR {
 			rowR[i] -= f * rowL[i]
 		}
 	}
-
 	s.basicVar[leave] = j
 	s.rowOf[j] = leave
 	s.status[j] = inBasis
 	s.xB[leave] = enterVal
-	s.pivots++
-	return nil
 }
 
 // shouldPreferLeaving breaks ratio-test ties: under Bland's rule pick the
@@ -618,56 +666,149 @@ func (s *simplex) applyStep(dir int, t float64) {
 
 // refactorize rebuilds Binv from the basis columns by Gauss-Jordan with
 // partial pivoting and recomputes the basic values, clearing accumulated
-// floating-point drift.
+// floating-point drift. The working matrix lives in a scratch buffer kept
+// on the simplex, so the periodic refactorization does not allocate.
 func (s *simplex) refactorize() error {
+	return s.refactorizeImpl(false)
+}
+
+// refactorizeRepair is refactorize for a basis that may have gone
+// genuinely singular after coefficient edits (a basic variable's column
+// shrinking into the span of the others): instead of failing, a dependent
+// basis position is evicted to a bound and replaced by a per-row unit
+// column, and the factorization continues. The repaired basis is valid
+// but not necessarily dual feasible; the caller treats the follow-up
+// repair as best effort.
+func (s *simplex) refactorizeRepair() error {
+	return s.refactorizeImpl(true)
+}
+
+func (s *simplex) refactorizeImpl(repair bool) error {
 	m := s.m
-	// Assemble the basis matrix augmented with the identity.
-	a := make([][]float64, m)
+	// Assemble the basis matrix augmented with the identity, row-major
+	// with stride 2m in the reusable scratch buffer.
+	if cap(s.scratch) < m*2*m {
+		s.scratch = make([]float64, m*2*m)
+	}
+	a := s.scratch[:m*2*m]
 	for i := range a {
-		a[i] = make([]float64, 2*m)
-		a[i][m+i] = 1
+		a[i] = 0
+	}
+	row := func(r int) []float64 { return a[r*2*m : (r+1)*2*m] }
+	for i := 0; i < m; i++ {
+		row(i)[m+i] = 1
 	}
 	for r := 0; r < m; r++ {
 		c := &s.cols[s.basicVar[r]]
 		for k, ri := range c.rows {
-			a[ri][r] = c.vals[k]
+			row(ri)[r] = c.vals[k]
 		}
 	}
 	for col := 0; col < m; col++ {
 		// Partial pivot.
 		p, best := -1, 1e-12
 		for r := col; r < m; r++ {
-			if v := math.Abs(a[r][col]); v > best {
+			if v := math.Abs(row(r)[col]); v > best {
 				p, best = r, v
 			}
 		}
 		if p < 0 {
-			return fmt.Errorf("lp: internal: singular basis during refactorization (col %d)", col)
+			if !repair || !s.repairBasisColumn(a, col) {
+				return fmt.Errorf("lp: internal: singular basis during refactorization (col %d)", col)
+			}
+			for r := col; r < m; r++ {
+				if v := math.Abs(row(r)[col]); v > best {
+					p, best = r, v
+				}
+			}
+			if p < 0 {
+				return fmt.Errorf("lp: internal: singular basis during refactorization (col %d)", col)
+			}
 		}
-		a[col], a[p] = a[p], a[col]
-		inv := 1 / a[col][col]
+		if p != col {
+			rc, rp := row(col), row(p)
+			for k := 0; k < 2*m; k++ {
+				rc[k], rp[k] = rp[k], rc[k]
+			}
+		}
+		rc := row(col)
+		inv := 1 / rc[col]
 		for k := col; k < 2*m; k++ {
-			a[col][k] *= inv
+			rc[k] *= inv
 		}
 		for r := 0; r < m; r++ {
 			if r == col {
 				continue
 			}
-			f := a[r][col]
+			rr := row(r)
+			f := rr[col]
 			if f == 0 {
 				continue
 			}
 			for k := col; k < 2*m; k++ {
-				a[r][k] -= f * a[col][k]
+				rr[k] -= f * rc[k]
 			}
 		}
 	}
 	for i := 0; i < m; i++ {
-		copy(s.binv[i], a[i][m:])
+		copy(s.binvRow(i), row(i)[m:])
 	}
 
-	// Recompute xB = Binv * (b - N x_N).
-	resid := make([]float64, m)
+	s.recomputeXB()
+	return nil
+}
+
+// repairBasisColumn handles a dependent basis column discovered mid
+// Gauss-Jordan at position col: the basic variable there is evicted to its
+// lower bound and replaced by a nonbasic per-row unit column (slack or
+// artificial). The augmented right half of the working matrix holds the
+// accumulated row operations E, so column m+orig is E*e_orig — the
+// transformed image of row orig's unit vector — which lets the replacement
+// column be installed without restarting the factorization. Returns false
+// if no unit column has a usable pivot in the remaining working rows.
+func (s *simplex) repairBasisColumn(a []float64, col int) bool {
+	m := s.m
+	row := func(r int) []float64 { return a[r*2*m : (r+1)*2*m] }
+	bestOrig, bestV := -1, 1e-9
+	for orig := 0; orig < m; orig++ {
+		u := s.rowUnit[orig]
+		if u < 0 || s.status[u] == inBasis {
+			continue
+		}
+		for r := col; r < m; r++ {
+			if v := math.Abs(row(r)[m+orig]); v > bestV {
+				bestOrig, bestV = orig, v
+			}
+		}
+	}
+	if bestOrig < 0 {
+		return false
+	}
+	u := s.rowUnit[bestOrig]
+	sigma := s.cols[u].vals[0]
+	for r := 0; r < m; r++ {
+		row(r)[col] = sigma * row(r)[m+bestOrig]
+	}
+	out := s.basicVar[col]
+	s.rowOf[out] = -1
+	s.status[out] = atLower
+	s.xN[out] = s.lo[out]
+	s.basicVar[col] = u
+	s.rowOf[u] = col
+	s.status[u] = inBasis
+	s.xN[u] = 0
+	s.yValid = false
+	return true
+}
+
+// recomputeXB sets xB = Binv * (b - N x_N) from scratch, using the
+// reusable residual buffer.
+func (s *simplex) recomputeXB() {
+	m := s.m
+	if cap(s.resid) < m {
+		s.resid = make([]float64, m)
+	}
+	resid := s.resid[:m]
 	copy(resid, s.b)
 	for j := 0; j < s.n; j++ {
 		if s.status[j] == inBasis {
@@ -682,12 +823,12 @@ func (s *simplex) refactorize() error {
 	}
 	for r := 0; r < m; r++ {
 		v := 0.0
+		binvR := s.binvRow(r)
 		for i := 0; i < m; i++ {
-			v += s.binv[r][i] * resid[i]
+			v += binvR[i] * resid[i]
 		}
 		s.xB[r] = v
 	}
-	return nil
 }
 
 // solution extracts values, duals and reduced costs for the original model.

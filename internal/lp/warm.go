@@ -1,0 +1,628 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// This file implements warm-started re-optimization: a Workspace keeps
+// the optimal basis of a solved model so the next solve of the same model
+// — after constraints were appended, right-hand sides retuned via SetRHS,
+// or the objective replaced — starts from that basis instead of
+// cold-starting phase 1 with artificials. The repair sequence is the
+// classical one:
+//
+//  1. refresh b and the basic values against the mutated model;
+//  2. dual simplex under the cost vector the basis was last optimal for
+//     (dual feasible by construction) until primal feasibility returns;
+//  3. primal simplex under the new objective to optimality.
+//
+// Appended rows extend the basis block-triangularly: each new row gets a
+// unit column (slack for LE/GE, a bound-pinned artificial for EQ) that
+// starts basic, so the kept inverse stays exact and any violation of the
+// new row surfaces as a basic variable out of bounds for step 2.
+//
+// Any stall or numerical breakdown on this path is reported as
+// errWarmStart, which SolveWithOptions converts into a cold restart — the
+// warm path can therefore never change results, only the work needed to
+// reach them.
+
+// errWarmStart tags warm-path failures that must fall back to a cold
+// start rather than surface to the caller. Budget trips (ErrIterationLimit,
+// ErrTimeLimit) and genuine outcomes (ErrUnbounded) are never wrapped:
+// those surface directly so the caller does not pay a consumed budget
+// twice.
+var errWarmStart = errors.New("lp: warm start failed")
+
+// Workspace carries a simplex basis between solves of one model. Pass it
+// via SolveOptions.Workspace: a successful solve records its basis, and a
+// later solve of the same *Model warm-starts from it when only
+// constraints were appended, RHS values retuned, or the objective
+// changed. The zero value is ready to use. A Workspace is bound to one
+// model at a time (a solve of a different model resets it) and is not
+// safe for concurrent use.
+type Workspace struct {
+	s     *simplex
+	model *Model
+	nRows int // model rows incorporated into s
+	rev   int // model coefficient revision incorporated into s
+	// valid records that the basis ended a solve optimal, which the
+	// dual-simplex repair needs (it requires dual feasibility). A basis
+	// left behind by a failed solve may still seed a primal-only warm
+	// start when it happens to be feasible.
+	valid bool
+}
+
+// Reset discards the kept basis; the next solve cold-starts.
+func (ws *Workspace) Reset() {
+	ws.s = nil
+	ws.model = nil
+	ws.nRows = 0
+	ws.rev = 0
+	ws.valid = false
+}
+
+// compatible reports whether the kept basis can seed a solve of m: same
+// model object, no variables added since capture, and no rows removed
+// (the Model API cannot remove rows; appended rows are incorporated).
+func (ws *Workspace) compatible(m *Model) bool {
+	return ws.s != nil && ws.model == m && m.NumVars() == ws.s.nStruct && len(m.rows) >= ws.nRows
+}
+
+// capture records a successfully solved basis.
+func (ws *Workspace) capture(m *Model, s *simplex) {
+	ws.s = s
+	ws.model = m
+	ws.nRows = len(m.rows)
+	ws.rev = m.rev
+	ws.valid = true
+}
+
+// warmSolve re-optimizes m from the workspace basis. Errors wrapped in
+// errWarmStart ask the caller to retry cold; budget errors and
+// ErrUnbounded are final.
+func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*Solution, error) {
+	s := ws.s
+	wasOptimal := ws.valid
+	ws.valid = false // not optimal again until this solve succeeds
+	s.maxIter = opts.MaxIter
+	s.deadline = time.Time{}
+	if opts.MaxTime > 0 {
+		s.deadline = start.Add(opts.MaxTime)
+	}
+
+	if len(m.rows) > ws.nRows {
+		s.appendRows(m, ws.nRows)
+		ws.nRows = len(m.rows)
+	}
+
+	// Coefficient edits (SetCoef) keep the shape of the model but change
+	// the matrix, so the kept inverse is stale: refresh b to match the new
+	// matrix, reload the structural columns, and refactorize against the
+	// same basis (which recomputes xB consistently). The basis can have
+	// gone singular (e.g. a basic variable's column zeroed out); the
+	// repairing refactorization swaps dependent positions for per-row unit
+	// columns, and only if that also fails does the solve fall back cold.
+	// Direction-aware RHS handling is
+	// meaningless across a matrix change, so the split-relax path below is
+	// skipped.
+	coefChanged := m.rev != ws.rev
+	if coefChanged {
+		for i := range s.b {
+			s.b[i] = m.rows[i].rhs
+		}
+		s.reloadCoefs(m)
+		if err := s.refactorizeRepair(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+		}
+		s.yValid = false
+		ws.rev = m.rev
+	}
+
+	// Variable-bound edits (SetVarBounds): tightened bounds snap the
+	// nonbasic value and leave any violation to the dual phase; relaxed
+	// bounds first try to pivot the pinned variable into the basis so it
+	// is not forced to jump to the surviving bound.
+	boundsChanged := s.refreshBounds(m)
+
+	// The RHS refresh is split by direction. Tightenings (and EQ moves)
+	// are applied first and repaired by the dual phase under the old cost
+	// vector, which is dual feasible by construction. Relaxations are
+	// deferred: a row relaxed while its slack is nonbasic stays pinned
+	// tight at the new, unreachable RHS and the dual phase would thrash
+	// undoing that — so those slacks first get one legal primal pivot back
+	// into the basis (slackReentry), after which a basic slack absorbs its
+	// row's relax for free.
+	anyRelax := false
+	if !coefChanged {
+		for i := range s.b {
+			newRHS := m.rows[i].rhs
+			if newRHS == s.b[i] {
+				continue
+			}
+			isRelax := false
+			if s.rowSlack[i] >= 0 {
+				if m.rows[i].sense == LE {
+					isRelax = newRHS > s.b[i]
+				} else {
+					isRelax = newRHS < s.b[i]
+				}
+			}
+			if isRelax {
+				anyRelax = true
+				continue
+			}
+			s.b[i] = newRHS
+		}
+	}
+	if !coefChanged || boundsChanged {
+		s.recomputeXB()
+	}
+
+	// Dual phase: restore primal feasibility under the cost vector the
+	// basis was last optimal for (dual feasible by construction — except
+	// after coefficient edits or re-entry pivots, where the repair is best
+	// effort and failure falls back to the cold start).
+	if leave, _ := s.primalInfeas(); leave >= 0 {
+		if !wasOptimal {
+			return nil, fmt.Errorf("%w: kept basis is neither optimal nor feasible", errWarmStart)
+		}
+		if err := s.iterateDual(); err != nil {
+			return nil, err
+		}
+	}
+
+	if anyRelax {
+		s.slackReentry(m)
+		for i := range s.b {
+			s.b[i] = m.rows[i].rhs
+		}
+		s.recomputeXB()
+		if leave, _ := s.primalInfeas(); leave >= 0 {
+			// Rows whose relax edge was unbounded stayed pinned; one more
+			// repair pass.
+			if err := s.iterateDual(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Primal phase under the new objective from the now-feasible basis.
+	for j := 0; j < s.n; j++ {
+		if j < s.nStruct {
+			s.cost[j] = m.obj[j]
+		} else {
+			s.cost[j] = 0
+		}
+	}
+	s.bland = false
+	s.degen = 0
+	if err := s.iterate(false); err != nil {
+		if errors.Is(err, ErrIterationLimit) || errors.Is(err, ErrTimeLimit) || errors.Is(err, ErrUnbounded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+	}
+	if err := s.checkNumerics(); err != nil {
+		return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+	}
+	ws.valid = true
+	return s.solution(m), nil
+}
+
+// slackReentry walks the rows whose RHS is about to be relaxed (m holds
+// the new values, s.b the old) and whose slack is nonbasic. Such a slack
+// pins the row tight, so after the relax the row would be forced to the
+// new, unreachable RHS and the dual phase would thrash undoing it. A
+// single primal ratio-test pivot moves each such slack into the basis
+// while the old RHS is still in effect — a legal feasible step — after
+// which the relax is absorbed by the basic slack for free. Rows whose
+// relax edge is unbounded are left for the dual phase.
+func (s *simplex) slackReentry(m *Model) {
+	for i := 0; i < s.m; i++ {
+		j := s.rowSlack[i]
+		if j < 0 || s.status[j] == inBasis {
+			continue
+		}
+		delta := m.rows[i].rhs - s.b[i]
+		relaxed := false
+		switch m.rows[i].sense {
+		case LE:
+			relaxed = delta > feasTol
+		case GE:
+			relaxed = delta < -feasTol
+		}
+		if !relaxed {
+			continue
+		}
+		// The slack sits at its lower bound 0 (hi is +inf, so nonbasic
+		// means at-lower) and a relax always wants it to increase. Rows
+		// where pivotIn finds no limiting row are left for the dual phase.
+		s.pivotIn(j, 1)
+	}
+}
+
+// pivotIn tries to bring nonbasic variable j into the basis with a single
+// primal ratio-test pivot in direction dir (+1 increasing, -1 decreasing),
+// which is feasibility-preserving by construction. It reports false — and
+// changes nothing — when no row limits the move before j's own opposite
+// bound would (a bound flip is not an entry) or the pivot element is
+// numerically unusable.
+func (s *simplex) pivotIn(j, dir int) bool {
+	s.computeDirection(j)
+	limit := math.Inf(1)
+	leave := -1
+	leaveToUpper := false
+	for r := 0; r < s.m; r++ {
+		delta := -float64(dir) * s.w[r]
+		bv := s.basicVar[r]
+		var t float64
+		var toUpper bool
+		switch {
+		case delta < -feasTol:
+			t = (s.xB[r] - s.lo[bv]) / (-delta)
+		case delta > feasTol:
+			if math.IsInf(s.hi[bv], 1) {
+				continue
+			}
+			t = (s.hi[bv] - s.xB[r]) / delta
+			toUpper = true
+		default:
+			continue
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t < limit-feasTol || (t < limit+feasTol && leave >= 0 && math.Abs(s.w[r]) > math.Abs(s.w[leave])) {
+			if t < limit {
+				limit = t
+			}
+			leave, leaveToUpper = r, toUpper
+		}
+	}
+	if leave < 0 || math.Abs(s.w[leave]) < 1e-12 {
+		return false
+	}
+	if span := s.hi[j] - s.lo[j]; limit > span {
+		return false
+	}
+	enterVal := s.xN[j] + float64(dir)*limit
+	s.applyStep(dir, limit)
+	out := s.basicVar[leave]
+	s.rowOf[out] = -1
+	if leaveToUpper {
+		s.status[out] = atUpper
+		s.xN[out] = s.hi[out]
+	} else {
+		s.status[out] = atLower
+		s.xN[out] = s.lo[out]
+	}
+	s.updateBasis(j, leave, enterVal)
+	s.pivots++
+	s.yValid = false
+	return true
+}
+
+// refreshBounds folds SetVarBounds edits into the simplex and reports
+// whether anything changed (the caller then recomputes xB). A variable
+// nonbasic on a bound that is being relaxed would otherwise be dragged
+// along with it, so it first gets one feasible pivot into the basis; a
+// tightened bound just snaps the nonbasic value and leaves any induced
+// violation to the dual phase (which bound changes keep dual feasible).
+func (s *simplex) refreshBounds(m *Model) bool {
+	changed := false
+	for j := 0; j < s.nStruct; j++ {
+		lo, hi := m.lo[j], m.hi[j]
+		if lo == s.lo[j] && hi == s.hi[j] {
+			continue
+		}
+		changed = true
+		switch s.status[j] {
+		case atLower:
+			if lo < s.lo[j] {
+				s.pivotIn(j, 1)
+			}
+		case atUpper:
+			if hi > s.hi[j] {
+				s.pivotIn(j, -1)
+			}
+		}
+		s.lo[j], s.hi[j] = lo, hi
+		switch s.status[j] {
+		case atLower:
+			s.xN[j] = lo
+		case atUpper:
+			if math.IsInf(hi, 1) {
+				s.status[j] = atLower
+				s.xN[j] = lo
+			} else {
+				s.xN[j] = hi
+			}
+		}
+	}
+	return changed
+}
+
+// reloadCoefs rebuilds the structural columns from the model rows after
+// SetCoef edits. Slack and artificial columns are untouched; zero
+// coefficients are dropped so a detached variable really leaves the row.
+// The caller must refactorize afterwards — the kept inverse no longer
+// matches the reloaded matrix.
+func (s *simplex) reloadCoefs(m *Model) {
+	for j := 0; j < s.nStruct; j++ {
+		s.cols[j].rows = s.cols[j].rows[:0]
+		s.cols[j].vals = s.cols[j].vals[:0]
+	}
+	for i := range m.rows {
+		for _, t := range m.rows[i].terms {
+			if t.Coef == 0 {
+				continue
+			}
+			c := &s.cols[t.Var]
+			if k := len(c.rows); k > 0 && c.rows[k-1] == i {
+				c.vals[k-1] += t.Coef
+				continue
+			}
+			c.rows = append(c.rows, i)
+			c.vals = append(c.vals, t.Coef)
+		}
+	}
+}
+
+// primalInfeas returns the row of the worst basic bound violation, or
+// leave = -1 when the basis is primal feasible within tolerance. below
+// reports which bound is violated. The tolerance is scale-aware and
+// sits above refresh rounding but far below any meaningful RHS change.
+func (s *simplex) primalInfeas() (leave int, below bool) {
+	leave = -1
+	worst := 0.0
+	for r := 0; r < s.m; r++ {
+		bv := s.basicVar[r]
+		tol := 1e-8 * (1 + math.Abs(s.xB[r]))
+		if d := s.lo[bv] - s.xB[r]; d > tol && d > worst {
+			worst, leave, below = d, r, true
+		}
+		if hi := s.hi[bv]; !math.IsInf(hi, 1) {
+			if d := s.xB[r] - hi; d > tol && d > worst {
+				worst, leave, below = d, r, false
+			}
+		}
+	}
+	return leave, below
+}
+
+// iterateDual runs bounded-variable dual-simplex pivots until every basic
+// variable is back within its bounds. It must start dual feasible (the
+// basis was optimal for s.cost); each pivot preserves dual feasibility by
+// the usual ratio test on reduced costs. Dual unboundedness — no entering
+// candidate — proves primal infeasibility, but is reported as a warm-start
+// failure so the authoritative answer comes from a cold start.
+func (s *simplex) iterateDual() error {
+	maxIter := s.maxIter
+	if maxIter <= 0 {
+		maxIter = 200*(s.m+s.n) + 20000
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		if iter&15 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return fmt.Errorf("%w after %d pivots (dual phase)", ErrTimeLimit, s.pivots)
+		}
+		if s.pivots > 0 && s.pivots%refactorEvery == 0 {
+			if err := s.refactorize(); err != nil {
+				return fmt.Errorf("%w: %v", errWarmStart, err)
+			}
+			s.pivots++ // avoid immediate re-refactorization
+			s.yValid = false
+			continue // re-scan infeasibility against the cleaned values
+		}
+
+		leave, below := s.primalInfeas()
+		if leave < 0 {
+			return nil // primal feasible again
+		}
+
+		// Duals are maintained incrementally across dual pivots (same O(m)
+		// update as the primal pivot), so the O(m^2) recomputation happens
+		// only on entry and after refactorization.
+		if !s.yValid {
+			s.computeDuals()
+			s.yValid = true
+		}
+		row := s.binvRow(leave)
+
+		// Entering choice: among nonbasic columns whose pivot moves the
+		// leaving variable toward its bound, take the smallest dual ratio
+		// |d_j|/|alpha_j| (preserves dual feasibility), breaking near-ties
+		// by pivot magnitude for numerical stability.
+		enter := -1
+		bestRatio, bestAlpha, bestD := math.Inf(1), 0.0, 0.0
+		for j := 0; j < s.n; j++ {
+			st := s.status[j]
+			if st == inBasis || s.lo[j] == s.hi[j] {
+				continue
+			}
+			c := &s.cols[j]
+			alpha := 0.0
+			for k, r := range c.rows {
+				alpha += row[r] * c.vals[k]
+			}
+			if math.Abs(alpha) < 1e-9 {
+				continue
+			}
+			var ok bool
+			if below {
+				// xB[leave] must increase.
+				ok = (st == atLower && alpha < 0) || (st == atUpper && alpha > 0)
+			} else {
+				ok = (st == atLower && alpha > 0) || (st == atUpper && alpha < 0)
+			}
+			if !ok {
+				continue
+			}
+			d := s.reducedCost(j)
+			ratio := math.Abs(d) / math.Abs(alpha)
+			switch {
+			case ratio < bestRatio-costTol:
+				bestRatio, enter, bestAlpha, bestD = ratio, j, alpha, d
+			case ratio < bestRatio+costTol && math.Abs(alpha) > math.Abs(bestAlpha):
+				if ratio < bestRatio {
+					bestRatio = ratio
+				}
+				enter, bestAlpha, bestD = j, alpha, d
+			}
+		}
+		if enter < 0 {
+			return fmt.Errorf("%w: dual unbounded in row %d (primal likely infeasible)", errWarmStart, leave)
+		}
+
+		// Pivot: the entering variable moves exactly enough to land the
+		// leaving variable on its violated bound.
+		bv := s.basicVar[leave]
+		target := s.lo[bv]
+		if !below {
+			target = s.hi[bv]
+		}
+		delta := s.xB[leave] - target
+		s.computeDirection(enter) // w = Binv * A_enter; w[leave] = alpha
+		piv := s.w[leave]
+		if math.Abs(piv) < 1e-12 {
+			// Collapsed numerically since the alpha scan; clean up and
+			// rescan rather than dividing by ~0.
+			if err := s.refactorize(); err != nil {
+				return fmt.Errorf("%w: %v", errWarmStart, err)
+			}
+			s.yValid = false
+			continue
+		}
+		step := delta / piv
+		for r := 0; r < s.m; r++ {
+			s.xB[r] -= step * s.w[r]
+		}
+		enterVal := s.xN[enter] + step
+		s.rowOf[bv] = -1
+		if below {
+			s.status[bv] = atLower
+		} else {
+			s.status[bv] = atUpper
+		}
+		s.xN[bv] = target
+		// Incremental dual update before Binv changes (same identity as the
+		// primal pivot: zero the entering column's reduced cost).
+		rowL := s.binvRow(leave)
+		thetaY := bestD / piv
+		for i := range s.y {
+			s.y[i] += thetaY * rowL[i]
+		}
+		s.updateBasis(enter, leave, enterVal)
+		s.pivots++
+		s.dualPivots++
+	}
+	return fmt.Errorf("%w after %d pivots (dual phase)", ErrIterationLimit, s.pivots)
+}
+
+// appendRows extends the simplex with model rows [from, len(m.rows)).
+// Each new row contributes its coefficients to the structural columns and
+// receives a basic unit column; the basis inverse grows by the
+// block-triangular identity
+//
+//	[B 0; C D]^-1 = [Binv 0; -D^-1 C Binv, D^-1]
+//
+// with D = diag(±1) of the unit columns, which keeps the kept inverse
+// exact without refactorization. The caller recomputes xB afterwards.
+func (s *simplex) appendRows(m *Model, from int) {
+	old := s.m
+	newM := len(m.rows)
+	add := newM - old
+
+	// Grow the flattened Binv into the wider stride; the upper-right
+	// block is zero (no old basic column has support on the new rows).
+	nb := make([]float64, newM*newM)
+	for r := 0; r < old; r++ {
+		copy(nb[r*newM:r*newM+old], s.binv[r*old:(r+1)*old])
+	}
+	oldBinv := s.binv
+	s.binv = nb
+	s.m = newM
+
+	s.b = append(s.b, make([]float64, add)...)
+	s.xB = append(s.xB, make([]float64, add)...)
+	s.basicVar = append(s.basicVar, make([]int, add)...)
+	s.y = make([]float64, newM)
+	s.w = make([]float64, newM)
+
+	for i := from; i < newM; i++ {
+		r := m.rows[i]
+		s.b[i] = r.rhs
+
+		// Merge duplicate variables within the row, then splice the merged
+		// coefficients into the structural columns. Row indices only grow,
+		// so each column's row list stays sorted.
+		merged := make([]Term, 0, len(r.terms))
+		for _, t := range r.terms {
+			found := false
+			for k := range merged {
+				if merged[k].Var == t.Var {
+					merged[k].Coef += t.Coef
+					found = true
+					break
+				}
+			}
+			if !found {
+				merged = append(merged, t)
+			}
+		}
+		for _, t := range merged {
+			col := &s.cols[t.Var]
+			col.rows = append(col.rows, i)
+			col.vals = append(col.vals, t.Coef)
+		}
+
+		// Unit column: slack for inequalities, a bound-pinned artificial
+		// for equalities (it must be driven back to zero by the dual
+		// phase if the new row is violated).
+		sigma := 1.0
+		hi := Inf
+		switch r.sense {
+		case GE:
+			sigma = -1
+		case EQ:
+			hi = 0
+		}
+		s.cols = append(s.cols, sparseCol{rows: []int{i}, vals: []float64{sigma}})
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, hi)
+		s.cost = append(s.cost, 0)
+		s.status = append(s.status, inBasis)
+		s.xN = append(s.xN, 0)
+		j := len(s.cols) - 1
+		s.rowOf = append(s.rowOf, i)
+		s.basicVar[i] = j
+		if r.sense == EQ {
+			s.rowSlack = append(s.rowSlack, -1)
+		} else {
+			s.rowSlack = append(s.rowSlack, j)
+		}
+		s.rowUnit = append(s.rowUnit, j)
+
+		// New Binv row: -sigma * (a_B · Binv) over the old block, sigma at
+		// its own diagonal. Structural variables can only be basic in old
+		// rows here (every new row's basic is its own unit column), so the
+		// products read exclusively from the pre-append inverse.
+		rowI := s.binv[i*newM : (i+1)*newM]
+		for _, t := range merged {
+			rv := s.rowOf[t.Var]
+			if rv < 0 {
+				continue // nonbasic: contributes to xB only, not to Binv
+			}
+			f := sigma * t.Coef
+			src := oldBinv[rv*old : (rv+1)*old]
+			for k := 0; k < old; k++ {
+				rowI[k] -= f * src[k]
+			}
+		}
+		rowI[i] = sigma
+	}
+	s.n = len(s.cols)
+	s.yValid = false
+}

@@ -1,0 +1,370 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkFeasible asserts that sol satisfies every constraint and bound of m
+// within a loose tolerance.
+func checkFeasible(t *testing.T, m *Model, sol *Solution) {
+	t.Helper()
+	const tol = 1e-6
+	for j := 0; j < m.NumVars(); j++ {
+		v := sol.Value(Var(j))
+		if v < m.lo[j]-tol || v > m.hi[j]+tol {
+			t.Fatalf("var %d value %g outside bounds [%g, %g]", j, v, m.lo[j], m.hi[j])
+		}
+	}
+	for i, r := range m.rows {
+		lhs := 0.0
+		for _, tm := range r.terms {
+			lhs += tm.Coef * sol.Value(tm.Var)
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol {
+				t.Fatalf("row %d: %g > %g", i, lhs, r.rhs)
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				t.Fatalf("row %d: %g < %g", i, lhs, r.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				t.Fatalf("row %d: %g != %g", i, lhs, r.rhs)
+			}
+		}
+	}
+}
+
+// coldObjective solves m from scratch (no workspace) and returns the
+// optimal objective.
+func coldObjective(t *testing.T, m *Model) float64 {
+	t.Helper()
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	return sol.Objective
+}
+
+func TestWarmStartRHSRetune(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar("x", 0, 10)
+	y := m.MustVar("y", 0, 10)
+	m.MustConstraint([]Term{{x, 1}, {y, 1}}, LE, 8)
+	m.MustConstraint([]Term{{x, 1}, {y, -1}}, LE, 4)
+	if err := m.SetObjective([]Term{{x, -1}, {y, -1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := &Workspace{}
+	sol, stats, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+	if stats.ColdStarts != 1 || stats.WarmStarts != 0 {
+		t.Fatalf("initial solve stats = %+v, want one cold start", stats)
+	}
+	if math.Abs(sol.Objective-(-8)) > 1e-9 {
+		t.Fatalf("initial objective = %g, want -8", sol.Objective)
+	}
+
+	// Tighten: the kept basis becomes primal infeasible, the dual phase
+	// must repair it.
+	if err := m.SetRHS(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err = m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatalf("warm solve after tighten: %v", err)
+	}
+	if stats.WarmStarts != 1 || stats.ColdStarts != 0 {
+		t.Fatalf("tightened solve stats = %+v, want one warm start", stats)
+	}
+	if math.Abs(sol.Objective-(-5)) > 1e-9 {
+		t.Fatalf("tightened objective = %g, want -5", sol.Objective)
+	}
+	checkFeasible(t, m, sol)
+
+	// Relax: the kept basis stays feasible; zero dual pivots needed.
+	if err := m.SetRHS(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err = m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatalf("warm solve after relax: %v", err)
+	}
+	if stats.WarmStarts != 1 {
+		t.Fatalf("relaxed solve stats = %+v, want warm start", stats)
+	}
+	if math.Abs(sol.Objective-(-12)) > 1e-9 {
+		t.Fatalf("relaxed objective = %g, want -12", sol.Objective)
+	}
+	checkFeasible(t, m, sol)
+}
+
+func TestWarmStartAppendRows(t *testing.T) {
+	m := NewModel()
+	vars := make([]Var, 4)
+	for i := range vars {
+		vars[i] = m.MustVar(fmt.Sprintf("x%d", i), 0, 100)
+	}
+	terms := make([]Term, len(vars))
+	for i, v := range vars {
+		terms[i] = Term{v, 1}
+	}
+	m.MustConstraint(terms, LE, 50)
+	if err := m.SetObjective([]Term{{vars[0], -3}, {vars[1], -2}, {vars[2], -1}, {vars[3], -1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := &Workspace{}
+	if _, _, err := m.SolveWithOptions(SolveOptions{Workspace: ws}); err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+
+	// Append constraints one at a time, warm-solving after each, and
+	// compare against a from-scratch solve of the same model.
+	appends := []struct {
+		terms []Term
+		sense Sense
+		rhs   float64
+	}{
+		{[]Term{{vars[0], 1}}, LE, 10},
+		{[]Term{{vars[1], 1}, {vars[2], 1}}, LE, 25},
+		{[]Term{{vars[0], 1}, {vars[3], 1}}, GE, 5},
+		{[]Term{{vars[2], 1}, {vars[3], -1}}, EQ, 3},
+	}
+	for i, a := range appends {
+		if err := m.AddConstraint(a.terms, a.sense, a.rhs); err != nil {
+			t.Fatal(err)
+		}
+		sol, stats, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+		if err != nil {
+			t.Fatalf("warm solve after append %d: %v", i, err)
+		}
+		if stats.WarmStarts != 1 {
+			t.Fatalf("append %d stats = %+v, want warm start", i, stats)
+		}
+		checkFeasible(t, m, sol)
+		want := coldObjective(t, m)
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("append %d: warm objective %g, cold %g", i, sol.Objective, want)
+		}
+	}
+}
+
+func TestWarmStartObjectiveChange(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar("x", 0, 10)
+	y := m.MustVar("y", 0, 10)
+	m.MustConstraint([]Term{{x, 1}, {y, 2}}, LE, 14)
+	if err := m.SetObjective([]Term{{x, -1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := &Workspace{}
+	if _, _, err := m.SolveWithOptions(SolveOptions{Workspace: ws}); err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+
+	if err := m.SetObjective([]Term{{y, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatalf("warm solve after objective change: %v", err)
+	}
+	if stats.WarmStarts != 1 || stats.DualPivots != 0 {
+		t.Fatalf("stats = %+v, want pure-primal warm start", stats)
+	}
+	if math.Abs(sol.Objective-(-7)) > 1e-9 {
+		t.Fatalf("objective = %g, want -7", sol.Objective)
+	}
+	checkFeasible(t, m, sol)
+}
+
+func TestWarmStartInfeasibleFallsBack(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar("x", 0, 10)
+	y := m.MustVar("y", 0, 10)
+	m.MustConstraint([]Term{{x, 1}, {y, 1}}, LE, 8)
+	m.MustConstraint([]Term{{x, 1}}, GE, 2)
+	if err := m.SetObjective([]Term{{x, 1}, {y, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := &Workspace{}
+	if _, _, err := m.SolveWithOptions(SolveOptions{Workspace: ws}); err != nil {
+		t.Fatalf("initial solve: %v", err)
+	}
+
+	// x + y <= -1 with x, y >= 0 is infeasible. The dual phase goes
+	// unbounded, the solver falls back cold, and the cold start gives the
+	// authoritative ErrInfeasible.
+	if err := m.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, -1); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if stats.WarmFallbacks != 1 || stats.ColdStarts != 1 {
+		t.Fatalf("stats = %+v, want a warm fallback and a cold confirm", stats)
+	}
+
+	// The workspace was reset by the fallback and the cold solve failed, so
+	// nothing was captured; fixing the model solves cold again.
+	if err := m.SetRHS(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatalf("solve after repair: %v", err)
+	}
+	if stats.ColdStarts != 1 || stats.WarmStarts != 0 {
+		t.Fatalf("post-repair stats = %+v, want cold start", stats)
+	}
+	checkFeasible(t, m, sol)
+}
+
+func TestWarmStartDifferentModelIgnoresWorkspace(t *testing.T) {
+	m1 := NewModel()
+	x := m1.MustVar("x", 0, 5)
+	m1.MustConstraint([]Term{{x, 1}}, LE, 4)
+	if err := m1.SetObjective([]Term{{x, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	ws := &Workspace{}
+	if _, _, err := m1.SolveWithOptions(SolveOptions{Workspace: ws}); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewModel()
+	z := m2.MustVar("z", 0, 7)
+	m2.MustConstraint([]Term{{z, 1}}, LE, 6)
+	if err := m2.SetObjective([]Term{{z, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := m2.SolveWithOptions(SolveOptions{Workspace: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ColdStarts != 1 || stats.WarmStarts != 0 {
+		t.Fatalf("stats = %+v, want cold start on a different model", stats)
+	}
+	if math.Abs(sol.Objective-(-6)) > 1e-9 {
+		t.Fatalf("objective = %g, want -6", sol.Objective)
+	}
+
+	// The workspace now tracks m2; m1 would cold-start again.
+	if ws.model != m2 {
+		t.Fatal("workspace should have re-bound to the most recent model")
+	}
+}
+
+// TestWarmVsColdRandomized drives a seeded sequence of mutations
+// (RHS retunes, constraint appends, objective changes) through a shared
+// workspace and asserts that every warm solve matches a from-scratch cold
+// solve of the identical model: same objective within tolerance and a
+// feasible point.
+func TestWarmVsColdRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nVars := 4 + rng.Intn(5)
+			m := NewModel()
+			vars := make([]Var, nVars)
+			for i := range vars {
+				vars[i] = m.MustVar(fmt.Sprintf("x%d", i), 0, 10+rng.Float64()*40)
+			}
+			// Start with a generous packing constraint so the model begins
+			// feasible.
+			terms := make([]Term, nVars)
+			for i, v := range vars {
+				terms[i] = Term{v, 1 + rng.Float64()}
+			}
+			m.MustConstraint(terms, LE, 40+rng.Float64()*40)
+			obj := make([]Term, nVars)
+			for i, v := range vars {
+				obj[i] = Term{v, -rng.Float64()}
+			}
+			if err := m.SetObjective(obj); err != nil {
+				t.Fatal(err)
+			}
+
+			ws := &Workspace{}
+			warmStats := SolveStats{}
+			for step := 0; step < 30; step++ {
+				switch rng.Intn(3) {
+				case 0: // retune a random RHS within a safe band
+					i := rng.Intn(m.NumConstraints())
+					delta := (rng.Float64() - 0.45) * 10
+					rhs := m.RHS(i) + delta
+					if m.rows[i].sense == LE && rhs < 1 {
+						rhs = 1 // keep the instance mostly feasible
+					}
+					if err := m.SetRHS(i, rhs); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // append a sparse constraint
+					k := 1 + rng.Intn(3)
+					ct := make([]Term, 0, k)
+					seen := map[int]bool{}
+					for len(ct) < k {
+						vi := rng.Intn(nVars)
+						if seen[vi] {
+							continue
+						}
+						seen[vi] = true
+						ct = append(ct, Term{vars[vi], 0.5 + rng.Float64()})
+					}
+					sense := LE
+					rhs := 5 + rng.Float64()*30
+					if rng.Intn(4) == 0 {
+						sense = GE
+						rhs = rng.Float64() * 3
+					}
+					if err := m.AddConstraint(ct, sense, rhs); err != nil {
+						t.Fatal(err)
+					}
+				case 2: // new random objective
+					for i, v := range vars {
+						obj[i] = Term{v, rng.Float64()*2 - 1.5}
+					}
+					if err := m.SetObjective(obj); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				warmSol, stats, warmErr := m.SolveWithOptions(SolveOptions{Workspace: ws})
+				warmStats.accumulate(stats)
+				coldSol, coldErr := m.Solve()
+				if (warmErr == nil) != (coldErr == nil) {
+					t.Fatalf("step %d: warm err %v, cold err %v", step, warmErr, coldErr)
+				}
+				if warmErr != nil {
+					if !errors.Is(warmErr, ErrInfeasible) || !errors.Is(coldErr, ErrInfeasible) {
+						t.Fatalf("step %d: unexpected errors warm=%v cold=%v", step, warmErr, coldErr)
+					}
+					continue
+				}
+				checkFeasible(t, m, warmSol)
+				tol := 1e-6 * (1 + math.Abs(coldSol.Objective))
+				if math.Abs(warmSol.Objective-coldSol.Objective) > tol {
+					t.Fatalf("step %d: warm objective %.12g != cold %.12g", step, warmSol.Objective, coldSol.Objective)
+				}
+			}
+			if warmStats.WarmStarts == 0 {
+				t.Fatal("randomized sweep never warm-started")
+			}
+			t.Logf("stats: %+v", warmStats)
+		})
+	}
+}

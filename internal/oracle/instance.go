@@ -113,6 +113,13 @@ type LPResult struct {
 // hard ≤0 row per covered zero-capacity slot — and solves it with the
 // exact (uncapped-rounds) lexicographic min-max.
 func SolveLP(in Instance) (*LPResult, error) {
+	return SolveLPWithOptions(in, lp.MinMaxOptions{})
+}
+
+// SolveLPWithOptions is SolveLP with explicit solver options, so the
+// differential suite can run the same instance down both the warm
+// incremental path and the cold clone-per-round path and compare.
+func SolveLPWithOptions(in Instance, opts lp.MinMaxOptions) (*LPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,7 +182,7 @@ func SolveLP(in Instance) (*LPResult, error) {
 		return res, nil
 	}
 
-	mm, err := lp.LexMinMaxWithOptions(model, groups, lp.MinMaxOptions{})
+	mm, err := lp.LexMinMaxWithOptions(model, groups, opts)
 	if errors.Is(err, lp.ErrInfeasible) {
 		return res, nil
 	}

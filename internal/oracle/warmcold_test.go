@@ -1,0 +1,59 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowtime/internal/lp"
+)
+
+// TestWarmColdEquivalence sweeps seeded instances through the production
+// pipeline twice — the default warm incremental path and the legacy
+// cold clone-per-round path — and requires both to agree on feasibility
+// and on the sorted level vector, with each allocation independently
+// passing the interior checker. This is the differential gate for the
+// warm-start machinery: a basis-reuse bug that shifts the optimum cannot
+// pass it by being self-consistent.
+func TestWarmColdEquivalence(t *testing.T) {
+	const cases = 60
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < cases; i++ {
+		var in Instance
+		if i%3 == 0 {
+			in = GenLargeInstance(rng)
+		} else {
+			in = GenInstance(rng)
+		}
+
+		warm, err := SolveLPWithOptions(in, lp.MinMaxOptions{})
+		if err != nil {
+			t.Fatalf("case %d: warm: %v\ninstance: %+v", i, err, in)
+		}
+		cold, err := SolveLPWithOptions(in, lp.MinMaxOptions{DisableWarmStart: true})
+		if err != nil {
+			t.Fatalf("case %d: cold: %v\ninstance: %+v", i, err, in)
+		}
+
+		if warm.Feasible != cold.Feasible {
+			t.Fatalf("case %d: warm feasible=%v, cold feasible=%v\ninstance: %+v",
+				i, warm.Feasible, cold.Feasible, in)
+		}
+		if !warm.Feasible {
+			continue
+		}
+		ws, cs := lp.SortedDescending(warm.Levels), lp.SortedDescending(cold.Levels)
+		for gi := range ws {
+			if math.Abs(ws[gi]-cs[gi]) > Tol {
+				t.Fatalf("case %d: sorted level %d: warm %.9g, cold %.9g\ninstance: %+v",
+					i, gi, ws[gi], cs[gi], in)
+			}
+		}
+		if err := CheckSolution(in, warm, Tol); err != nil {
+			t.Fatalf("case %d: warm allocation rejected: %v\ninstance: %+v", i, err, in)
+		}
+		if err := CheckSolution(in, cold, Tol); err != nil {
+			t.Fatalf("case %d: cold allocation rejected: %v\ninstance: %+v", i, err, in)
+		}
+	}
+}

@@ -197,6 +197,10 @@ type DegradationStatus struct {
 	MinMaxFallbacks int64  `json:"minmax_fallbacks"`
 	GreedyFallbacks int64  `json:"greedy_fallbacks"`
 	InvalidPlans    int64  `json:"invalid_plans"`
+	// LPWarmStarts and LPColdStarts count inner LP solves that reused a
+	// kept simplex basis versus building one from scratch.
+	LPWarmStarts int64 `json:"lp_warm_starts"`
+	LPColdStarts int64 `json:"lp_cold_starts"`
 }
 
 // FaultCounters tallies control-plane fault handling since RM start.

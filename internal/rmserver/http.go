@@ -90,6 +90,8 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# TYPE flowtime_sched_fallback_minmax_total counter\nflowtime_sched_fallback_minmax_total %d\n", d.MinMaxFallbacks)
 			fmt.Fprintf(w, "# TYPE flowtime_sched_fallback_greedy_total counter\nflowtime_sched_fallback_greedy_total %d\n", d.GreedyFallbacks)
 			fmt.Fprintf(w, "# TYPE flowtime_sched_invalid_plans_total counter\nflowtime_sched_invalid_plans_total %d\n", d.InvalidPlans)
+			fmt.Fprintf(w, "# TYPE flowtime_lp_warm_starts_total counter\nflowtime_lp_warm_starts_total %d\n", d.LPWarmStarts)
+			fmt.Fprintf(w, "# TYPE flowtime_lp_cold_starts_total counter\nflowtime_lp_cold_starts_total %d\n", d.LPColdStarts)
 		}
 		if d := st.Durability; d != nil {
 			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_records_total counter\nflowtime_rm_wal_records_total %d\n", d.WALRecords)

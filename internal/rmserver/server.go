@@ -807,6 +807,8 @@ func (s *Server) Status() rmproto.StatusResponse {
 			MinMaxFallbacks: d.MinMaxFallbacks,
 			GreedyFallbacks: d.GreedyFallbacks,
 			InvalidPlans:    d.InvalidPlans,
+			LPWarmStarts:    d.LPWarmStarts,
+			LPColdStarts:    d.LPColdStarts,
 		}
 	}
 	if s.store != nil {

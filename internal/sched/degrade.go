@@ -53,6 +53,11 @@ type DegradationStatus struct {
 	// InvalidPlans counts plans rejected by post-validation and rebuilt at
 	// the greedy rung.
 	InvalidPlans int64
+	// LPWarmStarts and LPColdStarts count inner LP solves that reused a
+	// kept simplex basis versus building one from scratch, across all
+	// replans (solver warm-start telemetry; see internal/lp).
+	LPWarmStarts int64
+	LPColdStarts int64
 }
 
 // Degraded reports whether any replan has ever stepped down the ladder.
