@@ -8,9 +8,16 @@
 // "unknown node" (RM restart or eviction after missed heartbeats) the
 // agent automatically re-registers and resumes heartbeating.
 //
+// -rm accepts a comma-separated list of RM URLs for replicated
+// deployments. When the current RM answers "not_leader" (it is a
+// standby, or was deposed by a failover) the agent follows the leader
+// hint — or rotates to the next URL — and re-registers; when the RM
+// stops answering entirely, the agent rotates after repeated failures.
+//
 // Usage:
 //
-//	ftnode [-rm http://localhost:8030] [-id node-1] [-cores 32] [-mem-mb 65536]
+//	ftnode [-rm http://localhost:8030[,http://backup:8030]] [-id node-1]
+//	       [-cores 32] [-mem-mb 65536]
 //	       [-backoff-base 100ms] [-backoff-max 5s]
 package main
 
@@ -20,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,7 +38,7 @@ import (
 func main() {
 	log.SetFlags(log.LstdFlags)
 	var (
-		rmURL       = flag.String("rm", "http://localhost:8030", "resource manager URL")
+		rmURL       = flag.String("rm", "http://localhost:8030", "resource manager URL(s), comma-separated; first is tried first")
 		id          = flag.String("id", "", "node ID (required)")
 		cores       = flag.Int64("cores", 32, "node vcores")
 		memMB       = flag.Int64("mem-mb", 64*1024, "node memory (MiB)")
@@ -43,12 +51,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rms []string
+	for _, u := range strings.Split(*rmURL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			rms = append(rms, u)
+		}
+	}
+	if len(rms) == 0 {
+		log.Println("ftnode: -rm needs at least one URL")
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := rmserver.RunAgent(ctx, rmserver.NewClient(*rmURL, nil), rmserver.AgentConfig{
+	err := rmserver.RunAgent(ctx, rmserver.NewClient(rms[0], nil), rmserver.AgentConfig{
 		NodeID:   *id,
 		Capacity: rmproto.Resources{VCores: *cores, MemoryMB: *memMB},
+		RMs:      rms,
 		Backoff:  rmserver.Backoff{Base: *backoffBase, Max: *backoffMax},
 		Logf:     log.Printf,
 	})

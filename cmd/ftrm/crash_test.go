@@ -42,9 +42,10 @@ func freePort(t *testing.T) int {
 }
 
 // startFTRM launches the RM process against the given state directory.
-func startFTRM(t *testing.T, bin, stateDir string, port int) *exec.Cmd {
+// extra appends flags (e.g. -replica-of for a standby).
+func startFTRM(t *testing.T, bin, stateDir string, port int, extra ...string) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-sched", "FIFO",
 		"-slot", "50ms",
@@ -53,7 +54,8 @@ func startFTRM(t *testing.T, bin, stateDir string, port int) *exec.Cmd {
 		"-state-dir", stateDir,
 		"-snapshot-every", "40",
 		"-fsync", "always",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {

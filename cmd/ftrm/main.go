@@ -7,6 +7,7 @@
 //	     [-lease-expiry 16] [-drain-timeout 30s] [-manual-tick]
 //	     [-lp-max-iter 0] [-lp-max-time 0]
 //	     [-state-dir DIR] [-snapshot-every 256] [-fsync always]
+//	     [-replica-of URL] [-listen-repl ADDR] [-advertise URL]
 //
 // -lp-max-iter and -lp-max-time bound each scheduling round's LP work
 // (simplex pivots and wall clock). When a budget trips, the FlowTime
@@ -23,6 +24,20 @@
 // discipline: "always" (group-committed fsync before acknowledging each
 // mutation), "interval" (background fsync every few milliseconds), or
 // "never" (leave flushing to the OS).
+//
+// With -replica-of the RM starts as a warm standby of the primary at
+// the given URL (requires -state-dir): it pulls the primary's WAL over
+// the replication API, ingests every record durably, applies it through
+// the replay path so its in-memory state stays hot, and rejects
+// mutations with not_leader until POST /repl/v1/promote turns it into
+// the primary. Promotion increments the durable leadership epoch —
+// which fences the deposed primary's late writes out of the stream —
+// requeues the orphaned leases, and starts granting; agents follow the
+// not_leader redirect and re-register. -advertise is this RM's own URL,
+// handed to peers as the leader hint and used to fence the old primary
+// after promotion. -listen-repl opens an additional listener (typically
+// for RM-to-RM replication traffic, so follower pulls don't contend
+// with the agent-facing port); the full API is served on both.
 //
 // With -manual-tick the RM advances only on POST /v1/tick (useful for
 // scripted demos and tests); otherwise it ticks every slot duration.
@@ -69,6 +84,9 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "state directory for WAL + snapshots (empty = not durable)")
 		snapEvery    = flag.Int64("snapshot-every", 256, "slots between state snapshots (with -state-dir)")
 		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+		replicaOf    = flag.String("replica-of", "", "run as a warm standby of the primary RM at this URL (requires -state-dir)")
+		listenRepl   = flag.String("listen-repl", "", "additional listen address (typically for RM-to-RM replication traffic)")
+		advertise    = flag.String("advertise", "", "this RM's own URL, used as the leader hint and for fencing")
 	)
 	flag.Parse()
 
@@ -85,6 +103,9 @@ func main() {
 		stateDir:     *stateDir,
 		snapEvery:    *snapEvery,
 		fsyncPolicy:  *fsyncPolicy,
+		replicaOf:    *replicaOf,
+		listenRepl:   *listenRepl,
+		advertise:    *advertise,
 	}
 	if err := run(opts); err != nil {
 		log.Println("ftrm:", err)
@@ -104,6 +125,9 @@ type options struct {
 	stateDir     string
 	snapEvery    int64
 	fsyncPolicy  string
+	replicaOf    string
+	listenRepl   string
+	advertise    string
 }
 
 func run(o options) error {
@@ -115,6 +139,9 @@ func run(o options) error {
 		return err
 	}
 
+	if o.replicaOf != "" && o.stateDir == "" {
+		return errors.New("-replica-of requires -state-dir (the follower's copy of the log must be durable)")
+	}
 	var st *store.Store
 	if o.stateDir != "" {
 		policy, err := store.ParseSyncPolicy(o.fsyncPolicy)
@@ -134,6 +161,8 @@ func run(o options) error {
 		NodeExpiry:  3 * o.slot,
 		LeaseExpiry: o.leaseExpiry,
 		Store:       st,
+		Follower:    o.replicaOf != "",
+		LeaderURL:   o.replicaOf,
 	})
 	if err != nil {
 		return err
@@ -149,9 +178,34 @@ func run(o options) error {
 	srv := &http.Server{Addr: o.addr, Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ftrm: scheduler=%s slot=%v listening on %s", s.Name(), o.slot, o.addr)
+		log.Printf("ftrm: scheduler=%s slot=%v role=%s listening on %s", s.Name(), o.slot, rm.Role(), o.addr)
 		errc <- srv.ListenAndServe()
 	}()
+	var replSrv *http.Server
+	if o.listenRepl != "" {
+		replSrv = &http.Server{Addr: o.listenRepl, Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("ftrm: replication listener on %s", o.listenRepl)
+			if err := replSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Println("ftrm: replication listener:", err)
+			}
+		}()
+	}
+	if o.replicaOf != "" {
+		// The pull loop runs until promotion (it then fences the old
+		// primary and exits) or shutdown. The run loop below starts
+		// ticking the moment the role flips to primary.
+		go func() {
+			err := rm.RunReplicator(ctx, rmserver.ReplicatorConfig{
+				Primary: o.replicaOf,
+				Self:    o.advertise,
+				Logf:    log.Printf,
+			})
+			if err != nil && ctx.Err() == nil {
+				log.Println("ftrm: replicator:", err)
+			}
+		}()
+	}
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -165,7 +219,14 @@ func run(o options) error {
 	for {
 		select {
 		case now := <-tick:
-			if err := rm.Tick(now); err != nil {
+			// A follower (or fenced ex-primary) neither ticks nor
+			// snapshots: its slot clock and its WAL generation must track
+			// the primary's stream, and a local snapshot rotation would
+			// tear the shipped log out from under the replicator.
+			if rm.Role() != rmserver.RolePrimary {
+				continue
+			}
+			if err := rm.Tick(now); err != nil && !errors.Is(err, rmserver.ErrNotLeader) {
 				log.Println("ftrm: tick:", err)
 			}
 			if st != nil && o.snapEvery > 0 && rm.Slot()-lastSnap >= o.snapEvery {
@@ -188,6 +249,9 @@ func run(o options) error {
 			}
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
+			if replSrv != nil {
+				_ = replSrv.Shutdown(shutdownCtx)
+			}
 			err := srv.Shutdown(shutdownCtx)
 			<-errc // wait for the serve goroutine to exit
 			return err
@@ -219,7 +283,7 @@ func drain(rm *rmserver.Server, tick <-chan time.Time, timeout time.Duration) {
 		}
 		select {
 		case now := <-tick:
-			if err := rm.Tick(now); err != nil {
+			if err := rm.Tick(now); err != nil && !errors.Is(err, rmserver.ErrNotLeader) {
 				log.Println("ftrm: tick:", err)
 			}
 		case <-deadline.C:
@@ -267,6 +331,10 @@ func logFinalStatus(rm *rmserver.Server) {
 	if d := st.Durability; d != nil {
 		log.Printf("ftrm: durability: fsync=%s generation=%d wal_records=%d wal_bytes=%d fsyncs=%d snapshots=%d",
 			d.FsyncPolicy, d.Generation, d.WALRecords, d.WALBytes, d.Fsyncs, d.Snapshots)
+	}
+	if r := st.Replication; r != nil {
+		log.Printf("ftrm: replication: role=%s epoch=%d fenced=%v follower_seen=%v lag_records=%d lag_bytes=%d",
+			r.Role, r.Epoch, r.Fenced, r.FollowerSeen, r.LagRecords, r.LagBytes)
 	}
 	for _, id := range unfinished {
 		log.Printf("ftrm: unfinished at exit: %s", id)

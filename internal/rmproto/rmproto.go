@@ -143,6 +143,96 @@ type StatusResponse struct {
 	// Durability carries WAL/snapshot counters; present only when the RM
 	// runs with a state store attached.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// Replication reports the RM's role in a primary/follower pair;
+	// present only when the RM runs with a state store attached.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// ReplicationStatus reports one RM's position in a replicated pair.
+type ReplicationStatus struct {
+	// Role is "primary" or "follower"; RoleCode is 1 or 0 for metrics.
+	Role     string `json:"role"`
+	RoleCode int    `json:"role_code"`
+	// Epoch is the leadership epoch. Every promotion increments it; a
+	// node presenting a higher epoch fences the current primary.
+	Epoch int64 `json:"epoch"`
+	// Fenced is true on a deposed primary that has rejected leadership:
+	// it refuses all mutations until restarted as a replica.
+	Fenced bool `json:"fenced,omitempty"`
+	// LeaderURL is where this node believes the leader is (followers and
+	// fenced primaries only).
+	LeaderURL string `json:"leader_url,omitempty"`
+	// Watermark is this node's own durable stream position.
+	Watermark ReplWatermark `json:"watermark"`
+	// Follower* report the primary's view of its follower (primary role
+	// only, after the follower's first ship request).
+	FollowerSeen      bool          `json:"follower_seen,omitempty"`
+	FollowerWatermark ReplWatermark `json:"follower_watermark,omitempty"`
+	// LagRecords/LagBytes are how far the follower trails the primary's
+	// stream head (0 when no follower has checked in).
+	LagRecords int64 `json:"lag_records"`
+	LagBytes   int64 `json:"lag_bytes"`
+}
+
+// ReplWatermark is the wire form of a store watermark: a snapshot
+// generation plus the count of WAL records (and framed bytes) of that
+// generation already held.
+type ReplWatermark struct {
+	Gen     int64 `json:"gen"`
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// ShipRequest is a follower's poll for the next log batch. Epoch is the
+// follower's current leadership epoch — the fencing token: a primary
+// that receives a request with a higher epoch knows it has been deposed
+// and fences itself.
+type ShipRequest struct {
+	Epoch int64         `json:"epoch"`
+	From  ReplWatermark `json:"from"`
+	// MaxBytes caps the batch payload (0 = server default).
+	MaxBytes int `json:"max_bytes,omitempty"`
+	// FollowerURL is where the polling follower can be reached, so a
+	// primary fenced by this request can point clients at it.
+	FollowerURL string `json:"follower_url,omitempty"`
+}
+
+// ShipResponse carries one replication batch (the wire form of the
+// store's ShipBatch), stamped with the primary's epoch so a follower
+// rejects late batches from a deposed primary.
+type ShipResponse struct {
+	Epoch       int64         `json:"epoch"`
+	SnapInstall bool          `json:"snap_install,omitempty"`
+	Gen         int64         `json:"gen"`
+	Snapshot    []byte        `json:"snapshot,omitempty"`
+	FromSeq     int64         `json:"from_seq"`
+	Records     [][]byte      `json:"records,omitempty"`
+	Head        ReplWatermark `json:"head"`
+}
+
+// PromoteRequest asks a follower to take over as primary.
+type PromoteRequest struct{}
+
+// PromoteResponse acknowledges a promotion.
+type PromoteResponse struct {
+	Role  string `json:"role"`
+	Epoch int64  `json:"epoch"`
+	Slot  int64  `json:"slot"`
+	// OrphanLeasesRequeued counts leases the promotion reclaimed (they
+	// were bound to the old primary's node registrations).
+	OrphanLeasesRequeued int `json:"orphan_leases_requeued"`
+}
+
+// FenceRequest tells a (deposed) primary that a higher epoch exists.
+type FenceRequest struct {
+	Epoch  int64  `json:"epoch"`
+	Leader string `json:"leader,omitempty"`
+}
+
+// FenceResponse acknowledges a fence.
+type FenceResponse struct {
+	Fenced bool  `json:"fenced"`
+	Epoch  int64 `json:"epoch"`
 }
 
 // RecoveryStatus summarizes the crash recovery performed at RM startup.
@@ -244,6 +334,9 @@ type Error struct {
 	Message string `json:"error"`
 	// Code is a machine-readable error class; see the Code* constants.
 	Code string `json:"code,omitempty"`
+	// Leader, set with CodeNotLeader, is the URL of the node the server
+	// believes is the current leader (may be empty).
+	Leader string `json:"leader,omitempty"`
 }
 
 // Machine-readable error codes.
@@ -252,6 +345,16 @@ const (
 	// know (never registered, expired, or the RM restarted). The node
 	// agent should re-register and resume.
 	CodeUnknownNode = "unknown_node"
+	// CodeNotLeader is returned (with HTTP 503) to mutations sent to a
+	// follower or a fenced ex-primary. The Leader field, when set, points
+	// at the node to redirect to; agents rotate through their RM list
+	// otherwise.
+	CodeNotLeader = "not_leader"
+	// CodeCommitFailed is returned (with HTTP 503) when the RM could not
+	// make a mutation's WAL record durable. The mutation did not take
+	// effect durably; clients should back off and retry rather than
+	// hot-loop against a failing disk.
+	CodeCommitFailed = "commit_failed"
 )
 
 // Heartbeat timing defaults.
@@ -269,4 +372,8 @@ const (
 	PathStatus    = "/v1/status"
 	PathTick      = "/v1/tick"
 	PathDrain     = "/v1/drain"
+	// Replication control plane (primary/follower pairs).
+	PathShip    = "/repl/v1/ship"
+	PathPromote = "/repl/v1/promote"
+	PathFence   = "/repl/v1/fence"
 )

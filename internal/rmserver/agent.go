@@ -14,11 +14,79 @@ type AgentConfig struct {
 	NodeID string
 	// Capacity is the node's advertised capacity; required.
 	Capacity rmproto.Resources
+	// RMs lists candidate RM URLs for a replicated deployment. When a
+	// mutation is rejected with not_leader, or the current RM stops
+	// answering, the agent follows the leader hint (if any) or rotates to
+	// the next URL and re-registers. Empty means the client's base URL is
+	// the only RM.
+	RMs []string
 	// Backoff paces registration attempts and is also installed on the
 	// client for idempotent-call retries. The zero value uses defaults.
 	Backoff Backoff
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// rmRotation tracks which RM the agent currently talks to, across the
+// configured candidate list. Jumping to a leader hint re-aligns the
+// rotation index when the hint is in the list, so a later blind rotate
+// starts from the leader, not from a stale position.
+type rmRotation struct {
+	client *Client
+	urls   []string
+	idx    int
+}
+
+func newRotation(client *Client, urls []string) *rmRotation {
+	r := &rmRotation{client: client, urls: urls}
+	for i, u := range urls {
+		if u == client.Base() {
+			r.idx = i
+			break
+		}
+	}
+	return r
+}
+
+func (r *rmRotation) cur() *Client { return r.client }
+
+// rotate advances to the next candidate RM; a single-RM rotation is a
+// no-op. Reports whether the target actually changed.
+func (r *rmRotation) rotate() bool {
+	if len(r.urls) < 2 {
+		return false
+	}
+	r.idx = (r.idx + 1) % len(r.urls)
+	if r.urls[r.idx] == r.client.Base() {
+		return false
+	}
+	r.client = r.client.WithBase(r.urls[r.idx])
+	return true
+}
+
+// jump retargets to the hinted leader URL; "" or the current target is
+// a no-op. Reports whether the target changed.
+func (r *rmRotation) jump(url string) bool {
+	if url == "" || url == r.client.Base() {
+		return false
+	}
+	r.client = r.client.WithBase(url)
+	for i, u := range r.urls {
+		if u == url {
+			r.idx = i
+			break
+		}
+	}
+	return true
+}
+
+// redirect follows a not-leader hint when the error carries one,
+// otherwise rotates blindly. Reports whether the target changed.
+func (r *rmRotation) redirect(err error) bool {
+	if r.jump(LeaderHint(err)) {
+		return true
+	}
+	return r.rotate()
 }
 
 // RunAgent runs the node-manager control loop used by cmd/ftnode: it
@@ -28,20 +96,24 @@ type AgentConfig struct {
 //
 // The loop is built to survive control-plane faults: registration and
 // heartbeats retry transient failures with capped exponential backoff and
-// jitter, an unknown-node rejection (RM restarted or evicted us for
+// jitter; an unknown-node rejection (RM restarted or evicted us for
 // silence) triggers automatic re-registration with the in-flight lease
 // set dropped — the RM has already requeued or will expire those quanta,
-// and confirming them after eviction would be stale anyway — and an RM
-// that is down entirely is simply retried forever until ctx is
-// cancelled. RunAgent returns only when ctx is done.
+// and confirming them after eviction would be stale anyway; a not-leader
+// rejection (the RM was deposed, or we were pointed at a follower)
+// redirects to the leader hint or the next configured RM, again dropping
+// the lease set — the new primary requeued our leases at promotion, and
+// its quantum-ID sequence may reuse IDs we hold; and an RM that is down
+// entirely is retried, rotating through the configured RM list, until
+// ctx is cancelled. RunAgent returns only when ctx is done.
 func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	client = client.WithRetry(cfg.Backoff)
+	rot := newRotation(client.WithRetry(cfg.Backoff), cfg.RMs)
 
-	interval, err := registerUntilAccepted(ctx, client, cfg, logf)
+	interval, err := registerUntilAccepted(ctx, rot, cfg, logf)
 	if err != nil {
 		return err
 	}
@@ -49,15 +121,28 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 
+	reRegister := func() (bool, error) {
+		newInterval, rerr := registerUntilAccepted(ctx, rot, cfg, logf)
+		if rerr != nil {
+			return false, rerr
+		}
+		if newInterval != interval {
+			interval = newInterval
+			ticker.Reset(interval)
+		}
+		return true, nil
+	}
+
 	// Leases received last heartbeat are "executed" during this interval
 	// and confirmed on the next one.
 	var running []string
+	failures := 0 // consecutive non-coded heartbeat failures
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-ticker.C:
-			resp, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{
+			resp, err := rot.cur().Heartbeat(ctx, rmproto.HeartbeatRequest{
 				NodeID:    cfg.NodeID,
 				Completed: running,
 			})
@@ -65,22 +150,43 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 			case errors.Is(err, ErrUnknownNode):
 				logf("ftnode %s: RM does not know us (restart or eviction); re-registering", cfg.NodeID)
 				running = nil // our leases died with the old registration
-				newInterval, rerr := registerUntilAccepted(ctx, client, cfg, logf)
-				if rerr != nil {
+				failures = 0
+				if _, rerr := reRegister(); rerr != nil {
 					return rerr
 				}
-				if newInterval != interval {
-					interval = newInterval
-					ticker.Reset(interval)
+				continue
+			case errors.Is(err, ErrNotLeader):
+				rot.redirect(err)
+				logf("ftnode %s: RM is not the leader; following to %s and re-registering", cfg.NodeID, rot.cur().Base())
+				running = nil // the new primary requeued our leases at promotion
+				failures = 0
+				if _, rerr := reRegister(); rerr != nil {
+					return rerr
 				}
 				continue
 			case err != nil:
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
+				failures++
+				// Two straight failures past the client's own retries means
+				// the RM is likely dead, not hiccuping: try the next one.
+				// Registering fresh is mandatory — the standby has never
+				// heard of us.
+				if failures >= 2 && len(cfg.RMs) > 1 {
+					rot.rotate()
+					logf("ftnode %s: heartbeat failing (%v); failing over to %s", cfg.NodeID, err, rot.cur().Base())
+					running = nil
+					failures = 0
+					if _, rerr := reRegister(); rerr != nil {
+						return rerr
+					}
+					continue
+				}
 				logf("ftnode %s: heartbeat: %v (will retry)", cfg.NodeID, err)
 				continue
 			}
+			failures = 0
 			running = running[:0]
 			for _, q := range resp.Launch {
 				running = append(running, q.ID)
@@ -93,23 +199,28 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 }
 
 // registerUntilAccepted registers with the RM, retrying transient
-// failures indefinitely (the RM may be restarting); it gives up only on
-// ctx cancellation or a permanent rejection (e.g. invalid capacity).
-// It returns the heartbeat interval the RM dictated.
-func registerUntilAccepted(ctx context.Context, client *Client, cfg AgentConfig, logf func(string, ...any)) (time.Duration, error) {
+// failures indefinitely (the RM may be restarting, or a failover may be
+// in progress) and rotating through the configured RM list so it finds
+// whichever replica currently leads; it gives up only on ctx
+// cancellation or a permanent rejection (e.g. invalid capacity). It
+// returns the heartbeat interval the RM dictated.
+func registerUntilAccepted(ctx context.Context, rot *rmRotation, cfg AgentConfig, logf func(string, ...any)) (time.Duration, error) {
 	b := cfg.Backoff.withDefaults()
 	b.MaxAttempts = -1 // outlive any RM outage
 	var reg rmproto.RegisterNodeResponse
 	attempt := 0
 	err := Retry(ctx, b, func() error {
 		var err error
-		reg, err = client.RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		reg, err = rot.cur().RegisterNode(ctx, rmproto.RegisterNodeRequest{
 			NodeID:   cfg.NodeID,
 			Capacity: cfg.Capacity,
 		})
 		if err != nil && Retryable(err) {
 			attempt++
-			logf("ftnode %s: register attempt %d: %v (will retry)", cfg.NodeID, attempt, err)
+			logf("ftnode %s: register attempt %d at %s: %v (will retry)", cfg.NodeID, attempt, rot.cur().Base(), err)
+			// not_leader carries a hint to jump to; anything else
+			// round-robins. Either way the next attempt asks a different RM.
+			rot.redirect(err)
 		}
 		return err
 	})
@@ -120,7 +231,7 @@ func registerUntilAccepted(ctx context.Context, client *Client, cfg AgentConfig,
 	if interval <= 0 {
 		interval = rmproto.DefaultSlot
 	}
-	logf("ftnode %s: registered (%d vcores, %d MB), heartbeating every %v",
-		cfg.NodeID, cfg.Capacity.VCores, cfg.Capacity.MemoryMB, interval)
+	logf("ftnode %s: registered with %s (%d vcores, %d MB), heartbeating every %v",
+		cfg.NodeID, rot.cur().Base(), cfg.Capacity.VCores, cfg.Capacity.MemoryMB, interval)
 	return interval, nil
 }

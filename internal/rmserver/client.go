@@ -40,6 +40,18 @@ func (c *Client) WithRetry(b Backoff) *Client {
 	return &cc
 }
 
+// WithBase returns a copy of the client pointed at a different RM URL,
+// keeping the HTTP client and retry policy. Agents use it to follow a
+// leader hint or rotate through their RM list.
+func (c *Client) WithBase(base string) *Client {
+	cc := *c
+	cc.base = base
+	return &cc
+}
+
+// Base returns the RM URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
 func (c *Client) retrying(ctx context.Context, op func() error) error {
 	if c.retry == nil {
 		return op()
@@ -109,6 +121,29 @@ func (c *Client) Status(ctx context.Context) (rmproto.StatusResponse, error) {
 	return resp, err
 }
 
+// Ship requests one replication batch from a primary (follower pull
+// loop; see RunReplicator). Not retried — the loop is its own retry.
+func (c *Client) Ship(ctx context.Context, req rmproto.ShipRequest) (rmproto.ShipResponse, error) {
+	var resp rmproto.ShipResponse
+	err := c.post(ctx, rmproto.PathShip, req, &resp)
+	return resp, err
+}
+
+// Promote asks a follower to take over as primary.
+func (c *Client) Promote(ctx context.Context) (rmproto.PromoteResponse, error) {
+	var resp rmproto.PromoteResponse
+	err := c.post(ctx, rmproto.PathPromote, rmproto.PromoteRequest{}, &resp)
+	return resp, err
+}
+
+// Fence tells an RM that a higher leadership epoch exists, deposing it
+// if it still believes it is the primary.
+func (c *Client) Fence(ctx context.Context, req rmproto.FenceRequest) (rmproto.FenceResponse, error) {
+	var resp rmproto.FenceResponse
+	err := c.post(ctx, rmproto.PathFence, req, &resp)
+	return resp, err
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -134,7 +169,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var e rmproto.Error
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return &StatusError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Message}
+		return &StatusError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Message, Leader: e.Leader}
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,83 @@
+package rmserver
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/store"
+)
+
+// newFaultyRM builds a durable RM whose store sits on a FaultFS, so
+// tests can fail fsyncs out from under live mutations.
+func newFaultyRM(t *testing.T, dir string) (*Server, *store.FaultFS) {
+	t.Helper()
+	ffs := store.NewFaultFS()
+	st, err := store.Open(store.Options{Dir: dir, Policy: store.SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: sched.NewFIFO(), Store: st})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rm, ffs
+}
+
+// TestHeartbeatCommitFailureIsCoded: a heartbeat whose confirm record
+// cannot be made durable must fail with ErrCommitFailed — the coded,
+// retryable counterpart of unknown_node — not silently acknowledge work
+// the WAL never captured.
+func TestHeartbeatCommitFailureIsCoded(t *testing.T) {
+	rm, ffs := newFaultyRM(t, t.TempDir())
+	register(t, rm, "n1", 8, 16*1024)
+	submitBoth(t, rm)
+	pending := runSlots(t, rm, "n1", 1, nil)
+	if len(pending) == 0 {
+		t.Fatal("no leases launched; cannot exercise the confirm path")
+	}
+
+	ffs.FailFsync(1)
+	_, err := rm.Heartbeat(rmproto.HeartbeatRequest{NodeID: "n1", Completed: pending}, time.Now())
+	if !errors.Is(err, ErrCommitFailed) {
+		t.Fatalf("heartbeat under fsync fault = %v, want ErrCommitFailed", err)
+	}
+	if !errors.Is(err, store.ErrInjectedFsync) {
+		t.Errorf("commit failure lost the underlying store error: %v", err)
+	}
+}
+
+// TestCommitFailureOverHTTP pins the wire contract: 503 with code
+// commit_failed, which the client maps back to ErrCommitFailed and
+// treats as retryable.
+func TestCommitFailureOverHTTP(t *testing.T) {
+	rm, ffs := newFaultyRM(t, t.TempDir())
+	srv := httptest.NewServer(rm.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, nil)
+	ctx := context.Background()
+
+	register(t, rm, "n1", 8, 16*1024)
+	submitBoth(t, rm)
+	pending := runSlots(t, rm, "n1", 1, nil)
+
+	ffs.FailFsync(1)
+	_, err := client.Heartbeat(ctx, rmproto.HeartbeatRequest{NodeID: "n1", Completed: pending})
+	if !errors.Is(err, ErrCommitFailed) {
+		t.Fatalf("heartbeat over HTTP under fsync fault = %v, want ErrCommitFailed", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v did not carry a StatusError", err)
+	}
+	if se.StatusCode != 503 || se.Code != rmproto.CodeCommitFailed {
+		t.Errorf("wire error = %d/%s, want 503/%s", se.StatusCode, se.Code, rmproto.CodeCommitFailed)
+	}
+	if !Retryable(err) {
+		t.Error("commit_failed must be retryable: the disk fault may clear")
+	}
+}

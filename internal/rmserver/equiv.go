@@ -53,12 +53,18 @@ func (s *Server) VerifyRecoveryEquivalence(scratch string) error {
 	}
 	rebuilt, rebuildErr := func() ([]byte, error) {
 		defer st.Close()
+		// The rebuilt server must restart in the same role: a follower's
+		// recovery leaves leases in place (promotion requeues them), and a
+		// primary's epoch claim is already journaled so recovery rebuilds
+		// the same epoch rather than claiming a new one.
 		s2, err := New(Config{
 			SlotDur:     s.cfg.SlotDur,
 			Scheduler:   s.cfg.Scheduler,
 			Horizon:     s.cfg.Horizon,
 			LeaseExpiry: s.cfg.LeaseExpiry,
 			Store:       st,
+			Follower:    s.cfg.Follower,
+			LeaderURL:   s.cfg.LeaderURL,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rmserver: recover from copy: %w", err)

@@ -41,9 +41,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/adhoc", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, s.SubmitAdHoc)
 	})
+	mux.HandleFunc("POST "+rmproto.PathShip, func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, s.ShipLog)
+	})
+	mux.HandleFunc("POST "+rmproto.PathPromote, func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(rmproto.PromoteRequest) (rmproto.PromoteResponse, error) {
+			return s.Promote()
+		})
+	})
+	mux.HandleFunc("POST "+rmproto.PathFence, func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, s.Fence)
+	})
 	mux.HandleFunc("POST /v1/tick", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.Tick(time.Now()); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNotLeader) || errors.Is(err, ErrCommitFailed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, struct {
@@ -103,6 +118,13 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# TYPE flowtime_rm_snapshot_bytes gauge\nflowtime_rm_snapshot_bytes %d\n", d.LastSnapshotBytes)
 			fmt.Fprintf(w, "# TYPE flowtime_rm_wal_generation gauge\nflowtime_rm_wal_generation %d\n", d.Generation)
 		}
+		if rp := st.Replication; rp != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_repl_role gauge\nflowtime_repl_role %d\n", rp.RoleCode)
+			fmt.Fprintf(w, "# TYPE flowtime_repl_epoch counter\nflowtime_repl_epoch %d\n", rp.Epoch)
+			fmt.Fprintf(w, "# TYPE flowtime_repl_fenced gauge\nflowtime_repl_fenced %d\n", boolToInt(rp.Fenced))
+			fmt.Fprintf(w, "# TYPE flowtime_repl_lag_records gauge\nflowtime_repl_lag_records %d\n", rp.LagRecords)
+			fmt.Fprintf(w, "# TYPE flowtime_repl_lag_bytes gauge\nflowtime_repl_lag_bytes %d\n", rp.LagBytes)
+		}
 		if r := st.Recovery; r != nil {
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_records_replayed gauge\nflowtime_rm_recovery_records_replayed %d\n", r.RecordsReplayed)
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_micros gauge\nflowtime_rm_recovery_micros %d\n", r.Micros)
@@ -137,8 +159,13 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 }
 
 func errorStatus(err error) int {
-	if errors.Is(err, ErrUnknownNode) {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
 		return http.StatusNotFound
+	case errors.Is(err, ErrNotLeader), errors.Is(err, ErrCommitFailed):
+		// 503: retryable per the client's Retryable() — the caller should
+		// back off (commit_failed) or follow the leader hint (not_leader).
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }
@@ -154,8 +181,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	e := rmproto.Error{Message: err.Error()}
-	if errors.Is(err, ErrUnknownNode) {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
 		e.Code = rmproto.CodeUnknownNode
+	case errors.Is(err, ErrNotLeader):
+		e.Code = rmproto.CodeNotLeader
+		e.Leader = LeaderHint(err)
+	case errors.Is(err, ErrCommitFailed):
+		e.Code = rmproto.CodeCommitFailed
 	}
 	writeJSON(w, status, e)
 }

@@ -15,6 +15,8 @@
 //   - Heartbeat confirmations that actually applied (stale confirms
 //     change nothing and are not journaled).
 //   - Lease requeues triggered by node re-registration.
+//   - Leadership-epoch claims (initial primary start and promotions),
+//     so the fencing token survives crashes and ships to followers.
 //   - NOT journaled: node registrations and heartbeat liveness. Nodes
 //     are soft state re-established by the agents' re-register loop;
 //     accordingly, recovery requeues every in-flight lease (its node
@@ -62,6 +64,7 @@ type walRecord struct {
 	Tick     *recTick     `json:"tick,omitempty"`
 	Confirm  *recConfirm  `json:"confirm,omitempty"`
 	Requeue  *recRequeue  `json:"requeue,omitempty"`
+	Epoch    *recEpoch    `json:"epoch,omitempty"`
 }
 
 // recWorkflow journals one admitted workflow: the original trace record
@@ -119,11 +122,21 @@ type recRequeue struct {
 	Faults rmproto.FaultCounters `json:"faults"`
 }
 
+// recEpoch journals a leadership-epoch claim: the first epoch of a
+// fresh primary, or the incremented epoch of a promotion. The epoch is
+// replicated state — shipping it is what fences a deposed primary's
+// stream (see repl.go).
+type recEpoch struct {
+	Epoch int64 `json:"epoch"`
+	Slot  int64 `json:"slot"`
+}
+
 // snapState is the full-state snapshot payload.
 type snapState struct {
 	Version   int                   `json:"version"`
 	SlotDurNS int64                 `json:"slot_dur_ns"`
 	Slot      int64                 `json:"slot"`
+	Epoch     int64                 `json:"epoch,omitempty"`
 	NextQID   int64                 `json:"next_qid"`
 	Faults    rmproto.FaultCounters `json:"faults"`
 	Workflows []snapWorkflow        `json:"workflows,omitempty"`
@@ -189,7 +202,9 @@ func (s *Server) commitRecord(h store.Handle) error {
 		return nil
 	}
 	if err := s.store.Commit(h); err != nil {
-		return fmt.Errorf("rmserver: wal commit: %w", err)
+		// Wrap both the coded sentinel (for the HTTP layer's 503 +
+		// commit_failed mapping) and the store's error (for diagnostics).
+		return fmt.Errorf("rmserver: wal commit: %w: %w", ErrCommitFailed, err)
 	}
 	return nil
 }
@@ -235,18 +250,24 @@ func (s *Server) recoverLocked() error {
 		}
 		rec.RecordsReplayed++
 	}
-	rec.OrphanLeasesRequeued = s.requeueAllLeasesLocked()
+	// Orphan leases belong to the dead process's nodes — but only an
+	// acting primary may requeue them. A follower must keep replaying
+	// exactly the primary's stream; its leases are requeued at promotion.
+	if !s.cfg.Follower {
+		rec.OrphanLeasesRequeued = len(s.requeueAllLeasesLocked())
+	}
 	rec.Slot = s.slot
 	rec.Micros = (time.Since(start) + info.Elapsed).Microseconds()
 	s.recovery = &rec
 	return nil
 }
 
-// requeueAllLeasesLocked reclaims every in-flight lease (recovery: no
-// node holds them anymore) in deterministic order.
-func (s *Server) requeueAllLeasesLocked() int {
+// requeueAllLeasesLocked reclaims every in-flight lease (recovery or
+// promotion: no node the server trusts holds them anymore) in
+// deterministic order, returning the reclaimed quantum IDs.
+func (s *Server) requeueAllLeasesLocked() []string {
 	if len(s.leases) == 0 {
-		return 0
+		return nil
 	}
 	qids := make([]string, 0, len(s.leases))
 	for qid := range s.leases {
@@ -256,7 +277,7 @@ func (s *Server) requeueAllLeasesLocked() int {
 	for _, qid := range qids {
 		s.requeueLeaseLocked(s.leases[qid])
 	}
-	return len(qids)
+	return qids
 }
 
 func (s *Server) restoreSnapshotLocked(st *snapState) error {
@@ -267,6 +288,9 @@ func (s *Server) restoreSnapshotLocked(st *snapState) error {
 		return fmt.Errorf("state dir was written with slot=%v, server runs slot=%v", got, s.cfg.SlotDur)
 	}
 	s.slot = st.Slot
+	if st.Epoch > s.epoch {
+		s.epoch = st.Epoch
+	}
 	s.nextQID = st.NextQID
 	s.faults = st.Faults
 	for i := range st.Workflows {
@@ -372,6 +396,10 @@ func (s *Server) applyRecordLocked(payload []byte) error {
 		s.applyConfirmLocked(rec.Confirm)
 	case rec.Requeue != nil:
 		s.applyRequeueLocked(rec.Requeue)
+	case rec.Epoch != nil:
+		if rec.Epoch.Epoch > s.epoch {
+			s.epoch = rec.Epoch.Epoch
+		}
 	default:
 		return fmt.Errorf("empty WAL record %q", payload)
 	}
@@ -490,6 +518,7 @@ func (s *Server) snapshotLocked() ([]byte, error) {
 		Version:   snapVersion,
 		SlotDurNS: int64(s.cfg.SlotDur),
 		Slot:      s.slot,
+		Epoch:     s.epoch,
 		NextQID:   s.nextQID,
 		Faults:    s.faults,
 	}

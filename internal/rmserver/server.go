@@ -68,6 +68,14 @@ type Config struct {
 	// store; the owner does, after the server stops. A store written
 	// under one SlotDur cannot be recovered under another.
 	Store *store.Store
+	// Follower starts the server as a warm standby: it rejects mutations
+	// with not_leader, ingests the primary's shipped log (see repl.go),
+	// and serves read-only status. Requires Store. Promote() turns it
+	// into the primary.
+	Follower bool
+	// LeaderURL is the redirect hint handed to rejected clients while
+	// this server is a follower (typically the primary's URL).
+	LeaderURL string
 }
 
 // Server is the resource manager. Create with New. All methods are safe
@@ -87,6 +95,14 @@ type Server struct {
 	draining bool
 	faults   rmproto.FaultCounters
 	recovery *rmproto.RecoveryStatus // non-nil after a store recovery
+
+	// Replication (see repl.go). epoch is durable and replicated; role,
+	// fenced, and leaderURL are process-local.
+	role      Role
+	epoch     int64
+	fenced    bool
+	leaderURL string
+	repl      replState
 }
 
 // node tracks one node manager. pending holds quanta queued for the next
@@ -204,18 +220,39 @@ func New(cfg Config) (*Server, error) {
 	if cfg.LeaseExpiry == 0 {
 		cfg.LeaseExpiry = DefaultLeaseExpiry
 	}
+	if cfg.Follower && cfg.Store == nil {
+		return nil, errors.New("rmserver: follower mode requires a state store")
+	}
 	s := &Server{
-		cfg:    cfg,
-		store:  cfg.Store,
-		nodes:  make(map[string]*node),
-		jobs:   make(map[string]*rmJob),
-		wfs:    make(map[string]*wfState),
-		leases: make(map[string]*lease),
+		cfg:       cfg,
+		store:     cfg.Store,
+		nodes:     make(map[string]*node),
+		jobs:      make(map[string]*rmJob),
+		wfs:       make(map[string]*wfState),
+		leases:    make(map[string]*lease),
+		role:      RolePrimary,
+		leaderURL: cfg.LeaderURL,
+	}
+	if cfg.Follower {
+		s.role = RoleFollower
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if s.store != nil {
 		if err := s.recoverLocked(); err != nil {
 			return nil, fmt.Errorf("rmserver: recover from %s: %w", s.store.Dir(), err)
+		}
+	}
+	// A primary starting fresh claims epoch 1 and makes the claim durable
+	// before granting anything; a recovered epoch is kept as-is. Followers
+	// adopt the primary's epoch from the shipped stream.
+	if s.role == RolePrimary && s.epoch == 0 {
+		s.epoch = 1
+		h, err := s.journalLocked(walRecord{Epoch: &recEpoch{Epoch: s.epoch, Slot: s.slot}})
+		if err == nil {
+			err = s.commitRecord(h)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rmserver: journal initial epoch: %w", err)
 		}
 	}
 	return s, nil
@@ -245,14 +282,22 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 		return rmproto.RegisterNodeResponse{}, fmt.Errorf("rmserver: node %s has zero capacity", req.NodeID)
 	}
 	s.mu.Lock()
+	if err := s.leaderCheckLocked(); err != nil {
+		s.mu.Unlock()
+		return rmproto.RegisterNodeResponse{}, err
+	}
 	var h store.Handle
+	var jerr error
 	if _, exists := s.nodes[req.NodeID]; exists {
 		if requeued := s.requeueNodeLeasesLocked(req.NodeID); len(requeued) > 0 {
-			h, _ = s.journalLocked(walRecord{Requeue: &recRequeue{QIDs: requeued, Faults: s.faults}})
+			h, jerr = s.journalLocked(walRecord{Requeue: &recRequeue{QIDs: requeued, Faults: s.faults}})
 		}
 	}
 	s.nodes[req.NodeID] = &node{id: req.NodeID, capacity: capV, lastSeen: now}
 	s.mu.Unlock()
+	if jerr != nil {
+		return rmproto.RegisterNodeResponse{}, fmt.Errorf("rmserver: wal append: %w: %w", ErrCommitFailed, jerr)
+	}
 	if err := s.commitRecord(h); err != nil {
 		return rmproto.RegisterNodeResponse{}, err
 	}
@@ -268,6 +313,10 @@ func (s *Server) RegisterNode(req rmproto.RegisterNodeRequest, now time.Time) (r
 // heartbeat without silently dropping queued work.
 func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto.HeartbeatResponse, error) {
 	s.mu.Lock()
+	if err := s.leaderCheckLocked(); err != nil {
+		s.mu.Unlock()
+		return rmproto.HeartbeatResponse{}, err
+	}
 	n, ok := s.nodes[req.NodeID]
 	if !ok {
 		s.mu.Unlock()
@@ -281,10 +330,14 @@ func (s *Server) Heartbeat(req rmproto.HeartbeatRequest, now time.Time) (rmproto
 		}
 	}
 	var h store.Handle
+	var jerr error
 	if len(applied) > 0 {
-		h, _ = s.journalLocked(walRecord{Confirm: &recConfirm{Slot: s.slot, QIDs: applied, Faults: s.faults}})
+		h, jerr = s.journalLocked(walRecord{Confirm: &recConfirm{Slot: s.slot, QIDs: applied, Faults: s.faults}})
 	}
 	s.mu.Unlock()
+	if jerr != nil {
+		return rmproto.HeartbeatResponse{}, fmt.Errorf("rmserver: wal append: %w: %w", ErrCommitFailed, jerr)
+	}
 	if err := s.commitRecord(h); err != nil {
 		return rmproto.HeartbeatResponse{}, err
 	}
@@ -406,6 +459,9 @@ func (s *Server) SubmitWorkflow(req rmproto.SubmitWorkflowRequest) (rmproto.Subm
 func (s *Server) admitWorkflow(rec trace.WorkflowRecord, wf *workflow.Workflow) (rmproto.SubmitResponse, store.Handle, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.leaderCheckLocked(); err != nil {
+		return rmproto.SubmitResponse{}, store.Handle{}, err
+	}
 	if _, dup := s.wfs[wf.ID]; dup {
 		return rmproto.SubmitResponse{}, store.Handle{}, fmt.Errorf("rmserver: duplicate workflow %q", wf.ID)
 	}
@@ -485,6 +541,10 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 		return rmproto.SubmitResponse{}, err
 	}
 	s.mu.Lock()
+	if err := s.leaderCheckLocked(); err != nil {
+		s.mu.Unlock()
+		return rmproto.SubmitResponse{}, err
+	}
 	id := "adhoc/" + a.ID
 	if _, dup := s.jobs[id]; dup {
 		s.mu.Unlock()
@@ -530,6 +590,10 @@ func adHocFromRecord(rec trace.AdHocRecord) workflow.AdHoc {
 // work the recovered RM does not know it granted.
 func (s *Server) Tick(now time.Time) error {
 	s.mu.Lock()
+	if err := s.leaderCheckLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	rec, planned, err := s.tickLocked(now)
 	var h store.Handle
 	if s.store != nil {
@@ -824,6 +888,39 @@ func (s *Server) Status() rmproto.StatusResponse {
 			Snapshots:         st.Snapshots,
 			LastSnapshotBytes: st.LastSnapLen,
 		}
+	}
+	if s.store != nil {
+		wm := s.store.Watermark()
+		r := &rmproto.ReplicationStatus{
+			Role:      s.role.String(),
+			RoleCode:  int(s.role),
+			Epoch:     s.epoch,
+			Fenced:    s.fenced,
+			LeaderURL: s.leaderURL,
+			Watermark: rmproto.ReplWatermark{Gen: wm.Gen, Records: wm.Records, Bytes: wm.Bytes},
+		}
+		if s.repl.hasFollower {
+			f := s.repl.followerWM
+			r.FollowerSeen = true
+			r.FollowerWatermark = rmproto.ReplWatermark{Gen: f.Gen, Records: f.Records, Bytes: f.Bytes}
+			if f.Gen == wm.Gen {
+				r.LagRecords = wm.Records - f.Records
+				r.LagBytes = wm.Bytes - f.Bytes
+			} else {
+				// Cross-generation lag is unbounded by subtraction (the
+				// follower needs a snapshot install); report the whole head
+				// segment as the bound.
+				r.LagRecords = wm.Records
+				r.LagBytes = wm.Bytes
+			}
+			if r.LagRecords < 0 {
+				r.LagRecords = 0
+			}
+			if r.LagBytes < 0 {
+				r.LagBytes = 0
+			}
+		}
+		resp.Replication = r
 	}
 	return resp
 }

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// FS abstracts the filesystem operations the store performs, so tests
+// can run the durability paths against injected disk faults (see
+// FaultFS) instead of only against process kills. Production uses OSFS.
+//
+// The interface is deliberately narrow: exactly the operations the WAL,
+// snapshot, and recovery code paths need, nothing speculative.
+type FS interface {
+	// MkdirAll creates the state directory (and parents) if absent.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names in dir (directories excluded).
+	ReadDir(dir string) ([]string, error)
+	// ReadFile reads the whole file at path.
+	ReadFile(path string) ([]byte, error)
+	// OpenAppend opens path for appending, creating it if absent. WAL
+	// segments are written through handles from OpenAppend.
+	OpenAppend(path string) (File, error)
+	// Create opens path truncated for writing (snapshot temp files).
+	Create(path string) (File, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts the file at path to size bytes (torn-tail repair).
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory so renames and creates in it are
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is one open store file: sequential writes, fsync, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production filesystem: direct OS calls.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -3,7 +3,6 @@ package store
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -16,13 +15,13 @@ var snapMagic = []byte("FTSNAP1\n")
 // renamed into place, followed by a directory fsync. A crash at any
 // point leaves either the old snapshot set or the new one — never a
 // half-written file under the final name.
-func writeSnapshotFile(path string, payload []byte) error {
+func writeSnapshotFile(fsys FS, path string, payload []byte) error {
 	frame, err := EncodeRecord(payload)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -36,19 +35,19 @@ func writeSnapshotFile(path string, payload []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("store: write snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("store: rename snapshot: %w", err)
 	}
-	return syncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // readSnapshotFile loads and validates one snapshot file.
-func readSnapshotFile(path string) ([]byte, error) {
-	b, err := os.ReadFile(path)
+func readSnapshotFile(fsys FS, path string) ([]byte, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -63,19 +62,4 @@ func readSnapshotFile(path string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: snapshot %s: %d trailing bytes", ErrCorruptRecord, filepath.Base(path), len(b)-len(snapMagic)-n)
 	}
 	return payload, nil
-}
-
-// syncDir fsyncs a directory so renames and creates within it are
-// durable. Errors are returned; some filesystems reject directory
-// fsync, in which case callers may choose to tolerate it.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

@@ -3,9 +3,10 @@ package store
 import (
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -19,6 +20,9 @@ type Options struct {
 	// FlushInterval paces the background fsync under SyncInterval
 	// (default 5ms; ignored otherwise).
 	FlushInterval time.Duration
+	// FS is the filesystem the store runs on (default OSFS). Tests
+	// substitute a FaultFS to exercise disk-fault paths.
+	FS FS
 }
 
 // RecoveryInfo describes what Open found in the state directory.
@@ -62,6 +66,7 @@ type Stats struct {
 type Store struct {
 	dir    string
 	policy SyncPolicy
+	fs     FS
 
 	mu  sync.Mutex
 	gen int64
@@ -105,7 +110,10 @@ func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("store: empty state directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return nil, err
 	}
 	if opts.FlushInterval <= 0 {
@@ -115,10 +123,11 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		dir:     opts.Dir,
 		policy:  opts.Policy,
+		fs:      opts.FS,
 		samples: newLatencyRing(512),
 	}
 
-	snaps, wals, err := scanDir(opts.Dir)
+	snaps, wals, tmps, err := scanDir(s.fs, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +159,7 @@ func Open(opts Options) (*Store, error) {
 		if !snaps[g] {
 			continue // WAL without its snapshot: an interrupted rotation
 		}
-		payload, err := readSnapshotFile(snapPath(opts.Dir, g))
+		payload, err := readSnapshotFile(s.fs, snapPath(opts.Dir, g))
 		if err != nil {
 			snapErr = fmt.Errorf("snap gen %d: %w", g, err)
 			continue // corrupt snapshot: fall back to an older generation
@@ -174,48 +183,49 @@ func Open(opts Options) (*Store, error) {
 	// Scan the active WAL segment, truncating any torn/corrupt tail so
 	// appends resume from a clean prefix.
 	wp := walPath(opts.Dir, chosen)
-	if raw, err := os.ReadFile(wp); err == nil {
+	var walBase, walBaseBytes int64
+	if raw, err := s.fs.ReadFile(wp); err == nil {
 		payloads, good, derr := DecodeAll(raw)
 		s.recoveredRecs = payloads
 		s.recovery.Records = len(payloads)
+		walBase, walBaseBytes = int64(len(payloads)), int64(good)
 		if derr != nil {
 			s.recovery.Truncated = true
 			s.recovery.TruncatedBytes = int64(len(raw) - good)
-			if err := os.Truncate(wp, int64(good)); err != nil {
+			if err := s.fs.Truncate(wp, int64(good)); err != nil {
 				return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
 			}
 		}
-	} else if !errors.Is(err, os.ErrNotExist) {
+	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
 	}
 
 	// Clean up every file that is not this generation's pair.
 	for g := range snaps {
 		if g != chosen {
-			if os.Remove(snapPath(opts.Dir, g)) == nil {
+			if s.fs.Remove(snapPath(opts.Dir, g)) == nil {
 				s.recovery.StaleFilesRemoved++
 			}
 		}
 	}
 	for g := range wals {
 		if g != chosen {
-			if os.Remove(walPath(opts.Dir, g)) == nil {
+			if s.fs.Remove(walPath(opts.Dir, g)) == nil {
 				s.recovery.StaleFilesRemoved++
 			}
 		}
 	}
-	if tmps, _ := filepath.Glob(filepath.Join(opts.Dir, "*.tmp")); len(tmps) > 0 {
-		for _, t := range tmps {
-			if os.Remove(t) == nil {
-				s.recovery.StaleFilesRemoved++
-			}
+	for _, t := range tmps {
+		if s.fs.Remove(filepath.Join(opts.Dir, t)) == nil {
+			s.recovery.StaleFilesRemoved++
 		}
 	}
 
-	s.w, err = openWAL(wp, s.samples)
+	s.w, err = openWAL(s.fs, wp, s.samples)
 	if err != nil {
 		return nil, err
 	}
+	s.w.base, s.w.baseBytes = walBase, walBaseBytes
 	s.recovery.Elapsed = time.Since(start)
 
 	if s.policy == SyncInterval {
@@ -226,23 +236,25 @@ func Open(opts Options) (*Store, error) {
 	return s, nil
 }
 
-// scanDir inventories snapshot and WAL files by generation.
-func scanDir(dir string) (snaps, wals map[int64]bool, err error) {
-	entries, err := os.ReadDir(dir)
+// scanDir inventories snapshot, WAL, and leftover temp files by name.
+func scanDir(fsys FS, dir string) (snaps, wals map[int64]bool, tmps []string, err error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	snaps, wals = map[int64]bool{}, map[int64]bool{}
-	for _, e := range entries {
+	for _, name := range names {
 		var g int64
 		switch {
-		case matchGen(e.Name(), "snap-", ".snap", &g):
+		case matchGen(name, "snap-", ".snap", &g):
 			snaps[g] = true
-		case matchGen(e.Name(), "wal-", ".log", &g):
+		case matchGen(name, "wal-", ".log", &g):
 			wals[g] = true
+		case strings.HasSuffix(name, ".tmp"):
+			tmps = append(tmps, name)
 		}
 	}
-	return snaps, wals, nil
+	return snaps, wals, tmps, nil
 }
 
 func matchGen(name, prefix, suffix string, g *int64) bool {
@@ -344,21 +356,21 @@ func (s *Store) WriteSnapshot(payload []byte) error {
 		return err
 	}
 	next := s.gen + 1
-	if err := writeSnapshotFile(snapPath(s.dir, next), payload); err != nil {
+	if err := writeSnapshotFile(s.fs, snapPath(s.dir, next), payload); err != nil {
 		return err
 	}
-	nw, err := openWAL(walPath(s.dir, next), s.samples)
+	nw, err := openWAL(s.fs, walPath(s.dir, next), s.samples)
 	if err != nil {
 		// The new snapshot is durable but we cannot journal against it;
 		// keep running on the old generation (its snapshot/WAL pair is
 		// still intact on disk) and surface the error.
-		os.Remove(snapPath(s.dir, next))
+		_ = s.fs.Remove(snapPath(s.dir, next))
 		return err
 	}
-	if err := syncDir(s.dir); err != nil {
-		nw.close()
-		os.Remove(walPath(s.dir, next))
-		os.Remove(snapPath(s.dir, next))
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		_ = nw.close()
+		_ = s.fs.Remove(walPath(s.dir, next))
+		_ = s.fs.Remove(snapPath(s.dir, next))
 		return err
 	}
 
@@ -376,9 +388,11 @@ func (s *Store) WriteSnapshot(payload []byte) error {
 		s.prevFsyncMax = old.fsyncMax
 	}
 	old.mu.Unlock()
-	old.close()
-	os.Remove(walPath(s.dir, oldGen))
-	os.Remove(snapPath(s.dir, oldGen))
+	// Best effort: the new generation is already durable, so a failure
+	// here only leaves stale files for the next Open to clean up.
+	_ = old.close()
+	_ = s.fs.Remove(walPath(s.dir, oldGen))
+	_ = s.fs.Remove(snapPath(s.dir, oldGen))
 	return nil
 }
 

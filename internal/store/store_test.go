@@ -218,7 +218,7 @@ func TestCorruptSnapshotFallsBackToOlderGeneration(t *testing.T) {
 	// Rotation deleted gen 1's files; restore a valid gen-1 snapshot by
 	// hand and corrupt gen 2: recovery must fall back to gen 1, then
 	// clean up the unusable gen-2 files.
-	if err := writeSnapshotFile(snapPath(dir, 1), []byte("GEN1")); err != nil {
+	if err := writeSnapshotFile(OSFS, snapPath(dir, 1), []byte("GEN1")); err != nil {
 		t.Fatalf("restore gen-1 snapshot: %v", err)
 	}
 	if err := os.WriteFile(snapPath(dir, 2), []byte("garbage"), 0o644); err != nil {
@@ -414,10 +414,10 @@ func TestStatsCumulativeAcrossRotation(t *testing.T) {
 func TestSnapshotFileAtomicity(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "snap-000000000001.snap")
-	if err := writeSnapshotFile(path, []byte("payload")); err != nil {
+	if err := writeSnapshotFile(OSFS, path, []byte("payload")); err != nil {
 		t.Fatalf("writeSnapshotFile: %v", err)
 	}
-	got, err := readSnapshotFile(path)
+	got, err := readSnapshotFile(OSFS, path)
 	if err != nil || string(got) != "payload" {
 		t.Fatalf("readSnapshotFile = %q, %v", got, err)
 	}
@@ -428,7 +428,7 @@ func TestSnapshotFileAtomicity(t *testing.T) {
 		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
 			t.Fatalf("truncate: %v", err)
 		}
-		if _, err := readSnapshotFile(path); err == nil {
+		if _, err := readSnapshotFile(OSFS, path); err == nil {
 			t.Fatalf("snapshot truncated to %d bytes loaded successfully", cut)
 		}
 	}

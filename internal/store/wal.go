@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"time"
 )
@@ -59,7 +58,7 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 type wal struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	f    *os.File
+	f    File
 	path string
 
 	writtenSeq int64 // sequence of the last record handed to the OS
@@ -69,6 +68,11 @@ type wal struct {
 
 	records int64
 	bytes   int64
+	// base/baseBytes count the records already in the segment file when
+	// it was opened (recovery replays them before appends resume), so the
+	// segment's replication watermark is base+records / baseBytes+bytes.
+	base      int64
+	baseBytes int64
 
 	// fsync accounting, reported up through Store.Stats.
 	fsyncs     int64
@@ -77,14 +81,22 @@ type wal struct {
 	samples    *latencyRing
 }
 
-func openWAL(path string, samples *latencyRing) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fsys FS, path string, samples *latencyRing) (*wal, error) {
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}
 	w := &wal{f: f, path: path, samples: samples}
 	w.cond = sync.NewCond(&w.mu)
 	return w, nil
+}
+
+// watermark returns the segment's total record and byte counts,
+// including records present before it was opened.
+func (w *wal) watermark() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base + w.records, w.baseBytes + w.bytes
 }
 
 // append frames and writes one record, returning its sequence number.
@@ -167,7 +179,7 @@ func (w *wal) close() error {
 	if w.err != nil {
 		// Still release the descriptor; the sticky error already told
 		// callers their records may not be durable.
-		w.f.Close()
+		_ = w.f.Close()
 		return w.err
 	}
 	return w.f.Close()
