@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench bench-smoke cover verify fuzz chaos check
+.PHONY: build test race vet fmt lint bench bench-smoke cover verify fuzz chaos chaos-net check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ race:
 chaos:
 	$(GO) test -race -timeout 300s -run 'Chaos|KillAndRestart|Graceful|Failover|Fencing|Replicator|Fault|Crash|CommitFail' ./cmd/ftrm/ ./internal/rmserver/ ./internal/store/
 
+# chaos-net runs the network chaos suites: the deterministic fault
+# injector's own tests, then the partition/flap/split-brain scenarios,
+# the overload-shedding and watchdog suites, and the client resilience
+# stack (retry budget, circuit breaker, Retry-After honor) — all seeded,
+# all under the race detector with a hard ceiling.
+chaos-net:
+	$(GO) test -race -timeout 300s ./internal/netchaos/
+	$(GO) test -race -timeout 300s -run 'NetChaos|Overload|Watchdog|RetryBudget|Breaker|CircuitOpen|RetryAfter|Jitter|AgentAllRMsUnreachable|AgentKeepsLeases' ./internal/rmserver/
+
 # cover writes the per-package coverage summary to coverage.txt (kept as
 # a CI artifact; informational, no hard gate — see DESIGN.md §11).
 cover:
@@ -62,16 +71,18 @@ fuzz:
 # bench runs the micro-benchmarks and then the RM perf probes, leaving
 # machine-readable reports for the perf trajectory: BENCH_rm.json
 # (confirm throughput with and without the WAL, fsync percentiles,
-# recovery time) and BENCH_lp.json (LexMinMax wall time, rounds, pivots,
-# and warm-start hit rate at Fig. 7 scale).
+# recovery time), BENCH_lp.json (LexMinMax wall time, rounds, pivots,
+# and warm-start hit rate at Fig. 7 scale), and BENCH_overload.json
+# (admission-control shedding under a submit flood: shed latency,
+# confirm survival, Retry-After hinting, post-overload recovery).
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json
 
 # bench-smoke is the CI form: every benchmark runs exactly once so a
 # broken benchmark fails fast without paying for a measurement run.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -duration 100ms -lpiters 1
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -duration 100ms -lpiters 1
 
 check: vet fmt lint race cover

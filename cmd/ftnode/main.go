@@ -14,23 +14,37 @@
 // hint — or rotates to the next URL — and re-registers; when the RM
 // stops answering entirely, the agent rotates after repeated failures.
 //
+// A shared retry budget caps the agent's total retry amplification:
+// when every configured RM is unreachable the agent stops spinning the
+// ring and probes at the backoff cap instead, logging once per outage
+// transition rather than once per attempt. -retry-budget sizes the
+// bucket.
+//
+// -chaos-net runs the agent's RM traffic through a seeded deterministic
+// network-fault injector (chaos testing only): the script is inline
+// rules separated by ';' or @file, and the agent's traffic is the link
+// agent->rm (responses travel rm->agent).
+//
 // Usage:
 //
 //	ftnode [-rm http://localhost:8030[,http://backup:8030]] [-id node-1]
 //	       [-cores 32] [-mem-mb 65536]
-//	       [-backoff-base 100ms] [-backoff-max 5s]
+//	       [-backoff-base 100ms] [-backoff-max 5s] [-retry-budget 10]
+//	       [-chaos-net SCRIPT] [-chaos-seed 1]
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"flowtime/internal/netchaos"
 	"flowtime/internal/rmproto"
 	"flowtime/internal/rmserver"
 )
@@ -44,6 +58,9 @@ func main() {
 		memMB       = flag.Int64("mem-mb", 64*1024, "node memory (MiB)")
 		backoffBase = flag.Duration("backoff-base", 100*time.Millisecond, "initial retry backoff for RM calls")
 		backoffMax  = flag.Duration("backoff-max", 5*time.Second, "retry backoff cap for RM calls")
+		retryBudget = flag.Float64("retry-budget", 0, "retry amplification budget in tokens (0 = default of 10)")
+		chaosNet    = flag.String("chaos-net", "", "network fault script (';'-separated rules or @file) applied to RM traffic — chaos testing only")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the deterministic network fault injector")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -62,14 +79,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var hc *http.Client
+	if *chaosNet != "" {
+		script, err := netchaos.LoadScript(*chaosNet)
+		if err != nil {
+			log.Println("ftnode:", err)
+			os.Exit(2)
+		}
+		hc = &http.Client{Transport: &netchaos.Transport{
+			Injector: netchaos.New(*chaosSeed, script), From: "agent", To: "rm",
+		}}
+		log.Printf("ftnode: CHAOS: network fault injection armed (seed=%d): %s", *chaosSeed, *chaosNet)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := rmserver.RunAgent(ctx, rmserver.NewClient(rms[0], nil), rmserver.AgentConfig{
+	err := rmserver.RunAgent(ctx, rmserver.NewClient(rms[0], hc), rmserver.AgentConfig{
 		NodeID:   *id,
 		Capacity: rmproto.Resources{VCores: *cores, MemoryMB: *memMB},
 		RMs:      rms,
 		Backoff:  rmserver.Backoff{Base: *backoffBase, Max: *backoffMax},
+		Budget:   rmserver.NewRetryBudget(*retryBudget),
 		Logf:     log.Printf,
 	})
 	if err != nil && ctx.Err() == nil {

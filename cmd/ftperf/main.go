@@ -68,6 +68,7 @@ func main() {
 	log.SetFlags(0)
 	out := flag.String("out", "BENCH_rm.json", "output path for the JSON report")
 	lpOut := flag.String("lpout", "BENCH_lp.json", "output path for the LP solver report (empty to skip)")
+	overloadOut := flag.String("overloadout", "BENCH_overload.json", "output path for the overload probe report (empty to skip)")
 	dur := flag.Duration("duration", 2*time.Second, "wall-clock budget per throughput probe")
 	jobs := flag.Int("jobs", 64, "concurrent ad-hoc jobs per probe")
 	lpIters := flag.Int("lpiters", 3, "LexMinMax calls per instance size in the LP probe")
@@ -151,6 +152,23 @@ func main() {
 			log.Fatalf("ftperf: %v", err)
 		}
 		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*lpOut), ldata)
+	}
+
+	if *overloadOut != "" {
+		orep, err := overloadProbe(*dur)
+		if err != nil {
+			log.Fatalf("ftperf: overload probe: %v", err)
+		}
+		orep.Timestamp = rep.Timestamp
+		orep.GoVersion = rep.GoVersion
+		orep.GOOS = rep.GOOS
+		orep.GOARCH = rep.GOARCH
+		odata, _ := json.MarshalIndent(orep, "", "  ")
+		odata = append(odata, '\n')
+		if err := os.WriteFile(*overloadOut, odata, 0o644); err != nil {
+			log.Fatalf("ftperf: %v", err)
+		}
+		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*overloadOut), odata)
 	}
 }
 

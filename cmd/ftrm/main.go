@@ -8,6 +8,10 @@
 //	     [-lp-max-iter 0] [-lp-max-time 0]
 //	     [-state-dir DIR] [-snapshot-every 256] [-fsync always]
 //	     [-replica-of URL] [-listen-repl ADDR] [-advertise URL]
+//	     [-overload-submit 0] [-overload-confirm 0] [-overload-queue 0]
+//	     [-overload-wait 0] [-overload-retry-after 0]
+//	     [-watchdog-stuck 0] [-watchdog-repl-lag 0]
+//	     [-chaos-net SCRIPT] [-chaos-seed 1]
 //
 // -lp-max-iter and -lp-max-time bound each scheduling round's LP work
 // (simplex pivots and wall clock). When a budget trips, the FlowTime
@@ -39,6 +43,22 @@
 // for RM-to-RM replication traffic, so follower pulls don't contend
 // with the agent-facing port); the full API is served on both.
 //
+// With -overload-submit (and friends) the RM guards its HTTP API with
+// bounded admission queues and deadline-aware rejection (DESIGN.md §14):
+// each class of call gets a concurrency limit and a short bounded queue,
+// excess load is shed with a coded "overloaded" error (503 + Retry-After)
+// instead of queueing unboundedly, and submissions are sacrificed before
+// confirms/heartbeats so the work already running in the cluster keeps
+// progressing. -watchdog-stuck and -watchdog-repl-lag arm liveness
+// watchdogs whose trips are visible in /v1/status and /metrics.
+//
+// With -chaos-net the RM runs its listeners and its replication client
+// through a seeded deterministic network-fault injector (for chaos
+// testing only): the script is either inline rules separated by ';' or
+// @file, e.g. '1s-3s partition agent->rm; 5s+ latency peer<->rm 50ms'.
+// The agent listener is the link agent<->rm, the -listen-repl listener
+// is peer<->rm, and the follower's pull client is rm<->leader.
+//
 // With -manual-tick the RM advances only on POST /v1/tick (useful for
 // scripted demos and tests); otherwise it ticks every slot duration.
 // Node managers (ftnode) register and heartbeat; ftsubmit submits traces.
@@ -56,6 +76,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -65,6 +86,7 @@ import (
 	"flowtime/internal/core"
 	"flowtime/internal/experiments"
 	"flowtime/internal/lp"
+	"flowtime/internal/netchaos"
 	"flowtime/internal/rmserver"
 	"flowtime/internal/store"
 )
@@ -87,6 +109,15 @@ func main() {
 		replicaOf    = flag.String("replica-of", "", "run as a warm standby of the primary RM at this URL (requires -state-dir)")
 		listenRepl   = flag.String("listen-repl", "", "additional listen address (typically for RM-to-RM replication traffic)")
 		advertise    = flag.String("advertise", "", "this RM's own URL, used as the leader hint and for fencing")
+		ovSubmit     = flag.Int("overload-submit", 0, "max concurrent submissions before queueing; >0 turns admission control on")
+		ovConfirm    = flag.Int("overload-confirm", 0, "max concurrent register/heartbeat calls; >0 turns admission control on")
+		ovQueue      = flag.Int("overload-queue", 0, "queued waiters allowed per class before shedding (0 = default)")
+		ovWait       = flag.Duration("overload-wait", 0, "max time a request may queue before being shed (0 = default)")
+		ovRetryAfter = flag.Duration("overload-retry-after", 0, "Retry-After hint attached to shed responses (0 = default)")
+		wdStuck      = flag.Duration("watchdog-stuck", 0, "trip the liveness watchdog when no slot tick lands for this long (0 = off)")
+		wdReplLag    = flag.Int64("watchdog-repl-lag", 0, "trip the watchdog when the follower lags this many WAL records (0 = off)")
+		chaosNet     = flag.String("chaos-net", "", "network fault script (';'-separated rules or @file) applied to the listeners and the replication client — chaos testing only")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the deterministic network fault injector")
 	)
 	flag.Parse()
 
@@ -106,6 +137,21 @@ func main() {
 		replicaOf:    *replicaOf,
 		listenRepl:   *listenRepl,
 		advertise:    *advertise,
+		chaosNet:     *chaosNet,
+		chaosSeed:    *chaosSeed,
+		watchdog: rmserver.WatchdogConfig{
+			StuckTickAfter: *wdStuck,
+			ReplLagRecords: *wdReplLag,
+		},
+	}
+	if *ovSubmit > 0 || *ovConfirm > 0 {
+		opts.overload = &rmserver.OverloadConfig{
+			SubmitConcurrency:  *ovSubmit,
+			ConfirmConcurrency: *ovConfirm,
+			QueueDepth:         *ovQueue,
+			MaxWait:            *ovWait,
+			RetryAfter:         *ovRetryAfter,
+		}
 	}
 	if err := run(opts); err != nil {
 		log.Println("ftrm:", err)
@@ -128,6 +174,10 @@ type options struct {
 	replicaOf    string
 	listenRepl   string
 	advertise    string
+	overload     *rmserver.OverloadConfig
+	watchdog     rmserver.WatchdogConfig
+	chaosNet     string
+	chaosSeed    int64
 }
 
 func run(o options) error {
@@ -155,6 +205,19 @@ func run(o options) error {
 		defer st.Close()
 	}
 
+	// The chaos injector (if any) is shared across every seam: both
+	// listeners and the replication pull client draw from the same seeded
+	// rule set, so one script choreographs the whole process's network.
+	var inj *netchaos.Injector
+	if o.chaosNet != "" {
+		script, err := netchaos.LoadScript(o.chaosNet)
+		if err != nil {
+			return err
+		}
+		inj = netchaos.New(o.chaosSeed, script)
+		log.Printf("ftrm: CHAOS: network fault injection armed (seed=%d): %s", o.chaosSeed, o.chaosNet)
+	}
+
 	rm, err := rmserver.New(rmserver.Config{
 		SlotDur:     o.slot,
 		Scheduler:   s,
@@ -163,6 +226,8 @@ func run(o options) error {
 		Store:       st,
 		Follower:    o.replicaOf != "",
 		LeaderURL:   o.replicaOf,
+		Overload:    o.overload,
+		Watchdog:    o.watchdog,
 	})
 	if err != nil {
 		return err
@@ -175,31 +240,59 @@ func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: o.addr, Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// listen opens addr, wrapping the listener in the chaos injector when
+	// one is armed so inbound traffic crosses the scripted link.
+	listen := func(addr, clientLabel string) (net.Listener, error) {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if inj != nil {
+			ln = netchaos.WrapListener(ln, inj, clientLabel, "rm")
+		}
+		return ln, nil
+	}
+	ln, err := listen(o.addr, "agent")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("ftrm: scheduler=%s slot=%v role=%s listening on %s", s.Name(), o.slot, rm.Role(), o.addr)
-		errc <- srv.ListenAndServe()
+		errc <- srv.Serve(ln)
 	}()
 	var replSrv *http.Server
 	if o.listenRepl != "" {
-		replSrv = &http.Server{Addr: o.listenRepl, Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		replLn, err := listen(o.listenRepl, "peer")
+		if err != nil {
+			return err
+		}
+		replSrv = &http.Server{Handler: rm.Handler(), ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			log.Printf("ftrm: replication listener on %s", o.listenRepl)
-			if err := replSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if err := replSrv.Serve(replLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Println("ftrm: replication listener:", err)
 			}
 		}()
+	}
+	if o.watchdog.StuckTickAfter > 0 || o.watchdog.ReplLagRecords > 0 {
+		go rm.RunWatchdogs(ctx, 0)
 	}
 	if o.replicaOf != "" {
 		// The pull loop runs until promotion (it then fences the old
 		// primary and exits) or shutdown. The run loop below starts
 		// ticking the moment the role flips to primary.
+		var hc *http.Client
+		if inj != nil {
+			hc = &http.Client{Transport: &netchaos.Transport{Injector: inj, From: "rm", To: "leader"}}
+		}
 		go func() {
 			err := rm.RunReplicator(ctx, rmserver.ReplicatorConfig{
-				Primary: o.replicaOf,
-				Self:    o.advertise,
-				Logf:    log.Printf,
+				Primary:    o.replicaOf,
+				Self:       o.advertise,
+				HTTPClient: hc,
+				Logf:       log.Printf,
 			})
 			if err != nil && ctx.Err() == nil {
 				log.Println("ftrm: replicator:", err)

@@ -1,0 +1,286 @@
+package netchaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// virtualClock pins the injector's timeline for deterministic tests.
+type virtualClock struct{ now atomic.Int64 }
+
+func (c *virtualClock) set(d time.Duration) { c.now.Store(int64(d)) }
+func (c *virtualClock) read() time.Duration { return time.Duration(c.now.Load()) }
+
+func TestParseScript(t *testing.T) {
+	script, err := ParseScript(`
+		# a comment
+		1s-3s partition rm->repl
+		3s+   flap rm<->repl period=400ms duty=0.25
+		0s+   latency agent->rm 10ms jitter=5ms
+		2s+   drop *->rm p=0.3
+		0s+   throttle rm->agent 4096
+		500ms+ reset agent->rm p=0.1
+		0s+   dup agent->rm p=0.2
+	`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(script) != 7 {
+		t.Fatalf("parsed %d rules, want 7", len(script))
+	}
+	r := script[0]
+	if r.Fault != Partition || r.From != "rm" || r.To != "repl" || r.Bidir ||
+		r.Start != time.Second || r.End != 3*time.Second {
+		t.Errorf("rule 0 = %+v, want 1s-3s partition rm->repl", r)
+	}
+	r = script[1]
+	if r.Fault != Partition || !r.Bidir || r.Period != 400*time.Millisecond || r.Duty != 0.25 || r.End != 0 {
+		t.Errorf("rule 1 = %+v, want open-ended bidirectional flap", r)
+	}
+	r = script[2]
+	if r.Fault != Latency || r.Latency != 10*time.Millisecond || r.Jitter != 5*time.Millisecond {
+		t.Errorf("rule 2 = %+v, want latency 10ms jitter 5ms", r)
+	}
+	if script[3].From != "*" || script[3].P != 0.3 {
+		t.Errorf("rule 3 = %+v, want wildcard drop p=0.3", script[3])
+	}
+	if script[4].BytesPerSec != 4096 {
+		t.Errorf("rule 4 = %+v, want throttle 4096", script[4])
+	}
+
+	for _, bad := range []string{
+		"1s partition a->b",        // malformed window
+		"1s-500ms partition a->b",  // end before start
+		"0s+ explode a->b",         // unknown fault
+		"0s+ partition ab",         // malformed link
+		"0s+ drop a->b p=1.5",      // probability out of range
+		"0s+ latency a->b",         // missing duration
+		"0s+ throttle a->b",        // missing rate
+		"0s+ partition a->b blorp", // stray argument
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestLoadScriptInline(t *testing.T) {
+	script, err := LoadScript("0s-1s partition a->b; 1s+ latency a->b 5ms")
+	if err != nil {
+		t.Fatalf("LoadScript: %v", err)
+	}
+	if len(script) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(script))
+	}
+}
+
+// TestDeterministicDecisions is the reproducibility contract: the same
+// seed, script, and clock sequence produce the same fault sequence, and
+// concurrent traffic on one link cannot perturb another link's stream.
+func TestDeterministicDecisions(t *testing.T) {
+	script, err := ParseScript(`
+		0s+ drop a->b p=0.5
+		0s+ reset b->a p=0.3
+		0s+ latency a->b 1ms jitter=10ms
+	`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	run := func(seed int64, perturb bool) []Decision {
+		inj := New(seed, script)
+		clk := &virtualClock{}
+		inj.SetClock(clk.read)
+		var out []Decision
+		for i := 0; i < 200; i++ {
+			clk.set(time.Duration(i) * time.Millisecond)
+			if perturb {
+				// Traffic on an unrelated link must not shift a->b's stream.
+				inj.Decide("x", "y")
+			}
+			out = append(out, inj.Decide("a", "b"))
+			out = append(out, inj.Decide("b", "a"))
+		}
+		return out
+	}
+	base := run(42, false)
+	again := run(42, false)
+	perturbed := run(42, true)
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("decision %d differs across identical runs: %+v vs %+v", i, base[i], again[i])
+		}
+		if base[i] != perturbed[i] {
+			t.Fatalf("decision %d perturbed by unrelated-link traffic: %+v vs %+v", i, base[i], perturbed[i])
+		}
+	}
+	other := run(7, false)
+	same := true
+	for i := range base {
+		if base[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 7 produced identical decision sequences")
+	}
+}
+
+func TestRuleWindowsAndFlap(t *testing.T) {
+	script, _ := ParseScript("1s-3s partition a->b\n4s+ flap a->b period=1s duty=0.5")
+	inj := New(1, script)
+	clk := &virtualClock{}
+	inj.SetClock(clk.read)
+
+	cases := []struct {
+		at   time.Duration
+		drop bool
+	}{
+		{500 * time.Millisecond, false},  // before the window
+		{1500 * time.Millisecond, true},  // inside the partition
+		{3 * time.Second, false},         // window closed (end-exclusive)
+		{4100 * time.Millisecond, true},  // flap on-phase
+		{4700 * time.Millisecond, false}, // flap off-phase
+		{5200 * time.Millisecond, true},  // next period, on again
+	}
+	for _, c := range cases {
+		clk.set(c.at)
+		if got := inj.Decide("a", "b").Drop; got != c.drop {
+			t.Errorf("at %v: drop=%v, want %v", c.at, got, c.drop)
+		}
+	}
+	// The reverse direction is untouched by one-way rules.
+	clk.set(1500 * time.Millisecond)
+	if inj.Decide("b", "a").Drop {
+		t.Error("one-way partition a->b dropped b->a traffic")
+	}
+}
+
+// TestTransportFaults drives the RoundTripper wrapper against a real
+// HTTP server: drops never reach it, resets reach it but fail the
+// caller, response-direction partitions deliver the mutation and lose
+// only the acknowledgement, and duplicates hit the server twice.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	do := func(script string, atT time.Duration) (int64, error) {
+		sc, err := ParseScript(script)
+		if err != nil {
+			t.Fatalf("ParseScript: %v", err)
+		}
+		inj := New(99, sc)
+		clk := &virtualClock{}
+		inj.SetClock(clk.read)
+		clk.set(atT)
+		hc := &http.Client{Transport: &Transport{Injector: inj, From: "c", To: "s"}}
+		before := hits.Load()
+		resp, err := hc.Post(srv.URL, "text/plain", strings.NewReader("x"))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+		return hits.Load() - before, err
+	}
+
+	if n, err := do("0s+ partition c->s", 0); err == nil || n != 0 {
+		t.Errorf("request-direction partition: hits=%d err=%v, want 0 hits and an error", n, err)
+	}
+	if n, err := do("0s+ reset c->s p=1", 0); err == nil || n != 1 {
+		t.Errorf("reset: hits=%d err=%v, want 1 hit and an error (delivered, ack lost)", n, err)
+	}
+	if n, err := do("0s+ partition s->c", 0); err == nil || n != 1 {
+		t.Errorf("response-direction partition: hits=%d err=%v, want 1 hit and an error", n, err)
+	}
+	if n, err := do("0s+ dup c->s p=1", 0); err != nil || n != 2 {
+		t.Errorf("dup: hits=%d err=%v, want 2 hits and success", n, err)
+	}
+	if n, err := do("0s-1s partition c->s", 2*time.Second); err != nil || n != 1 {
+		t.Errorf("expired partition: hits=%d err=%v, want clean delivery", n, err)
+	}
+}
+
+// TestProxyRelaysIntactUnderThrottle asserts the byte-stream contract:
+// a throttled, latency-injected proxy still delivers the HTTP response
+// — status, headers, body — unaltered.
+func TestProxyRelaysIntactUnderThrottle(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"code":"overloaded"}`))
+	}))
+	defer srv.Close()
+
+	sc, err := ParseScript("0s+ throttle c<->s 65536\n0s+ latency c->s 1ms")
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	proxy, err := NewProxy(New(5, sc), "c", "s", strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+
+	resp, err := http.Get(proxy.URL())
+	if err != nil {
+		t.Fatalf("GET through proxy: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After %q did not survive the proxy, want \"7\"", ra)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"code":"overloaded"}` {
+		t.Errorf("body %q altered in transit", body)
+	}
+}
+
+// TestProxyPartitionSeversConnections proves partitions kill both new
+// and established connections, and that healing restores service.
+func TestProxyPartitionSeversConnections(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	sc, _ := ParseScript("0s-1h partition c<->s")
+	inj := New(3, sc)
+	clk := &virtualClock{}
+	inj.SetClock(clk.read)
+	proxy, err := NewProxy(inj, "c", "s", strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+
+	hc := &http.Client{Timeout: 2 * time.Second}
+	clk.set(0)
+	if resp, err := hc.Get(proxy.URL()); err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded through an active partition")
+	}
+	// Heal the link: the same proxy serves cleanly again.
+	clk.set(2 * time.Hour)
+	resp, err := hc.Get(proxy.URL())
+	if err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d after heal, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,266 @@
+package netchaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP proxy: clients connect to Addr() and
+// the proxy relays the byte stream to the target, applying the script
+// at connection granularity (partition and reset kill connections) and
+// at chunk granularity (latency and throttling pace the stream). The
+// proxy never alters bytes it relays, so application-layer artifacts —
+// HTTP status codes, Retry-After headers, leader hints — survive every
+// fault short of a severed connection; tests assert that coded-error
+// plumbing is header-based, not connection-based.
+type Proxy struct {
+	inj            *Injector
+	client, server string
+	target         string
+	ln             net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to
+// target. clientLabel and serverLabel name the two endpoints in the
+// script (client->server judges inbound traffic, server->client the
+// return path).
+func NewProxy(inj *Injector, clientLabel, serverLabel, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		inj:    inj,
+		client: clientLabel,
+		server: serverLabel,
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's address as an http:// base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Close stops accepting and severs every open connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		// Connection-level faults at accept: a partitioned or reset link
+		// refuses the connection outright (the client sees a reset).
+		d := p.inj.Decide(p.client, p.server)
+		if d.Drop || d.Reset {
+			_ = c.Close()
+			continue
+		}
+		go p.handle(c, d.Delay)
+	}
+}
+
+func (p *Proxy) handle(c net.Conn, connectDelay time.Duration) {
+	if connectDelay > 0 {
+		time.Sleep(connectDelay)
+	}
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	if !p.track(c) || !p.track(up) {
+		_ = c.Close()
+		_ = up.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Either direction failing (injected or real) severs the whole
+	// connection, as a real middlebox reset would.
+	sever := func() {
+		_ = c.Close()
+		_ = up.Close()
+	}
+	go func() {
+		defer wg.Done()
+		p.pipe(up, c, p.client, p.server, sever)
+	}()
+	go func() {
+		defer wg.Done()
+		p.pipe(c, up, p.server, p.client, sever)
+	}()
+	wg.Wait()
+	p.untrack(c)
+	p.untrack(up)
+}
+
+// pipe relays src -> dst, consulting the injector per chunk: an active
+// partition or a reset draw kills the connection mid-stream, latency
+// delays the chunk, and throttling paces it.
+func (p *Proxy) pipe(dst, src net.Conn, from, to string, sever func()) {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			d := p.inj.Decide(from, to)
+			if d.Drop || d.Reset {
+				sever()
+				return
+			}
+			if d.Delay > 0 {
+				time.Sleep(d.Delay)
+			}
+			if err := writeThrottled(dst, buf[:n], d.BytesPerSec); err != nil {
+				sever()
+				return
+			}
+		}
+		if err != nil {
+			sever()
+			return
+		}
+	}
+}
+
+// writeThrottled writes b to dst, pacing at bps bytes/sec when bps > 0.
+func writeThrottled(dst net.Conn, b []byte, bps int) error {
+	if bps <= 0 {
+		_, err := dst.Write(b)
+		return err
+	}
+	const chunk = 1024
+	for len(b) > 0 {
+		n := chunk
+		if n > len(b) {
+			n = len(b)
+		}
+		if _, err := dst.Write(b[:n]); err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(float64(n) / float64(bps) * float64(time.Second)))
+		b = b[n:]
+	}
+	return nil
+}
+
+// WrapListener shims a server-side listener with inbound fault
+// injection — the ftrm -chaos-net path, where there is no separate
+// proxy process. Connections arriving while the client->server
+// direction is partitioned are closed immediately (the client sees a
+// reset); established connections are judged per read/write.
+func WrapListener(ln net.Listener, inj *Injector, clientLabel, serverLabel string) net.Listener {
+	if inj == nil {
+		return ln
+	}
+	return &chaosListener{Listener: ln, inj: inj, client: clientLabel, server: serverLabel}
+}
+
+type chaosListener struct {
+	net.Listener
+	inj            *Injector
+	client, server string
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		d := l.inj.Decide(l.client, l.server)
+		if d.Drop || d.Reset {
+			_ = c.Close()
+			continue
+		}
+		return &chaosConn{Conn: c, inj: l.inj, client: l.client, server: l.server}, nil
+	}
+}
+
+// chaosConn applies the client->server direction to reads (inbound
+// bytes) and server->client to writes (outbound bytes).
+type chaosConn struct {
+	net.Conn
+	inj            *Injector
+	client, server string
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	d := c.inj.Decide(c.client, c.server)
+	if d.Drop || d.Reset {
+		_ = c.Conn.Close()
+		return 0, &FaultError{Link: c.client + "->" + c.server, Reason: "connection severed"}
+	}
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && d.BytesPerSec > 0 {
+		time.Sleep(time.Duration(float64(n) / float64(d.BytesPerSec) * float64(time.Second)))
+	}
+	return n, err
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	d := c.inj.Decide(c.server, c.client)
+	if d.Drop || d.Reset {
+		_ = c.Conn.Close()
+		return 0, &FaultError{Link: c.server + "->" + c.client, Reason: "connection severed"}
+	}
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.BytesPerSec > 0 {
+		n := 0
+		for n < len(p) {
+			end := n + 1024
+			if end > len(p) {
+				end = len(p)
+			}
+			w, err := c.Conn.Write(p[n:end])
+			n += w
+			if err != nil {
+				return n, err
+			}
+			time.Sleep(time.Duration(float64(w) / float64(d.BytesPerSec) * float64(time.Second)))
+		}
+		return n, nil
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,99 @@
+package netchaos
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with scripted fault injection.
+// The request travels the From->To direction and the response travels
+// To->From, each judged independently — so a one-way partition To->From
+// delivers the mutation to the server and loses only the response,
+// which is exactly the duplicate-inducing case retry logic must
+// survive.
+type Transport struct {
+	// Injector decides the faults; nil passes everything through.
+	Injector *Injector
+	// From and To label this client and its peer in the script.
+	From, To string
+	// Base performs the real round trip; nil means http.DefaultTransport.
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	ctx := req.Context()
+	link := t.From + "->" + t.To
+
+	d := t.Injector.Decide(t.From, t.To)
+	if err := sleepCtx(ctx, d.Delay); err != nil {
+		return nil, err
+	}
+	if d.Drop {
+		return nil, &FaultError{Link: link, Reason: "request dropped"}
+	}
+	// A duplicated request is delivered twice; the first delivery's
+	// response is discarded, mimicking a network-level retransmit. Only
+	// requests with a replayable body can be duplicated.
+	if d.Duplicate && (req.Body == nil || req.GetBody != nil) {
+		dup := req.Clone(ctx)
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err == nil {
+				dup.Body = body
+			}
+		}
+		if resp, err := base.RoundTrip(dup); err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Reset {
+		// The server processed the request; the sender sees a failure.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, &FaultError{Link: link, Reason: "connection reset after delivery"}
+	}
+
+	rd := t.Injector.Decide(t.To, t.From)
+	if rd.Drop || rd.Reset {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, &FaultError{Link: t.To + "->" + t.From, Reason: "response lost"}
+	}
+	if err := sleepCtx(ctx, rd.Delay); err != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, err
+	}
+	if rd.BytesPerSec > 0 {
+		resp.Body = &throttledBody{rc: resp.Body, bps: rd.BytesPerSec}
+	}
+	return resp, nil
+}
+
+// throttledBody paces reads at bps bytes per second.
+type throttledBody struct {
+	rc  io.ReadCloser
+	bps int
+}
+
+func (t *throttledBody) Read(p []byte) (int, error) {
+	n, err := t.rc.Read(p)
+	if n > 0 && t.bps > 0 {
+		time.Sleep(time.Duration(float64(n) / float64(t.bps) * float64(time.Second)))
+	}
+	return n, err
+}
+
+func (t *throttledBody) Close() error { return t.rc.Close() }

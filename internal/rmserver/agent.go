@@ -23,6 +23,12 @@ type AgentConfig struct {
 	// Backoff paces registration attempts and is also installed on the
 	// client for idempotent-call retries. The zero value uses defaults.
 	Backoff Backoff
+	// Budget caps the agent's total retry amplification across
+	// registration and heartbeat retries; nil creates a default
+	// 10-token budget. When the budget runs dry — every configured RM
+	// unreachable — rotation is paced at the backoff cap instead of
+	// spinning the ring.
+	Budget *RetryBudget
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -111,9 +117,15 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	rot := newRotation(client.WithRetry(cfg.Backoff), cfg.RMs)
+	budget := cfg.Budget
+	if budget == nil {
+		budget = NewRetryBudget(0)
+	}
+	// The budget is shared by reference across every WithBase copy the
+	// rotation makes, so rotating RMs never resets the amplification cap.
+	rot := newRotation(client.WithPolicy(RetryPolicy{Backoff: cfg.Backoff, Budget: budget}), cfg.RMs)
 
-	interval, err := registerUntilAccepted(ctx, rot, cfg, logf)
+	interval, err := registerUntilAccepted(ctx, rot, cfg, budget, logf)
 	if err != nil {
 		return err
 	}
@@ -122,7 +134,7 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 	defer ticker.Stop()
 
 	reRegister := func() (bool, error) {
-		newInterval, rerr := registerUntilAccepted(ctx, rot, cfg, logf)
+		newInterval, rerr := registerUntilAccepted(ctx, rot, cfg, budget, logf)
 		if rerr != nil {
 			return false, rerr
 		}
@@ -136,7 +148,8 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 	// Leases received last heartbeat are "executed" during this interval
 	// and confirmed on the next one.
 	var running []string
-	failures := 0 // consecutive non-coded heartbeat failures
+	failures := 0   // consecutive non-coded heartbeat failures
+	hbDown := false // logged the heartbeat outage already
 	for {
 		select {
 		case <-ctx.Done():
@@ -150,7 +163,7 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 			case errors.Is(err, ErrUnknownNode):
 				logf("ftnode %s: RM does not know us (restart or eviction); re-registering", cfg.NodeID)
 				running = nil // our leases died with the old registration
-				failures = 0
+				failures, hbDown = 0, false
 				if _, rerr := reRegister(); rerr != nil {
 					return rerr
 				}
@@ -159,7 +172,7 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 				rot.redirect(err)
 				logf("ftnode %s: RM is not the leader; following to %s and re-registering", cfg.NodeID, rot.cur().Base())
 				running = nil // the new primary requeued our leases at promotion
-				failures = 0
+				failures, hbDown = 0, false
 				if _, rerr := reRegister(); rerr != nil {
 					return rerr
 				}
@@ -172,19 +185,33 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 				// Two straight failures past the client's own retries means
 				// the RM is likely dead, not hiccuping: try the next one.
 				// Registering fresh is mandatory — the standby has never
-				// heard of us.
+				// heard of us. The lease set is deliberately KEPT: the work
+				// is already running on this node and finishing it costs
+				// nothing, so the agent keeps executing and re-reports the
+				// completions to whichever RM it lands on. A new primary
+				// that requeued them counts the reports as stale confirms
+				// and ignores them — safe either way, and when the same RM
+				// comes back the confirms land and prevent a pointless
+				// lease-expiry requeue.
 				if failures >= 2 && len(cfg.RMs) > 1 {
+					logf("ftnode %s: heartbeat failing (%v); failing over from %s", cfg.NodeID, err, rot.cur().Base())
 					rot.rotate()
-					logf("ftnode %s: heartbeat failing (%v); failing over to %s", cfg.NodeID, err, rot.cur().Base())
-					running = nil
-					failures = 0
+					failures, hbDown = 0, false
 					if _, rerr := reRegister(); rerr != nil {
 						return rerr
 					}
 					continue
 				}
-				logf("ftnode %s: heartbeat: %v (will retry)", cfg.NodeID, err)
+				// Log the outage once per transition down, not per tick.
+				if !hbDown {
+					hbDown = true
+					logf("ftnode %s: heartbeat: %v (will keep retrying quietly)", cfg.NodeID, err)
+				}
 				continue
+			}
+			if hbDown {
+				hbDown = false
+				logf("ftnode %s: heartbeat recovered at %s", cfg.NodeID, rot.cur().Base())
 			}
 			failures = 0
 			running = running[:0]
@@ -204,28 +231,69 @@ func RunAgent(ctx context.Context, client *Client, cfg AgentConfig) error {
 // whichever replica currently leads; it gives up only on ctx
 // cancellation or a permanent rejection (e.g. invalid capacity). It
 // returns the heartbeat interval the RM dictated.
-func registerUntilAccepted(ctx context.Context, rot *rmRotation, cfg AgentConfig, logf func(string, ...any)) (time.Duration, error) {
+//
+// Each round makes exactly ONE attempt per target (the loop does its
+// own pacing; nesting the client's retries here would multiply offered
+// load at the worst moment), spends the shared retry budget, and when
+// the budget runs dry — every configured RM down — paces further
+// rotation at the backoff cap instead of spinning the ring. Logging is
+// once per failing target and once when the whole ring has been found
+// down, not once per attempt: an agent riding out an hour-long outage
+// produces a handful of lines, not thousands.
+func registerUntilAccepted(ctx context.Context, rot *rmRotation, cfg AgentConfig, budget *RetryBudget, logf func(string, ...any)) (time.Duration, error) {
 	b := cfg.Backoff.withDefaults()
-	b.MaxAttempts = -1 // outlive any RM outage
 	var reg rmproto.RegisterNodeResponse
-	attempt := 0
-	err := Retry(ctx, b, func() error {
+	seenDown := make(map[string]bool) // targets already logged this outage
+	ringDown := false                 // logged the whole-ring summary
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		var err error
-		reg, err = rot.cur().RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		reg, err = rot.cur().bare().RegisterNode(ctx, rmproto.RegisterNodeRequest{
 			NodeID:   cfg.NodeID,
 			Capacity: cfg.Capacity,
 		})
-		if err != nil && Retryable(err) {
-			attempt++
-			logf("ftnode %s: register attempt %d at %s: %v (will retry)", cfg.NodeID, attempt, rot.cur().Base(), err)
-			// not_leader carries a hint to jump to; anything else
-			// round-robins. Either way the next attempt asks a different RM.
-			rot.redirect(err)
+		if err == nil {
+			break
 		}
-		return err
-	})
-	if err != nil {
-		return 0, err
+		if !Retryable(err) {
+			return 0, err
+		}
+		base := rot.cur().Base()
+		if !seenDown[base] {
+			seenDown[base] = true
+			logf("ftnode %s: cannot register at %s: %v (rotating)", cfg.NodeID, base, err)
+		} else if !ringDown {
+			// Second sighting of a target we already logged: the whole
+			// ring has been tried and found down. Say so once, then stay
+			// quiet until something changes.
+			ringDown = true
+			logf("ftnode %s: all %d RMs unreachable; pacing retries at %v", cfg.NodeID, max(len(cfg.RMs), 1), b.Max)
+		}
+		// not_leader carries a hint to jump to; anything else
+		// round-robins. Either way the next attempt asks a different RM.
+		rot.redirect(err)
+		d := b.Delay(attempt)
+		if budget != nil && !budget.Spend() {
+			// Budget dry: every retry now waits the full cap. This is the
+			// rotation-rate limiter — a dead ring is probed at most once
+			// per Max per agent, not hammered.
+			d = b.Max
+		}
+		if hint := RetryAfterHint(err); hint > d {
+			d = hint
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if budget != nil {
+		budget.Deposit()
 	}
 	interval := time.Duration(reg.HeartbeatMs) * time.Millisecond
 	if interval <= 0 {

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -139,6 +141,177 @@ func TestAgentRecoversFromRMRestart(t *testing.T) {
 	if err := <-agentErr; !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("agent exit = %v, want context cancellation", err)
 	}
+}
+
+// refusingRT fails every request without touching the network, counting
+// attempts — a deterministic stand-in for "every RM unreachable".
+type refusingRT struct{ attempts atomic.Int64 }
+
+func (rt *refusingRT) RoundTrip(*http.Request) (*http.Response, error) {
+	rt.attempts.Add(1)
+	return nil, errors.New("dial tcp: connection refused")
+}
+
+// TestAgentAllRMsUnreachable is the regression test for the spin-hot
+// bug: with every configured RM down, the agent used to nest the
+// client's 4-attempt retry inside an unbounded registration loop and
+// log every attempt. Now each round is a single attempt, the retry
+// budget caps the rotation rate at the backoff ceiling once dry, and
+// the log gets one line per target plus one ring-down summary — not a
+// line per attempt.
+func TestAgentAllRMsUnreachable(t *testing.T) {
+	rt := &refusingRT{}
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	const window = 500 * time.Millisecond
+	maxDelay := 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	err := RunAgent(ctx, NewClient("http://rm-a.invalid", &http.Client{Transport: rt}), AgentConfig{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 4, MemoryMB: 8 * 1024},
+		RMs:      []string{"http://rm-a.invalid", "http://rm-b.invalid"},
+		Backoff:  Backoff{Base: 2 * time.Millisecond, Max: maxDelay},
+		Budget:   NewRetryBudget(3),
+		Logf:     logf,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunAgent = %v, want deadline exceeded (still trying at cutoff)", err)
+	}
+
+	// Rotation rate: 3 budgeted fast retries, then one probe per Max.
+	// 500ms / 50ms = 10 paced probes; with the fast ones and slack the
+	// ceiling is ~20. The old nested-retry loop made 4x the attempts
+	// with no floor on the delay.
+	attempts := rt.attempts.Load()
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2 (the agent must keep probing)", attempts)
+	}
+	if ceiling := int64(3 + int64(window/maxDelay) + 8); attempts > ceiling {
+		t.Errorf("attempts = %d, want <= %d: rotation rate not capped by the retry budget", attempts, ceiling)
+	}
+
+	// Logging: one line per distinct target plus one ring-down summary.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) > 3 {
+		t.Errorf("agent logged %d lines during the outage, want <= 3 (once per transition):\n%s",
+			len(lines), strings.Join(lines, "\n"))
+	}
+	sawSummary := false
+	for _, l := range lines {
+		if strings.Contains(l, "unreachable") {
+			sawSummary = true
+		}
+	}
+	if !sawSummary {
+		t.Errorf("no ring-down summary line logged; lines:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestAgentKeepsLeasesAcrossTransportFailover proves the agent does not
+// abandon in-flight leases when its RM merely stops answering: the work
+// keeps executing locally and the completions are re-reported to the RM
+// it fails over to, which safely ignores them as stale confirms (it
+// never issued those leases). Dropping them instead would waste the
+// completed work and force a lease-expiry requeue.
+func TestAgentKeepsLeasesAcrossTransportFailover(t *testing.T) {
+	// A long slot gives the test a wide window between the agent picking
+	// a lease up and confirming it, so stopping RM A inside that window
+	// is not a race.
+	const agentSlot = 200 * time.Millisecond
+	newServer := func() *Server {
+		rm, err := New(Config{SlotDur: agentSlot, Scheduler: sched.NewFIFO()})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return rm
+	}
+	rmA, rmB := newServer(), newServer()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	stopA := serveRM(t, rmA, lnA)
+	defer stopA()
+	stopB := serveRM(t, rmB, lnB)
+	defer stopB()
+	urlA := fmt.Sprintf("http://%s", lnA.Addr())
+	urlB := fmt.Sprintf("http://%s", lnB.Addr())
+
+	var mu sync.Mutex
+	executing := false
+	logf := func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		mu.Lock()
+		if strings.Contains(line, "executing") {
+			executing = true
+		}
+		mu.Unlock()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	agentErr := make(chan error, 1)
+	go func() {
+		agentErr <- RunAgent(ctx, NewClient(urlA, nil), AgentConfig{
+			NodeID:   "n1",
+			Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+			RMs:      []string{urlA, urlB},
+			Backoff:  Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			Logf:     logf,
+		})
+	}()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	waitFor("agent to register with RM A", func() bool { return rmA.Status().Nodes == 1 })
+	if _, err := rmA.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "held", Tasks: 1, TaskDurSec: 1, DemandVCores: 1, DemandMemMB: 256,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	if err := rmA.Tick(time.Now()); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	waitFor("agent to pick the lease up", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return executing
+	})
+
+	// RM A vanishes while the agent holds the unconfirmed lease.
+	stopA()
+
+	// The agent fails over to RM B, re-registers, and re-reports the
+	// completion of a lease B never issued — observed as a stale confirm.
+	waitFor("agent to fail over to RM B", func() bool { return rmB.Status().Nodes == 1 })
+	waitFor("retained lease to be re-reported to RM B", func() bool {
+		return rmB.Status().Faults.StaleConfirms >= 1
+	})
+
+	cancel()
+	<-agentErr
 }
 
 // TestAgentSurvivesEvictionByRM covers the in-process variant: the RM

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"flowtime/internal/rmproto"
 )
@@ -15,9 +17,10 @@ import (
 // node-manager agent (cmd/ftnode), the submission tool (cmd/ftsubmit) and
 // the integration tests.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry *Backoff // nil = no retries
+	base   string
+	hc     *http.Client
+	retry  *Backoff     // nil = no retries
+	policy *RetryPolicy // takes precedence over retry when non-nil
 }
 
 // NewClient returns a client for the RM at base (e.g.
@@ -40,6 +43,28 @@ func (c *Client) WithRetry(b Backoff) *Client {
 	return &cc
 }
 
+// WithPolicy returns a copy of the client whose idempotent calls run
+// under the full resilience stack — backoff with Retry-After honor,
+// shared retry budget, circuit breaker. The budget and breaker inside
+// p are shared by reference, so copies made with WithBase keep feeding
+// the same bucket and circuit (an agent rotating RMs keeps one budget).
+func (c *Client) WithPolicy(p RetryPolicy) *Client {
+	cc := *c
+	cc.policy = &p
+	return &cc
+}
+
+// bare returns a copy of the client that performs exactly one attempt
+// per call — no backoff, no policy. Loops that do their own pacing
+// (registerUntilAccepted) use it to avoid nested-retry amplification:
+// an outer loop wrapping a 4-attempt client multiplies offered load by
+// 4 exactly when the RM is least able to take it.
+func (c *Client) bare() *Client {
+	cc := *c
+	cc.retry, cc.policy = nil, nil
+	return &cc
+}
+
 // WithBase returns a copy of the client pointed at a different RM URL,
 // keeping the HTTP client and retry policy. Agents use it to follow a
 // leader hint or rotate through their RM list.
@@ -53,6 +78,9 @@ func (c *Client) WithBase(base string) *Client {
 func (c *Client) Base() string { return c.base }
 
 func (c *Client) retrying(ctx context.Context, op func() error) error {
+	if c.policy != nil {
+		return c.policy.Do(ctx, op)
+	}
 	if c.retry == nil {
 		return op()
 	}
@@ -169,7 +197,18 @@ func (c *Client) do(req *http.Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var e rmproto.Error
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return &StatusError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Message, Leader: e.Leader}
+		se := &StatusError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Message, Leader: e.Leader}
+		// The Retry-After header (whole seconds, per RFC 9110) and the
+		// body's retry_after_ms carry the same hint at different
+		// resolutions; prefer the finer-grained body when present.
+		if e.RetryAfterMs > 0 {
+			se.RetryAfter = time.Duration(e.RetryAfterMs) * time.Millisecond
+		} else if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
 	}
 	if out == nil {
 		return nil

@@ -6,24 +6,47 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"flowtime/internal/rmproto"
 )
 
 // Handler returns the RM's HTTP API (see rmproto for paths and types).
+// With Config.Overload set, submission and confirm-path endpoints pass
+// through the admission gate (overload.go) and may be shed with a coded
+// 503 + Retry-After; control endpoints (tick, drain, replication,
+// status, metrics) are never shed — operators must be able to inspect
+// and drain an overloaded RM.
 func (s *Server) Handler() http.Handler {
+	// guard applies the admission gate for one traffic class; a nil
+	// gate (no Config.Overload) passes everything through untouched.
+	guard := func(class string, h http.HandlerFunc) http.HandlerFunc {
+		if s.admission == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			release, err := s.admission.acquire(r.Context(), class)
+			if err != nil {
+				writeError(w, errorStatus(err), err)
+				return
+			}
+			defer release()
+			h(w, r)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/nodes/register", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/nodes/register", guard(classConfirm, func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req rmproto.RegisterNodeRequest) (rmproto.RegisterNodeResponse, error) {
 			return s.RegisterNode(req, time.Now())
 		})
-	})
-	mux.HandleFunc("POST /v1/nodes/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/nodes/heartbeat", guard(classConfirm, func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req rmproto.HeartbeatRequest) (rmproto.HeartbeatResponse, error) {
 			return s.Heartbeat(req, time.Now())
 		})
-	})
+	}))
 	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req rmproto.DrainRequest) (rmproto.DrainResponse, error) {
 			if req.WaitMs <= 0 {
@@ -35,12 +58,12 @@ func (s *Server) Handler() http.Handler {
 			return s.Drain(ctx), nil
 		})
 	})
-	mux.HandleFunc("POST /v1/workflows", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/workflows", guard(classSubmit, func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, s.SubmitWorkflow)
-	})
-	mux.HandleFunc("POST /v1/adhoc", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/adhoc", guard(classSubmit, func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, s.SubmitAdHoc)
-	})
+	}))
 	mux.HandleFunc("POST "+rmproto.PathShip, func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, s.ShipLog)
 	})
@@ -131,6 +154,38 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_wal_truncated gauge\nflowtime_rm_recovery_wal_truncated %d\n", boolToInt(r.WALTruncated))
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_orphan_leases gauge\nflowtime_rm_recovery_orphan_leases %d\n", r.OrphanLeasesRequeued)
 		}
+		if o := st.Overload; o != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_shed_total counter\n")
+			reasons := make([]string, 0, len(o.ShedByReason))
+			for reason := range o.ShedByReason {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			for _, reason := range reasons {
+				fmt.Fprintf(w, "flowtime_shed_total{reason=%q} %d\n", reason, o.ShedByReason[reason])
+			}
+			if len(reasons) == 0 {
+				fmt.Fprintf(w, "flowtime_shed_total{reason=\"none\"} 0\n")
+			}
+			fmt.Fprintf(w, "# TYPE flowtime_admission_queue_depth gauge\nflowtime_admission_queue_depth %d\n", o.QueueDepth)
+		}
+		fmt.Fprintf(w, "# TYPE flowtime_retry_budget_exhausted_total counter\nflowtime_retry_budget_exhausted_total %d\n", RetryBudgetExhaustedTotal())
+		if wd := st.Watchdog; wd != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_watchdog_trips_total counter\n")
+			kinds := make([]string, 0, len(wd.Trips))
+			for kind := range wd.Trips {
+				kinds = append(kinds, kind)
+			}
+			sort.Strings(kinds)
+			for _, kind := range kinds {
+				fmt.Fprintf(w, "flowtime_watchdog_trips_total{kind=%q} %d\n", kind, wd.Trips[kind])
+			}
+			if len(kinds) == 0 {
+				fmt.Fprintf(w, "flowtime_watchdog_trips_total{kind=\"none\"} 0\n")
+			}
+			fmt.Fprintf(w, "# TYPE flowtime_watchdog_stuck_tick gauge\nflowtime_watchdog_stuck_tick %d\n", boolToInt(wd.StuckTick))
+			fmt.Fprintf(w, "# TYPE flowtime_watchdog_repl_lag_exceeded gauge\nflowtime_watchdog_repl_lag_exceeded %d\n", boolToInt(wd.ReplLagExceeded))
+		}
 	})
 	return mux
 }
@@ -162,9 +217,10 @@ func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownNode):
 		return http.StatusNotFound
-	case errors.Is(err, ErrNotLeader), errors.Is(err, ErrCommitFailed):
+	case errors.Is(err, ErrNotLeader), errors.Is(err, ErrCommitFailed), errors.Is(err, ErrOverloaded):
 		// 503: retryable per the client's Retryable() — the caller should
-		// back off (commit_failed) or follow the leader hint (not_leader).
+		// back off (commit_failed, overloaded) or follow the leader hint
+		// (not_leader).
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
@@ -189,6 +245,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		e.Leader = LeaderHint(err)
 	case errors.Is(err, ErrCommitFailed):
 		e.Code = rmproto.CodeCommitFailed
+	case errors.Is(err, ErrOverloaded):
+		e.Code = rmproto.CodeOverloaded
+		if ra := RetryAfterHint(err); ra > 0 {
+			// Both forms of the hint: the standard header (whole seconds,
+			// rounded up — RFC 9110 allows no finer) and the body's
+			// millisecond field for clients that parse the error.
+			e.RetryAfterMs = ra.Milliseconds()
+			secs := int64((ra + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
 	}
 	writeJSON(w, status, e)
 }

@@ -1,0 +1,408 @@
+package rmserver
+
+// Network chaos suites: the control plane under partitions, flaps, and
+// asymmetric reachability, with every fault injected deterministically
+// by internal/netchaos (fixed seeds, scripted windows). Each scenario
+// ends at the recovery-equivalence oracle — the surviving RM's in-memory
+// state must equal a cold recovery of its own store — plus the
+// exactly-once check that every job's delivered volume equals its total.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flowtime/internal/netchaos"
+	"flowtime/internal/rmproto"
+	"flowtime/internal/sched"
+	"flowtime/internal/store"
+	"flowtime/internal/trace"
+)
+
+// chaosClock is a virtual timeline for the injector (tests pin fault
+// windows to it instead of racing the wall clock).
+type chaosClock struct{ now atomic.Int64 }
+
+func (c *chaosClock) set(d time.Duration) { c.now.Store(int64(d)) }
+func (c *chaosClock) read() time.Duration { return time.Duration(c.now.Load()) }
+
+func mustScript(t *testing.T, text string) netchaos.Script {
+	t.Helper()
+	sc, err := netchaos.ParseScript(text)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	return sc
+}
+
+// assertExactlyOnce checks the completed workload delivered every job's
+// volume exactly once and the RM passes the recovery-equivalence oracle.
+func assertExactlyOnce(t *testing.T, rm *Server, st rmproto.StatusResponse) {
+	t.Helper()
+	if len(st.Jobs) == 0 {
+		t.Fatal("no jobs in final status")
+	}
+	for _, j := range st.Jobs {
+		if j.State != "completed" {
+			t.Errorf("job %s state %s, want completed", j.ID, j.State)
+		}
+		if j.Delivered != j.Total {
+			t.Errorf("job %s delivered %+v, want exactly %+v (no lost, no double-counted work)",
+				j.ID, j.Delivered, j.Total)
+		}
+	}
+	if err := rm.VerifyRecoveryEquivalence(filepath.Join(t.TempDir(), "scratch")); err != nil {
+		t.Fatalf("recovery equivalence: %v", err)
+	}
+}
+
+// TestNetChaosReplicationPartitionMidShipment partitions the
+// replication link in the middle of a shipment stream: records ship,
+// the link dies while the primary keeps journaling, the link heals and
+// the follower catches up, and the post-failover workload completes
+// exactly once.
+func TestNetChaosReplicationPartitionMidShipment(t *testing.T) {
+	primary, _ := newDurableRM(t, t.TempDir(), true)
+	psrv := httptest.NewServer(primary.Handler())
+	defer psrv.Close()
+	follower, _ := newReplicaRM(t, t.TempDir(), psrv.URL)
+
+	// The partition window lives on a virtual clock the test advances.
+	inj := netchaos.New(1001, mustScript(t, "1s-2s partition repl<->rm"))
+	clk := &chaosClock{}
+	inj.SetClock(clk.read)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	replDone := make(chan error, 1)
+	go func() {
+		replDone <- follower.RunReplicator(ctx, ReplicatorConfig{
+			Primary:    psrv.URL,
+			Interval:   2 * time.Millisecond,
+			HTTPClient: &http.Client{Transport: &netchaos.Transport{Injector: inj, From: "repl", To: "rm"}},
+		})
+	}()
+	waitConverged := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for follower.store.Watermark() != primary.store.Watermark() {
+			if time.Now().After(deadline) {
+				t.Fatalf("follower never converged %s: %v vs %v", what,
+					follower.store.Watermark(), primary.store.Watermark())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Phase 1 (link up): ship the first part of the stream.
+	register(t, primary, "n1", 8, 16*1024)
+	submitBoth(t, primary)
+	pending := runSlots(t, primary, "n1", 2, nil)
+	waitConverged("before the partition")
+
+	// Phase 2 (partition): the primary keeps working; nothing ships.
+	clk.set(1500 * time.Millisecond)
+	behindWM := follower.store.Watermark()
+	runSlots(t, primary, "n1", 2, pending)
+	if primary.store.Watermark() == behindWM {
+		t.Fatal("primary journaled nothing during the partition — scenario needs mid-stream state")
+	}
+	time.Sleep(50 * time.Millisecond) // give a broken replicator time to wrongly advance
+	if follower.store.Watermark() != behindWM {
+		t.Fatal("follower watermark advanced across an active partition")
+	}
+
+	// Phase 3 (heal): the backlog drains and the follower converges.
+	clk.set(2500 * time.Millisecond)
+	waitConverged("after healing")
+
+	// Primary dies; the standby takes over and the workload finishes.
+	if _, err := follower.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	select {
+	case <-replDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replicator did not exit after promotion")
+	}
+	register(t, follower, "n1", 8, 16*1024)
+	st := driveToCompletion(t, follower, []string{"n1"}, 200)
+	assertExactlyOnce(t, follower, st)
+}
+
+// TestNetChaosFlappingLinkDuringFailover runs the replication pull loop
+// over a flapping link — including the duplicate-inducing case where a
+// batch is delivered and only its acknowledgement is lost, forcing a
+// re-ship the follower must deduplicate. The workload still completes
+// exactly once after failover.
+func TestNetChaosFlappingLinkDuringFailover(t *testing.T) {
+	primary, _ := newDurableRM(t, t.TempDir(), true)
+	psrv := httptest.NewServer(primary.Handler())
+	defer psrv.Close()
+	follower, _ := newReplicaRM(t, t.TempDir(), psrv.URL)
+
+	// Real-clock flap: 30ms up, 30ms down, forever. Ship requests and
+	// responses are judged independently, so response-only losses occur.
+	inj := netchaos.New(77, mustScript(t, "0s+ flap repl<->rm period=60ms duty=0.5"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	replDone := make(chan error, 1)
+	go func() {
+		replDone <- follower.RunReplicator(ctx, ReplicatorConfig{
+			Primary:    psrv.URL,
+			Interval:   2 * time.Millisecond,
+			HTTPClient: &http.Client{Transport: &netchaos.Transport{Injector: inj, From: "repl", To: "rm"}},
+		})
+	}()
+
+	register(t, primary, "n1", 8, 16*1024)
+	submitBoth(t, primary)
+	runSlots(t, primary, "n1", 4, nil)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for follower.store.Watermark() != primary.store.Watermark() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged through the flapping link: %v vs %v",
+				follower.store.Watermark(), primary.store.Watermark())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, err := follower.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	select {
+	case <-replDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replicator did not exit after promotion")
+	}
+	register(t, follower, "n1", 8, 16*1024)
+	st := driveToCompletion(t, follower, []string{"n1"}, 200)
+	assertExactlyOnce(t, follower, st)
+}
+
+// hostChaosRT routes each request's fault link by target host, so one
+// http.Client can reach several RMs over independently-scripted links.
+type hostChaosRT struct {
+	inj   *netchaos.Injector
+	hosts map[string]string // URL host -> link label
+}
+
+func (rt *hostChaosRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	label, ok := rt.hosts[req.URL.Host]
+	if !ok {
+		label = req.URL.Host
+	}
+	return (&netchaos.Transport{Injector: rt.inj, From: "agent", To: label}).RoundTrip(req)
+}
+
+// TestNetChaosAsymmetricSplitBrain is the dueling-primaries scenario:
+// the agent can reach the standby but not the primary (one-way
+// partition), the standby is promoted while the old primary still
+// believes it leads, and epoch fencing resolves the duel — the agent
+// lands on exactly one leader and the workload completes exactly once.
+func TestNetChaosAsymmetricSplitBrain(t *testing.T) {
+	const fastSlot = 30 * time.Millisecond
+	newFastRM := func(dir string, followerOf string) *Server {
+		st, err := store.Open(store.Options{Dir: dir, Policy: store.SyncAlways})
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		t.Cleanup(func() { st.Close() })
+		rm, err := New(Config{
+			SlotDur: fastSlot, Scheduler: sched.NewFIFO(), Store: st,
+			Follower: followerOf != "", LeaderURL: followerOf,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return rm
+	}
+	primary := newFastRM(t.TempDir(), "")
+	psrv := httptest.NewServer(primary.Handler())
+	defer psrv.Close()
+	follower := newFastRM(t.TempDir(), psrv.URL)
+	fsrv := httptest.NewServer(follower.Handler())
+	defer fsrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Replication link is clean; only the agent's path to the primary is
+	// cut — and only in the agent->primary direction.
+	replDone := make(chan error, 1)
+	go func() {
+		replDone <- follower.RunReplicator(ctx, ReplicatorConfig{
+			Primary: psrv.URL, Self: fsrv.URL, Interval: 2 * time.Millisecond,
+		})
+	}()
+
+	inj := netchaos.New(42, mustScript(t, "0s+ partition agent->rmp"))
+	agentHC := &http.Client{Transport: &hostChaosRT{
+		inj: inj,
+		hosts: map[string]string{
+			strings.TrimPrefix(psrv.URL, "http://"): "rmp",
+			strings.TrimPrefix(fsrv.URL, "http://"): "rmf",
+		},
+	}}
+	agentDone := make(chan error, 1)
+	go func() {
+		agentDone <- RunAgent(ctx, NewClient(psrv.URL, agentHC), AgentConfig{
+			NodeID:   "n1",
+			Capacity: rmproto.Resources{VCores: 8, MemoryMB: 16 * 1024},
+			RMs:      []string{psrv.URL, fsrv.URL},
+			Backoff:  Backoff{Base: 2 * time.Millisecond, Max: 30 * time.Millisecond, MaxAttempts: 2},
+			Logf:     testLogf(t),
+		})
+	}()
+
+	// The agent churns: primary unreachable, standby answers not_leader.
+	// It must not land anywhere yet.
+	time.Sleep(150 * time.Millisecond)
+	if n := primary.Status().Nodes; n != 0 {
+		t.Fatalf("agent registered with the unreachable primary (%d nodes)", n)
+	}
+	if n := follower.Status().Nodes; n != 0 {
+		t.Fatalf("agent registered with a non-promoted follower (%d nodes)", n)
+	}
+
+	// Operator promotes the standby. For a window, BOTH servers claim
+	// the primary role — the duel fencing must resolve.
+	if _, err := follower.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if follower.Role() != RolePrimary {
+		t.Fatal("promoted follower does not claim primary")
+	}
+	select {
+	case <-replDone: // replicator's parting shot fences the old primary
+	case <-time.After(10 * time.Second):
+		t.Fatal("replicator did not exit after promotion")
+	}
+	if err := primary.Tick(time.Now()); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("old primary Tick after fencing = %v, want ErrNotLeader (duel must resolve)", err)
+	}
+
+	// The agent finds the new leader on its own.
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor("agent to register with the new leader", func() bool { return follower.Status().Nodes == 1 })
+
+	// Work submitted to the new leader completes via the real agent.
+	if _, err := follower.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "post-split", Tasks: 2, TaskDurSec: 1, DemandVCores: 1, DemandMemMB: 256,
+	}}); err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	tickDone := make(chan struct{})
+	defer close(tickDone)
+	go func() {
+		ticker := time.NewTicker(fastSlot)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-tickDone:
+				return
+			case now := <-ticker.C:
+				_ = follower.Tick(now)
+			}
+		}
+	}()
+	waitFor("workload to complete on the new leader", func() bool { return allCompleted(follower.Status()) })
+
+	cancel()
+	<-agentDone
+	assertExactlyOnce(t, follower, follower.Status())
+}
+
+// TestNetChaosCodedErrorsThroughProxy is the plumbing test: coded
+// errors are header/body-based, not connection-based, so they survive a
+// degraded-but-connected network. Both netchaos seams are exercised —
+// the TCP proxy and the wrapped server listener — each under latency
+// and throttling.
+func TestNetChaosCodedErrorsThroughProxy(t *testing.T) {
+	ctx := context.Background()
+
+	// not_leader through a throttled TCP proxy: the hint survives.
+	follower, _ := newReplicaRM(t, t.TempDir(), "http://leader.example:8030")
+	fsrv := httptest.NewServer(follower.Handler())
+	defer fsrv.Close()
+	inj := netchaos.New(9, mustScript(t, "0s+ throttle c<->s 65536\n0s+ latency c->s 2ms"))
+	proxy, err := netchaos.NewProxy(inj, "c", "s", strings.TrimPrefix(fsrv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer proxy.Close()
+	_, err = NewClient(proxy.URL(), nil).RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 1, MemoryMB: 1024},
+	})
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("register via proxy = %v, want ErrNotLeader", err)
+	}
+	if hint := LeaderHint(err); hint != "http://leader.example:8030" {
+		t.Errorf("leader hint %q did not survive the TCP proxy", hint)
+	}
+
+	// overloaded + Retry-After through the same proxy seam.
+	oc := OverloadConfig{ConfirmConcurrency: 1, QueueDepth: 1, MaxWait: 5 * time.Millisecond, RetryAfter: 1200 * time.Millisecond}
+	overrm, osrv := newOverloadedRM(t, oc)
+	release, err := overrm.admission.acquire(ctx, classConfirm)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	oproxy, err := netchaos.NewProxy(netchaos.New(10, mustScript(t, "0s+ throttle c<->s 65536")),
+		"c", "s", strings.TrimPrefix(osrv.URL, "http://"))
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer oproxy.Close()
+	_, err = NewClient(oproxy.URL(), nil).RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 1, MemoryMB: 1024},
+	})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("register via proxy during overload = %v, want ErrOverloaded", err)
+	}
+	if got := RetryAfterHint(err); got != 1200*time.Millisecond {
+		t.Errorf("Retry-After hint via proxy = %v, want 1.2s (millisecond body field wins)", got)
+	}
+
+	// Same assertions through the wrapped-listener seam (the ftrm
+	// -chaos-net path), plus the RoundTripper seam on the client side.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	wrapped := netchaos.WrapListener(ln, netchaos.New(11, mustScript(t, "0s+ latency c->s 1ms")), "c", "s")
+	stop := serveRM(t, follower, wrapped)
+	defer stop()
+	chaosHC := &http.Client{Transport: &netchaos.Transport{
+		Injector: netchaos.New(12, mustScript(t, "0s+ latency c->s 1ms")), From: "c", To: "s",
+	}}
+	_, err = NewClient("http://"+ln.Addr().String(), chaosHC).RegisterNode(ctx, rmproto.RegisterNodeRequest{
+		NodeID: "n1", Capacity: rmproto.Resources{VCores: 1, MemoryMB: 1024},
+	})
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("register via wrapped listener = %v, want ErrNotLeader", err)
+	}
+	if hint := LeaderHint(err); hint != "http://leader.example:8030" {
+		t.Errorf("leader hint %q did not survive the wrapped listener", hint)
+	}
+}

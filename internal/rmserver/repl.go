@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"time"
 
 	"flowtime/internal/rmproto"
@@ -266,6 +267,10 @@ type ReplicatorConfig struct {
 	Interval time.Duration
 	// MaxBytes caps each requested batch (0 = primary's default).
 	MaxBytes int
+	// HTTPClient performs the ship/fence calls; nil uses
+	// http.DefaultClient. ftrm injects a fault-wrapped client here
+	// (-chaos-net) so the replication link itself is chaos-testable.
+	HTTPClient *http.Client
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -292,7 +297,7 @@ func (s *Server) RunReplicator(ctx context.Context, cfg ReplicatorConfig) error 
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
-	client := NewClient(cfg.Primary, nil)
+	client := NewClient(cfg.Primary, cfg.HTTPClient)
 
 	for {
 		if ctx.Err() != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowtime/internal/rmproto"
@@ -27,6 +29,40 @@ var ErrNotLeader = errors.New("rmserver: not the leader")
 // WAL record durable (disk fault). The mutation must not be assumed to
 // have taken effect; callers back off and retry.
 var ErrCommitFailed = errors.New("rmserver: wal commit failed")
+
+// ErrOverloaded is reported when the RM sheds a request under overload
+// (bounded admission queue full, deadline-aware wait exceeded, or
+// priority shedding). The request did not take effect; clients honor
+// the Retry-After hint and spend retry budget before trying again.
+var ErrOverloaded = errors.New("rmserver: overloaded")
+
+// ErrRetryBudgetExhausted is reported when a retry loop stops early
+// because its shared retry budget ran dry — the anti-amplification
+// guard: a fleet of clients retrying into an overloaded or failing RM
+// must shed its own retries rather than multiply the load.
+var ErrRetryBudgetExhausted = errors.New("rmserver: retry budget exhausted")
+
+// ErrCircuitOpen is reported by a tripped circuit breaker: enough
+// consecutive failures accumulated that calls fail fast, without
+// touching the network, until the cooldown elapses.
+var ErrCircuitOpen = errors.New("rmserver: circuit breaker open")
+
+// OverloadedError is the server-side form of ErrOverloaded, carrying
+// the shed reason and the backoff hint. errors.Is(err, ErrOverloaded)
+// matches it.
+type OverloadedError struct {
+	// Reason is the shed class: "queue_full", "queue_timeout", "priority".
+	Reason string
+	// RetryAfter is how long the client should wait before retrying.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("rmserver: overloaded (%s); retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is matches ErrOverloaded.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // NotLeaderError is the server-side form of ErrNotLeader, carrying the
 // redirect hint. errors.Is(err, ErrNotLeader) matches it.
@@ -61,6 +97,10 @@ type StatusError struct {
 	Message    string
 	// Leader is the leader hint from a not_leader response.
 	Leader string
+	// RetryAfter is the server's backoff hint, parsed from the
+	// Retry-After header or the body's retry_after_ms (whichever the
+	// transport preserved); 0 when the response carried none.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -79,8 +119,25 @@ func (e *StatusError) Is(target error) bool {
 		return e.Code == rmproto.CodeNotLeader
 	case ErrCommitFailed:
 		return e.Code == rmproto.CodeCommitFailed
+	case ErrOverloaded:
+		return e.Code == rmproto.CodeOverloaded
 	}
 	return false
+}
+
+// RetryAfterHint extracts the server's backoff hint from an error,
+// local (OverloadedError) or wire-form (StatusError); 0 when the error
+// carries none.
+func RetryAfterHint(err error) time.Duration {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
 }
 
 // LeaderHint extracts the leader URL from a not-leader error, local or
@@ -114,6 +171,12 @@ type Backoff struct {
 	// MaxAttempts bounds the total tries; 0 means 4, negative means
 	// retry until the context is cancelled.
 	MaxAttempts int
+	// FullJitter draws each delay uniformly from [0, d] instead of
+	// applying the fractional Jitter around d. Full jitter is the
+	// stronger desynchronizer for thundering herds recovering from an
+	// outage: the expected extra wait is halved and the retry instants
+	// spread across the whole window.
+	FullJitter bool
 }
 
 func (b Backoff) withDefaults() Backoff {
@@ -147,6 +210,9 @@ func (b Backoff) Delay(attempt int) time.Duration {
 			break
 		}
 	}
+	if b.FullJitter {
+		return time.Duration(d * rand.Float64())
+	}
 	if b.Jitter > 0 {
 		d = d * (1 - b.Jitter + b.Jitter*rand.Float64())
 	}
@@ -155,21 +221,188 @@ func (b Backoff) Delay(attempt int) time.Duration {
 
 // Retry runs op until it succeeds, returns a permanent error, exhausts
 // MaxAttempts, or ctx is cancelled. Between attempts it sleeps the
-// backoff delay, honoring ctx cancellation. The last error is returned.
+// backoff delay (or the server's Retry-After hint if longer), honoring
+// ctx cancellation. The last error is returned.
 func Retry(ctx context.Context, b Backoff, op func() error) error {
-	b = b.withDefaults()
+	return RetryPolicy{Backoff: b}.Do(ctx, op)
+}
+
+// RetryBudget is a token bucket shared by the retry loops of one
+// client (or one agent): each retry spends a token, each success earns
+// a fraction back. When an RM is down or shedding, a budget-less fleet
+// multiplies offered load by its retry count at the worst moment; the
+// budget caps that amplification — sustained failure drains the bucket
+// and further retries are refused until successes refill it.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earn   float64
+}
+
+// NewRetryBudget returns a budget holding at most max tokens (and
+// starting full); max <= 0 means 10. Each success deposits 0.1 tokens,
+// so the steady-state retry rate is capped at ~10% of the success rate.
+func NewRetryBudget(max float64) *RetryBudget {
+	if max <= 0 {
+		max = 10
+	}
+	return &RetryBudget{tokens: max, max: max, earn: 0.1}
+}
+
+// Spend takes one token for a retry, reporting false (and counting an
+// exhaustion) when the bucket is dry.
+func (rb *RetryBudget) Spend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		retryBudgetExhausted.Add(1)
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// Deposit credits a success, refilling the bucket toward its cap.
+func (rb *RetryBudget) Deposit() {
+	rb.mu.Lock()
+	rb.tokens += rb.earn
+	if rb.tokens > rb.max {
+		rb.tokens = rb.max
+	}
+	rb.mu.Unlock()
+}
+
+// Tokens reports the current balance (tests and status pages).
+func (rb *RetryBudget) Tokens() float64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens
+}
+
+// retryBudgetExhausted counts, process-wide, retries refused for lack
+// of budget. Any RM embedding this package (including a follower whose
+// replicator client runs in-process) reports it via /metrics.
+var retryBudgetExhausted atomic.Int64
+
+// RetryBudgetExhaustedTotal returns the process-wide count of retries
+// refused because a RetryBudget ran dry.
+func RetryBudgetExhaustedTotal() int64 { return retryBudgetExhausted.Load() }
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// failures in a row it opens: calls fail fast with ErrCircuitOpen,
+// without touching the network, until Cooldown elapses; the next call
+// then probes (half-open) and a success closes the circuit.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// circuit; 0 means 8.
+	Threshold int
+	// Cooldown is how long the circuit stays open; 0 means 2s.
+	Cooldown time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	trips     int64
+}
+
+func (br *Breaker) limits() (int, time.Duration) {
+	th, cd := br.Threshold, br.Cooldown
+	if th <= 0 {
+		th = 8
+	}
+	if cd <= 0 {
+		cd = 2 * time.Second
+	}
+	return th, cd
+}
+
+// Allow reports whether a call may proceed (closed, or half-open probe).
+func (br *Breaker) Allow() bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return time.Now().After(br.openUntil)
+}
+
+// Record feeds a call's outcome into the breaker.
+func (br *Breaker) Record(err error) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if err == nil {
+		br.fails = 0
+		return
+	}
+	br.fails++
+	th, cd := br.limits()
+	if br.fails >= th {
+		br.openUntil = time.Now().Add(cd)
+		br.fails = 0
+		br.trips++
+	}
+}
+
+// Trips returns how many times the circuit has opened.
+func (br *Breaker) Trips() int64 {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.trips
+}
+
+// RetryPolicy bundles the client-side resilience stack: exponential
+// backoff (optionally full-jitter), a shared retry budget, and a
+// circuit breaker. The zero value behaves like plain Retry.
+type RetryPolicy struct {
+	Backoff Backoff
+	// Budget, when non-nil, is consulted before every retry (not the
+	// first attempt); exhaustion stops the loop with
+	// ErrRetryBudgetExhausted joined onto the last error.
+	Budget *RetryBudget
+	// Breaker, when non-nil, gates every attempt; an open circuit
+	// fails fast with ErrCircuitOpen.
+	Breaker *Breaker
+}
+
+// Do runs op under the policy until it succeeds, returns a permanent
+// error, exhausts MaxAttempts or the retry budget, trips the breaker,
+// or ctx is cancelled. Between attempts it sleeps the larger of the
+// backoff delay and the server's Retry-After hint.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+	b := p.Backoff.withDefaults()
 	var err error
 	for attempt := 0; ; attempt++ {
 		if err = ctx.Err(); err != nil {
 			return err
 		}
-		if err = op(); err == nil || !Retryable(err) {
+		if p.Breaker != nil && !p.Breaker.Allow() {
+			if err != nil {
+				return errors.Join(ErrCircuitOpen, err)
+			}
+			return ErrCircuitOpen
+		}
+		err = op()
+		if p.Breaker != nil {
+			p.Breaker.Record(err)
+		}
+		if err == nil {
+			if p.Budget != nil {
+				p.Budget.Deposit()
+			}
+			return nil
+		}
+		if !Retryable(err) {
 			return err
 		}
 		if b.MaxAttempts > 0 && attempt+1 >= b.MaxAttempts {
 			return err
 		}
-		t := time.NewTimer(b.Delay(attempt))
+		if p.Budget != nil && !p.Budget.Spend() {
+			return errors.Join(ErrRetryBudgetExhausted, err)
+		}
+		d := b.Delay(attempt)
+		if hint := RetryAfterHint(err); hint > d {
+			d = hint
+		}
+		t := time.NewTimer(d)
 		select {
 		case <-ctx.Done():
 			t.Stop()

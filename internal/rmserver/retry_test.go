@@ -4,11 +4,48 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"flowtime/internal/rmproto"
 )
+
+// TestClientParsesRetryAfter proves the hint crosses the wire in both
+// forms: the coarse Retry-After header and the millisecond-resolution
+// retry_after_ms body field (which wins when both are present).
+func TestClientParsesRetryAfter(t *testing.T) {
+	var mode string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch mode {
+		case "header":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"code":"overloaded","message":"shed"}`))
+		case "body":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"code":"overloaded","message":"shed","retry_after_ms":1500}`))
+		}
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, nil)
+	mode = "header"
+	_, err := c.Status(context.Background())
+	if got := RetryAfterHint(err); got != 2*time.Second {
+		t.Errorf("header-only hint = %v, want 2s (err=%v)", got, err)
+	}
+	mode = "body"
+	_, err = c.Status(context.Background())
+	if got := RetryAfterHint(err); got != 1500*time.Millisecond {
+		t.Errorf("body hint = %v, want 1.5s (err=%v)", got, err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("503 overloaded response = %v, want ErrOverloaded match", err)
+	}
+}
 
 func TestBackoffDelayGrowsAndCaps(t *testing.T) {
 	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0}
@@ -111,6 +148,160 @@ func TestRetryableClassification(t *testing.T) {
 		if got := Retryable(c.err); got != c.want {
 			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
 		}
+	}
+}
+
+func TestBackoffFullJitter(t *testing.T) {
+	// Full jitter draws uniformly from [0, nominal]: every draw stays
+	// under the cap, and across many draws the low half of the window is
+	// actually used (equal-jitter and fractional-jitter schemes never
+	// go below 50%, so hitting it distinguishes the modes).
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, FullJitter: true}
+	nominal := 400 * time.Millisecond // attempt 2: 100ms * 2^2
+	sawLowHalf := false
+	for i := 0; i < 200; i++ {
+		d := b.Delay(2)
+		if d < 0 || d > nominal {
+			t.Fatalf("full-jitter delay %v outside [0, %v]", d, nominal)
+		}
+		if d < nominal/2 {
+			sawLowHalf = true
+		}
+	}
+	if !sawLowHalf {
+		t.Error("200 full-jitter draws never landed below nominal/2; distribution is not uniform over [0, d]")
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	// The server's Retry-After hint must stretch the sleep beyond the
+	// (tiny) configured backoff. One retry with a 120ms hint on a 1µs
+	// base: elapsed time proves which delay was used.
+	hint := 120 * time.Millisecond
+	calls := 0
+	start := time.Now()
+	err := Retry(context.Background(), Backoff{Base: time.Microsecond, MaxAttempts: 2}, func() error {
+		calls++
+		if calls == 1 {
+			return &StatusError{StatusCode: http.StatusServiceUnavailable, Code: rmproto.CodeOverloaded, RetryAfter: hint}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil || calls != 2 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 2", err, calls)
+	}
+	if elapsed < hint {
+		t.Errorf("retry slept only %v, want >= the server's Retry-After hint %v", elapsed, hint)
+	}
+}
+
+func TestRetryAfterHintExtraction(t *testing.T) {
+	if got := RetryAfterHint(&OverloadedError{Reason: "queue_full", RetryAfter: 250 * time.Millisecond}); got != 250*time.Millisecond {
+		t.Errorf("hint from OverloadedError = %v, want 250ms", got)
+	}
+	if got := RetryAfterHint(&StatusError{StatusCode: 503, Code: rmproto.CodeOverloaded, RetryAfter: time.Second}); got != time.Second {
+		t.Errorf("hint from StatusError = %v, want 1s", got)
+	}
+	if got := RetryAfterHint(errors.New("plain")); got != 0 {
+		t.Errorf("hint from plain error = %v, want 0", got)
+	}
+}
+
+func TestOverloadedErrorMatchesSentinel(t *testing.T) {
+	local := error(&OverloadedError{Reason: "priority", RetryAfter: time.Second})
+	wire := error(&StatusError{StatusCode: http.StatusServiceUnavailable, Code: rmproto.CodeOverloaded})
+	for _, err := range []error{local, wire} {
+		if !errors.Is(err, ErrOverloaded) {
+			t.Errorf("%T does not match ErrOverloaded", err)
+		}
+	}
+	if errors.Is(error(&StatusError{StatusCode: 503}), ErrOverloaded) {
+		t.Error("plain 503 must not match ErrOverloaded")
+	}
+}
+
+func TestRetryBudgetCapsAmplification(t *testing.T) {
+	rb := NewRetryBudget(3)
+	before := RetryBudgetExhaustedTotal()
+	calls := 0
+	err := RetryPolicy{
+		Backoff: Backoff{Base: time.Microsecond, MaxAttempts: -1},
+		Budget:  rb,
+	}.Do(context.Background(), func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("Do = %v, want ErrRetryBudgetExhausted", err)
+	}
+	// 1 initial attempt + 3 budgeted retries.
+	if calls != 4 {
+		t.Errorf("calls = %d, want 4 (initial + 3 budgeted retries)", calls)
+	}
+	if got := RetryBudgetExhaustedTotal() - before; got != 1 {
+		t.Errorf("exhaustion counter advanced by %d, want 1", got)
+	}
+	// Successes refill the bucket a fraction at a time.
+	for i := 0; i < 20; i++ {
+		rb.Deposit()
+	}
+	if tok := rb.Tokens(); tok < 1.9 || tok > 2.1 {
+		t.Errorf("tokens after 20 deposits = %v, want ~2 (0.1 per success)", tok)
+	}
+}
+
+func TestBreakerTripsAndCoolsDown(t *testing.T) {
+	br := &Breaker{Threshold: 3, Cooldown: 50 * time.Millisecond}
+	fail := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if !br.Allow() {
+			t.Fatalf("breaker open after only %d failures", i)
+		}
+		br.Record(fail)
+	}
+	if br.Allow() {
+		t.Fatal("breaker still closed after hitting threshold")
+	}
+	if br.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", br.Trips())
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("breaker did not half-open after cooldown")
+	}
+	br.Record(nil) // probe succeeds: circuit closes, streak resets
+	br.Record(fail)
+	br.Record(fail)
+	if !br.Allow() {
+		t.Error("success did not reset the consecutive-failure streak")
+	}
+}
+
+func TestRetryPolicyFailsFastWhenCircuitOpen(t *testing.T) {
+	br := &Breaker{Threshold: 2, Cooldown: time.Hour}
+	calls := 0
+	err := RetryPolicy{
+		Backoff: Backoff{Base: time.Microsecond, MaxAttempts: -1},
+		Breaker: br,
+	}.Do(context.Background(), func() error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do = %v, want ErrCircuitOpen", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (threshold trips, then fail-fast)", calls)
+	}
+	// With the circuit open, no network attempt is made at all.
+	calls = 0
+	err = RetryPolicy{Backoff: Backoff{Base: time.Microsecond}, Breaker: br}.Do(context.Background(), func() error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, ErrCircuitOpen) || calls != 0 {
+		t.Errorf("open circuit: err=%v calls=%d, want ErrCircuitOpen and 0 calls", err, calls)
 	}
 }
 

@@ -76,6 +76,13 @@ type Config struct {
 	// LeaderURL is the redirect hint handed to rejected clients while
 	// this server is a follower (typically the primary's URL).
 	LeaderURL string
+	// Overload, when non-nil, bounds the HTTP front door with per-class
+	// admission queues and load shedding (see overload.go). nil leaves
+	// the API unguarded, as before.
+	Overload *OverloadConfig
+	// Watchdog enables the liveness detectors (see watchdog.go). The
+	// zero value disables both.
+	Watchdog WatchdogConfig
 }
 
 // Server is the resource manager. Create with New. All methods are safe
@@ -103,6 +110,12 @@ type Server struct {
 	fenced    bool
 	leaderURL string
 	repl      replState
+
+	// Overload and liveness protection (overload.go, watchdog.go).
+	// admission is nil unless Config.Overload is set; watchdog is
+	// always present (its detectors may be disabled).
+	admission *admission
+	watchdog  *watchdog
 }
 
 // node tracks one node manager. pending holds quanta queued for the next
@@ -236,6 +249,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Follower {
 		s.role = RoleFollower
 	}
+	if cfg.Overload != nil {
+		s.admission = newAdmission(*cfg.Overload)
+	}
+	s.watchdog = newWatchdog(cfg.Watchdog)
 	s.cond = sync.NewCond(&s.mu)
 	if s.store != nil {
 		if err := s.recoverLocked(); err != nil {
@@ -624,6 +641,9 @@ func (s *Server) Tick(now time.Time) error {
 		}
 		s.mu.Unlock()
 	}
+	if err == nil {
+		s.watchdog.noteTick(now)
+	}
 	return err
 }
 
@@ -921,6 +941,21 @@ func (s *Server) Status() rmproto.StatusResponse {
 			}
 		}
 		resp.Replication = r
+	}
+	if s.admission != nil {
+		resp.Overload = s.admission.status()
+	}
+	// Every status poll re-evaluates the watchdogs, so a scraped RM
+	// never reports stale liveness verdicts.
+	now := time.Now()
+	var lag int64
+	var lagKnown bool
+	if resp.Replication != nil && resp.Replication.FollowerSeen {
+		lag, lagKnown = resp.Replication.LagRecords, true
+	}
+	s.watchdog.check(now, lag, lagKnown)
+	if s.cfg.Watchdog.enabled() {
+		resp.Watchdog = s.watchdog.status(now)
 	}
 	return resp
 }

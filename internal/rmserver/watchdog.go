@@ -1,0 +1,156 @@
+package rmserver
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"flowtime/internal/rmproto"
+)
+
+// Liveness watchdogs. A wedged control plane is worse than a dead one:
+// a dead RM fails fast and agents rotate, but an RM whose tick loop has
+// stalled — or whose standby has silently stopped ingesting — keeps
+// answering status probes while deadlines slip and the failover target
+// goes stale. The watchdogs detect both conditions and surface them in
+// /v1/status and /metrics, where an operator (or a chaos suite) can
+// alert on them.
+//
+// Trips are latched once per excursion: a detector increments its trip
+// counter when the condition first becomes true and not again until it
+// has cleared, so flapping near the threshold reads as distinct
+// incidents rather than a counter spinning per poll.
+
+// WatchdogConfig enables the liveness detectors. Zero values disable
+// each detector individually.
+type WatchdogConfig struct {
+	// StuckTickAfter trips the "stuck_tick" detector when no scheduling
+	// tick has completed for this long. Set it to a small multiple of
+	// SlotDur (3-5x); 0 disables.
+	StuckTickAfter time.Duration
+	// ReplLagRecords trips the "repl_lag" detector when the follower's
+	// acknowledged watermark falls this many WAL records behind the
+	// primary (or the follower spans an older generation). 0 disables.
+	ReplLagRecords int64
+}
+
+func (c WatchdogConfig) enabled() bool {
+	return c.StuckTickAfter > 0 || c.ReplLagRecords > 0
+}
+
+type watchdog struct {
+	cfg WatchdogConfig
+
+	mu          sync.Mutex
+	lastTickAt  time.Time
+	trips       map[string]int64
+	stuckActive bool
+	lagActive   bool
+}
+
+func newWatchdog(cfg WatchdogConfig) *watchdog {
+	return &watchdog{cfg: cfg, trips: make(map[string]int64)}
+}
+
+// noteTick records a completed scheduling tick, clearing the stuck-tick
+// excursion if one was active.
+func (w *watchdog) noteTick(now time.Time) {
+	w.mu.Lock()
+	w.lastTickAt = now
+	w.stuckActive = false
+	w.mu.Unlock()
+}
+
+// check evaluates both detectors. lagRecords is the primary's view of
+// follower lag; lagKnown is false when there is no follower to judge
+// (standalone RM, or a follower that has never reported), which clears
+// rather than trips the lag detector — absence of replication is a
+// topology choice, not a liveness fault.
+func (w *watchdog) check(now time.Time, lagRecords int64, lagKnown bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cfg.StuckTickAfter > 0 && !w.lastTickAt.IsZero() {
+		stuck := now.Sub(w.lastTickAt) > w.cfg.StuckTickAfter
+		if stuck && !w.stuckActive {
+			w.trips["stuck_tick"]++
+		}
+		w.stuckActive = stuck
+	}
+	if w.cfg.ReplLagRecords > 0 {
+		lagging := lagKnown && lagRecords > w.cfg.ReplLagRecords
+		if lagging && !w.lagActive {
+			w.trips["repl_lag"]++
+		}
+		w.lagActive = lagging
+	}
+}
+
+// status snapshots the detectors for /v1/status and /metrics.
+func (w *watchdog) status(now time.Time) *rmproto.WatchdogStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := &rmproto.WatchdogStatus{
+		StuckTick:       w.stuckActive,
+		ReplLagExceeded: w.lagActive,
+	}
+	if !w.lastTickAt.IsZero() {
+		st.LastTickAgoMs = now.Sub(w.lastTickAt).Milliseconds()
+	}
+	if len(w.trips) > 0 {
+		st.Trips = make(map[string]int64, len(w.trips))
+		for k, v := range w.trips {
+			st.Trips[k] = v
+		}
+	}
+	return st
+}
+
+// CheckWatchdogs evaluates the liveness detectors once against now.
+// Status() also evaluates them on every call, so polling /v1/status is
+// enough to keep them fresh; RunWatchdogs adds an internal cadence for
+// deployments nobody is polling.
+func (s *Server) CheckWatchdogs(now time.Time) {
+	lag, known := s.replLag()
+	s.watchdog.check(now, lag, known)
+}
+
+// RunWatchdogs re-evaluates the detectors every interval until ctx is
+// cancelled (interval <= 0 means 1s). Run it in a goroutine next to the
+// tick loop.
+func (s *Server) RunWatchdogs(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			s.CheckWatchdogs(now)
+		}
+	}
+}
+
+// replLag reports the primary's view of follower WAL lag in records,
+// and whether a follower has reported at all. Cross-generation lag
+// (follower needs a snapshot install) is reported as the whole head
+// segment, matching Status().
+func (s *Server) replLag() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil || !s.repl.hasFollower {
+		return 0, false
+	}
+	wm := s.store.Watermark()
+	f := s.repl.followerWM
+	lag := wm.Records
+	if f.Gen == wm.Gen {
+		lag = wm.Records - f.Records
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return lag, true
+}
