@@ -1,12 +1,12 @@
 # FlowTime build/test targets. `make check` is the CI gate: vet plus the
 # full test suite — including the rmserver chaos tests — under the race
-# detector, plus a coverage run. `make verify` is the differential
+# detector, plus a coverage run and the sim-smoke scenario replay. `make verify` is the differential
 # verification sweep (oracle cross-checks, metamorphic relations, sim
 # invariants) plus short fuzz bursts over the WAL framing.
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint bench bench-smoke cover verify fuzz chaos chaos-net check
+.PHONY: build test race vet fmt lint bench bench-smoke cover verify fuzz chaos chaos-net sim-smoke check
 
 build:
 	$(GO) build ./...
@@ -68,21 +68,35 @@ fuzz:
 	$(GO) test -fuzz FuzzRoundTripWithCorruption -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 10s -run '^$$' ./internal/store/
 
+# sim-smoke replays the small bundled scenario trace (testdata/
+# scenario-smoke.json, emitted by `ftgen -scenario flash -machines 40
+# -days 1 -seed 42`) through the machine-granular simulator with the
+# per-machine invariant checker armed, then replays a generated churn
+# scenario so join/fail/scale events are exercised too. Both finish in
+# well under a second.
+sim-smoke:
+	$(GO) run ./cmd/ftsim -trace testdata/scenario-smoke.json -machines 40 -slot 60s -horizon 1440 -sched FlowTime -invariants
+	$(GO) run ./cmd/ftsim -scenario churn -machines 40 -days 1 -seed 42 -sched EDF -invariants
+
 # bench runs the micro-benchmarks and then the RM perf probes, leaving
 # machine-readable reports for the perf trajectory: BENCH_rm.json
 # (confirm throughput with and without the WAL, fsync percentiles,
 # recovery time), BENCH_lp.json (LexMinMax wall time, rounds, pivots,
-# and warm-start hit rate at Fig. 7 scale), and BENCH_overload.json
+# and warm-start hit rate at Fig. 7 scale), BENCH_overload.json
 # (admission-control shedding under a submit flood: shed latency,
-# confirm survival, Retry-After hinting, post-overload recovery).
+# confirm survival, Retry-After hinting, post-overload recovery), and
+# BENCH_sim.json (machine-granular simulator throughput: slots/s,
+# events/s, and peak RSS replaying a 10k-machine, 3-day diurnal
+# scenario).
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -simout BENCH_sim.json
 
 # bench-smoke is the CI form: every benchmark runs exactly once so a
-# broken benchmark fails fast without paying for a measurement run.
+# broken benchmark fails fast without paying for a measurement run; the
+# sim probe shrinks to 1k machines over one simulated day.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -duration 100ms -lpiters 1
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -duration 100ms -lpiters 1 -simout BENCH_sim.json -sim-machines 1000 -sim-days 1
 
-check: vet fmt lint race cover
+check: vet fmt lint race cover sim-smoke

@@ -7,6 +7,13 @@
 //	ftgen [-o trace.json] [-seed 1] [-workflows 5] [-jobs 18]
 //	      [-deadline-factor 2.5] [-adhoc 40] [-adhoc-gap 45s]
 //	      [-err-lo 0] [-err-hi 0]
+//	ftgen -scenario diurnal [-machines 100] [-days 3] [-seed 1] [-o trace.json]
+//
+// With -scenario the trace comes from the scenario engine (diurnal,
+// flash, stragglers, churn, energy) and is streamed out with a
+// provenance block (generator, seed, parameters) — ftsim can replay the
+// file, or regenerate the exact scenario (including machine events,
+// which the trace schema does not carry) from the recorded seed.
 package main
 
 import (
@@ -16,9 +23,11 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	"flowtime/internal/resource"
+	"flowtime/internal/scenario"
 	"flowtime/internal/trace"
 	"flowtime/internal/workflow"
 	"flowtime/internal/workload"
@@ -29,6 +38,10 @@ func main() {
 	var (
 		out            = flag.String("o", "", "output file (default stdout)")
 		seed           = flag.Int64("seed", 1, "random seed")
+		scenarioName   = flag.String("scenario", "", fmt.Sprintf("emit a scenario trace: %s", strings.Join(scenario.Names(), ", ")))
+		machines       = flag.Int("machines", 0, "scenario cluster size (scenario mode; default 100)")
+		days           = flag.Int("days", 0, "scenario length in days (scenario mode; default 3)")
+		slot           = flag.Duration("slot", 0, "scenario slot duration (scenario mode; default 60s)")
 		workflows      = flag.Int("workflows", 5, "number of deadline workflows")
 		jobs           = flag.Int("jobs", 18, "jobs per workflow")
 		deadlineFactor = flag.Float64("deadline-factor", 2.5, "deadline = factor x critical path")
@@ -39,10 +52,54 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*out, *seed, *workflows, *jobs, *deadlineFactor, *adhocCount, *adhocGap, *errLo, *errHi); err != nil {
+	var err error
+	if *scenarioName != "" {
+		err = runScenario(*out, scenario.Spec{
+			Name:     *scenarioName,
+			Seed:     *seed,
+			Machines: *machines,
+			Days:     *days,
+			SlotDur:  *slot,
+		})
+	} else {
+		err = run(*out, *seed, *workflows, *jobs, *deadlineFactor, *adhocCount, *adhocGap, *errLo, *errHi)
+	}
+	if err != nil {
 		log.Println("ftgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario streams a generated scenario trace to the output; the
+// workload is written record by record, never materialized as one
+// document.
+func runScenario(out string, spec scenario.Spec) error {
+	sc, err := scenario.Generate(spec)
+	if err != nil {
+		return err
+	}
+	w, closeFn, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	return sc.WriteTrace(w)
+}
+
+// openOut opens the output target (stdout when empty).
+func openOut(out string) (io.Writer, func(), error) {
+	if out == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() {
+		if cerr := f.Close(); cerr != nil {
+			log.Println("ftgen: close:", cerr)
+		}
+	}, nil
 }
 
 func run(out string, seed int64, nWf, jobs int, factor float64, adhocCount int, adhocGap time.Duration, errLo, errHi float64) error {
@@ -85,18 +142,10 @@ func run(out string, seed int64, nWf, jobs int, factor float64, adhocCount int, 
 		return err
 	}
 
-	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if cerr := f.Close(); cerr != nil {
-				log.Println("ftgen: close:", cerr)
-			}
-		}()
-		w = f
+	w, closeFn, err := openOut(out)
+	if err != nil {
+		return err
 	}
+	defer closeFn()
 	return tr.Write(w)
 }

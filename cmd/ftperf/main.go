@@ -69,9 +69,12 @@ func main() {
 	out := flag.String("out", "BENCH_rm.json", "output path for the JSON report")
 	lpOut := flag.String("lpout", "BENCH_lp.json", "output path for the LP solver report (empty to skip)")
 	overloadOut := flag.String("overloadout", "BENCH_overload.json", "output path for the overload probe report (empty to skip)")
+	simOut := flag.String("simout", "BENCH_sim.json", "output path for the simulator probe report (empty to skip)")
 	dur := flag.Duration("duration", 2*time.Second, "wall-clock budget per throughput probe")
 	jobs := flag.Int("jobs", 64, "concurrent ad-hoc jobs per probe")
 	lpIters := flag.Int("lpiters", 3, "LexMinMax calls per instance size in the LP probe")
+	simMachines := flag.Int("sim-machines", 10000, "machine count for the simulator probe")
+	simDays := flag.Int("sim-days", 3, "simulated days for the simulator probe")
 	flag.Parse()
 
 	rep := report{
@@ -169,6 +172,23 @@ func main() {
 			log.Fatalf("ftperf: %v", err)
 		}
 		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*overloadOut), odata)
+	}
+
+	if *simOut != "" {
+		srep, err := simProbe(*simMachines, *simDays)
+		if err != nil {
+			log.Fatalf("ftperf: sim probe: %v", err)
+		}
+		srep.Timestamp = rep.Timestamp
+		srep.GoVersion = rep.GoVersion
+		srep.GOOS = rep.GOOS
+		srep.GOARCH = rep.GOARCH
+		sdata, _ := json.MarshalIndent(srep, "", "  ")
+		sdata = append(sdata, '\n')
+		if err := os.WriteFile(*simOut, sdata, 0o644); err != nil {
+			log.Fatalf("ftperf: %v", err)
+		}
+		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*simOut), sdata)
 	}
 }
 

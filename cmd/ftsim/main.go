@@ -1,14 +1,24 @@
-// Command ftsim replays a workload trace (see ftgen) through a scheduler
-// on a simulated cluster and prints the paper's metrics.
+// Command ftsim replays a workload through a scheduler on a simulated
+// cluster and prints the paper's metrics. The workload comes from a trace
+// file (see ftgen) or from a named synthetic scenario; with -machines the
+// cluster is simulated machine-granularly and every grant is placed on
+// concrete nodes.
 //
 // Usage:
 //
-//	ftsim -trace trace.json [-sched FlowTime] [-cores 100] [-mem-mb 204800]
+//	ftsim -trace trace.json [-trace-format native|alibaba|google]
+//	      [-sched FlowTime] [-cores 100] [-mem-mb 204800]
 //	      [-slot 10s] [-horizon 8000] [-slack 60s] [-cp-decompose] [-v]
-//	      [-dip from:until:percent] [-invariants]
+//	      [-dip from:until:percent]... [-invariants] [-machines N]
+//	ftsim -scenario diurnal [-machines 10000] [-days 3] [-seed 1] ...
 //
 // -dip injects a capacity outage: e.g. -dip 120:240:50 halves the cluster
-// between slots 120 and 240.
+// between slots 120 and 240. The flag repeats for multiple windows. In
+// machine mode dips become cluster scale events on the machine set.
+//
+// -scenario accepts diurnal, flash, stragglers, churn, or energy; the
+// scenario engine generates the workload, the machine set, and the
+// machine event stream from -seed, so runs are exactly reproducible.
 //
 // -sched accepts FlowTime, CORA, EDF, Fair, FIFO, Morpheus, or "all".
 package main
@@ -19,80 +29,229 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"flowtime/internal/cluster"
 	"flowtime/internal/core"
 	"flowtime/internal/experiments"
+	"flowtime/internal/machine"
 	"flowtime/internal/metrics"
 	"flowtime/internal/resource"
+	"flowtime/internal/scenario"
 	"flowtime/internal/sched"
 	"flowtime/internal/sim"
 	"flowtime/internal/trace"
+	"flowtime/internal/workflow"
 	"flowtime/internal/workload"
 )
 
+// dipWindow is one -dip occurrence: capacity drops to pct% of nominal
+// during [from, until).
+type dipWindow struct {
+	from, until, pct int64
+}
+
+// dipFlags collects repeated -dip occurrences.
+type dipFlags []dipWindow
+
+// String implements flag.Value.
+func (d *dipFlags) String() string {
+	parts := make([]string, 0, len(*d))
+	for _, w := range *d {
+		parts = append(parts, fmt.Sprintf("%d:%d:%d", w.from, w.until, w.pct))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value with strict validation: exactly three
+// colon-separated integers, a non-empty window, and a percentage in
+// [0, 100]. (The old fmt.Sscanf parser silently accepted trailing
+// garbage and inverted windows.)
+func (d *dipFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -dip %q: want from:until:percent", s)
+	}
+	var vals [3]int64
+	names := [3]string{"from", "until", "percent"}
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -dip %q: %s %q is not an integer", s, names[i], p)
+		}
+		vals[i] = v
+	}
+	w := dipWindow{from: vals[0], until: vals[1], pct: vals[2]}
+	if w.from < 0 {
+		return fmt.Errorf("bad -dip %q: from %d is negative", s, w.from)
+	}
+	if w.until <= w.from {
+		return fmt.Errorf("bad -dip %q: window [%d, %d) is empty (want from < until)", s, w.from, w.until)
+	}
+	if w.pct < 0 || w.pct > 100 {
+		return fmt.Errorf("bad -dip %q: percent %d outside [0, 100]", s, w.pct)
+	}
+	*d = append(*d, w)
+	return nil
+}
+
+type options struct {
+	tracePath    string
+	traceFormat  string
+	scenarioName string
+	schedName    string
+	machines     int
+	days         int
+	seed         int64
+	cores, memMB int64
+	machineCores int64
+	machineMemMB int64
+	slot         time.Duration
+	slotSet      bool
+	horizon      int64
+	horizonSet   bool
+	slack        time.Duration
+	cpDecomp     bool
+	dips         dipFlags
+	invariants   bool
+	verbose      bool
+}
+
 func main() {
 	log.SetFlags(0)
-	var (
-		tracePath = flag.String("trace", "", "trace JSON file (required)")
-		schedName = flag.String("sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus, all")
-		cores     = flag.Int64("cores", 100, "cluster vcores")
-		memMB     = flag.Int64("mem-mb", 200*1024, "cluster memory (MiB)")
-		slot      = flag.Duration("slot", 10*time.Second, "slot duration")
-		horizon   = flag.Int64("horizon", 8000, "horizon in slots")
-		slack     = flag.Duration("slack", 60*time.Second, "FlowTime deadline slack")
-		cpDecomp  = flag.Bool("cp-decompose", false, "use critical-path decomposition")
-		dip       = flag.String("dip", "", "capacity outage as from:until:percent (slots, % remaining)")
-		invar     = flag.Bool("invariants", false, "verify per-slot safety invariants (fail loudly on violation)")
-		verbose   = flag.Bool("v", false, "print per-job outcomes")
-	)
+	var o options
+	flag.StringVar(&o.tracePath, "trace", "", "trace file (this or -scenario is required)")
+	flag.StringVar(&o.traceFormat, "trace-format", "native",
+		fmt.Sprintf("trace file format: %s", strings.Join(scenario.TraceFormats(), ", ")))
+	flag.StringVar(&o.scenarioName, "scenario", "",
+		fmt.Sprintf("synthetic scenario: %s", strings.Join(scenario.Names(), ", ")))
+	flag.StringVar(&o.schedName, "sched", "FlowTime", "scheduler: FlowTime, CORA, EDF, Fair, FIFO, Morpheus, all")
+	flag.IntVar(&o.machines, "machines", 0, "simulate this many machines individually (0 = aggregate cluster; scenarios default to their own size)")
+	flag.IntVar(&o.days, "days", 0, "scenario length in days (scenario mode; default 3)")
+	flag.Int64Var(&o.seed, "seed", 1, "scenario generator seed")
+	flag.Int64Var(&o.cores, "cores", 100, "cluster vcores (aggregate mode)")
+	flag.Int64Var(&o.memMB, "mem-mb", 200*1024, "cluster memory in MiB (aggregate mode)")
+	flag.Int64Var(&o.machineCores, "machine-cores", 16, "per-machine vcores (machine mode)")
+	flag.Int64Var(&o.machineMemMB, "machine-mem-mb", 32*1024, "per-machine memory in MiB (machine mode)")
+	flag.DurationVar(&o.slot, "slot", 10*time.Second, "slot duration (scenarios default to 60s)")
+	flag.Int64Var(&o.horizon, "horizon", 8000, "horizon in slots (scenarios default to their full span)")
+	flag.DurationVar(&o.slack, "slack", 60*time.Second, "FlowTime deadline slack")
+	flag.BoolVar(&o.cpDecomp, "cp-decompose", false, "use critical-path decomposition")
+	flag.Var(&o.dips, "dip", "capacity outage as from:until:percent (slots, % remaining); repeatable")
+	flag.BoolVar(&o.invariants, "invariants", false, "verify per-slot safety invariants (fail loudly on violation)")
+	flag.BoolVar(&o.verbose, "v", false, "print per-job outcomes")
 	flag.Parse()
-	if *tracePath == "" {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "slot":
+			o.slotSet = true
+		case "horizon":
+			o.horizonSet = true
+		}
+	})
+	if (o.tracePath == "") == (o.scenarioName == "") {
+		log.Println("ftsim: exactly one of -trace or -scenario is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *schedName, *cores, *memMB, *slot, *horizon, *slack, *cpDecomp, *dip, *invar, *verbose); err != nil {
+	if err := run(o); err != nil {
 		log.Println("ftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, horizon int64, slack time.Duration, cpDecomp bool, dip string, invariants, verbose bool) error {
-	f, err := os.Open(tracePath)
-	if err != nil {
-		return err
-	}
-	tr, err := trace.Read(f)
-	if cerr := f.Close(); cerr != nil && err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
+// workloadSource yields a fresh copy of the workload for each scheduler
+// run (schedulers must not share workflow objects across runs).
+type workloadSource func() ([]*workflow.Workflow, []workflow.AdHoc, error)
 
-	names := []string{schedName}
-	if schedName == "all" {
-		names = experiments.AllAlgorithms()
-	}
-
-	capacity := resource.New(cores, memMB)
-	profile := cluster.Constant(capacity)
-	if dip != "" {
-		var from, until, pct int64
-		if _, err := fmt.Sscanf(dip, "%d:%d:%d", &from, &until, &pct); err != nil {
-			return fmt.Errorf("bad -dip %q (want from:until:percent): %w", dip, err)
+func run(o options) error {
+	var (
+		load     workloadSource
+		machines []machine.Spec
+		events   []machine.Event
+	)
+	if o.scenarioName != "" {
+		spec := scenario.Spec{
+			Name:         o.scenarioName,
+			Seed:         o.seed,
+			Machines:     o.machines,
+			Days:         o.days,
+			MachineCores: o.machineCores,
+			MachineMemMB: o.machineMemMB,
 		}
-		profile, err = profile.WithDip(from, until, pct, 100)
+		if o.slotSet {
+			spec.SlotDur = o.slot
+		}
+		sc, err := scenario.Generate(spec)
 		if err != nil {
 			return err
 		}
+		machines, events = sc.Machines, sc.Events
+		o.slot = sc.SlotDur
+		if !o.horizonSet {
+			o.horizon = sc.Horizon
+		}
+		log.Printf("scenario %s: seed %d, %d machines, %d workflows, %d ad-hoc jobs, %d machine events, %d slots of %v",
+			sc.Spec.Name, sc.Spec.Seed, len(sc.Machines), len(sc.Workflows), len(sc.AdHoc), len(sc.Events), o.horizon, o.slot)
+		load = func() ([]*workflow.Workflow, []workflow.AdHoc, error) {
+			// Regenerate per scheduler: runs must not share mutable state,
+			// and the generator is deterministic from the seed.
+			fresh, err := scenario.Generate(spec)
+			if err != nil {
+				return nil, nil, err
+			}
+			return fresh.Workflows, fresh.AdHoc, nil
+		}
+	} else {
+		tr, err := loadTrace(o.tracePath, o.traceFormat)
+		if err != nil {
+			return err
+		}
+		load = tr.ToWorkload
+		if o.machines > 0 {
+			machines = machine.Homogeneous("m", o.machines,
+				resource.New(o.machineCores, o.machineMemMB))
+		}
 	}
+
+	machineMode := len(machines) > 0
+
+	// Compile the capacity dips: scale events in machine mode, a stepped
+	// profile in aggregate mode.
+	var profile *cluster.Profile
+	if machineMode {
+		for _, w := range o.dips {
+			events = append(events,
+				machine.Event{Slot: w.from, Kind: machine.SetScale, ScaleNum: w.pct, ScaleDen: 100},
+				machine.Event{Slot: w.until, Kind: machine.SetScale, ScaleNum: 100, ScaleDen: 100},
+			)
+		}
+		machine.SortEvents(events)
+	} else {
+		profile = cluster.Constant(resource.New(o.cores, o.memMB))
+		for _, w := range o.dips {
+			var err error
+			if profile, err = profile.WithDip(w.from, w.until, w.pct, 100); err != nil {
+				return err
+			}
+		}
+	}
+
+	names := []string{o.schedName}
+	if o.schedName == "all" {
+		names = experiments.AllAlgorithms()
+	}
+
 	rows := [][]string{{
 		"scheduler", "jobs missed", "wf missed", "lateness max", "avg ad-hoc turnaround",
 	}}
+	machRows := [][]string{{
+		"scheduler", "live min/peak", "events", "placed units", "frag fails", "unplaced", "peak skyline",
+	}}
 	for _, name := range names {
-		wfs, adhoc, err := tr.ToWorkload()
+		wfs, adhoc, err := load()
 		if err != nil {
 			return err
 		}
@@ -104,21 +263,27 @@ func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, ho
 			}
 		}
 		cfg := core.DefaultConfig()
-		cfg.Slack = slack
+		cfg.Slack = o.slack
 		s, err := experiments.NewScheduler(name, history, cfg)
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(sim.Config{
-			SlotDur:           slot,
-			Horizon:           horizon,
-			Capacity:          profile.Func(),
+		simCfg := sim.Config{
+			SlotDur:           o.slot,
+			Horizon:           o.horizon,
 			Scheduler:         s,
 			Workflows:         wfs,
 			AdHoc:             adhoc,
-			ForceCriticalPath: cpDecomp,
-			Invariants:        invariants,
-		})
+			ForceCriticalPath: o.cpDecomp,
+			Invariants:        o.invariants,
+			RecordLoad:        machineMode,
+		}
+		if machineMode {
+			simCfg.Machines = &sim.MachineMode{Initial: machines, Events: events}
+		} else {
+			simCfg.Capacity = profile.Func()
+		}
+		res, err := sim.Run(simCfg)
 		if err != nil {
 			return err
 		}
@@ -131,7 +296,19 @@ func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, ho
 			metrics.Seconds(late.Max),
 			metrics.Seconds(sum.AvgTurnaround),
 		})
-		if verbose {
+		if res.Machine != nil {
+			m := res.Machine
+			machRows = append(machRows, []string{
+				name,
+				fmt.Sprintf("%d/%d", m.MinLive, m.PeakLive),
+				fmt.Sprintf("%d", m.MachineEvents),
+				fmt.Sprintf("%d", m.Stats.PlacedUnits),
+				fmt.Sprintf("%d", m.Stats.FragmentationFailures),
+				m.UnplacedVolume.String(),
+				peakSkyline(res.Load),
+			})
+		}
+		if o.verbose {
 			for _, j := range res.Jobs {
 				status := "met"
 				if j.Missed() {
@@ -143,5 +320,53 @@ func run(tracePath, schedName string, cores, memMB int64, slot time.Duration, ho
 		}
 	}
 	fmt.Print(metrics.Table(rows))
+	if machineMode {
+		fmt.Print(metrics.Table(machRows))
+	}
 	return nil
+}
+
+// peakSkyline reports the run's peak cluster usage as a percentage of the
+// capacity in the same slot — the top of the skyline the planners flatten.
+func peakSkyline(loadSamples []sim.LoadSample) string {
+	peak := 0.0
+	for _, s := range loadSamples {
+		if share := s.Deadline.Add(s.AdHoc).DominantShare(s.Capacity); share > peak {
+			peak = share
+		}
+	}
+	return fmt.Sprintf("%.0f%%", peak*100)
+}
+
+// loadTrace reads a trace file in any supported format, converting
+// external formats into the native document.
+func loadTrace(path, format string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			log.Println("ftsim: close:", cerr)
+		}
+	}()
+	switch format {
+	case "native":
+		return trace.Read(f)
+	case "alibaba", "google":
+		var coll scenario.Collector
+		var stats scenario.LoadStats
+		if format == "alibaba" {
+			stats, err = scenario.ConvertAlibaba(f, &coll, scenario.LoadOptions{})
+		} else {
+			stats, err = scenario.ConvertGoogle(f, &coll, scenario.LoadOptions{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("converted %s trace: %s", format, stats)
+		return coll.Trace(&trace.Meta{Generator: "import/" + format}), nil
+	default:
+		return nil, fmt.Errorf("unknown -trace-format %q (have %s)", format, strings.Join(scenario.TraceFormats(), ", "))
+	}
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDipFlagAccepts(t *testing.T) {
+	var d dipFlags
+	for _, s := range []string{"120:240:50", "0:10:0", "500:600:100"} {
+		if err := d.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if len(d) != 3 {
+		t.Fatalf("len = %d, want 3 accumulated windows", len(d))
+	}
+	if d[0] != (dipWindow{from: 120, until: 240, pct: 50}) {
+		t.Fatalf("d[0] = %+v", d[0])
+	}
+	if got := d.String(); got != "120:240:50,0:10:0,500:600:100" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDipFlagRejects(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"240:120:50", "from < until"},           // inverted window
+		{"120:120:50", "from < until"},           // empty window
+		{"-5:10:50", "negative"},                 // negative start
+		{"0:10:150", "outside [0, 100]"},         // percent too high
+		{"0:10:-1", "outside [0, 100]"},          // percent negative
+		{"0:10", "want from:until:percent"},      // too few fields
+		{"0:10:50:2", "want from:until:percent"}, // too many fields
+		{"a:10:50", "not an integer"},            // non-numeric from
+		{"0:b:50", "not an integer"},             // non-numeric until
+		{"0:10:c", "not an integer"},             // non-numeric percent
+		{"0:10:50 trailing", "not an integer"},   // trailing garbage
+		{"", "want from:until:percent"},          // empty
+	}
+	for _, tc := range cases {
+		var d dipFlags
+		err := d.Set(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Set(%q): err = %v, want %q", tc.in, err, tc.want)
+		}
+		if len(d) != 0 {
+			t.Errorf("Set(%q) appended despite error", tc.in)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Alibaba cluster-trace 2018 loader. The batch_task.csv table of the
+// public trace (github.com/alibaba/clusterdata, v2018) has one row per
+// task:
+//
+//	task_name,instance_num,job_name,task_type,status,start_time,end_time,plan_cpu,plan_mem
+//
+// DAG structure is encoded in task_name: "M3_1_2" is task 3 depending on
+// tasks 1 and 2; names without that structure ("task_...", "MergeTask")
+// are independent. Rows of one job are contiguous in the file, so the
+// converter buffers exactly one job at a time and streams workflows out
+// as they complete: multi-day inputs never materialize. (Single-task
+// DAG-less jobs become ad-hoc records; those are fixed-size and buffered
+// until the end because the schema orders workflows first.)
+//
+// Mapping to the native schema: instance_num -> Tasks, end-start ->
+// TaskDurSec, plan_cpu/CPUPerCore (percent of a core) -> DemandVCores,
+// plan_mem*MemScaleMB (normalized) -> DemandMemMB. Timestamps are kept
+// as-is (the public trace records seconds from trace start). Deadlines
+// are synthesized at DeadlineFactor x the job's observed makespan — the
+// trace has no deadlines, and the paper's own production traces motivate
+// loose ones (§II-B).
+package scenario
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"flowtime/internal/trace"
+)
+
+// alibabaRow is one parsed batch_task.csv row.
+type alibabaRow struct {
+	taskID     int   // parsed from task_name; -1 when unstructured
+	deps       []int // parsed parent task IDs
+	instances  int
+	job        string
+	start, end int64
+	vcores     int64
+	memMB      int64
+}
+
+// ConvertAlibaba streams an Alibaba 2018 batch_task.csv into the native
+// trace format. Malformed rows (wrong field count, non-numeric numbers,
+// end before start) abort with an error naming the line; rows with a
+// non-terminal status or zero duration are skipped and counted.
+func ConvertAlibaba(r io.Reader, out Emitter, opt LoadOptions) (LoadStats, error) {
+	opt = opt.withDefaults()
+	var stats LoadStats
+
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 9
+	cr.ReuseRecord = true
+
+	var (
+		pending    []alibabaRow // rows of the job being buffered
+		pendingJob string
+		jobSeen    = make(map[string]int) // job name -> recurrences flushed
+		adhoc      []trace.AdHocRecord
+	)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		defer func() { pending = pending[:0] }()
+		jobSeen[pendingJob]++
+		name := pendingJob
+		if n := jobSeen[pendingJob]; n > 1 {
+			// The same job name reappearing later in the file is a new
+			// recurrence of the job; keep IDs unique.
+			name = fmt.Sprintf("%s#%d", pendingJob, n)
+		}
+		wfRec, isAdhoc, ahRec, err := buildAlibabaJob(name, pending, opt)
+		if err != nil {
+			return err
+		}
+		if isAdhoc {
+			if opt.MaxAdHoc > 0 && len(adhoc) >= opt.MaxAdHoc {
+				stats.SkippedRows++
+				return nil
+			}
+			adhoc = append(adhoc, ahRec)
+			return nil
+		}
+		if opt.MaxWorkflows > 0 && stats.Workflows >= opt.MaxWorkflows {
+			stats.SkippedRows += len(pending)
+			return nil
+		}
+		if err := out.Workflow(wfRec); err != nil {
+			return err
+		}
+		stats.Workflows++
+		stats.Jobs += len(wfRec.Jobs)
+		return nil
+	}
+
+	for line := 1; ; line++ {
+		fields, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("scenario: alibaba line %d: %w", line, err)
+		}
+		stats.Rows++
+		row, skip, err := parseAlibabaRow(fields, opt)
+		if err != nil {
+			return stats, fmt.Errorf("scenario: alibaba line %d: %w", line, err)
+		}
+		if skip {
+			stats.SkippedRows++
+			continue
+		}
+		if row.job != pendingJob {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+			pendingJob = row.job
+		}
+		pending = append(pending, cloneAlibabaRow(row))
+	}
+	if err := flush(); err != nil {
+		return stats, err
+	}
+	for _, rec := range adhoc {
+		if err := out.AdHoc(rec); err != nil {
+			return stats, err
+		}
+		stats.AdHoc++
+	}
+	return stats, nil
+}
+
+func cloneAlibabaRow(r alibabaRow) alibabaRow {
+	r.deps = append([]int(nil), r.deps...)
+	return r
+}
+
+// parseAlibabaRow validates one CSV row. skip=true means the row is
+// well-formed but carries no completed work (non-terminal status).
+func parseAlibabaRow(fields []string, opt LoadOptions) (alibabaRow, bool, error) {
+	var row alibabaRow
+	taskName := strings.TrimSpace(fields[0])
+	if taskName == "" {
+		return row, false, errors.New("empty task_name")
+	}
+	row.job = strings.TrimSpace(fields[2])
+	if row.job == "" {
+		return row, false, errors.New("empty job_name")
+	}
+	status := strings.TrimSpace(fields[4])
+	if status != "" && !strings.EqualFold(status, "Terminated") {
+		return row, true, nil
+	}
+	var err error
+	if row.instances, err = strconv.Atoi(strings.TrimSpace(fields[1])); err != nil {
+		return row, false, fmt.Errorf("instance_num %q: %w", fields[1], err)
+	}
+	if row.instances < 1 {
+		row.instances = 1
+	}
+	if row.start, err = strconv.ParseInt(strings.TrimSpace(fields[5]), 10, 64); err != nil {
+		return row, false, fmt.Errorf("start_time %q: %w", fields[5], err)
+	}
+	if row.end, err = strconv.ParseInt(strings.TrimSpace(fields[6]), 10, 64); err != nil {
+		return row, false, fmt.Errorf("end_time %q: %w", fields[6], err)
+	}
+	if row.start < 0 || row.end < 0 {
+		return row, false, fmt.Errorf("negative timestamp (start %d, end %d)", row.start, row.end)
+	}
+	if row.end < row.start {
+		return row, false, fmt.Errorf("out-of-order timestamps: end %d before start %d", row.end, row.start)
+	}
+	if row.end == 0 || row.end == row.start {
+		return row, true, nil // never ran, or zero duration: no schedulable work
+	}
+	planCPU, err := strconv.ParseFloat(strings.TrimSpace(fields[7]), 64)
+	if err != nil {
+		return row, false, fmt.Errorf("plan_cpu %q: %w", fields[7], err)
+	}
+	planMem, err := strconv.ParseFloat(strings.TrimSpace(fields[8]), 64)
+	if err != nil {
+		return row, false, fmt.Errorf("plan_mem %q: %w", fields[8], err)
+	}
+	if planCPU < 0 || planMem < 0 {
+		return row, false, fmt.Errorf("negative demand (plan_cpu %g, plan_mem %g)", planCPU, planMem)
+	}
+	row.vcores = int64(math.Ceil(planCPU / opt.CPUPerCore))
+	row.memMB = int64(math.Ceil(planMem * opt.MemScaleMB))
+	row.taskID, row.deps = parseAlibabaTaskName(taskName)
+	return row, false, nil
+}
+
+// parseAlibabaTaskName decodes DAG structure from names like "M3_1_2"
+// (task 3, parents 1 and 2). Unstructured names return (-1, nil).
+func parseAlibabaTaskName(name string) (int, []int) {
+	// Strip the leading letters of the first token (task type markers:
+	// M, R, J, ...). Names like "task_Xyz" or "MergeTask" have no digits
+	// after the letters and stay unstructured.
+	parts := strings.Split(name, "_")
+	head := parts[0]
+	i := 0
+	for i < len(head) && (head[i] < '0' || head[i] > '9') {
+		i++
+	}
+	id, err := strconv.Atoi(head[i:])
+	if err != nil || i == 0 {
+		return -1, nil
+	}
+	var deps []int
+	for _, p := range parts[1:] {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return -1, nil // mixed structure: treat as unstructured
+		}
+		deps = append(deps, d)
+	}
+	return id, deps
+}
+
+// buildAlibabaJob converts one buffered job's rows into a workflow
+// record (or an ad-hoc record for single-task DAG-less jobs).
+func buildAlibabaJob(name string, rows []alibabaRow, opt LoadOptions) (trace.WorkflowRecord, bool, trace.AdHocRecord, error) {
+	var wf trace.WorkflowRecord
+	submit := rows[0].start
+	var latest int64
+	for _, r := range rows {
+		if r.start < submit {
+			submit = r.start
+		}
+		if r.end > latest {
+			latest = r.end
+		}
+	}
+	makespan := latest - submit
+	if makespan < 1 {
+		makespan = 1
+	}
+
+	if len(rows) == 1 && len(rows[0].deps) == 0 {
+		r := rows[0]
+		return wf, true, trace.AdHocRecord{
+			ID:           name,
+			SubmitSec:    submit,
+			Tasks:        r.instances,
+			TaskDurSec:   maxI64(1, r.end-r.start),
+			DemandVCores: maxI64(1, r.vcores),
+			DemandMemMB:  maxI64(1, r.memMB),
+		}, nil
+	}
+
+	wf.ID = name
+	wf.SubmitSec = submit
+	wf.DeadlineSec = submit + int64(float64(makespan)*opt.DeadlineFactor)
+	idToIdx := make(map[int]int, len(rows))
+	for i, r := range rows {
+		if r.taskID >= 0 {
+			if _, dup := idToIdx[r.taskID]; dup {
+				return wf, false, trace.AdHocRecord{},
+					fmt.Errorf("job %s: duplicate task id %d", name, r.taskID)
+			}
+			idToIdx[r.taskID] = i
+		}
+		wf.Jobs = append(wf.Jobs, trace.JobRecord{
+			Name:         fmt.Sprintf("t%d", i),
+			Tasks:        r.instances,
+			TaskDurSec:   maxI64(1, r.end-r.start),
+			DemandVCores: maxI64(1, r.vcores),
+			DemandMemMB:  maxI64(1, r.memMB),
+		})
+	}
+	for i, r := range rows {
+		for _, d := range r.deps {
+			from, ok := idToIdx[d]
+			if !ok {
+				continue // parent outside the subset: drop the edge
+			}
+			if from == i {
+				continue
+			}
+			wf.Deps = append(wf.Deps, [2]int{from, i})
+		}
+	}
+	return wf, false, trace.AdHocRecord{}, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+// Google ClusterData 2019 loader. The public trace (Wilkes et al.,
+// "Google cluster-usage traces v3") ships as JSONL tables; the
+// collection_events table has one line per collection lifecycle event:
+//
+//	{"time":"112500000000","type":0,"collection_id":"376535491110",
+//	 "priority":103,"resource_request":{"cpus":0.015,"memory":0.0038}, ...}
+//
+// Types follow the v3 schema: 0=SUBMIT .. 6=FINISH (string spellings are
+// accepted too). The converter pairs each collection's SUBMIT with its
+// terminal event to recover the duration, and emits one ad-hoc record per
+// collection (the public trace exposes no intra-collection DAG).
+// Resources are normalized compute units; CPUScale/MemScaleMB in
+// LoadOptions map them to vcores/MiB. Times are microseconds from trace
+// start and convert to seconds.
+//
+// The input streams line by line; per-collection state is one small
+// struct, so multi-day subsets convert in bounded memory proportional to
+// the number of concurrently open collections, not the file size.
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flowtime/internal/trace"
+)
+
+// googleEvent is one collection_events line; flexible types absorb the
+// string-vs-number variation across public dumps.
+type googleEvent struct {
+	Time         flexInt64  `json:"time"`
+	Type         flexType   `json:"type"`
+	CollectionID flexString `json:"collection_id"`
+	Priority     int64      `json:"priority"`
+	Request      *struct {
+		CPUs   float64 `json:"cpus"`
+		Memory float64 `json:"memory"`
+	} `json:"resource_request"`
+	Instances int `json:"instances"`
+}
+
+// flexInt64 decodes both 123 and "123".
+type flexInt64 int64
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *flexInt64) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	if s == "" || s == "null" {
+		*f = 0
+		return nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("number %q: %w", s, err)
+	}
+	*f = flexInt64(v)
+	return nil
+}
+
+// flexString decodes both "id" and 123.
+type flexString string
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *flexString) UnmarshalJSON(b []byte) error {
+	*f = flexString(strings.Trim(string(b), `"`))
+	return nil
+}
+
+// flexType decodes the event type as a number or a v3 spelling.
+type flexType int
+
+// Google v3 collection event types (the ones the converter acts on).
+const (
+	googleSubmit = 0
+	googleFinish = 6
+	googleFail   = 5
+	googleKill   = 7
+	googleLost   = 8
+)
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *flexType) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	if v, err := strconv.Atoi(s); err == nil {
+		*f = flexType(v)
+		return nil
+	}
+	switch strings.ToUpper(s) {
+	case "SUBMIT":
+		*f = googleSubmit
+	case "QUEUE":
+		*f = 1
+	case "ENABLE":
+		*f = 2
+	case "SCHEDULE":
+		*f = 3
+	case "EVICT":
+		*f = 4
+	case "FAIL":
+		*f = googleFail
+	case "FINISH":
+		*f = googleFinish
+	case "KILL":
+		*f = googleKill
+	case "LOST":
+		*f = googleLost
+	default:
+		return fmt.Errorf("unknown event type %q", s)
+	}
+	return nil
+}
+
+// openCollection is the per-collection state between SUBMIT and the
+// terminal event.
+type openCollection struct {
+	submitSec int64
+	vcores    int64
+	memMB     int64
+	tasks     int
+}
+
+// ConvertGoogle streams a Google ClusterData 2019 collection_events JSONL
+// subset into the native trace format (ad-hoc records). Malformed lines
+// abort with an error naming the line; collections whose terminal event
+// was truncated away get LoadOptions.DefaultDur and are counted in
+// DefaultedDurations.
+func ConvertGoogle(r io.Reader, out Emitter, opt LoadOptions) (LoadStats, error) {
+	opt = opt.withDefaults()
+	var stats LoadStats
+
+	open := make(map[string]*openCollection)
+	var emitted int
+	emit := func(id string, oc *openCollection, durSec int64) error {
+		if opt.MaxAdHoc > 0 && emitted >= opt.MaxAdHoc {
+			return nil
+		}
+		if durSec < 1 {
+			durSec = 1
+		}
+		if err := out.AdHoc(trace.AdHocRecord{
+			ID:           "g-" + id,
+			SubmitSec:    oc.submitSec,
+			Tasks:        oc.tasks,
+			TaskDurSec:   durSec,
+			DemandVCores: oc.vcores,
+			DemandMemMB:  oc.memMB,
+		}); err != nil {
+			return err
+		}
+		emitted++
+		stats.AdHoc++
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		stats.Rows++
+		var ev googleEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return stats, fmt.Errorf("scenario: google line %d: %w", line, err)
+		}
+		if ev.CollectionID == "" {
+			return stats, fmt.Errorf("scenario: google line %d: missing collection_id", line)
+		}
+		if ev.Time < 0 {
+			return stats, fmt.Errorf("scenario: google line %d: negative time %d", line, ev.Time)
+		}
+		id := string(ev.CollectionID)
+		sec := int64(ev.Time) / 1_000_000
+		switch int(ev.Type) {
+		case googleSubmit:
+			oc := &openCollection{submitSec: sec, vcores: 1, memMB: 1, tasks: 1}
+			if ev.Request != nil {
+				if ev.Request.CPUs < 0 || ev.Request.Memory < 0 {
+					return stats, fmt.Errorf("scenario: google line %d: negative resource request", line)
+				}
+				oc.vcores = maxI64(1, int64(math.Round(ev.Request.CPUs*opt.CPUScale)))
+				oc.memMB = maxI64(1, int64(math.Round(ev.Request.Memory*opt.MemScaleMB*100)))
+			}
+			if ev.Instances > 0 {
+				oc.tasks = ev.Instances
+			}
+			open[id] = oc
+		case googleFinish, googleFail, googleKill, googleLost:
+			oc, ok := open[id]
+			if !ok {
+				stats.SkippedRows++ // terminal event for a collection submitted before the subset
+				continue
+			}
+			if sec < oc.submitSec {
+				return stats, fmt.Errorf("scenario: google line %d: collection %s finishes at %ds before submit %ds (out-of-order timestamps)",
+					line, id, sec, oc.submitSec)
+			}
+			delete(open, id)
+			if err := emit(id, oc, sec-oc.submitSec); err != nil {
+				return stats, err
+			}
+		default:
+			stats.SkippedRows++ // QUEUE/ENABLE/SCHEDULE/EVICT carry no new sizing
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, fmt.Errorf("scenario: google: %w", err)
+	}
+	// Collections whose terminal event was truncated away: emit with the
+	// default duration, in deterministic ID order.
+	ids := make([]string, 0, len(open))
+	for id := range open {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := emit(id, open[id], int64(opt.DefaultDur.Seconds())); err != nil {
+			return stats, err
+		}
+		stats.DefaultedDurations++
+	}
+	return stats, nil
+}

@@ -1,0 +1,114 @@
+// Shared loader plumbing: the Emitter sink both converters stream into,
+// an in-memory Collector for direct replay, and the conversion options.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"flowtime/internal/trace"
+)
+
+// Emitter receives converted records one at a time, in schema order
+// (workflows first). *trace.StreamWriter satisfies it, so conversions
+// stream straight to disk without materializing the document; Collector
+// satisfies it for in-memory replay.
+type Emitter interface {
+	Workflow(rec trace.WorkflowRecord) error
+	AdHoc(rec trace.AdHocRecord) error
+}
+
+// Collector buffers converted records in memory (for ftsim replaying an
+// external trace directly).
+type Collector struct {
+	workflows []trace.WorkflowRecord
+	adhoc     []trace.AdHocRecord
+}
+
+// Workflow implements Emitter.
+func (c *Collector) Workflow(rec trace.WorkflowRecord) error {
+	c.workflows = append(c.workflows, rec)
+	return nil
+}
+
+// AdHoc implements Emitter.
+func (c *Collector) AdHoc(rec trace.AdHocRecord) error {
+	c.adhoc = append(c.adhoc, rec)
+	return nil
+}
+
+// Trace assembles the collected records into a native document.
+func (c *Collector) Trace(meta *trace.Meta) *trace.Trace {
+	return &trace.Trace{
+		Version:   trace.FormatVersion,
+		Meta:      meta,
+		Workflows: c.workflows,
+		AdHoc:     c.adhoc,
+	}
+}
+
+// LoadOptions tunes the external-trace converters. Zero values pick
+// documented defaults.
+type LoadOptions struct {
+	// MaxWorkflows / MaxAdHoc stop the conversion after this many records
+	// (0 = unlimited) — multi-day traces are sampled, not swallowed.
+	MaxWorkflows, MaxAdHoc int
+	// DeadlineFactor synthesizes deadlines for loaded workflows (the
+	// external traces carry none): deadline = submit + factor x observed
+	// makespan. Default 4.
+	DeadlineFactor float64
+	// CPUPerCore is the Alibaba plan_cpu units per vcore (the trace
+	// records percent-of-core; 100 = 1 core). Default 100.
+	CPUPerCore float64
+	// MemScaleMB maps one normalized memory unit to MiB. Alibaba plan_mem
+	// and Google memory are fractions of a machine; default 655 (i.e.
+	// 100 normalized units = 64 GiB).
+	MemScaleMB float64
+	// CPUScale maps one normalized Google CPU unit to vcores. Default 64
+	// (one NCU = the largest machine's core count).
+	CPUScale float64
+	// DefaultDur is assumed for records whose completion never appears in
+	// the subset (truncated collections). Default 5m.
+	DefaultDur time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.DeadlineFactor == 0 {
+		o.DeadlineFactor = 4
+	}
+	if o.CPUPerCore == 0 {
+		o.CPUPerCore = 100
+	}
+	if o.MemScaleMB == 0 {
+		o.MemScaleMB = 655
+	}
+	if o.CPUScale == 0 {
+		o.CPUScale = 64
+	}
+	if o.DefaultDur == 0 {
+		o.DefaultDur = 5 * time.Minute
+	}
+	return o
+}
+
+// LoadStats reports what a conversion did.
+type LoadStats struct {
+	// Rows is how many input rows/lines were consumed.
+	Rows int
+	// Workflows/Jobs/AdHoc count emitted records.
+	Workflows, Jobs, AdHoc int
+	// SkippedRows counts rows dropped for benign reasons (non-terminal
+	// status, zero duration); malformed rows are errors, not skips.
+	SkippedRows int
+	// DefaultedDurations counts records that fell back to
+	// LoadOptions.DefaultDur because their completion was truncated away.
+	DefaultedDurations int
+}
+
+func (s LoadStats) String() string {
+	return fmt.Sprintf("rows=%d workflows=%d jobs=%d adhoc=%d skipped=%d defaulted=%d",
+		s.Rows, s.Workflows, s.Jobs, s.AdHoc, s.SkippedRows, s.DefaultedDurations)
+}
+
+// TraceFormats lists the external formats the converters understand.
+func TraceFormats() []string { return []string{"native", "alibaba", "google"} }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"flowtime/internal/machine"
 	"flowtime/internal/resource"
 )
 
@@ -114,5 +115,34 @@ func (c *InvariantChecker) CheckSlot(slot int64, capacity resource.Vector, obs [
 		return fmt.Errorf("invariant: slot %d allocation %v exceeds capacity %v", slot, used, capacity)
 	}
 	c.slots++
+	return nil
+}
+
+// CheckMachines verifies the machine-mode per-node invariants for one
+// slot: no machine is overcommitted beyond its effective capacity (the
+// cluster guarantees by construction that only live machines carry
+// work, so any usage row is a live machine), and the summed per-machine
+// occupancy equals exactly the volume the simulator granted — every
+// consumed quantum landed somewhere concrete, and nothing landed twice.
+func (c *InvariantChecker) CheckMachines(slot int64, granted resource.Vector, usage []machine.Usage) error {
+	var sum resource.Vector
+	seen := make(map[string]bool, len(usage))
+	for _, u := range usage {
+		if seen[u.ID] {
+			return fmt.Errorf("invariant: machine %s reported twice in slot %d", u.ID, slot)
+		}
+		seen[u.ID] = true
+		if u.Used.AnyNegative() {
+			return fmt.Errorf("invariant: machine %s negative occupancy %v", u.ID, u.Used)
+		}
+		if !u.Used.FitsIn(u.Capacity) {
+			return fmt.Errorf("invariant: machine %s overcommitted: %v on capacity %v in slot %d",
+				u.ID, u.Used, u.Capacity, slot)
+		}
+		sum = sum.Add(u.Used)
+	}
+	if sum != granted {
+		return fmt.Errorf("invariant: slot %d placed volume %v != granted volume %v", slot, sum, granted)
+	}
 	return nil
 }

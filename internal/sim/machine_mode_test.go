@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowtime/internal/machine"
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+	"flowtime/internal/workflow"
+)
+
+func machineModeConfig(machines []machine.Spec, events []machine.Event, adhoc []workflow.AdHoc) Config {
+	return Config{
+		SlotDur:    10 * time.Second,
+		Horizon:    50,
+		Scheduler:  sched.NewFIFO(),
+		AdHoc:      adhoc,
+		Machines:   &MachineMode{Initial: machines, Events: events},
+		Invariants: true,
+	}
+}
+
+func TestMachineModeRejectsExplicitCapacity(t *testing.T) {
+	cfg := machineModeConfig(machine.Homogeneous("m", 2, resource.New(4, 4096)), nil, nil)
+	cfg.Capacity = func(int64) resource.Vector { return resource.New(1, 1) }
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Capacity must be nil") {
+		t.Fatalf("err = %v, want capacity-conflict error", err)
+	}
+}
+
+func TestMachineModeRunsToCompletion(t *testing.T) {
+	adhoc := []workflow.AdHoc{{
+		ID: "a", Tasks: 4, TaskDuration: 20 * time.Second,
+		TaskDemand: resource.New(1, 512),
+	}}
+	res, err := Run(machineModeConfig(machine.Homogeneous("m", 2, resource.New(2, 2048)), nil, adhoc))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.AdHoc) != 1 || !res.AdHoc[0].Completed {
+		t.Fatalf("ad-hoc outcome = %+v", res.AdHoc)
+	}
+	if res.Machine == nil {
+		t.Fatal("machine mode produced no MachineResult")
+	}
+	m := res.Machine
+	if m.PeakLive != 2 || m.MinLive != 2 || m.FinalLive != 2 {
+		t.Fatalf("live counts = %d/%d/%d, want 2/2/2", m.MinLive, m.PeakLive, m.FinalLive)
+	}
+	if m.Stats.PlacedUnits == 0 {
+		t.Fatal("no units placed")
+	}
+	if !m.UnplacedVolume.IsZero() {
+		t.Fatalf("unplaced volume %v on an uncontended cluster", m.UnplacedVolume)
+	}
+	if res.InvariantSlots == 0 {
+		t.Fatal("invariants did not run")
+	}
+	if res.Events == 0 {
+		t.Fatal("no events counted")
+	}
+}
+
+func TestMachineModeEventsChangeCapacity(t *testing.T) {
+	events := []machine.Event{
+		{Slot: 3, Kind: machine.Fail, ID: "m-0"},
+		{Slot: 6, Kind: machine.Join, Spec: machine.Spec{ID: "m-0", Capacity: resource.New(2, 2048)}},
+	}
+	adhoc := []workflow.AdHoc{{
+		ID: "a", Tasks: 8, TaskDuration: 100 * time.Second,
+		TaskDemand: resource.New(1, 512),
+	}}
+	res, err := Run(machineModeConfig(machine.Homogeneous("m", 2, resource.New(2, 2048)), events, adhoc))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Machine
+	if m == nil {
+		t.Fatal("no MachineResult")
+	}
+	if m.MachineEvents != 2 {
+		t.Fatalf("MachineEvents = %d, want 2", m.MachineEvents)
+	}
+	if m.MinLive != 1 || m.PeakLive != 2 || m.FinalLive != 2 {
+		t.Fatalf("live counts = %d/%d/%d, want 1/2/2", m.MinLive, m.PeakLive, m.FinalLive)
+	}
+	if m.Stats.Fails != 1 || m.Stats.Joins != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}
+
+// TestMachineModeFragmentationStarvesOversizedTasks: a task whose demand
+// exceeds every machine can be granted by the fluid scheduler but never
+// placed — the volume shows up as unplaced and the job cannot finish.
+func TestMachineModeFragmentationStarvesOversizedTasks(t *testing.T) {
+	adhoc := []workflow.AdHoc{{
+		ID: "big", Tasks: 1, TaskDuration: 10 * time.Second,
+		TaskDemand: resource.New(4, 512), // no single 2-core machine fits this
+	}}
+	res, err := Run(machineModeConfig(machine.Homogeneous("m", 2, resource.New(2, 2048)), nil, adhoc))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.AdHoc[0].Completed {
+		t.Fatal("oversized task completed despite fitting no machine")
+	}
+	m := res.Machine
+	if m.UnplacedVolume.IsZero() {
+		t.Fatal("no unplaced volume reported")
+	}
+	if m.Stats.Failures == 0 {
+		t.Fatal("no placement failures counted")
+	}
+}
+
+// TestMachineModeMatchesAggregateWhenUnconstrained: with one huge
+// machine, placement can never fail, so machine mode must reproduce the
+// aggregate simulation's outcomes exactly.
+func TestMachineModeMatchesAggregateWhenUnconstrained(t *testing.T) {
+	adhoc := []workflow.AdHoc{
+		{ID: "a", Tasks: 4, TaskDuration: 30 * time.Second, TaskDemand: resource.New(1, 512)},
+		{ID: "b", Submit: 20 * time.Second, Tasks: 2, TaskDuration: 50 * time.Second, TaskDemand: resource.New(2, 256)},
+	}
+	big := resource.New(64, 65536)
+	mres, err := Run(machineModeConfig([]machine.Spec{{ID: "jumbo", Capacity: big}}, nil, adhoc))
+	if err != nil {
+		t.Fatalf("machine-mode Run: %v", err)
+	}
+	ares, err := Run(Config{
+		SlotDur:    10 * time.Second,
+		Horizon:    50,
+		Scheduler:  sched.NewFIFO(),
+		AdHoc:      adhoc,
+		Capacity:   func(int64) resource.Vector { return big },
+		Invariants: true,
+	})
+	if err != nil {
+		t.Fatalf("aggregate Run: %v", err)
+	}
+	if len(mres.AdHoc) != len(ares.AdHoc) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(mres.AdHoc), len(ares.AdHoc))
+	}
+	for i := range mres.AdHoc {
+		if mres.AdHoc[i] != ares.AdHoc[i] {
+			t.Fatalf("outcome %d diverged: machine %+v vs aggregate %+v", i, mres.AdHoc[i], ares.AdHoc[i])
+		}
+	}
+	if !mres.Machine.UnplacedVolume.IsZero() {
+		t.Fatalf("unplaced volume %v on a single huge machine", mres.Machine.UnplacedVolume)
+	}
+}
+
+func TestCheckMachinesViolations(t *testing.T) {
+	c := NewInvariantChecker()
+	// Overcommitted machine.
+	err := c.CheckMachines(0, resource.New(8, 512), []machine.Usage{
+		{ID: "m", Used: resource.New(8, 512), Capacity: resource.New(4, 4096)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overcommitted") {
+		t.Fatalf("err = %v, want overcommitted", err)
+	}
+	// Placement/grant accounting mismatch.
+	err = c.CheckMachines(0, resource.New(4, 512), []machine.Usage{
+		{ID: "m", Used: resource.New(2, 512), Capacity: resource.New(4, 4096)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "granted volume") {
+		t.Fatalf("err = %v, want granted-volume mismatch", err)
+	}
+	// Duplicate machine.
+	err = c.CheckMachines(0, resource.New(2, 512), []machine.Usage{
+		{ID: "m", Used: resource.New(1, 256), Capacity: resource.New(4, 4096)},
+		{ID: "m", Used: resource.New(1, 256), Capacity: resource.New(4, 4096)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v, want reported-twice", err)
+	}
+	// Clean slot.
+	if err := c.CheckMachines(0, resource.New(2, 512), []machine.Usage{
+		{ID: "m", Used: resource.New(2, 512), Capacity: resource.New(4, 4096)},
+	}); err != nil {
+		t.Fatalf("clean slot rejected: %v", err)
+	}
+}

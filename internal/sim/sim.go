@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"flowtime/internal/deadline"
+	"flowtime/internal/machine"
 	"flowtime/internal/resource"
 	"flowtime/internal/sched"
 	"flowtime/internal/workflow"
@@ -55,8 +56,27 @@ type Config struct {
 	Faults *FaultInjection
 	// Invariants enables the per-slot InvariantChecker: every slot's
 	// grants and accounting are verified against the simulator's safety
-	// invariants, and the run fails loudly on the first violation.
+	// invariants, and the run fails loudly on the first violation. In
+	// machine mode the per-machine invariants (no per-node overcommit, no
+	// placement on a dead machine) are checked too.
 	Invariants bool
+	// Machines, when non-nil, switches the run to machine mode: the
+	// cluster is modeled machine-granularly, capacity is the sum of live
+	// machines (Capacity must be nil — the machine set defines it), and
+	// every grant is placed on concrete machines in task-sized units.
+	// Work that fits the aggregate but no single machine is refused —
+	// fragmentation the fluid model cannot see — and reported in
+	// Result.Machine.
+	Machines *MachineMode
+}
+
+// MachineMode configures machine-granular simulation.
+type MachineMode struct {
+	// Initial is the machine set live at slot 0.
+	Initial []machine.Spec
+	// Events are the timed joins/leaves/failures/capacity-scalings,
+	// sorted by slot (machine.SortEvents).
+	Events []machine.Event
 }
 
 // JobOutcome records one deadline job's result.
@@ -150,6 +170,28 @@ type Result struct {
 	// InvariantSlots is how many slots the InvariantChecker verified
 	// (zero unless Config.Invariants was set).
 	InvariantSlots int64
+	// Events counts scheduling-relevant events over the run: arrivals,
+	// completions, estimate revisions, capacity steps, and machine
+	// events — the denominator of the bench probe's events/s.
+	Events int64
+	// Machine holds machine-mode diagnostics (nil in aggregate mode).
+	Machine *MachineResult
+}
+
+// MachineResult reports what the placement layer saw in machine mode.
+type MachineResult struct {
+	// MachineEvents is how many cluster events were applied.
+	MachineEvents int64
+	// PeakLive/MinLive/FinalLive track the live-machine count (MinLive
+	// is measured over simulated slots).
+	PeakLive, MinLive, FinalLive int
+	// Stats are the cluster's placement counters: placements, units,
+	// failures, and the fragmentation-only failure subset.
+	Stats machine.Stats
+	// UnplacedVolume is the total granted volume the placement layer had
+	// to refuse (no single machine could hold it); the scheduler's fluid
+	// plan overestimated the packable capacity by exactly this much.
+	UnplacedVolume resource.Vector
 }
 
 type runJob struct {
@@ -167,6 +209,7 @@ type runJob struct {
 	actualLeft  resource.Vector // true remaining volume
 	consumed    resource.Vector
 	parallelCap resource.Vector
+	taskDemand  resource.Vector // placement unit in machine mode
 	minSlots    int64
 
 	bestEffort bool
@@ -183,6 +226,32 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("sim: horizon %d, want > 0", cfg.Horizon)
+	}
+	var cluster *machine.Cluster
+	var mres *MachineResult
+	var events []machine.Event
+	if cfg.Machines != nil {
+		if cfg.Capacity != nil {
+			return nil, errors.New("sim: machine mode supplies its own capacity; Capacity must be nil")
+		}
+		// Compile the aggregate capacity profile the schedulers plan
+		// against: the sum of live machines after each event.
+		bps, caps, err := machine.Profile(cfg.Machines.Initial, cfg.Machines.Events)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cfg.Capacity = func(slot int64) resource.Vector {
+			i := sort.Search(len(bps), func(k int) bool { return bps[k] > slot })
+			if i == 0 {
+				return caps[0]
+			}
+			return caps[i-1]
+		}
+		if cluster, err = machine.NewCluster(cfg.Machines.Initial); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		events = cfg.Machines.Events
+		mres = &MachineResult{PeakLive: cluster.Live(), MinLive: cluster.Live()}
 	}
 	if cfg.Capacity == nil {
 		return nil, errors.New("sim: nil capacity function")
@@ -218,15 +287,36 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Invariants {
 		checker = NewInvariantChecker()
 	}
+	evIdx := 0
 
 	for slot := int64(0); slot < cfg.Horizon; slot++ {
 		now := time.Duration(slot) * cfg.SlotDur
+
+		// Machine events are the ground truth behind capacity steps: apply
+		// everything due this slot, then open the slot's occupancy window.
+		if cluster != nil {
+			for evIdx < len(events) && events[evIdx].Slot <= slot {
+				if err := cluster.Apply(events[evIdx]); err != nil {
+					return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+				}
+				mres.MachineEvents++
+				res.Events++
+				evIdx++
+			}
+			cluster.BeginSlot(slot)
+			if l := cluster.Live(); l > mres.PeakLive {
+				mres.PeakLive = l
+			} else if l < mres.MinLive {
+				mres.MinLive = l
+			}
+		}
 
 		// Capacity-profile steps (node loss/recovery, maintenance dips)
 		// are scheduling events.
 		if c := cfg.Capacity(slot); c != prevCap {
 			prevCap = c
 			changed = true
+			res.Events++
 		}
 
 		// Arrivals.
@@ -235,6 +325,7 @@ func Run(cfg Config) (*Result, error) {
 				j.arrivedYet = true
 				pendingArrivals--
 				changed = true
+				res.Events++
 			}
 		}
 
@@ -309,6 +400,16 @@ func Run(cfg Config) (*Result, error) {
 			if g.AnyNegative() || g.IsZero() {
 				continue
 			}
+			if cluster != nil {
+				// The fluid grant must land on concrete machines; what
+				// doesn't fit anywhere is refused, not consumed.
+				eff := placeGrant(cluster, j.taskDemand, g)
+				mres.UnplacedVolume = mres.UnplacedVolume.Add(g.Sub(eff))
+				g = eff
+				if g.IsZero() {
+					continue
+				}
+			}
 			capLeft = capLeft.Sub(g)
 			j.consumed = j.consumed.Add(g)
 			j.actualLeft = j.actualLeft.SubClamped(g)
@@ -342,6 +443,7 @@ func Run(cfg Config) (*Result, error) {
 				j.done = true
 				j.doneAt = endOfSlot
 				changed = true
+				res.Events++
 				continue
 			}
 			if j.kind == sched.DeadlineJob && estRemaining(j).IsZero() {
@@ -357,6 +459,7 @@ func Run(cfg Config) (*Result, error) {
 				bump = bump.Max(j.parallelCap)
 				j.estTotal = j.estTotal.Add(bump)
 				changed = true
+				res.Events++
 			}
 		}
 
@@ -377,10 +480,25 @@ func Run(cfg Config) (*Result, error) {
 			if err := checker.CheckSlot(slot, cfg.Capacity(slot), obs); err != nil {
 				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
 			}
+			if cluster != nil {
+				// The compiled aggregate profile and the live replay must
+				// agree — they are two views of the same event stream.
+				if pc, lc := cfg.Capacity(slot), cluster.Capacity(); pc != lc {
+					return nil, fmt.Errorf("sim: slot %d: capacity profile %v disagrees with live cluster %v", slot, pc, lc)
+				}
+				if err := checker.CheckMachines(slot, dlUsed.Add(ahUsed), cluster.SlotUsage()); err != nil {
+					return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+				}
+			}
 			res.InvariantSlots = checker.Slots()
 		}
 	}
 
+	if cluster != nil {
+		mres.FinalLive = cluster.Live()
+		mres.Stats = cluster.Stats()
+		res.Machine = mres
+	}
 	collectOutcomes(cfg, jobs, wfDeadlines, res)
 	for _, j := range jobs {
 		if j.bestEffort {
@@ -455,6 +573,7 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 				origEst:     est,
 				actualLeft:  cfg.Faults.perturb(frng, actual),
 				parallelCap: job.ParallelCap(),
+				taskDemand:  job.TaskDemand,
 				minSlots:    job.MinRuntimeSlots(cfg.SlotDur, cfg.Capacity(0)),
 				bestEffort:  bestEffort,
 			})
@@ -476,6 +595,7 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 			arrived:     ah.Submit,
 			actualLeft:  cfg.Faults.perturb(frng, ah.Volume(cfg.SlotDur)),
 			parallelCap: ah.ParallelCap(),
+			taskDemand:  ah.TaskDemand,
 		})
 	}
 	// Deterministic order: arrival, then ID.
@@ -486,6 +606,46 @@ func buildJobs(cfg Config) ([]*runJob, map[int]time.Duration, error) {
 		return jobs[a].id < jobs[b].id
 	})
 	return jobs, wfDeadlines, nil
+}
+
+// placeGrant lands a fluid grant on concrete machines in task-sized
+// units. The sub-unit remainder is placed as one smaller piece so plan
+// allocations below a single task still make progress (the fluid model
+// the planners reason in allows fractional tasks; refusing them would
+// starve thin allocations). Returns the volume that found a machine.
+func placeGrant(c *machine.Cluster, unit, g resource.Vector) resource.Vector {
+	if unit.IsZero() || !unit.FitsIn(g) {
+		unit = g
+	}
+	want := unitCount(g, unit)
+	placed, _ := c.Place(unit, want)
+	eff := unit.Scale(placed)
+	if placed == want {
+		if rem := g.Sub(eff); !rem.IsZero() {
+			if n, _ := c.Place(rem, 1); n == 1 {
+				eff = eff.Add(rem)
+			}
+		}
+	}
+	return eff
+}
+
+// unitCount is how many whole units fit inside g (min over the kinds
+// the unit actually demands).
+func unitCount(g, unit resource.Vector) int64 {
+	n := int64(-1)
+	for i := range unit {
+		if unit[i] <= 0 {
+			continue
+		}
+		if k := g[i] / unit[i]; n < 0 || k < n {
+			n = k
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // jobReady reports whether all DAG predecessors completed.

@@ -1,0 +1,284 @@
+// Streaming trace IO. Multi-day external traces (Alibaba 2018, Google
+// 2019 subsets) convert to millions of records; the StreamWriter emits a
+// valid schema-v2 document record by record and the StreamReader decodes
+// one record at a time with json.Decoder tokens, so neither side ever
+// materializes the whole document in memory.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// StreamWriter incrementally writes a trace document. Records must be
+// appended in schema order: all workflows, then all ad-hoc jobs; Close
+// finishes the document. The writer validates each record through the
+// workload types before emitting it, so a streamed document is as
+// trustworthy as one written by Trace.Write.
+type StreamWriter struct {
+	w         *bufio.Writer
+	phase     int // 0 = workflows open, 1 = adhoc open, 2 = closed
+	nWf, nAh  int
+	headerErr error
+}
+
+// NewStreamWriter starts a schema-v2 document with the given provenance
+// (meta may be nil).
+func NewStreamWriter(w io.Writer, meta *Meta) *StreamWriter {
+	sw := &StreamWriter{w: bufio.NewWriter(w)}
+	sw.headerErr = sw.writeHeader(meta)
+	return sw
+}
+
+func (sw *StreamWriter) writeHeader(meta *Meta) error {
+	if _, err := fmt.Fprintf(sw.w, "{\n  \"version\": %d,\n", FormatVersion); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	if meta != nil {
+		data, err := json.Marshal(meta)
+		if err != nil {
+			return fmt.Errorf("trace: stream: meta: %w", err)
+		}
+		if _, err := fmt.Fprintf(sw.w, "  \"meta\": %s,\n", data); err != nil {
+			return fmt.Errorf("trace: stream: %w", err)
+		}
+	}
+	if _, err := sw.w.WriteString("  \"workflows\": ["); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	return nil
+}
+
+func (sw *StreamWriter) writeRecord(n int, rec any) error {
+	sep := ",\n    "
+	if n == 0 {
+		sep = "\n    "
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	if _, err := sw.w.WriteString(sep); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	if _, err := sw.w.Write(data); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	return nil
+}
+
+// Workflow appends one workflow record. All workflows must be written
+// before the first ad-hoc record.
+func (sw *StreamWriter) Workflow(rec WorkflowRecord) error {
+	if sw.headerErr != nil {
+		return sw.headerErr
+	}
+	if sw.phase != 0 {
+		return errors.New("trace: stream: workflow record after ad-hoc records")
+	}
+	// Validate through the workload types, like Trace.Write's Read-side
+	// round-trip does.
+	probe := Trace{Version: FormatVersion, Workflows: []WorkflowRecord{rec}}
+	if _, _, err := probe.ToWorkload(); err != nil {
+		return err
+	}
+	if err := sw.writeRecord(sw.nWf, rec); err != nil {
+		return err
+	}
+	sw.nWf++
+	return nil
+}
+
+// AdHoc appends one ad-hoc record.
+func (sw *StreamWriter) AdHoc(rec AdHocRecord) error {
+	if sw.headerErr != nil {
+		return sw.headerErr
+	}
+	if sw.phase == 2 {
+		return errors.New("trace: stream: write after Close")
+	}
+	if sw.phase == 0 {
+		if err := sw.endArray(sw.nWf); err != nil {
+			return err
+		}
+		if _, err := sw.w.WriteString(",\n  \"adhoc\": ["); err != nil {
+			return fmt.Errorf("trace: stream: %w", err)
+		}
+		sw.phase = 1
+	}
+	probe := Trace{Version: FormatVersion, AdHoc: []AdHocRecord{rec}}
+	if _, _, err := probe.ToWorkload(); err != nil {
+		return err
+	}
+	if err := sw.writeRecord(sw.nAh, rec); err != nil {
+		return err
+	}
+	sw.nAh++
+	return nil
+}
+
+func (sw *StreamWriter) endArray(n int) error {
+	s := "]"
+	if n > 0 {
+		s = "\n  ]"
+	}
+	if _, err := sw.w.WriteString(s); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	return nil
+}
+
+// Close finishes and flushes the document.
+func (sw *StreamWriter) Close() error {
+	if sw.headerErr != nil {
+		return sw.headerErr
+	}
+	if sw.phase == 2 {
+		return nil
+	}
+	if sw.phase == 0 {
+		if err := sw.endArray(sw.nWf); err != nil {
+			return err
+		}
+		if _, err := sw.w.WriteString(",\n  \"adhoc\": ["); err != nil {
+			return fmt.Errorf("trace: stream: %w", err)
+		}
+		sw.nAh = 0
+	}
+	if err := sw.endArray(sw.nAh); err != nil {
+		return err
+	}
+	if _, err := sw.w.WriteString("\n}\n"); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	sw.phase = 2
+	if err := sw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: stream: %w", err)
+	}
+	return nil
+}
+
+// StreamReader decodes a trace document one record at a time. The
+// document's version (and meta, when present) must precede the record
+// arrays — which every writer in this repo guarantees — so the version
+// gate fires before any record is surfaced.
+type StreamReader struct {
+	dec  *json.Decoder
+	meta *Meta
+
+	versionSeen bool
+	inArray     bool
+	arrayKey    string
+	done        bool
+}
+
+// NewStreamReader wraps the reader and consumes the document header up
+// to (but not including) the first record.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	sr := &StreamReader{dec: json.NewDecoder(bufio.NewReader(r))}
+	tok, err := sr.dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("trace: stream: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("trace: stream: want object, got %v", tok)
+	}
+	return sr, nil
+}
+
+// Meta returns the document's provenance block, or nil if absent or not
+// yet reached (it precedes the records in well-formed documents, so after
+// the first Next call it is final).
+func (sr *StreamReader) Meta() *Meta { return sr.meta }
+
+// Next returns the next record: exactly one of wf/ah is non-nil. It
+// returns io.EOF after the last record of a well-formed document.
+func (sr *StreamReader) Next() (wf *WorkflowRecord, ah *AdHocRecord, err error) {
+	for {
+		if sr.done {
+			return nil, nil, io.EOF
+		}
+		if sr.inArray {
+			if sr.dec.More() {
+				if !sr.versionSeen {
+					return nil, nil, errors.New("trace: stream: records precede the version field")
+				}
+				switch sr.arrayKey {
+				case "workflows":
+					var rec WorkflowRecord
+					if err := sr.dec.Decode(&rec); err != nil {
+						return nil, nil, fmt.Errorf("trace: stream: workflow record: %w", err)
+					}
+					return &rec, nil, nil
+				case "adhoc":
+					var rec AdHocRecord
+					if err := sr.dec.Decode(&rec); err != nil {
+						return nil, nil, fmt.Errorf("trace: stream: adhoc record: %w", err)
+					}
+					return nil, &rec, nil
+				}
+			}
+			// Consume the closing ']'.
+			if _, err := sr.dec.Token(); err != nil {
+				return nil, nil, fmt.Errorf("trace: stream: %w", err)
+			}
+			sr.inArray = false
+			continue
+		}
+		tok, err := sr.dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, nil, errors.New("trace: stream: truncated document")
+			}
+			return nil, nil, fmt.Errorf("trace: stream: %w", err)
+		}
+		if d, ok := tok.(json.Delim); ok && d == '}' {
+			if !sr.versionSeen {
+				return nil, nil, errors.New("trace: stream: document has no version field")
+			}
+			sr.done = true
+			return nil, nil, io.EOF
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, nil, fmt.Errorf("trace: stream: want key, got %v", tok)
+		}
+		switch key {
+		case "version":
+			var v int
+			if err := sr.dec.Decode(&v); err != nil {
+				return nil, nil, fmt.Errorf("trace: stream: version: %w", err)
+			}
+			if err := checkVersion(v); err != nil {
+				return nil, nil, err
+			}
+			sr.versionSeen = true
+		case "meta":
+			var m Meta
+			if err := sr.dec.Decode(&m); err != nil {
+				return nil, nil, fmt.Errorf("trace: stream: meta: %w", err)
+			}
+			sr.meta = &m
+		case "workflows", "adhoc":
+			tok, err := sr.dec.Token()
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: stream: %w", err)
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return nil, nil, fmt.Errorf("trace: stream: %q: want array, got %v", key, tok)
+			}
+			sr.inArray = true
+			sr.arrayKey = key
+		default:
+			// Skip unknown keys' values (forward-tolerance within a known
+			// version is the version gate's job, not the tokenizer's).
+			var skip json.RawMessage
+			if err := sr.dec.Decode(&skip); err != nil {
+				return nil, nil, fmt.Errorf("trace: stream: %q: %w", key, err)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,17 +17,53 @@ import (
 	"flowtime/internal/workflow"
 )
 
-// FormatVersion identifies the trace schema.
-const FormatVersion = 1
+// FormatVersion identifies the current trace schema. Version history:
+//
+//	1 — workflows + adhoc arrays.
+//	2 — adds the optional self-describing "meta" block (generator name,
+//	    seed, creation params) so replays carry their own provenance.
+//
+// Readers accept every version up to FormatVersion (a v1 document is a
+// valid v2 document with no meta) and refuse unknown future versions
+// loudly instead of guessing.
+const FormatVersion = 2
+
+// Meta is the trace's provenance block: which generator (or loader)
+// produced it, from what seed, with what parameters. It makes a replay
+// self-describing — the exact generating command can be reconstructed
+// from the document alone.
+type Meta struct {
+	// Generator names the producing tool or scenario ("ftgen",
+	// "scenario/diurnal", "loader/alibaba2018", ...).
+	Generator string `json:"generator,omitempty"`
+	// Seed is the RNG seed the generator ran with (0 if not seeded).
+	Seed int64 `json:"seed,omitempty"`
+	// Params records the creation parameters as stable key/value pairs.
+	Params map[string]string `json:"params,omitempty"`
+}
 
 // Trace is the top-level document.
 type Trace struct {
-	// Version must equal FormatVersion.
+	// Version must be in [1, FormatVersion].
 	Version int `json:"version"`
+	// Meta is the optional provenance block (schema v2+).
+	Meta *Meta `json:"meta,omitempty"`
 	// Workflows are the deadline-aware workflows.
 	Workflows []WorkflowRecord `json:"workflows"`
 	// AdHoc is the ad-hoc job stream.
 	AdHoc []AdHocRecord `json:"adhoc"`
+}
+
+// checkVersion validates a document version against what this reader
+// understands.
+func checkVersion(v int) error {
+	if v < 1 {
+		return fmt.Errorf("trace: invalid version %d", v)
+	}
+	if v > FormatVersion {
+		return fmt.Errorf("trace: unknown future version %d (this reader understands <= %d); refusing to guess at its semantics", v, FormatVersion)
+	}
+	return nil
 }
 
 // WorkflowRecord serializes one workflow.
@@ -109,8 +146,8 @@ func FromWorkload(wfs []*workflow.Workflow, adhoc []workflow.AdHoc) (*Trace, err
 // ToWorkload converts a trace back into workload objects, validating
 // everything.
 func (t *Trace) ToWorkload() ([]*workflow.Workflow, []workflow.AdHoc, error) {
-	if t.Version != FormatVersion {
-		return nil, nil, fmt.Errorf("trace: unsupported version %d (want %d)", t.Version, FormatVersion)
+	if err := checkVersion(t.Version); err != nil {
+		return nil, nil, err
 	}
 	wfs := make([]*workflow.Workflow, 0, len(t.Workflows))
 	for _, rec := range t.Workflows {
@@ -163,10 +200,27 @@ func (t *Trace) Write(w io.Writer) error {
 
 // Read decodes and validates a trace.
 func Read(r io.Reader) (*Trace, error) {
+	// Buffer the document so a strict-decode failure can still produce a
+	// precise "unknown future version" error instead of a field-level one.
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
 	var t Trace
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&t); err != nil {
+		// A future schema version may carry fields this reader does not
+		// know. Distinguish "newer schema" from "garbage" by decoding
+		// just the version leniently.
+		var v struct {
+			Version int `json:"version"`
+		}
+		if jerr := json.Unmarshal(raw, &v); jerr == nil {
+			if verr := checkVersion(v.Version); verr != nil {
+				return nil, verr
+			}
+		}
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
 	// Validate by round-tripping through the workload types.
