@@ -61,12 +61,14 @@ cover:
 verify:
 	$(GO) run ./cmd/ftverify -n 500 -seed 1
 
-# fuzz runs short bursts of the store framing fuzz targets from the
-# checked-in seed corpora (testdata/fuzz/).
+# fuzz runs short bursts of the store framing and plan-diff codec fuzz
+# targets from the checked-in seed corpora (testdata/fuzz/).
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRecord -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzRoundTripWithCorruption -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 10s -run '^$$' ./internal/store/
+	$(GO) test -fuzz FuzzDecodeDiff -fuzztime 10s -run '^$$' ./internal/plan/
+	$(GO) test -fuzz FuzzApplyDiff -fuzztime 10s -run '^$$' ./internal/plan/
 
 # sim-smoke replays the small bundled scenario trace (testdata/
 # scenario-smoke.json, emitted by `ftgen -scenario flash -machines 40
@@ -84,19 +86,22 @@ sim-smoke:
 # recovery time), BENCH_lp.json (LexMinMax wall time, rounds, pivots,
 # and warm-start hit rate at Fig. 7 scale), BENCH_overload.json
 # (admission-control shedding under a submit flood: shed latency,
-# confirm survival, Retry-After hinting, post-overload recovery), and
+# confirm survival, Retry-After hinting, post-overload recovery),
+# BENCH_adhoc.json (the lock-free ad-hoc admission gate: sustained
+# admissions/s and admission-latency percentiles while replans rebase
+# the queue concurrently, plus conservation verdicts), and
 # BENCH_sim.json (machine-granular simulator throughput: slots/s,
 # events/s, and peak RSS replaying a 10k-machine, 3-day diurnal
 # scenario).
 bench:
 	$(GO) test -bench . -benchtime=500ms -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -simout BENCH_sim.json
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -adhocout BENCH_adhoc.json -simout BENCH_sim.json
 
 # bench-smoke is the CI form: every benchmark runs exactly once so a
 # broken benchmark fails fast without paying for a measurement run; the
 # sim probe shrinks to 1k machines over one simulated day.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -duration 100ms -lpiters 1 -simout BENCH_sim.json -sim-machines 1000 -sim-days 1
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -adhocout BENCH_adhoc.json -duration 100ms -lpiters 1 -simout BENCH_sim.json -sim-machines 1000 -sim-days 1
 
 check: vet fmt lint race cover sim-smoke

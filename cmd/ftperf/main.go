@@ -70,6 +70,7 @@ func main() {
 	lpOut := flag.String("lpout", "BENCH_lp.json", "output path for the LP solver report (empty to skip)")
 	overloadOut := flag.String("overloadout", "BENCH_overload.json", "output path for the overload probe report (empty to skip)")
 	simOut := flag.String("simout", "BENCH_sim.json", "output path for the simulator probe report (empty to skip)")
+	adhocOut := flag.String("adhocout", "BENCH_adhoc.json", "output path for the ad-hoc admission probe report (empty to skip)")
 	dur := flag.Duration("duration", 2*time.Second, "wall-clock budget per throughput probe")
 	jobs := flag.Int("jobs", 64, "concurrent ad-hoc jobs per probe")
 	lpIters := flag.Int("lpiters", 3, "LexMinMax calls per instance size in the LP probe")
@@ -172,6 +173,23 @@ func main() {
 			log.Fatalf("ftperf: %v", err)
 		}
 		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*overloadOut), odata)
+	}
+
+	if *adhocOut != "" {
+		arep, err := adhocProbe(*dur)
+		if err != nil {
+			log.Fatalf("ftperf: adhoc probe: %v", err)
+		}
+		arep.Timestamp = rep.Timestamp
+		arep.GoVersion = rep.GoVersion
+		arep.GOOS = rep.GOOS
+		arep.GOARCH = rep.GOARCH
+		adata, _ := json.MarshalIndent(arep, "", "  ")
+		adata = append(adata, '\n')
+		if err := os.WriteFile(*adhocOut, adata, 0o644); err != nil {
+			log.Fatalf("ftperf: %v", err)
+		}
+		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*adhocOut), adata)
 	}
 
 	if *simOut != "" {

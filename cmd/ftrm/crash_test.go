@@ -13,6 +13,8 @@ import (
 
 	"flowtime/internal/rmproto"
 	"flowtime/internal/rmserver"
+	"flowtime/internal/sched"
+	"flowtime/internal/store"
 	"flowtime/internal/trace"
 )
 
@@ -186,6 +188,294 @@ func TestKillAndRestartRecovers(t *testing.T) {
 	}
 	if final.OutstandingLeases != 0 {
 		t.Errorf("phantom in-flight volume: %d leases outstanding after completion", final.OutstandingLeases)
+	}
+}
+
+// copyStateDir snapshots a state directory byte-for-byte (including any
+// torn WAL tail a SIGKILL left behind) so the recovery oracle can replay
+// it while the real process restarts on the original.
+func copyStateDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy state dir: %v", err)
+	}
+}
+
+// recoverInProcess opens a state directory through the full recovery
+// path (as a follower, so recovery neither claims a new epoch nor
+// requeues anything it shouldn't) and returns the rebuilt server.
+func recoverInProcess(t *testing.T, dir string) *rmserver.Server {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Policy: store.SyncNever})
+	if err != nil {
+		t.Fatalf("open state dir copy: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	rm, err := rmserver.New(rmserver.Config{
+		SlotDur: 50 * time.Millisecond, Scheduler: sched.NewFIFO(),
+		LeaseExpiry: 8, Store: st, Follower: true,
+	})
+	if err != nil {
+		t.Fatalf("recover state dir: %v", err)
+	}
+	return rm
+}
+
+// streamingFlags turns an ftrm process into a plan-streaming FlowTime RM
+// with the ad-hoc admission gate armed. Slack is zeroed so the short
+// deadlines used here stay feasible at a 50ms slot.
+var streamingFlags = []string{"-sched", "FlowTime", "-slack", "0s", "-stream-plans", "-adhoc-gate"}
+
+// planWorkflow returns a deadline workflow small enough to plan at a
+// 50ms slot but busy enough to drive a stream of plan revisions.
+func planWorkflow(id string) trace.WorkflowRecord {
+	return trace.WorkflowRecord{
+		ID: id, DeadlineSec: 15,
+		Jobs: []trace.JobRecord{
+			{Name: "a", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024},
+			{Name: "b", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024},
+		},
+		Deps: [][2]int{{0, 1}},
+	}
+}
+
+// TestCrashMidDiffApplicationRecoversPlan SIGKILLs a plan-streaming RM
+// while diffs are being applied and journaled, then asserts — twice —
+// that the recovered live plan is the pre-diff or post-diff state and
+// never a torn mix. First the recovery-equivalence oracle replays a
+// byte-for-byte copy of the crashed state directory (torn tail and all)
+// and must land on a whole revision no older than one diff behind the
+// last revision the crashed process acknowledged. Then the real process
+// restarts on the original directory: its first replan cannot chain onto
+// the recovered revision (the scheduler's counter restarted), so it must
+// repair the break with a loud journaled rebase — and the surviving
+// workload must still complete exactly once behind the ad-hoc gate.
+func TestCrashMidDiffApplicationRecoversPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test")
+	}
+	bin := buildFTRM(t)
+	stateDir := t.TempDir()
+	port := freePort(t)
+	base := fmt.Sprintf("http://127.0.0.1:%d", port)
+	client := rmserver.NewClient(base, nil)
+
+	proc1 := startFTRM(t, bin, stateDir, port, streamingFlags...)
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	go rmserver.RunAgent(agentCtx, rmserver.NewClient(base, nil), rmserver.AgentConfig{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 16, MemoryMB: 65536},
+	})
+	waitStatus(t, client, 10*time.Second, "node registration", func(st rmproto.StatusResponse) bool {
+		return st.Nodes == 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := client.SubmitWorkflow(ctx, rmproto.SubmitWorkflowRequest{Workflow: planWorkflow(fmt.Sprintf("wf-%d", i))}); err != nil {
+			t.Fatalf("SubmitWorkflow %d: %v", i, err)
+		}
+	}
+	// The gate admits only against a published plan revision; once one
+	// exists, a small ad-hoc job must pass it.
+	waitStatus(t, client, 15*time.Second, "first plan revision", func(st rmproto.StatusResponse) bool {
+		return st.Plan != nil && st.Plan.Rev >= 1
+	})
+	adResp, err := client.SubmitAdHoc(ctx, rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "a1", Tasks: 4, TaskDurSec: 2, DemandVCores: 2, DemandMemMB: 1024,
+	}})
+	if err != nil {
+		t.Fatalf("SubmitAdHoc: %v", err)
+	}
+	if !adResp.Accepted {
+		t.Fatal("ad-hoc gate rejected a trivially feasible job with a live plan published")
+	}
+
+	// Let the revision stream build up, then SIGKILL mid-application.
+	pre := waitStatus(t, client, 20*time.Second, "plan revisions streaming", func(st rmproto.StatusResponse) bool {
+		return st.Plan != nil && st.Plan.Rev >= 3 && st.Plan.DiffsApplied >= 3 && st.OutstandingLeases > 0
+	})
+	preRev := pre.Plan.Rev
+	if err := proc1.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	proc1.Wait()
+
+	// Oracle leg: replay a frozen copy of the crashed directory. The
+	// acknowledged revision's commit may have been in flight when the
+	// kill landed, so recovery must land on preRev or preRev-1 — a whole
+	// revision either way, never a torn mix (a diff that fails to chain
+	// aborts recovery loudly, so a successful rebuild proves wholeness).
+	frozen := filepath.Join(t.TempDir(), "frozen")
+	copyStateDir(t, stateDir, frozen)
+	oracle := recoverInProcess(t, frozen)
+	ost := oracle.Status()
+	if ost.Plan == nil {
+		t.Fatal("oracle recovery lost the live plan entirely")
+	}
+	if ost.Plan.Rev != preRev && ost.Plan.Rev != preRev-1 {
+		t.Fatalf("oracle recovered plan rev %d, want pre-diff %d or post-diff %d",
+			ost.Plan.Rev, preRev-1, preRev)
+	}
+	if err := oracle.VerifyRecoveryEquivalence(filepath.Join(t.TempDir(), "scratch")); err != nil {
+		t.Fatalf("recovery equivalence on crashed state: %v", err)
+	}
+
+	// Restart leg: the real process recovers the original directory and
+	// keeps going. Its restarted scheduler cannot extend the recovered
+	// diff chain, so exactly one loud rebase repairs it.
+	startFTRM(t, bin, stateDir, port, streamingFlags...)
+	st := waitStatus(t, client, 15*time.Second, "restarted RM", func(st rmproto.StatusResponse) bool {
+		return st.Recovery != nil && st.Plan != nil
+	})
+	if st.Plan.Rev < preRev-1 {
+		t.Fatalf("restarted RM recovered plan rev %d, want at least %d", st.Plan.Rev, preRev-1)
+	}
+	waitStatus(t, client, 15*time.Second, "post-recovery rebase", func(st rmproto.StatusResponse) bool {
+		return st.Plan != nil && st.Plan.Rebases >= 1
+	})
+
+	final := waitStatus(t, client, 60*time.Second, "workload completion", func(st rmproto.StatusResponse) bool {
+		if st.OutstandingLeases != 0 || len(st.Jobs) != 7 {
+			return false
+		}
+		for _, j := range st.Jobs {
+			if j.State != "completed" {
+				return false
+			}
+		}
+		return true
+	})
+	for _, j := range final.Jobs {
+		if j.Delivered != j.Total {
+			t.Errorf("job %s delivered %+v, want exactly %+v (exactly-once violated)", j.ID, j.Delivered, j.Total)
+		}
+	}
+}
+
+// TestFailoverPreservesStreamedPlan kills a plan-streaming primary whose
+// warm standby is caught up, promotes the standby, and asserts the
+// replicated diffs rebuilt the identical plan there: the promoted RM
+// reports every shipped diff applied, repairs the chain break from its
+// own scheduler with one journaled rebase, finishes the workload, and
+// its state directory passes the recovery-equivalence oracle.
+func TestFailoverPreservesStreamedPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test")
+	}
+	bin := buildFTRM(t)
+	pDir, fDir := t.TempDir(), t.TempDir()
+	pPort, fPort := freePort(t), freePort(t)
+	pBase := fmt.Sprintf("http://127.0.0.1:%d", pPort)
+	fBase := fmt.Sprintf("http://127.0.0.1:%d", fPort)
+	pClient := rmserver.NewClient(pBase, nil)
+	fClient := rmserver.NewClient(fBase, nil)
+
+	primary := startFTRM(t, bin, pDir, pPort, append([]string{"-advertise", pBase}, streamingFlags...)...)
+	follower := startFTRM(t, bin, fDir, fPort, append([]string{"-advertise", fBase, "-replica-of", pBase}, streamingFlags...)...)
+
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	go rmserver.RunAgent(agentCtx, rmserver.NewClient(pBase, nil), rmserver.AgentConfig{
+		NodeID:   "n1",
+		Capacity: rmproto.Resources{VCores: 16, MemoryMB: 65536},
+		RMs:      []string{pBase, fBase},
+		Backoff:  rmserver.Backoff{Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, MaxAttempts: 2},
+	})
+	waitStatus(t, pClient, 10*time.Second, "node registration", func(st rmproto.StatusResponse) bool {
+		return st.Nodes == 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		if _, err := pClient.SubmitWorkflow(ctx, rmproto.SubmitWorkflowRequest{Workflow: planWorkflow(fmt.Sprintf("wf-fo-%d", i))}); err != nil {
+			t.Fatalf("SubmitWorkflow %d: %v", i, err)
+		}
+	}
+
+	// Revisions streaming AND the standby fully caught up: lag 0 read in
+	// the same status response as the revision means every diff record up
+	// to that revision has been shipped.
+	pre := waitStatus(t, pClient, 20*time.Second, "revisions streaming with follower caught up", func(st rmproto.StatusResponse) bool {
+		return st.Plan != nil && st.Plan.Rev >= 3 && st.OutstandingLeases > 0 &&
+			st.Replication != nil && st.Replication.FollowerSeen && st.Replication.LagRecords == 0
+	})
+	preRev := pre.Plan.Rev
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL primary: %v", err)
+	}
+	primary.Wait()
+
+	promoteCtx, promoteCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer promoteCancel()
+	if promo, err := fClient.Promote(promoteCtx); err != nil {
+		t.Fatalf("Promote: %v", err)
+	} else if promo.Role != "primary" {
+		t.Fatalf("Promote = %+v, want primary", promo)
+	}
+
+	// The promoted RM holds the shipped plan: every replicated diff
+	// applied, then exactly one rebase when its own scheduler's first
+	// replan could not chain onto the inherited revision.
+	waitStatus(t, fClient, 15*time.Second, "promoted RM plan state", func(st rmproto.StatusResponse) bool {
+		return st.Plan != nil && st.Plan.DiffsApplied >= preRev && st.Plan.Rebases >= 1
+	})
+
+	final := waitStatus(t, fClient, 60*time.Second, "workload completion on promoted RM", func(st rmproto.StatusResponse) bool {
+		if st.Nodes != 1 || st.OutstandingLeases != 0 || len(st.Jobs) != 4 {
+			return false
+		}
+		for _, j := range st.Jobs {
+			if j.State != "completed" {
+				return false
+			}
+		}
+		return true
+	})
+	for _, j := range final.Jobs {
+		if j.Delivered != j.Total {
+			t.Errorf("job %s delivered %+v, want exactly %+v (exactly-once violated)", j.ID, j.Delivered, j.Total)
+		}
+	}
+
+	// Recovery-equivalence oracle over the promoted directory: diffs,
+	// the epoch bump, the rebase, and the post-promotion diff stream all
+	// replay into exactly the state the promoted process held.
+	stopAgent()
+	if err := follower.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM promoted RM: %v", err)
+	}
+	if err := follower.Wait(); err != nil {
+		t.Fatalf("promoted RM exited with error after SIGTERM: %v", err)
+	}
+	rec := recoverInProcess(t, fDir)
+	if err := rec.VerifyRecoveryEquivalence(filepath.Join(t.TempDir(), "scratch")); err != nil {
+		t.Fatalf("recovery equivalence on promoted state: %v", err)
+	}
+	rst := rec.Status()
+	if rst.Plan == nil || rst.Plan.Rev == 0 {
+		t.Fatalf("promoted state dir recovered without a live plan: %+v", rst.Plan)
 	}
 }
 

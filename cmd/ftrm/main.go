@@ -11,7 +11,20 @@
 //	     [-overload-submit 0] [-overload-confirm 0] [-overload-queue 0]
 //	     [-overload-wait 0] [-overload-retry-after 0]
 //	     [-watchdog-stuck 0] [-watchdog-repl-lag 0]
+//	     [-stream-plans] [-adhoc-gate]
 //	     [-chaos-net SCRIPT] [-chaos-seed 1]
+//
+// With -stream-plans the FlowTime scheduler publishes every replan as a
+// versioned plan revision and the RM journals the *diff* against the
+// previous revision (one WAL record per replan, applied transactionally
+// and replicated to a follower like any other record; DESIGN.md §15)
+// instead of nothing at all — the durable live plan then survives
+// crashes and failovers and is reported under /v1/status "plan".
+// -adhoc-gate (implies -stream-plans) additionally routes every ad-hoc
+// submission through the lock-free leftover-capacity admission gate:
+// the job is admitted or rejected in O(window) against the live plan's
+// slack without waking the LP. Both flags require the FlowTime
+// scheduler.
 //
 // -lp-max-iter and -lp-max-time bound each scheduling round's LP work
 // (simplex pivots and wall clock). When a budget trips, the FlowTime
@@ -75,6 +88,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -88,6 +102,7 @@ import (
 	"flowtime/internal/lp"
 	"flowtime/internal/netchaos"
 	"flowtime/internal/rmserver"
+	"flowtime/internal/sched"
 	"flowtime/internal/store"
 )
 
@@ -116,6 +131,8 @@ func main() {
 		ovRetryAfter = flag.Duration("overload-retry-after", 0, "Retry-After hint attached to shed responses (0 = default)")
 		wdStuck      = flag.Duration("watchdog-stuck", 0, "trip the liveness watchdog when no slot tick lands for this long (0 = off)")
 		wdReplLag    = flag.Int64("watchdog-repl-lag", 0, "trip the watchdog when the follower lags this many WAL records (0 = off)")
+		streamPlans  = flag.Bool("stream-plans", false, "journal plan diffs: every replan is a versioned revision applied transactionally through the WAL (FlowTime only)")
+		adhocGate    = flag.Bool("adhoc-gate", false, "gate ad-hoc admission on the streamed plan's leftover capacity (implies -stream-plans)")
 		chaosNet     = flag.String("chaos-net", "", "network fault script (';'-separated rules or @file) applied to the listeners and the replication client — chaos testing only")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the deterministic network fault injector")
 	)
@@ -137,6 +154,8 @@ func main() {
 		replicaOf:    *replicaOf,
 		listenRepl:   *listenRepl,
 		advertise:    *advertise,
+		streamPlans:  *streamPlans || *adhocGate,
+		adhocGate:    *adhocGate,
 		chaosNet:     *chaosNet,
 		chaosSeed:    *chaosSeed,
 		watchdog: rmserver.WatchdogConfig{
@@ -174,6 +193,8 @@ type options struct {
 	replicaOf    string
 	listenRepl   string
 	advertise    string
+	streamPlans  bool
+	adhocGate    bool
 	overload     *rmserver.OverloadConfig
 	watchdog     rmserver.WatchdogConfig
 	chaosNet     string
@@ -184,9 +205,15 @@ func run(o options) error {
 	cfg := core.DefaultConfig()
 	cfg.Slack = o.slack
 	cfg.Solve = o.solve
+	cfg.StreamPlans = o.streamPlans
 	s, err := experiments.NewScheduler(o.schedName, nil, cfg)
 	if err != nil {
 		return err
+	}
+	if o.streamPlans {
+		if _, ok := s.(sched.PlanStreamer); !ok {
+			return fmt.Errorf("-stream-plans/-adhoc-gate require the FlowTime scheduler, %s does not stream plans", s.Name())
+		}
 	}
 
 	if o.replicaOf != "" && o.stateDir == "" {
@@ -226,6 +253,7 @@ func run(o options) error {
 		Store:       st,
 		Follower:    o.replicaOf != "",
 		LeaderURL:   o.replicaOf,
+		AdHocGate:   o.adhocGate,
 		Overload:    o.overload,
 		Watchdog:    o.watchdog,
 	})
@@ -428,6 +456,14 @@ func logFinalStatus(rm *rmserver.Server) {
 	if r := st.Replication; r != nil {
 		log.Printf("ftrm: replication: role=%s epoch=%d fenced=%v follower_seen=%v lag_records=%d lag_bytes=%d",
 			r.Role, r.Epoch, r.Fenced, r.FollowerSeen, r.LagRecords, r.LagBytes)
+	}
+	if p := st.Plan; p != nil {
+		log.Printf("ftrm: plan: rev=%d from=%d n_slots=%d jobs=%d diffs_applied=%d rebases=%d",
+			p.Rev, p.From, p.NSlots, p.Jobs, p.DiffsApplied, p.Rebases)
+		if q := p.AdHoc; q != nil {
+			log.Printf("ftrm: adhoc gate: admitted=%d rejected=%d rebases=%d rev=%d",
+				q.Admitted, q.Rejected, q.Rebases, q.Rev)
+		}
 	}
 	for _, id := range unfinished {
 		log.Printf("ftrm: unfinished at exit: %s", id)

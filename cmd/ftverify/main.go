@@ -62,8 +62,8 @@ func errString(err error) string {
 }
 
 func breakdown(counts map[string]int) string {
-	return fmt.Sprintf("%d small cross-checks, %d large interior checks, %d pipeline scenarios",
-		counts["small"], counts["large"], counts["scenario"])
+	return fmt.Sprintf("%d small cross-checks, %d large interior checks, %d pipeline scenarios, %d diff-equivalence runs",
+		counts["small"], counts["large"], counts["scenario"], counts["diffequiv"])
 }
 
 // runCase dispatches one seeded case. The kind is drawn from the case's
@@ -74,8 +74,10 @@ func runCase(rng *rand.Rand, verbose bool) (string, error) {
 		return "small", smallCase(rng)
 	case p < 8:
 		return "large", largeCase(rng)
-	default:
+	case p < 9:
 		return "scenario", scenarioCase(rng, verbose)
+	default:
+		return "diffequiv", diffEquivCase(rng)
 	}
 }
 
@@ -166,6 +168,35 @@ func scenarioCase(rng *rand.Rand, verbose bool) error {
 					base.Jobs[j].WorkflowID, base.Jobs[j].JobName, base.Jobs[j], perm.Jobs[j])
 			}
 		}
+	}
+	return nil
+}
+
+// diffEquivCase runs a full pipeline scenario through the plan-diff
+// differential harness: a diff-streaming FlowTime and an independent
+// wholesale reference decide on identical inputs, and after every
+// decision the externally diff-reconstructed plan must equal both live
+// plans exactly (allocations, windows, θ), including across periodic
+// checkpoint-plus-journal recovery rebuilds. Half the cases add chaos
+// (runtime jitter and stragglers), the diff-heaviest regime. Failures
+// are shrunk to a minimal scenario before reporting.
+func diffEquivCase(rng *rand.Rand) error {
+	sc, err := oracle.GenScenario(rng)
+	if err != nil {
+		return err
+	}
+	var faults *sim.FaultInjection
+	if rng.Intn(2) == 0 {
+		faults = &sim.FaultInjection{
+			Seed: rng.Int63(), RuntimeJitter: 0.3, StragglerFrac: 0.2, StragglerFactor: 3,
+		}
+	}
+	if err := oracle.CheckDiffEquivalence(sc, faults); err != nil {
+		min := oracle.ShrinkScenario(sc, func(c *oracle.Scenario) bool {
+			return oracle.CheckDiffEquivalence(c, faults) != nil
+		})
+		return fmt.Errorf("%w\nminimal reproducer: %d workflows (%v), %d ad-hoc, horizon %d",
+			err, len(min.Workflows), min.Regimes, len(min.AdHoc), min.Horizon)
 	}
 	return nil
 }

@@ -1,0 +1,261 @@
+package adhoc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+func flatLeftover(n int, vcores, mem int64) []resource.Vector {
+	out := make([]resource.Vector, n)
+	for i := range out {
+		out[i] = resource.New(vcores, mem)
+	}
+	return out
+}
+
+func TestRejectBeforeFirstRebase(t *testing.T) {
+	q := New()
+	if q.Submit(Request{ID: "x", Rel: 0, Dl: 4, Demand: resource.New(1, 1)}) {
+		t.Fatalf("admission with no epoch published")
+	}
+	if q.Rev() != -1 {
+		t.Fatalf("Rev = %d before first rebase, want -1", q.Rev())
+	}
+	if s := q.Stats(); s.Rejected != 1 || s.Admitted != 0 {
+		t.Fatalf("stats %+v, want 1 rejection", s)
+	}
+}
+
+func TestAdmitChargesExactly(t *testing.T) {
+	q := New()
+	q.Rebase(1, 10, flatLeftover(4, 4, 400))
+	// 6 vcores across [10,14) capped at 2/slot: slots 10,11,12 → 2+2+2.
+	if !q.Submit(Request{ID: "j1", Rel: 10, Dl: 14, Demand: resource.New(6, 300), PerSlot: resource.New(2, 100)}) {
+		t.Fatalf("feasible request rejected")
+	}
+	d := q.Rebase(2, 10, flatLeftover(4, 4, 400))
+	if d.Rev != 1 || len(d.Charges) != 1 {
+		t.Fatalf("drain rev %d with %d charges, want rev 1 with 1", d.Rev, len(d.Charges))
+	}
+	ch := d.Charges[0]
+	if ch.ID != "j1" || ch.From != 10 {
+		t.Fatalf("charge %+v", ch)
+	}
+	var total resource.Vector
+	for _, v := range ch.Taken {
+		total = total.Add(v)
+	}
+	if total != resource.New(6, 300) {
+		t.Fatalf("charged %v, want <6,300>", total)
+	}
+	for i, v := range ch.Taken {
+		if v.Get(resource.VCores) > 2 || v.Get(resource.MemoryMB) > 100 {
+			t.Fatalf("slot %d take %v exceeds per-slot cap", i, v)
+		}
+	}
+	var consumed resource.Vector
+	for _, v := range d.Consumed {
+		consumed = consumed.Add(v)
+	}
+	if consumed != total {
+		t.Fatalf("consumed %v != charged %v", consumed, total)
+	}
+}
+
+func TestRejectRollsBackFully(t *testing.T) {
+	q := New()
+	q.Rebase(1, 0, flatLeftover(2, 3, 300))
+	// 10 vcores cannot fit in 2 slots × 3 free.
+	if q.Submit(Request{ID: "big", Rel: 0, Dl: 2, Demand: resource.New(10, 10)}) {
+		t.Fatalf("infeasible request admitted")
+	}
+	// The rollback must leave the full leftover available.
+	if !q.Submit(Request{ID: "ok", Rel: 0, Dl: 2, Demand: resource.New(6, 300)}) {
+		t.Fatalf("full leftover not available after rejection rollback")
+	}
+	d := q.Rebase(2, 0, flatLeftover(2, 3, 300))
+	if len(d.Charges) != 1 || d.Charges[0].ID != "ok" {
+		t.Fatalf("charge log %+v, want only job ok", d.Charges)
+	}
+}
+
+func TestWindowOutsideEpochRejected(t *testing.T) {
+	q := New()
+	q.Rebase(1, 10, flatLeftover(4, 4, 400))
+	if q.Submit(Request{ID: "past", Rel: 2, Dl: 8, Demand: resource.New(1, 1)}) {
+		t.Fatalf("window entirely before the epoch admitted")
+	}
+	if q.Submit(Request{ID: "future", Rel: 20, Dl: 30, Demand: resource.New(1, 1)}) {
+		t.Fatalf("window entirely after the epoch admitted")
+	}
+	// Zero demand is trivially admissible anywhere.
+	if !q.Submit(Request{ID: "empty", Rel: 2, Dl: 8}) {
+		t.Fatalf("zero-demand request rejected")
+	}
+}
+
+func TestPartialWindowOverlapCharges(t *testing.T) {
+	q := New()
+	q.Rebase(1, 10, flatLeftover(4, 2, 200))
+	// Window [8,12) overlaps epoch slots 10,11 only: 4 vcores at 2/slot fits.
+	if !q.Submit(Request{ID: "edge", Rel: 8, Dl: 12, Demand: resource.New(4, 100), PerSlot: resource.New(2, 100)}) {
+		t.Fatalf("overlapping request rejected")
+	}
+	d := q.Rebase(2, 10, flatLeftover(4, 2, 200))
+	if d.Charges[0].From != 10 {
+		t.Fatalf("charge From = %d, want clamped to 10", d.Charges[0].From)
+	}
+}
+
+// TestConcurrentSubmitNoOvercharge is the deterministic -race workhorse:
+// many goroutines submit while the planner rebases concurrently. The
+// interleaving varies; the invariants may not:
+//
+//  1. No overcharge: per epoch, the drained consumed volume never
+//     exceeds the leftover published for any slot/kind, and equals the
+//     sum of the drained charges exactly.
+//  2. Exactly-once accounting: every submission is admitted exactly once
+//     (its ID appears in exactly one drain) or rejected exactly once;
+//     admitted + rejected == submitted.
+func TestConcurrentSubmitNoOvercharge(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 400
+		slots      = 6
+		vcores     = 16
+		mem        = 16000
+	)
+	q := New()
+	q.Rebase(1, 0, flatLeftover(slots, vcores, mem))
+
+	var wg sync.WaitGroup
+	admittedByID := make([]map[string]bool, goroutines)
+	rejectedByID := make([]map[string]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		adm, rej := map[string]bool{}, map[string]bool{}
+		admittedByID[g], rejectedByID[g] = adm, rej
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i)
+				req := Request{
+					ID:      id,
+					Rel:     rng.Int63n(slots),
+					Demand:  resource.New(1+rng.Int63n(4), 100*(1+rng.Int63n(4))),
+					PerSlot: resource.New(2, 400),
+				}
+				req.Dl = req.Rel + 1 + rng.Int63n(slots-req.Rel)
+				if q.Submit(req) {
+					adm[id] = true
+				} else {
+					rej[id] = true
+				}
+			}
+		}(g)
+	}
+
+	// The "planner": rebase concurrently with the submitters, collecting
+	// every drain. Each rebase republishes the full leftover (as a replan
+	// folding the charges back in would).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var drains []Drain
+	rev := int64(2)
+	for {
+		select {
+		case <-done:
+			drains = append(drains, q.Rebase(rev, 0, flatLeftover(slots, vcores, mem)))
+			goto check
+		default:
+			drains = append(drains, q.Rebase(rev, 0, flatLeftover(slots, vcores, mem)))
+			rev++
+		}
+	}
+
+check:
+	seen := make(map[string]int)
+	for _, d := range drains {
+		var chargeTotal [slots]resource.Vector
+		for _, ch := range d.Charges {
+			seen[ch.ID]++
+			for off, v := range ch.Taken {
+				if v.AnyNegative() {
+					t.Fatalf("negative charge %v for %s", v, ch.ID)
+				}
+				chargeTotal[ch.From+int64(off)] = chargeTotal[ch.From+int64(off)].Add(v)
+			}
+		}
+		for s := 0; s < slots; s++ {
+			if int64(len(d.Consumed)) <= int64(s) {
+				break
+			}
+			if d.Consumed[s].AnyNegative() {
+				t.Fatalf("epoch rev %d slot %d consumed %v negative", d.Rev, s, d.Consumed[s])
+			}
+			if !d.Consumed[s].FitsIn(resource.New(vcores, mem)) {
+				t.Fatalf("OVERCHARGE: epoch rev %d slot %d consumed %v > leftover <%d,%d>",
+					d.Rev, s, d.Consumed[s], vcores, mem)
+			}
+			if chargeTotal[s] != d.Consumed[s] {
+				t.Fatalf("epoch rev %d slot %d: charge log total %v != consumed %v",
+					d.Rev, s, chargeTotal[s], d.Consumed[s])
+			}
+		}
+	}
+
+	admitted, rejected := 0, 0
+	for g := 0; g < goroutines; g++ {
+		admitted += len(admittedByID[g])
+		rejected += len(rejectedByID[g])
+		for id := range admittedByID[g] {
+			if seen[id] != 1 {
+				t.Fatalf("admitted %s appears in %d drains, want exactly 1", id, seen[id])
+			}
+		}
+		for id := range rejectedByID[g] {
+			if seen[id] != 0 {
+				t.Fatalf("rejected %s appears in a charge log", id)
+			}
+		}
+	}
+	if admitted+rejected != goroutines*perG {
+		t.Fatalf("accounting: %d admitted + %d rejected != %d submitted", admitted, rejected, goroutines*perG)
+	}
+	if len(seen) != admitted {
+		t.Fatalf("%d distinct charged IDs, %d admitted", len(seen), admitted)
+	}
+	s := q.Stats()
+	if s.Admitted != int64(admitted) || s.Rejected != int64(rejected) {
+		t.Fatalf("counter drift: stats %+v vs observed %d/%d", s, admitted, rejected)
+	}
+	if admitted == 0 {
+		t.Fatalf("nothing admitted; the test exercised no contention")
+	}
+	t.Logf("admitted %d, rejected %d across %d rebases", admitted, rejected, len(drains))
+}
+
+// TestChargeLogOverflowsChunks fills more than one log chunk in a single
+// epoch to cover the CAS-linked overflow path.
+func TestChargeLogOverflowsChunks(t *testing.T) {
+	q := New()
+	n := logChunkSize*2 + 17
+	q.Rebase(1, 0, flatLeftover(1, int64(n), int64(n)))
+	for i := 0; i < n; i++ {
+		if !q.Submit(Request{ID: fmt.Sprintf("c%d", i), Rel: 0, Dl: 1, Demand: resource.New(1, 1)}) {
+			t.Fatalf("submission %d rejected with capacity left", i)
+		}
+	}
+	d := q.Rebase(2, 0, flatLeftover(1, 1, 1))
+	if len(d.Charges) != n {
+		t.Fatalf("drained %d charges, want %d", len(d.Charges), n)
+	}
+	if d.Consumed[0] != resource.New(int64(n), int64(n)) {
+		t.Fatalf("consumed %v, want <%d,%d>", d.Consumed[0], n, n)
+	}
+}

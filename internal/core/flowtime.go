@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"flowtime/internal/lp"
+	"flowtime/internal/plan"
 	"flowtime/internal/resource"
 	"flowtime/internal/sched"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// solver defaults. A tripped budget never fails Assign: the planner
 	// steps down its degradation ladder and emits a valid plan anyway.
 	Solve lp.SolveOptions
+	// StreamPlans makes every replan additionally publish a versioned
+	// plan.Plan and emit a plan.Diff against the previous revision
+	// (sched.PlanStreamer). Off by default: without a consumer draining
+	// TakePlanDiffs the pending list would grow without bound.
+	StreamPlans bool
 }
 
 // DefaultConfig returns the paper's settings: 60s slack, bounded rounds,
@@ -111,6 +117,11 @@ type FlowTime struct {
 	// planWindows are the effective windows the current plan was validated
 	// against (diagnostics and tests).
 	planWindows map[string]sched.PlanWindow
+
+	// live is the versioned published plan (StreamPlans only); pending
+	// holds the diffs emitted since the last TakePlanDiffs drain.
+	live    *plan.Plan
+	pending []*plan.Diff
 
 	stats   Stats
 	degrade sched.DegradationStatus
@@ -164,6 +175,57 @@ var _ sched.DegradationReporter = (*FlowTime)(nil)
 // of the current plan (diagnostics and tests).
 func (f *FlowTime) PlannedLoad() []resource.Vector {
 	return append([]resource.Vector(nil), f.load...)
+}
+
+var _ sched.PlanStreamer = (*FlowTime)(nil)
+
+// LivePlan implements sched.PlanStreamer: a snapshot of the current
+// published plan. Before the first replan — and always when StreamPlans
+// is off — it is the empty revision-0 plan.
+func (f *FlowTime) LivePlan() *plan.Plan {
+	if f.live == nil {
+		return plan.Empty()
+	}
+	return f.live.Clone()
+}
+
+// TakePlanDiffs implements sched.PlanStreamer: the diffs emitted since
+// the last drain, oldest first.
+func (f *FlowTime) TakePlanDiffs() []*plan.Diff {
+	out := f.pending
+	f.pending = nil
+	return out
+}
+
+// publishPlan versions the replan's final output as the next live plan
+// revision and, when streaming, emits the diff against the previous one.
+// alloc slices are shared with the internal plan: they are immutable
+// after the replan that built them.
+func (f *FlowTime) publishPlan(from, nSlots int64, alloc map[string][]resource.Vector, windows map[string]sched.PlanWindow, theta map[string][]float64) {
+	if !f.cfg.StreamPlans {
+		return
+	}
+	if f.live == nil {
+		f.live = plan.Empty()
+	}
+	next := &plan.Plan{
+		Rev:    f.live.Rev + 1,
+		From:   from,
+		NSlots: nSlots,
+		Theta:  theta,
+	}
+	if len(alloc) > 0 {
+		next.Jobs = make(map[string]plan.Job, len(alloc))
+		for id, slots := range alloc {
+			w := windows[id]
+			next.Jobs[id] = plan.Job{
+				Window: plan.Window{Rel: w.RelSlot, Dl: w.DlSlot},
+				Alloc:  slots,
+			}
+		}
+	}
+	f.pending = append(f.pending, plan.Compute(f.live, next))
+	f.live = next
 }
 
 // qualityReplanInterval rate-limits replans whose only purpose is to
@@ -380,6 +442,9 @@ func (f *FlowTime) replan(ctx sched.AssignContext) {
 	jobs, order, nSlots := f.computeWindows(ctx, slackSlots)
 	if len(jobs) == 0 {
 		f.degrade.Level, f.degrade.Reason = sched.DegradeNone, ""
+		// An empty plan is still a revision: the consumer must learn that
+		// every previously planned job is gone.
+		f.publishPlan(ctx.Now, 0, nil, nil, nil)
 		return
 	}
 
@@ -403,14 +468,18 @@ func (f *FlowTime) replan(ctx sched.AssignContext) {
 	}
 
 	level, reason := sched.DegradeNone, ""
+	theta := make(map[string][]float64, resource.NumKinds)
 	for _, kind := range resource.Kinds() {
-		lvl, why := f.replanKind(ctx, kind, jobs, order, alloc, nSlots)
+		lvl, why := f.replanKind(ctx, kind, jobs, order, alloc, nSlots, theta)
 		if lvl > level {
 			level = lvl
 		}
 		if why != "" {
 			reason = why
 		}
+	}
+	if len(theta) == 0 {
+		theta = nil
 	}
 
 	// Post-validate before the plan is served. An invalid plan — which the
@@ -429,6 +498,7 @@ func (f *FlowTime) replan(ctx sched.AssignContext) {
 	if err := sched.ValidatePlan(alloc, ctx.Now, windows, capAt); err != nil {
 		f.degrade.InvalidPlans++
 		level, reason = sched.DegradeGreedy, "plan validation: "+err.Error()
+		theta = nil // the LP skyline was discarded with the invalid plan
 		alloc = f.rebuildGreedy(ctx, jobs, order, nSlots)
 		if err := sched.ValidatePlan(alloc, ctx.Now, windows, capAt); err != nil {
 			// Unreachable by construction; planning nothing is still safe —
@@ -465,6 +535,7 @@ func (f *FlowTime) replan(ctx sched.AssignContext) {
 	if anyDeferred {
 		f.deferredRetry = ctx.Now + deferredRetryInterval
 	}
+	f.publishPlan(ctx.Now, nSlots, alloc, windows, theta)
 }
 
 // computeWindows collects live deadline jobs with their effective windows
@@ -564,8 +635,10 @@ func (f *FlowTime) feasibleUnderWindows(ctx sched.AssignContext, jobs, order []*
 // resource kind and writes integral grants into alloc. Solver failures
 // never propagate: the ladder steps down — full lexicographic → single
 // min-θ round → LP-free greedy water-fill — and the rung used plus the
-// trip reason (if any) are returned.
-func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs, order []*planJob, alloc map[string][]resource.Vector, nSlots int64) (sched.DegradeLevel, string) {
+// trip reason (if any) are returned. When an LP rung succeeds, the
+// lexicographic θ levels it reached are recorded under the kind's name
+// in theta (the greedy rung has no θ and records nothing).
+func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs, order []*planJob, alloc map[string][]resource.Vector, nSlots int64, theta map[string][]float64) (sched.DegradeLevel, string) {
 	// Demands and caps for this kind.
 	demand := make(map[*planJob]int64, len(jobs))
 	for _, pj := range jobs {
@@ -639,6 +712,15 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 		f.stats.LP.Add(res.Stats)
 		f.degrade.LPWarmStarts += int64(res.Stats.WarmStarts)
 		f.degrade.LPColdStarts += int64(res.Stats.ColdStarts)
+		if theta != nil {
+			levels := make([]float64, len(res.Levels))
+			for i, l := range res.Levels {
+				if l > 0 { // clamp numeric noise; θ is a normalized load
+					levels[i] = l
+				}
+			}
+			theta[kind.String()] = levels
+		}
 
 		// Integral repair: budgets by cumulative rounding of the LP skyline,
 		// EDF water-fill within budgets, then a hard-cap sweep.
@@ -740,8 +822,15 @@ func (f *FlowTime) buildStageB(ctx sched.AssignContext, kind resource.Kind, jobs
 		}
 	}
 
+	// Walk jobs in their deterministic slice order, not the vars map:
+	// term order decides the simplex's summation order, and the plan
+	// stream's equivalence oracle holds two instances to bitwise-equal θ.
 	slotTerms := make([][]lp.Term, nSlots)
-	for pj, vs := range vars {
+	for _, pj := range jobs {
+		vs, ok := vars[pj]
+		if !ok {
+			continue
+		}
 		for s, v := range vs {
 			t := pj.relSlot - ctx.Now + int64(s)
 			slotTerms[t] = append(slotTerms[t], lp.Term{Var: v, Coef: 1})

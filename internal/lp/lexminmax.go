@@ -492,8 +492,8 @@ func (r *lexRun) runLegacy() (*MinMaxResult, error) {
 				return nil, err
 			}
 		}
-		for gi, level := range frozen {
-			if err := m.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap); err != nil {
+		for _, gi := range sortedGroupKeys(frozen) {
+			if err := m.AddConstraint(groups[gi].Terms, LE, frozen[gi]*groups[gi].Cap); err != nil {
 				return nil, err
 			}
 		}
@@ -552,8 +552,8 @@ func (r *lexRun) runLegacy() (*MinMaxResult, error) {
 					return nil, err
 				}
 			}
-			for gi, lvl := range frozen {
-				if err := pm.AddConstraint(groups[gi].Terms, LE, lvl*groups[gi].Cap+levelTol); err != nil {
+			for _, gi := range sortedGroupKeys(frozen) {
+				if err := pm.AddConstraint(groups[gi].Terms, LE, frozen[gi]*groups[gi].Cap+levelTol); err != nil {
 					return nil, err
 				}
 			}
@@ -595,8 +595,8 @@ func (r *lexRun) runLegacy() (*MinMaxResult, error) {
 	// the total load as a tie-break so the plan does not carry slack
 	// allocations that frozen caps would permit.
 	final := base.Clone()
-	for gi, level := range frozen {
-		if err := final.AddConstraint(groups[gi].Terms, LE, level*groups[gi].Cap+1e-9); err != nil {
+	for _, gi := range sortedGroupKeys(frozen) {
+		if err := final.AddConstraint(groups[gi].Terms, LE, frozen[gi]*groups[gi].Cap+1e-9); err != nil {
 			return nil, err
 		}
 	}
@@ -615,6 +615,19 @@ func (r *lexRun) runLegacy() (*MinMaxResult, error) {
 		sol = lastSol
 	}
 	return r.result(sol, rounds), nil
+}
+
+// sortedGroupKeys returns the frozen map's group indices in ascending
+// order. Constraint rows must be added in a deterministic order: row
+// order steers simplex pivot selection and summation order, and the
+// plan-diff equivalence oracle compares θ between two instances bitwise.
+func sortedGroupKeys(frozen map[int]float64) []int {
+	keys := make([]int, 0, len(frozen))
+	for gi := range frozen {
+		keys = append(keys, gi)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 func evalTerms(terms []Term, sol *Solution) float64 {

@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowtime/internal/sim"
+)
+
+// diffEquivSeeds is the sweep size for TestDiffWholesaleEquivalence.
+// The acceptance bar for the streaming protocol is zero divergence over
+// at least 50 seeded scenarios including chaos runs.
+const diffEquivSeeds = 60
+
+// diffEquivFaults returns the chaos config for a sweep index: every
+// third seed runs with runtime jitter and stragglers, which drive
+// estimate revisions and replan storms — the diff-heaviest regime.
+func diffEquivFaults(seed int64) *sim.FaultInjection {
+	if seed%3 != 1 {
+		return nil
+	}
+	return &sim.FaultInjection{Seed: seed, RuntimeJitter: 0.3, StragglerFrac: 0.2, StragglerFactor: 3}
+}
+
+// TestDiffWholesaleEquivalence sweeps seeded pipeline scenarios through
+// the differential harness: on every scheduling decision the externally
+// diff-reconstructed plan must equal both the streaming scheduler's
+// live plan and an independent wholesale reference, grants must match
+// exactly, and periodic checkpoint+journal recovery rebuilds must come
+// back identical. Failures are shrunk to a minimal scenario first.
+func TestDiffWholesaleEquivalence(t *testing.T) {
+	for seed := int64(0); seed < diffEquivSeeds; seed++ {
+		sc, err := GenScenario(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: GenScenario: %v", seed, err)
+		}
+		faults := diffEquivFaults(seed)
+		err = CheckDiffEquivalence(sc, faults)
+		if err == nil {
+			continue
+		}
+		min := ShrinkScenario(sc, func(c *Scenario) bool {
+			return CheckDiffEquivalence(c, faults) != nil
+		})
+		t.Fatalf("seed %d (chaos=%v): %v\nminimal reproducer: %d workflows (%v), %d ad-hoc, horizon %d",
+			seed, faults != nil, err, len(min.Workflows), min.Regimes, len(min.AdHoc), min.Horizon)
+	}
+}
+
+// TestShrinkScenarioMinimizes sanity-checks the scenario reducer on a
+// synthetic failure predicate: "fails whenever any workflow remains"
+// must shrink to exactly one workflow (dropping the last one makes the
+// predicate pass, so it must be kept) and a minimal horizon.
+func TestShrinkScenarioMinimizes(t *testing.T) {
+	sc, err := GenScenario(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("GenScenario: %v", err)
+	}
+	if len(sc.Workflows) < 2 {
+		t.Skipf("seed drew %d workflows, need >= 2", len(sc.Workflows))
+	}
+	min := ShrinkScenario(sc, func(c *Scenario) bool { return len(c.Workflows) >= 1 })
+	if len(min.Workflows) != 1 || len(min.Regimes) != 1 {
+		t.Fatalf("shrunk to %d workflows / %d regimes, want 1 / 1", len(min.Workflows), len(min.Regimes))
+	}
+	if len(min.AdHoc) != 0 {
+		t.Fatalf("shrunk scenario kept %d ad-hoc jobs, want 0", len(min.AdHoc))
+	}
+	if min.Horizon >= sc.Horizon {
+		t.Fatalf("shrink never reduced the horizon: %d -> %d", sc.Horizon, min.Horizon)
+	}
+}

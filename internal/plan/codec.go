@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// The diff codec is JSON with strict decoding: unknown fields are
+// refused, and every decode is followed by structural validation so a
+// malformed or adversarial encoding can never reach Apply. JSON keeps
+// the records debuggable in the WAL dump and lets the follower ingest
+// them through the same path as the primary.
+
+// EncodeDiff serializes a diff. The diff is validated first so an
+// invalid diff can never be journaled.
+func EncodeDiff(d *Diff) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: refusing to encode invalid diff: %w", err)
+	}
+	return json.Marshal(d)
+}
+
+// DecodeDiff deserializes and validates a diff. Unknown fields, type
+// mismatches, trailing garbage, and structurally invalid diffs are all
+// refused with an error; a successfully decoded diff is safe to hand to
+// Apply.
+func DecodeDiff(data []byte) (*Diff, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Diff
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("plan: diff decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("plan: diff decode: trailing data after diff")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	// Canonicalize: an explicit empty container decodes to the same form
+	// its re-encoding (which omits empties) would — a successful decode
+	// always round-trips bit-identically.
+	if len(d.Remove) == 0 {
+		d.Remove = nil
+	}
+	if len(d.Update) == 0 {
+		d.Update = nil
+	}
+	for i := range d.Update {
+		if len(d.Update[i].Set) == 0 {
+			d.Update[i].Set = nil
+		}
+	}
+	if len(d.Theta) == 0 {
+		d.Theta = nil
+	}
+	return &d, nil
+}
+
+// EncodePlan serializes a full plan (used for snapshots and rebase
+// records). Validated first, same as diffs.
+func EncodePlan(p *Plan) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: refusing to encode invalid plan: %w", err)
+	}
+	return json.Marshal(p)
+}
+
+// DecodePlan deserializes and validates a full plan.
+func DecodePlan(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: plan decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("plan: plan decode: trailing data after plan")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Same canonicalization as DecodeDiff: explicit empties become the
+	// omitted form so decode∘encode is the identity.
+	if len(p.Jobs) == 0 {
+		p.Jobs = nil
+	}
+	if len(p.Theta) == 0 {
+		p.Theta = nil
+	}
+	return &p, nil
+}

@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpora under
+// testdata/fuzz/ for the diff-codec fuzz targets. No-op unless
+// GEN_CORPUS=1 is set:
+//
+//	GEN_CORPUS=1 go test ./internal/plan -run TestGenerateFuzzCorpus
+//
+// The seeds cover the malformed-diff taxonomy the decoder must refuse
+// (unknown fields, bad revision steps, unsorted/overlapping ops,
+// negative allocations, torn encodings) plus valid diffs of several
+// shapes so short CI bursts start from deep coverage.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") != "1" {
+		t.Skip("set GEN_CORPUS=1 to regenerate testdata/fuzz seed corpora")
+	}
+
+	enc := func(d *Diff) []byte {
+		data, err := EncodeDiff(d)
+		if err != nil {
+			t.Fatalf("EncodeDiff: %v", err)
+		}
+		return data
+	}
+	rich := enc(&Diff{
+		BaseRev: 2, NewRev: 3, From: 4, NSlots: 8,
+		Remove: []string{"r1", "r2"},
+		Update: []JobUpdate{
+			{ID: "a", Window: Window{Rel: 4, Dl: 9}, Set: []SlotSet{
+				{Slot: 5, Alloc: resource.New(2, 4096)}, {Slot: 7, Alloc: resource.Vector{}}}},
+			{ID: "z", Add: true, Window: Window{Rel: 6, Dl: 12}, Set: []SlotSet{{Slot: 6, Alloc: resource.New(1, 512)}}},
+		},
+		Theta: map[string][]float64{"vcores": {0.25, 0.5}, "memory-mb": {1}},
+	})
+	empty := enc(&Diff{BaseRev: 0, NewRev: 1})
+
+	writeCorpus(t, "FuzzDecodeDiff", [][]interface{}{
+		{rich},
+		{empty},
+		{[]byte(`{}`)},
+		{[]byte(`{"base_rev":1,"new_rev":9}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"unknown":true}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"remove":["b","a"]}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"remove":["a","a"]}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"remove":["a"],"update":[{"id":"a","window":{"rel":0,"dl":4}}]}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"update":[{"id":"a","window":{"rel":0,"dl":4},"set":[{"slot":1,"alloc":[1,1]},{"slot":1,"alloc":[2,2]}]}]}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"update":[{"id":"a","window":{"rel":0,"dl":4},"set":[{"slot":1,"alloc":[-1,1]}]}]}`)},
+		{[]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"update":[{"id":"a","window":{"rel":4,"dl":4}}]}`)},
+		{rich[:len(rich)/2]},
+		{concat(rich, empty)},
+	})
+
+	staleVsBase := enc(&Diff{BaseRev: 7, NewRev: 8, From: 0, NSlots: 6})
+	addCollision := enc(&Diff{BaseRev: 3, NewRev: 4, From: 0, NSlots: 6,
+		Update: []JobUpdate{{ID: "a", Add: true, Window: Window{Rel: 0, Dl: 4}}}})
+	reAnchor := enc(&Diff{BaseRev: 2, NewRev: 3, From: 2, NSlots: 4,
+		Remove: []string{"a"},
+		Update: []JobUpdate{{ID: "q", Add: true, Window: Window{Rel: 2, Dl: 6},
+			Set: []SlotSet{{Slot: 3, Alloc: resource.New(1, 256)}}}}})
+
+	writeCorpus(t, "FuzzApplyDiff", [][]interface{}{
+		{int64(1), enc(&Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 6})},
+		{int64(1), staleVsBase},
+		{int64(2), reAnchor},
+		{int64(3), addCollision},
+		{int64(4), []byte(`{"base_rev":4,"new_rev":5,"from":0,"n_slots":6,"update":[{"id":"a","window":{"rel":0,"dl":2},"set":[{"slot":4,"alloc":[1,1]}]}]}`)},
+		{int64(5), rich},
+	})
+}
+
+func concat(parts ...[]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// writeCorpus writes one seed file per entry in the Go native fuzz
+// corpus format ("go test fuzz v1"), one line per argument.
+func writeCorpus(t *testing.T, target string, seeds [][]interface{}) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, args := range seeds {
+		var buf bytes.Buffer
+		buf.WriteString("go test fuzz v1\n")
+		for _, a := range args {
+			switch v := a.(type) {
+			case []byte:
+				fmt.Fprintf(&buf, "[]byte(%s)\n", strconv.Quote(string(v)))
+			case int64:
+				fmt.Fprintf(&buf, "int64(%d)\n", v)
+			default:
+				t.Fatalf("unsupported corpus arg type %T", a)
+			}
+		}
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d seeds to %s", len(seeds), dir)
+}

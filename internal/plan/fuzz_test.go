@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+// FuzzDecodeDiff feeds arbitrary bytes to the diff codec: it must never
+// panic, and whenever it claims success the decoded diff must be
+// structurally valid and re-encode/re-decode to an identical diff (a
+// successful decode is always faithful; malformed input can only ever
+// surface as an error).
+func FuzzDecodeDiff(f *testing.F) {
+	// Seeds: a realistic diff, an empty diff, and mutations a WAL
+	// corruption or adversarial peer could produce.
+	good, _ := EncodeDiff(&Diff{
+		BaseRev: 2, NewRev: 3, From: 4, NSlots: 8,
+		Remove: []string{"r1"},
+		Update: []JobUpdate{
+			{ID: "a", Window: Window{Rel: 4, Dl: 9}, Set: []SlotSet{{Slot: 5, Alloc: resource.New(2, 4096)}}},
+			{ID: "z", Add: true, Window: Window{Rel: 6, Dl: 12}},
+		},
+		Theta: map[string][]float64{"vcores": {0.25, 0.5}},
+	})
+	f.Add(good)
+	empty, _ := EncodeDiff(&Diff{BaseRev: 0, NewRev: 1})
+	f.Add(empty)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"base_rev":1,"new_rev":9}`))
+	f.Add([]byte(`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"unknown":true}`))
+	f.Add([]byte(`{"base_rev":1,"new_rev":2,"remove":["b","a"]}`))
+	f.Add(append(append([]byte{}, good...), good...)) // trailing data
+	f.Add(good[:len(good)/2])                         // torn encoding
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDiff(data)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("DecodeDiff accepted structurally invalid diff: %v", verr)
+		}
+		re, eerr := EncodeDiff(d)
+		if eerr != nil {
+			t.Fatalf("re-encode of decoded diff failed: %v", eerr)
+		}
+		d2, derr := DecodeDiff(re)
+		if derr != nil {
+			t.Fatalf("re-decode failed: %v", derr)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("decode/encode not faithful:\n%+v\n%+v", d, d2)
+		}
+	})
+}
+
+// FuzzApplyDiff decodes arbitrary bytes as a diff and applies it to a
+// deterministically generated base plan: Apply must never panic, must
+// refuse stale base revisions loudly, and on any error must leave the
+// base bit-for-bit unchanged (never partially applied). On success the
+// result must carry the diff's NewRev and pass plan validation.
+func FuzzApplyDiff(f *testing.F) {
+	// Seeds pair a base-plan generator seed with a diff encoding. The
+	// interesting seeds are diffs that are valid in isolation but
+	// mismatched against the base: stale revision, unknown jobs,
+	// re-added jobs, out-of-window sets.
+	mustEnc := func(d *Diff) []byte {
+		data, err := EncodeDiff(d)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	f.Add(int64(1), mustEnc(&Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 6}))
+	f.Add(int64(1), mustEnc(&Diff{BaseRev: 7, NewRev: 8, From: 0, NSlots: 6})) // stale
+	f.Add(int64(2), mustEnc(&Diff{BaseRev: 2, NewRev: 3, From: 2, NSlots: 4,
+		Remove: []string{"a"},
+		Update: []JobUpdate{{ID: "q", Add: true, Window: Window{Rel: 2, Dl: 6},
+			Set: []SlotSet{{Slot: 3, Alloc: resource.New(1, 256)}}}}}))
+	f.Add(int64(3), mustEnc(&Diff{BaseRev: 3, NewRev: 4, From: 0, NSlots: 6,
+		Update: []JobUpdate{{ID: "a", Add: true, Window: Window{Rel: 0, Dl: 4}}}})) // re-add collision
+	f.Add(int64(4), []byte(`{"base_rev":4,"new_rev":5,"from":0,"n_slots":6,"update":[{"id":"a","window":{"rel":0,"dl":2},"set":[{"slot":4,"alloc":[1,1]}]}]}`))
+
+	f.Fuzz(func(t *testing.T, planSeed int64, data []byte) {
+		d, err := DecodeDiff(data)
+		if err != nil {
+			return
+		}
+		rng := rand.New(rand.NewSource(planSeed))
+		base := genRandomPlan(rng, d.BaseRev&0xff+planSeed&0xff, int64(rng.Intn(8)), int64(1+rng.Intn(8)))
+		snapshot := base.Clone()
+		got, err := Apply(base, d)
+		// Transactionality: whatever happened, the base is untouched.
+		if base.Rev != snapshot.Rev {
+			t.Fatalf("Apply mutated base revision: %d -> %d", snapshot.Rev, base.Rev)
+		}
+		if e := Equal(base, snapshot); e != nil {
+			t.Fatalf("Apply mutated base content: %v", e)
+		}
+		if err != nil {
+			return
+		}
+		if d.BaseRev != base.Rev {
+			t.Fatalf("Apply accepted a diff with stale base %d against live %d", d.BaseRev, base.Rev)
+		}
+		if got.Rev != d.NewRev {
+			t.Fatalf("applied plan rev %d, want %d", got.Rev, d.NewRev)
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("applied plan invalid: %v", verr)
+		}
+	})
+}

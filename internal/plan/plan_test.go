@@ -1,0 +1,309 @@
+package plan
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowtime/internal/resource"
+)
+
+func mkPlan(rev, from, nslots int64) *Plan {
+	return &Plan{Rev: rev, From: from, NSlots: nslots, Jobs: map[string]Job{}}
+}
+
+func addJob(p *Plan, id string, rel, dl int64, allocs map[int64]resource.Vector) {
+	j := Job{Window: Window{Rel: rel, Dl: dl}, Alloc: make([]resource.Vector, p.NSlots)}
+	for abs, g := range allocs {
+		j.Alloc[abs-p.From] = g
+	}
+	p.Jobs[id] = j
+}
+
+func TestComputeApplyRoundTrip(t *testing.T) {
+	base := mkPlan(3, 10, 6)
+	addJob(base, "a", 10, 14, map[int64]resource.Vector{10: resource.New(2, 4096), 11: resource.New(2, 4096)})
+	addJob(base, "b", 12, 16, map[int64]resource.Vector{12: resource.New(1, 1024)})
+	addJob(base, "gone", 10, 12, map[int64]resource.Vector{10: resource.New(4, 8192)})
+	base.Theta = map[string][]float64{"vcores": {0.5, 0.25}}
+
+	next := mkPlan(4, 12, 6) // plan window advanced by two slots
+	addJob(next, "a", 12, 15, map[int64]resource.Vector{12: resource.New(3, 2048)})
+	addJob(next, "b", 12, 16, map[int64]resource.Vector{12: resource.New(1, 1024)}) // unchanged content
+	addJob(next, "new", 13, 17, map[int64]resource.Vector{13: resource.New(2, 2048), 14: resource.New(2, 2048)})
+	next.Theta = map[string][]float64{"vcores": {0.75}, "memory-mb": {0.5}}
+
+	d := Compute(base, next)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("computed diff invalid: %v", err)
+	}
+	removed, updated, added, slotOps := d.Stats()
+	if removed != 1 || added != 1 {
+		t.Fatalf("stats: removed=%d added=%d, want 1/1", removed, added)
+	}
+	if updated == 0 || slotOps == 0 {
+		t.Fatalf("stats: updated=%d slotOps=%d, want >0", updated, slotOps)
+	}
+
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got.Rev != next.Rev {
+		t.Fatalf("applied rev %d, want %d", got.Rev, next.Rev)
+	}
+	if err := Equal(got, next); err != nil {
+		t.Fatalf("applied plan diverges from next: %v", err)
+	}
+	// Transactionality: base untouched.
+	if base.Rev != 3 || len(base.Jobs) != 3 {
+		t.Fatalf("base mutated by Apply")
+	}
+	if g := base.AllocAt("a", 10); g != resource.New(2, 4096) {
+		t.Fatalf("base job a alloc mutated: %v", g)
+	}
+}
+
+func TestComputeUnchangedJobIsImplicit(t *testing.T) {
+	base := mkPlan(1, 5, 4)
+	addJob(base, "a", 5, 9, map[int64]resource.Vector{5: resource.New(1, 100)})
+	next := base.Clone()
+	next.Rev = 2
+	d := Compute(base, next)
+	if len(d.Remove) != 0 || len(d.Update) != 0 {
+		t.Fatalf("no-op replan produced non-empty diff: %+v", d)
+	}
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := Equal(got, next); err != nil {
+		t.Fatalf("no-op diff diverges: %v", err)
+	}
+}
+
+func TestApplyStaleBaseRefused(t *testing.T) {
+	base := mkPlan(5, 0, 4)
+	d := &Diff{BaseRev: 3, NewRev: 4, From: 0, NSlots: 4}
+	_, err := Apply(base, d)
+	if !errors.Is(err, ErrStaleBase) {
+		t.Fatalf("stale diff not refused with ErrStaleBase: %v", err)
+	}
+	// Future base too: only the exact live revision is acceptable.
+	d = &Diff{BaseRev: 7, NewRev: 8, From: 0, NSlots: 4}
+	if _, err := Apply(base, d); !errors.Is(err, ErrStaleBase) {
+		t.Fatalf("future-base diff not refused with ErrStaleBase: %v", err)
+	}
+}
+
+func TestApplyRefusesStructurallyInvalid(t *testing.T) {
+	base := mkPlan(1, 0, 4)
+	addJob(base, "a", 0, 4, map[int64]resource.Vector{0: resource.New(1, 1)})
+	cases := []struct {
+		name string
+		d    *Diff
+	}{
+		{"rev step not one", &Diff{BaseRev: 1, NewRev: 3, From: 0, NSlots: 4}},
+		{"negative nslots", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: -1}},
+		{"remove unknown", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4, Remove: []string{"zzz"}}},
+		{"remove unsorted", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4, Remove: []string{"b", "a"}}},
+		{"remove dup", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4, Remove: []string{"a", "a"}}},
+		{"remove and update overlap", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Remove: []string{"a"}, Update: []JobUpdate{{ID: "a", Window: Window{0, 4}}}}},
+		{"update unknown not add", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "x", Window: Window{0, 4}}}}},
+		{"add existing", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Add: true, Window: Window{0, 4}}}}},
+		{"slot out of range", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Window: Window{0, 4}, Set: []SlotSet{{Slot: 9, Alloc: resource.New(1, 1)}}}}}},
+		{"overlapping slot ops", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Window: Window{0, 4}, Set: []SlotSet{
+				{Slot: 2, Alloc: resource.New(1, 1)}, {Slot: 2, Alloc: resource.New(2, 2)}}}}}},
+		{"negative alloc", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Window: Window{0, 4}, Set: []SlotSet{{Slot: 1, Alloc: resource.New(-1, 0)}}}}}},
+		{"invalid window", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Window: Window{4, 4}}}}},
+		{"alloc outside window", &Diff{BaseRev: 1, NewRev: 2, From: 0, NSlots: 4,
+			Update: []JobUpdate{{ID: "a", Window: Window{0, 2}, Set: []SlotSet{{Slot: 3, Alloc: resource.New(1, 1)}}}}}},
+	}
+	for _, tc := range cases {
+		snapshot := base.Clone()
+		_, err := Apply(base, tc.d)
+		if err == nil {
+			t.Errorf("%s: diff accepted, want refusal", tc.name)
+		}
+		if e := Equal(base, snapshot); e != nil || base.Rev != snapshot.Rev {
+			t.Errorf("%s: base mutated by refused diff: %v", tc.name, e)
+		}
+	}
+}
+
+func TestApplyRebasesCarriedJobs(t *testing.T) {
+	base := mkPlan(1, 10, 4)
+	addJob(base, "carry", 10, 14, map[int64]resource.Vector{
+		10: resource.New(1, 100), 13: resource.New(2, 200),
+	})
+	// Plan window advances by two slots: slot 10 falls off, slot 13 stays.
+	d := &Diff{BaseRev: 1, NewRev: 2, From: 12, NSlots: 4}
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if g := got.AllocAt("carry", 13); g != resource.New(2, 200) {
+		t.Fatalf("carried slot 13 = %v, want <1,200>", g)
+	}
+	if g := got.AllocAt("carry", 10); !g.IsZero() {
+		t.Fatalf("slot 10 should be outside the new plan: %v", g)
+	}
+	if g := got.AllocAt("carry", 15); !g.IsZero() {
+		t.Fatalf("new slot 15 should start empty: %v", g)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	p := mkPlan(1, 0, 4)
+	addJob(p, "a", 0, 2, map[int64]resource.Vector{0: resource.New(1, 1)})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid plan refused: %v", err)
+	}
+	bad := p.Clone()
+	j := bad.Jobs["a"]
+	j.Alloc[3] = resource.New(1, 1) // slot 3 outside window [0,2)
+	bad.Jobs["a"] = j
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "outside window") {
+		t.Fatalf("out-of-window alloc not refused: %v", err)
+	}
+	bad2 := p.Clone()
+	j2 := bad2.Jobs["a"]
+	j2.Alloc = j2.Alloc[:2]
+	bad2.Jobs["a"] = j2
+	if err := bad2.Validate(); err == nil {
+		t.Fatalf("short alloc slice not refused")
+	}
+}
+
+func TestEqualReportsDivergence(t *testing.T) {
+	a := mkPlan(1, 0, 2)
+	addJob(a, "j", 0, 2, map[int64]resource.Vector{0: resource.New(1, 1)})
+	b := a.Clone()
+	if err := Equal(a, b); err != nil {
+		t.Fatalf("clones unequal: %v", err)
+	}
+	jb := b.Jobs["j"]
+	jb.Alloc[1] = resource.New(5, 5)
+	b.Jobs["j"] = jb
+	if err := Equal(a, b); err == nil {
+		t.Fatalf("allocation divergence not reported")
+	}
+	c := a.Clone()
+	c.Theta = map[string][]float64{"vcores": {0.5}}
+	if err := Equal(a, c); err == nil {
+		t.Fatalf("θ divergence not reported")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	d := &Diff{BaseRev: 2, NewRev: 3, From: 4, NSlots: 8,
+		Remove: []string{"r1", "r2"},
+		Update: []JobUpdate{
+			{ID: "a", Window: Window{4, 9}, Set: []SlotSet{{Slot: 5, Alloc: resource.New(2, 4096)}}},
+			{ID: "z", Add: true, Window: Window{6, 12}, Set: []SlotSet{{Slot: 6, Alloc: resource.New(1, 512)}}},
+		},
+		Theta: map[string][]float64{"vcores": {0.25}},
+	}
+	data, err := EncodeDiff(d)
+	if err != nil {
+		t.Fatalf("EncodeDiff: %v", err)
+	}
+	got, err := DecodeDiff(data)
+	if err != nil {
+		t.Fatalf("DecodeDiff: %v", err)
+	}
+	re, err := EncodeDiff(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(re) != string(data) {
+		t.Fatalf("roundtrip not stable:\n%s\n%s", data, re)
+	}
+}
+
+func TestCodecRefusesMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`not json`,
+		`{"base_rev": "three"}`,
+		`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"bogus_field":1}`,
+		`{"base_rev":1,"new_rev":5,"from":0,"n_slots":4}`, // rev step != 1
+		`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4}{"trailing":1}`,
+		`{"base_rev":1,"new_rev":2,"from":0,"n_slots":4,"update":[{"id":"a","window":{"rel":0,"dl":4},"set":[{"slot":1,"alloc":[1,1]},{"slot":1,"alloc":[2,2]}]}]}`,
+	}
+	for _, raw := range cases {
+		if _, err := DecodeDiff([]byte(raw)); err == nil {
+			t.Errorf("malformed diff accepted: %s", raw)
+		}
+	}
+	if _, err := DecodePlan([]byte(`{"rev":-1}`)); err == nil {
+		t.Errorf("negative-rev plan accepted")
+	}
+}
+
+func TestEncodeRefusesInvalid(t *testing.T) {
+	if _, err := EncodeDiff(&Diff{BaseRev: 1, NewRev: 9}); err == nil {
+		t.Fatalf("invalid diff encoded")
+	}
+	if _, err := EncodePlan(&Plan{Rev: -2}); err == nil {
+		t.Fatalf("invalid plan encoded")
+	}
+}
+
+// genRandomPlan builds a random valid plan for the randomized
+// Compute/Apply sweep (shared with the fuzz seed corpus).
+func genRandomPlan(rng *rand.Rand, rev, from, nslots int64) *Plan {
+	p := mkPlan(rev, from, nslots)
+	njobs := rng.Intn(8)
+	for i := 0; i < njobs; i++ {
+		id := string(rune('a' + i))
+		rel := from + int64(rng.Intn(int(nslots)))
+		dl := rel + 1 + int64(rng.Intn(int(nslots)))
+		j := Job{Window: Window{Rel: rel, Dl: dl}, Alloc: make([]resource.Vector, nslots)}
+		for off := int64(0); off < nslots; off++ {
+			abs := from + off
+			if abs >= rel && abs < dl && rng.Intn(2) == 0 {
+				j.Alloc[off] = resource.New(int64(rng.Intn(8)), int64(rng.Intn(4096)))
+			}
+		}
+		p.Jobs[id] = j
+	}
+	if rng.Intn(2) == 0 {
+		p.Theta = map[string][]float64{"vcores": {rng.Float64()}, "memory-mb": {rng.Float64(), rng.Float64()}}
+	}
+	return p
+}
+
+func TestComputeApplyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		from := int64(rng.Intn(20))
+		n := int64(1 + rng.Intn(10))
+		base := genRandomPlan(rng, int64(iter), from, n)
+		// next advances the window by 0..3 slots and is otherwise
+		// independent — the hardest case for the differ.
+		next := genRandomPlan(rng, int64(iter)+1, from+int64(rng.Intn(4)), int64(1+rng.Intn(10)))
+		d := Compute(base, next)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("iter %d: computed diff invalid: %v\nbase=%+v\nnext=%+v", iter, err, base, next)
+		}
+		got, err := Apply(base, d)
+		if err != nil {
+			t.Fatalf("iter %d: Apply: %v", iter, err)
+		}
+		if got.Rev != next.Rev {
+			t.Fatalf("iter %d: rev %d want %d", iter, got.Rev, next.Rev)
+		}
+		if err := Equal(got, next); err != nil {
+			t.Fatalf("iter %d: Apply(base, Compute(base, next)) != next: %v", iter, err)
+		}
+	}
+}

@@ -146,12 +146,46 @@ type StatusResponse struct {
 	// Replication reports the RM's role in a primary/follower pair;
 	// present only when the RM runs with a state store attached.
 	Replication *ReplicationStatus `json:"replication,omitempty"`
+	// Plan reports the RM's durable live plan (streamed from the
+	// scheduler as diffs; see internal/plan); present when the scheduler
+	// streams plans or a plan was recovered from the store.
+	Plan *PlanStatus `json:"plan,omitempty"`
 	// Overload reports admission-control and load-shedding state;
 	// present whenever overload protection is enabled (the default).
 	Overload *OverloadStatus `json:"overload,omitempty"`
 	// Watchdog reports the liveness watchdogs (stuck ticks, replication
 	// lag); present whenever any watchdog is armed.
 	Watchdog *WatchdogStatus `json:"watchdog,omitempty"`
+}
+
+// PlanStatus reports the RM's durable live plan: the scheduler's
+// multi-slot plan, reconstructed from journaled diffs.
+type PlanStatus struct {
+	// Rev is the live plan's revision (0 before the first replan).
+	Rev int64 `json:"rev"`
+	// From and NSlots bound the plan window in absolute slots.
+	From   int64 `json:"from"`
+	NSlots int64 `json:"n_slots"`
+	// Jobs is the number of jobs holding allocations in the plan.
+	Jobs int `json:"jobs"`
+	// DiffsApplied and Rebases mirror the plan fault counters: diffs
+	// applied transactionally, and wholesale rebases after a broken
+	// revision chain (typically one per crash recovery).
+	DiffsApplied int64 `json:"diffs_applied"`
+	Rebases      int64 `json:"rebases"`
+	// AdHoc reports the lock-free ad-hoc admission gate; present only
+	// when the gate is enabled.
+	AdHoc *AdHocQueueStatus `json:"adhoc,omitempty"`
+}
+
+// AdHocQueueStatus reports the ad-hoc admission gate's counters.
+type AdHocQueueStatus struct {
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Rebases  int64 `json:"rebases"`
+	// Rev is the plan revision the gate's current leftover profile was
+	// built from (-1 before the first plan).
+	Rev int64 `json:"rev"`
 }
 
 // OverloadStatus reports the RM's admission-control state: how much is
@@ -351,6 +385,10 @@ type FaultCounters struct {
 	// BestEffortAdmissions counts workflows admitted without a feasible
 	// deadline decomposition (see SubmitResponse.BestEffort).
 	BestEffortAdmissions int64 `json:"best_effort_admissions"`
+	// PlanDiffsApplied counts plan diffs applied to the live plan;
+	// PlanRebases counts wholesale rebases after a broken diff chain.
+	PlanDiffsApplied int64 `json:"plan_diffs_applied,omitempty"`
+	PlanRebases      int64 `json:"plan_rebases,omitempty"`
 }
 
 // DrainRequest asks the RM to stop issuing leases. With WaitMs > 0 the

@@ -148,6 +148,17 @@ func (s *Server) Handler() http.Handler {
 			fmt.Fprintf(w, "# TYPE flowtime_repl_lag_records gauge\nflowtime_repl_lag_records %d\n", rp.LagRecords)
 			fmt.Fprintf(w, "# TYPE flowtime_repl_lag_bytes gauge\nflowtime_repl_lag_bytes %d\n", rp.LagBytes)
 		}
+		if p := st.Plan; p != nil {
+			fmt.Fprintf(w, "# TYPE flowtime_plan_rev counter\nflowtime_plan_rev %d\n", p.Rev)
+			fmt.Fprintf(w, "# TYPE flowtime_plan_jobs gauge\nflowtime_plan_jobs %d\n", p.Jobs)
+			fmt.Fprintf(w, "# TYPE flowtime_plan_diffs_applied_total counter\nflowtime_plan_diffs_applied_total %d\n", p.DiffsApplied)
+			fmt.Fprintf(w, "# TYPE flowtime_plan_rebases_total counter\nflowtime_plan_rebases_total %d\n", p.Rebases)
+			if q := p.AdHoc; q != nil {
+				fmt.Fprintf(w, "# TYPE flowtime_adhoc_admitted_total counter\nflowtime_adhoc_admitted_total %d\n", q.Admitted)
+				fmt.Fprintf(w, "# TYPE flowtime_adhoc_rejected_total counter\nflowtime_adhoc_rejected_total %d\n", q.Rejected)
+				fmt.Fprintf(w, "# TYPE flowtime_adhoc_gate_rev gauge\nflowtime_adhoc_gate_rev %d\n", q.Rev)
+			}
+		}
 		if r := st.Recovery; r != nil {
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_records_replayed gauge\nflowtime_rm_recovery_records_replayed %d\n", r.RecordsReplayed)
 			fmt.Fprintf(w, "# TYPE flowtime_rm_recovery_micros gauge\nflowtime_rm_recovery_micros %d\n", r.Micros)

@@ -17,6 +17,9 @@
 //   - Lease requeues triggered by node re-registration.
 //   - Leadership-epoch claims (initial primary start and promotions),
 //     so the fencing token survives crashes and ships to followers.
+//   - Plan diffs, when the scheduler streams its plan (one record per
+//     revision, applied transactionally; see planstream.go), and the
+//     wholesale plan rebases that repair a broken diff chain.
 //   - NOT journaled: node registrations and heartbeat liveness. Nodes
 //     are soft state re-established by the agents' re-register loop;
 //     accordingly, recovery requeues every in-flight lease (its node
@@ -46,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"flowtime/internal/plan"
 	"flowtime/internal/resource"
 	"flowtime/internal/rmproto"
 	"flowtime/internal/sched"
@@ -59,12 +63,14 @@ const snapVersion = 1
 
 // walRecord is the one-of union journaled per mutation.
 type walRecord struct {
-	Workflow *recWorkflow `json:"wf,omitempty"`
-	AdHoc    *recAdHoc    `json:"adhoc,omitempty"`
-	Tick     *recTick     `json:"tick,omitempty"`
-	Confirm  *recConfirm  `json:"confirm,omitempty"`
-	Requeue  *recRequeue  `json:"requeue,omitempty"`
-	Epoch    *recEpoch    `json:"epoch,omitempty"`
+	Workflow   *recWorkflow   `json:"wf,omitempty"`
+	AdHoc      *recAdHoc      `json:"adhoc,omitempty"`
+	Tick       *recTick       `json:"tick,omitempty"`
+	Confirm    *recConfirm    `json:"confirm,omitempty"`
+	Requeue    *recRequeue    `json:"requeue,omitempty"`
+	Epoch      *recEpoch      `json:"epoch,omitempty"`
+	PlanDiff   *recPlanDiff   `json:"plan_diff,omitempty"`
+	PlanRebase *recPlanRebase `json:"plan_rebase,omitempty"`
 }
 
 // recWorkflow journals one admitted workflow: the original trace record
@@ -131,6 +137,21 @@ type recEpoch struct {
 	Slot  int64 `json:"slot"`
 }
 
+// recPlanDiff journals one plan diff in the strict plan codec's wire
+// form (internal/plan). The diff is the transaction: it either chained
+// onto the live plan's revision and was applied whole, or it was never
+// journaled — a torn record at the WAL tail is truncated at recovery
+// and the plan stays at its pre-diff revision.
+type recPlanDiff struct {
+	Diff json.RawMessage `json:"diff"`
+}
+
+// recPlanRebase journals a wholesale live-plan replacement — the escape
+// hatch when the diff chain breaks (see planstream.go).
+type recPlanRebase struct {
+	Plan json.RawMessage `json:"plan"`
+}
+
 // snapState is the full-state snapshot payload.
 type snapState struct {
 	Version   int                   `json:"version"`
@@ -142,6 +163,9 @@ type snapState struct {
 	Workflows []snapWorkflow        `json:"workflows,omitempty"`
 	AdHoc     []snapJob             `json:"adhoc,omitempty"`
 	Leases    []snapLease           `json:"leases,omitempty"`
+	// Plan is the live plan in the strict plan codec's wire form; absent
+	// when no plan revision has been applied.
+	Plan json.RawMessage `json:"plan,omitempty"`
 }
 
 type snapWorkflow struct {
@@ -321,6 +345,13 @@ func (s *Server) restoreSnapshotLocked(st *snapState) error {
 			grant: sl.Grant, issued: sl.Issued, expiry: sl.Expiry,
 		}
 	}
+	if len(st.Plan) > 0 {
+		p, err := plan.DecodePlan(st.Plan)
+		if err != nil {
+			return fmt.Errorf("snapshot plan: %w", err)
+		}
+		s.livePlan = p
+	}
 	return nil
 }
 
@@ -400,6 +431,10 @@ func (s *Server) applyRecordLocked(payload []byte) error {
 		if rec.Epoch.Epoch > s.epoch {
 			s.epoch = rec.Epoch.Epoch
 		}
+	case rec.PlanDiff != nil:
+		return s.applyPlanDiffRecordLocked(rec.PlanDiff)
+	case rec.PlanRebase != nil:
+		return s.applyPlanRebaseRecordLocked(rec.PlanRebase)
 	default:
 		return fmt.Errorf("empty WAL record %q", payload)
 	}
@@ -565,6 +600,13 @@ func (s *Server) snapshotLocked() ([]byte, error) {
 			QID: l.qid, JobID: l.job.id, NodeID: l.nodeID,
 			Grant: l.grant, Issued: l.issued, Expiry: l.expiry,
 		})
+	}
+	if s.livePlan != nil && s.livePlan.Rev > 0 {
+		payload, err := plan.EncodePlan(s.livePlan)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot plan rev %d: %w", s.livePlan.Rev, err)
+		}
+		st.Plan = payload
 	}
 	return json.Marshal(&st)
 }

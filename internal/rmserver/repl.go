@@ -192,6 +192,7 @@ func (s *Server) resetStateLocked() {
 	s.wfs = make(map[string]*wfState)
 	s.leases = make(map[string]*lease)
 	s.faults = rmproto.FaultCounters{}
+	s.livePlan = nil
 	s.cond.Broadcast()
 }
 

@@ -26,11 +26,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"flowtime/internal/adhoc"
 	"flowtime/internal/deadline"
+	"flowtime/internal/plan"
 	"flowtime/internal/resource"
 	"flowtime/internal/rmproto"
 	"flowtime/internal/sched"
@@ -76,6 +79,14 @@ type Config struct {
 	// LeaderURL is the redirect hint handed to rejected clients while
 	// this server is a follower (typically the primary's URL).
 	LeaderURL string
+	// AdHocGate, when true, gates ad-hoc admission on the streamed
+	// plan's leftover capacity (see internal/adhoc and planstream.go):
+	// a submission whose demand does not fit in the live plan's slack is
+	// rejected (Accepted=false) instead of queued. Requires a Scheduler
+	// that implements sched.PlanStreamer with streaming enabled; until
+	// the first plan revision arrives every ad-hoc submission is
+	// rejected, because no leftover profile exists yet.
+	AdHocGate bool
 	// Overload, when non-nil, bounds the HTTP front door with per-class
 	// admission queues and load shedding (see overload.go). nil leaves
 	// the API unguarded, as before.
@@ -102,6 +113,13 @@ type Server struct {
 	draining bool
 	faults   rmproto.FaultCounters
 	recovery *rmproto.RecoveryStatus // non-nil after a store recovery
+
+	// livePlan is the scheduler's streamed plan, reconstructed from
+	// journaled diffs (see planstream.go). Nil until the first revision.
+	livePlan *plan.Plan
+	// adhocQ is the lock-free ad-hoc admission gate; nil unless
+	// Config.AdHocGate is set.
+	adhocQ *adhoc.Queue
 
 	// Replication (see repl.go). epoch is durable and replicated; role,
 	// fenced, and leaderURL are process-local.
@@ -236,6 +254,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Follower && cfg.Store == nil {
 		return nil, errors.New("rmserver: follower mode requires a state store")
 	}
+	if cfg.AdHocGate {
+		if _, ok := cfg.Scheduler.(sched.PlanStreamer); !ok {
+			return nil, fmt.Errorf("rmserver: ad-hoc gate requires a plan-streaming scheduler, %s does not stream", cfg.Scheduler.Name())
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     cfg.Store,
@@ -251,6 +274,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Overload != nil {
 		s.admission = newAdmission(*cfg.Overload)
+	}
+	if cfg.AdHocGate {
+		s.adhocQ = adhoc.New()
 	}
 	s.watchdog = newWatchdog(cfg.Watchdog)
 	s.cond = sync.NewCond(&s.mu)
@@ -567,6 +593,23 @@ func (s *Server) SubmitAdHoc(req rmproto.SubmitAdHocRequest) (rmproto.SubmitResp
 		s.mu.Unlock()
 		return rmproto.SubmitResponse{}, fmt.Errorf("rmserver: duplicate ad-hoc job %q", a.ID)
 	}
+	if s.adhocQ != nil {
+		// The admission gate: charge the job's volume against the live
+		// plan's leftover profile. The window is open-ended — ad-hoc jobs
+		// carry no deadline — so the queue clamps it to its epoch. A
+		// rejection mutates nothing and journals nothing.
+		ok := s.adhocQ.Submit(adhoc.Request{
+			ID:      id,
+			Rel:     s.slot,
+			Dl:      math.MaxInt64,
+			Demand:  a.Volume(s.cfg.SlotDur),
+			PerSlot: a.ParallelCap(),
+		})
+		if !ok {
+			s.mu.Unlock()
+			return rmproto.SubmitResponse{Accepted: false, ID: id}, nil
+		}
+	}
 	j := &rmJob{
 		id:          id,
 		kind:        sched.AdHocJob,
@@ -619,6 +662,11 @@ func (s *Server) Tick(now time.Time) error {
 		if jerr != nil && err == nil {
 			err = fmt.Errorf("rmserver: wal append: %w", jerr)
 		}
+	}
+	// Drain and journal the plan diffs this tick's replan emitted; the
+	// commit below covers the tick record and every diff in one fsync.
+	if serr := s.streamPlansLocked(&h); serr != nil && err == nil {
+		err = serr
 	}
 	s.mu.Unlock()
 	if cerr := s.commitRecord(h); cerr != nil && err == nil {
@@ -881,6 +929,27 @@ func (s *Server) Status() rmproto.StatusResponse {
 			st.BestEffort = j.bestEffort
 		}
 		resp.Jobs = append(resp.Jobs, st)
+	}
+	if _, ok := s.cfg.Scheduler.(sched.PlanStreamer); ok || s.livePlan != nil {
+		lp := s.livePlanLocked()
+		p := &rmproto.PlanStatus{
+			Rev:          lp.Rev,
+			From:         lp.From,
+			NSlots:       lp.NSlots,
+			Jobs:         len(lp.Jobs),
+			DiffsApplied: s.faults.PlanDiffsApplied,
+			Rebases:      s.faults.PlanRebases,
+		}
+		if s.adhocQ != nil {
+			qs := s.adhocQ.Stats()
+			p.AdHoc = &rmproto.AdHocQueueStatus{
+				Admitted: qs.Admitted,
+				Rejected: qs.Rejected,
+				Rebases:  qs.Rebases,
+				Rev:      s.adhocQ.Rev(),
+			}
+		}
+		resp.Plan = p
 	}
 	if dr, ok := s.cfg.Scheduler.(sched.DegradationReporter); ok {
 		d := dr.Degradation()

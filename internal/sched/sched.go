@@ -15,6 +15,7 @@ package sched
 import (
 	"time"
 
+	"flowtime/internal/plan"
 	"flowtime/internal/resource"
 )
 
@@ -119,6 +120,24 @@ type Scheduler interface {
 	// job's Request or the cluster capacity are clamped by the caller, but
 	// well-behaved schedulers stay within both.
 	Assign(ctx AssignContext) (map[string]resource.Vector, error)
+}
+
+// PlanStreamer is implemented by planning schedulers that expose their
+// multi-slot plan as a versioned live plan plus incremental diffs, so a
+// resource manager can journal and replicate plan *changes* instead of
+// wholesale plans. Streaming must be explicitly enabled on the scheduler
+// (core.Config.StreamPlans); without a consumer draining TakePlanDiffs,
+// pending diffs would otherwise accumulate without bound.
+type PlanStreamer interface {
+	// LivePlan returns a snapshot of the scheduler's current plan (the
+	// result of applying every diff emitted so far). Never nil: before
+	// the first replan, and when streaming is disabled, it is the empty
+	// revision-0 plan.
+	LivePlan() *plan.Plan
+	// TakePlanDiffs returns the diffs emitted since the last call, in
+	// application order, and clears the pending list. Each diff's
+	// BaseRev chains to the previous diff's NewRev.
+	TakePlanDiffs() []*plan.Diff
 }
 
 // grantUpTo grants min(request, available) component-wise and debits

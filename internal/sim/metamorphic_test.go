@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"math/rand"
@@ -6,6 +6,8 @@ import (
 
 	"flowtime/internal/core"
 	"flowtime/internal/oracle"
+	"flowtime/internal/resource"
+	"flowtime/internal/sim"
 	"flowtime/internal/workflow"
 )
 
@@ -30,11 +32,12 @@ func scaleWorkflow(t *testing.T, w *workflow.Workflow, k int64) *workflow.Workfl
 	return out
 }
 
-func scenarioConfig(sc *oracle.Scenario) Config {
-	return Config{
+func scenarioConfig(sc *oracle.Scenario) sim.Config {
+	capacity := sc.Capacity
+	return sim.Config{
 		SlotDur:    sc.SlotDur,
 		Horizon:    sc.Horizon,
-		Capacity:   constCap(sc.Capacity),
+		Capacity:   func(int64) resource.Vector { return capacity },
 		Scheduler:  core.New(core.DefaultConfig()),
 		Workflows:  sc.Workflows,
 		AdHoc:      sc.AdHoc,
@@ -44,7 +47,7 @@ func scenarioConfig(sc *oracle.Scenario) Config {
 
 type verdict struct{ completed, missed bool }
 
-func jobVerdicts(res *Result) map[string]verdict {
+func jobVerdicts(res *sim.Result) map[string]verdict {
 	out := make(map[string]verdict, len(res.Jobs))
 	for _, j := range res.Jobs {
 		out[j.WorkflowID+"/"+j.JobName] = verdict{j.Completed, j.Missed()}
@@ -64,7 +67,7 @@ func TestMetamorphicScaleVerdicts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Run(scenarioConfig(sc))
+		base, err := sim.Run(scenarioConfig(sc))
 		if err != nil {
 			t.Fatalf("scenario %d: %v", i, err)
 		}
@@ -80,7 +83,7 @@ func TestMetamorphicScaleVerdicts(t *testing.T) {
 			ah.TaskDemand = ah.TaskDemand.Scale(k)
 			scaled.AdHoc = append(scaled.AdHoc, ah)
 		}
-		scaledRes, err := Run(scenarioConfig(&scaled))
+		scaledRes, err := sim.Run(scenarioConfig(&scaled))
 		if err != nil {
 			t.Fatalf("scenario %d scaled: %v", i, err)
 		}
@@ -109,7 +112,7 @@ func TestMetamorphicPermuteSubmissionOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Run(scenarioConfig(sc))
+		base, err := sim.Run(scenarioConfig(sc))
 		if err != nil {
 			t.Fatalf("scenario %d: %v", i, err)
 		}
@@ -123,7 +126,7 @@ func TestMetamorphicPermuteSubmissionOrder(t *testing.T) {
 		rng.Shuffle(len(perm.AdHoc), func(a, b int) {
 			perm.AdHoc[a], perm.AdHoc[b] = perm.AdHoc[b], perm.AdHoc[a]
 		})
-		permRes, err := Run(scenarioConfig(&perm))
+		permRes, err := sim.Run(scenarioConfig(&perm))
 		if err != nil {
 			t.Fatalf("scenario %d permuted: %v", i, err)
 		}
@@ -155,7 +158,7 @@ func TestMetamorphicCapacityScaleOnly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, err := Run(scenarioConfig(sc))
+		base, err := sim.Run(scenarioConfig(sc))
 		if err != nil {
 			t.Fatalf("scenario %d: %v", i, err)
 		}
@@ -164,7 +167,7 @@ func TestMetamorphicCapacityScaleOnly(t *testing.T) {
 		// Reuse requires fresh workflow clones: Run mutates nothing, but
 		// the scheduler is stateful, so build a fresh config.
 		cfg := scenarioConfig(&roomy)
-		roomyRes, err := Run(cfg)
+		roomyRes, err := sim.Run(cfg)
 		if err != nil {
 			t.Fatalf("scenario %d roomy: %v", i, err)
 		}
