@@ -62,13 +62,16 @@ verify:
 	$(GO) run ./cmd/ftverify -n 500 -seed 1
 
 # fuzz runs short bursts of the store framing and plan-diff codec fuzz
-# targets from the checked-in seed corpora (testdata/fuzz/).
+# targets from the checked-in seed corpora (testdata/fuzz/), plus the
+# simplex basis-factorization target (Forrest–Tomlin eta updates vs
+# refactorization from scratch on randomized mutation sequences).
 fuzz:
 	$(GO) test -fuzz FuzzDecodeRecord -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzRoundTripWithCorruption -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzDecodeAll -fuzztime 10s -run '^$$' ./internal/store/
 	$(GO) test -fuzz FuzzDecodeDiff -fuzztime 10s -run '^$$' ./internal/plan/
 	$(GO) test -fuzz FuzzApplyDiff -fuzztime 10s -run '^$$' ./internal/plan/
+	$(GO) test -fuzz FuzzForrestTomlin -fuzztime 10s -run '^$$' ./internal/lp/
 
 # sim-smoke replays the small bundled scenario trace (testdata/
 # scenario-smoke.json, emitted by `ftgen -scenario flash -machines 40
@@ -99,9 +102,12 @@ bench:
 
 # bench-smoke is the CI form: every benchmark runs exactly once so a
 # broken benchmark fails fast without paying for a measurement run; the
-# sim probe shrinks to 1k machines over one simulated day.
+# sim probe shrinks to 1k machines over one simulated day. -lp-guard is
+# the pivot/wall regression gate: the sparse LU core must beat the dense
+# basis inverse on wall time at 200x150, warm must not out-pivot cold,
+# and the 5kx1k probe's warm-hit rate must stay >= 90%.
 bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' ./internal/rmserver/ ./internal/lp/ ./internal/deadline/
-	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -adhocout BENCH_adhoc.json -duration 100ms -lpiters 1 -simout BENCH_sim.json -sim-machines 1000 -sim-days 1
+	$(GO) run ./cmd/ftperf -out BENCH_rm.json -lpout BENCH_lp.json -overloadout BENCH_overload.json -adhocout BENCH_adhoc.json -duration 100ms -lpiters 1 -lp-guard -simout BENCH_sim.json -sim-machines 1000 -sim-days 1
 
 check: vet fmt lint race cover sim-smoke

@@ -1,7 +1,10 @@
 // LP solver probe: LexMinMax latency at the paper's Fig. 7 scale, warm
 // (one workspace carried across calls, the replanning RM pattern) versus
-// cold (legacy clone-per-round), written to BENCH_lp.json so the solver's
-// perf trajectory is tracked alongside the control plane's.
+// cold (legacy clone-per-round) versus the legacy dense basis inverse,
+// written to BENCH_lp.json so the solver's perf trajectory is tracked
+// alongside the control plane's. The large sparse-only probe (5k jobs x
+// 1k slots) records the sparse LU core's scale ceiling: fill-in ratio,
+// refactorization rate, and peak eta-file length.
 package main
 
 import (
@@ -23,35 +26,71 @@ type lpReport struct {
 	Probes []lpProbeResult `json:"probes"`
 }
 
-// lpProbeResult is one instance size, warm vs cold.
+// lpProbeResult is one instance size: warm sparse vs cold vs dense.
 type lpProbeResult struct {
 	Jobs  int `json:"jobs"`
 	Slots int `json:"slots"`
 	// Rounds is the LexMinMax round count of the last warm call (the
 	// instance is fixed, so every call converges in the same rounds).
 	Rounds int `json:"rounds"`
+	// Iters is the iteration count actually used for this size (the
+	// large probe enforces a floor so the warm-hit rate is meaningful).
+	Iters int `json:"iters"`
 	// Per-call averages across the iteration loop.
 	WarmWallMS float64 `json:"warm_wall_ms"`
-	ColdWallMS float64 `json:"cold_wall_ms"`
-	WarmPivots float64 `json:"warm_pivots"`
-	ColdPivots float64 `json:"cold_pivots"`
+	ColdWallMS float64 `json:"cold_wall_ms,omitempty"`
+	// DenseWallMS is the warm pipeline on the legacy dense basis inverse
+	// (DenseBasis). 0 means the arm was skipped: at the large size the
+	// explicit inverse alone is hundreds of MB.
+	DenseWallMS float64 `json:"dense_wall_ms,omitempty"`
+	WarmPivots  float64 `json:"warm_pivots"`
+	ColdPivots  float64 `json:"cold_pivots,omitempty"`
 	// WarmHitRate is warm starts over total inner solves on the warm
 	// path (the first call cold-starts the shared model once).
 	WarmHitRate float64 `json:"warm_hit_rate"`
 	// Speedup is cold wall time over warm wall time.
-	Speedup float64 `json:"speedup"`
+	Speedup float64 `json:"speedup,omitempty"`
+	// Sparse-factor telemetry from the warm loop.
+	FillIn    float64 `json:"fill_in"`   // peak nnz(L+U)/nnz(B) across factorizations
+	Refactors float64 `json:"refactors"` // refactorizations per call (periodic + drift + rejection)
+	MaxEta    int     `json:"max_eta"`   // peak Forrest–Tomlin eta-file length
+}
+
+// lpSizes are the probed instance shapes. The three small sizes carry
+// every arm; the Fig. 7 scale ceiling (5k jobs x 1k slots) runs the
+// default sparse path only — the dense inverse there is a ~6k x 6k
+// float64 matrix (~300 MB) and the clone-per-round cold arm multiplies
+// wall time without informing the trajectory.
+var lpSizes = []struct {
+	jobs, slots int
+	maxWin      int  // cap on per-job window length in slots (0 = unbounded)
+	minIters    int  // iteration floor so the warm-hit rate is meaningful
+	refArms     bool // run the cold and dense reference arms
+}{
+	{50, 100, 0, 0, true},
+	{100, 100, 0, 0, true},
+	{200, 150, 0, 0, true},
+	// Windows bounded at 12 slots: real deadline windows are short
+	// relative to a 1k-slot horizon, and the bound keeps the probe's
+	// ~30k-variable cold start inside a CI-tolerable wall time.
+	{5000, 1000, 12, 3, false},
 }
 
 // lpInstance builds a scheduling-shaped LP: jobs with interval windows
 // and per-slot load groups, the min-theta structure of the paper's
-// stage-B model. Deterministic per size so runs are comparable.
-func lpInstance(jobs, slots int) (*lp.Model, []lp.LoadGroup, error) {
+// stage-B model. Deterministic per size so runs are comparable. maxWin
+// bounds the window length (deadline windows at real scale are short
+// relative to the horizon); 0 leaves windows unbounded.
+func lpInstance(jobs, slots, maxWin int) (*lp.Model, []lp.LoadGroup, error) {
 	rng := rand.New(rand.NewSource(int64(jobs*1000 + slots)))
 	m := lp.NewModel()
 	groupTerms := make([][]lp.Term, slots)
 	for i := 0; i < jobs; i++ {
 		rel := rng.Intn(slots - 1)
 		win := 2 + rng.Intn(slots-rel-1)
+		if maxWin > 0 && win > maxWin {
+			win = maxWin
+		}
 		if rel+win > slots {
 			win = slots - rel
 		}
@@ -80,25 +119,27 @@ func lpInstance(jobs, slots int) (*lp.Model, []lp.LoadGroup, error) {
 	return m, groups, nil
 }
 
-// lpProbe runs LexMinMax warm and cold at each size and returns the
-// filled report.
+// lpProbe runs LexMinMax warm, cold, and dense at each size and returns
+// the filled report.
 func lpProbe(iters int) (lpReport, error) {
 	rep := lpReport{Iters: iters}
-	for _, size := range []struct{ jobs, slots int }{
-		{50, 100}, {100, 100}, {200, 150},
-	} {
-		base, groups, err := lpInstance(size.jobs, size.slots)
+	for _, size := range lpSizes {
+		base, groups, err := lpInstance(size.jobs, size.slots, size.maxWin)
 		if err != nil {
 			return rep, err
 		}
-		res := lpProbeResult{Jobs: size.jobs, Slots: size.slots}
+		n := iters
+		if n < size.minIters {
+			n = size.minIters
+		}
+		res := lpProbeResult{Jobs: size.jobs, Slots: size.slots, Iters: n}
 
 		// Warm: one workspace across the loop, the way the RM carries it
 		// across replans. The first call cold-starts the shared model.
 		ws := &lp.LexWorkspace{}
 		var warm lp.SolveStats
 		start := time.Now()
-		for i := 0; i < iters; i++ {
+		for i := 0; i < n; i++ {
 			r, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{MaxRounds: 6, Workspace: ws})
 			if err != nil {
 				return rep, fmt.Errorf("warm %dx%d: %w", size.jobs, size.slots, err)
@@ -108,29 +149,79 @@ func lpProbe(iters int) (lpReport, error) {
 		}
 		warmWall := time.Since(start)
 
+		var coldWall, denseWall time.Duration
 		var cold lp.SolveStats
-		start = time.Now()
-		for i := 0; i < iters; i++ {
-			r, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{MaxRounds: 6, DisableWarmStart: true})
-			if err != nil {
-				return rep, fmt.Errorf("cold %dx%d: %w", size.jobs, size.slots, err)
+		if size.refArms {
+			start = time.Now()
+			for i := 0; i < n; i++ {
+				r, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{MaxRounds: 6, DisableWarmStart: true})
+				if err != nil {
+					return rep, fmt.Errorf("cold %dx%d: %w", size.jobs, size.slots, err)
+				}
+				cold.Add(r.Stats)
 			}
-			cold.Add(r.Stats)
-		}
-		coldWall := time.Since(start)
+			coldWall = time.Since(start)
 
-		n := float64(iters)
-		res.WarmWallMS = float64(warmWall.Milliseconds()) / n
-		res.ColdWallMS = float64(coldWall.Milliseconds()) / n
-		res.WarmPivots = float64(warm.Pivots) / n
-		res.ColdPivots = float64(cold.Pivots) / n
+			// Dense reference: the same warm pipeline on the legacy
+			// explicit basis inverse. This is the wall-time baseline the
+			// sparse LU core must beat (enforced by -lp-guard).
+			dws := &lp.LexWorkspace{}
+			start = time.Now()
+			for i := 0; i < n; i++ {
+				_, err := lp.LexMinMaxWithOptions(base, groups, lp.MinMaxOptions{
+					MaxRounds: 6, Workspace: dws, Solve: lp.SolveOptions{DenseBasis: true},
+				})
+				if err != nil {
+					return rep, fmt.Errorf("dense %dx%d: %w", size.jobs, size.slots, err)
+				}
+			}
+			denseWall = time.Since(start)
+		}
+
+		fn := float64(n)
+		res.WarmWallMS = float64(warmWall) / float64(time.Millisecond) / fn
+		res.ColdWallMS = float64(coldWall) / float64(time.Millisecond) / fn
+		res.DenseWallMS = float64(denseWall) / float64(time.Millisecond) / fn
+		res.WarmPivots = float64(warm.Pivots) / fn
+		res.ColdPivots = float64(cold.Pivots) / fn
 		if total := warm.WarmStarts + warm.ColdStarts; total > 0 {
 			res.WarmHitRate = float64(warm.WarmStarts) / float64(total)
 		}
-		if warmWall > 0 {
+		if warmWall > 0 && coldWall > 0 {
 			res.Speedup = float64(coldWall) / float64(warmWall)
 		}
+		res.FillIn = warm.FillIn
+		res.Refactors = float64(warm.Refactors) / fn
+		res.MaxEta = warm.MaxEta
 		rep.Probes = append(rep.Probes, res)
 	}
 	return rep, nil
+}
+
+// lpGuard checks the report against the perf regression gates and
+// returns the violations (empty = pass). Gates: the sparse LU core must
+// beat the dense inverse on wall time at the 200x150 probe, warm must
+// not pivot more than cold there, and the large probe's warm-hit rate
+// must stay at or above 90%.
+func lpGuard(rep lpReport) []string {
+	var fails []string
+	for _, p := range rep.Probes {
+		switch {
+		case p.Jobs == 200 && p.Slots == 150:
+			if p.DenseWallMS > 0 && p.WarmWallMS >= p.DenseWallMS {
+				fails = append(fails, fmt.Sprintf(
+					"lp-guard %dx%d: sparse warm wall %.3fms >= dense %.3fms", p.Jobs, p.Slots, p.WarmWallMS, p.DenseWallMS))
+			}
+			if p.ColdPivots > 0 && p.WarmPivots > p.ColdPivots {
+				fails = append(fails, fmt.Sprintf(
+					"lp-guard %dx%d: warm pivots %.1f > cold pivots %.1f", p.Jobs, p.Slots, p.WarmPivots, p.ColdPivots))
+			}
+		case p.Jobs == 5000 && p.Slots == 1000:
+			if p.WarmHitRate < 0.9 {
+				fails = append(fails, fmt.Sprintf(
+					"lp-guard %dx%d: warm-hit rate %.3f < 0.90", p.Jobs, p.Slots, p.WarmHitRate))
+			}
+		}
+	}
+	return fails
 }

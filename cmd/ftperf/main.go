@@ -74,6 +74,7 @@ func main() {
 	dur := flag.Duration("duration", 2*time.Second, "wall-clock budget per throughput probe")
 	jobs := flag.Int("jobs", 64, "concurrent ad-hoc jobs per probe")
 	lpIters := flag.Int("lpiters", 3, "LexMinMax calls per instance size in the LP probe")
+	lpGuardOn := flag.Bool("lp-guard", false, "fail (exit 1) when the LP probe regresses: sparse must beat the dense basis on wall time at 200x150, warm must not out-pivot cold, and the 5kx1k warm-hit rate must stay >= 90%")
 	simMachines := flag.Int("sim-machines", 10000, "machine count for the simulator probe")
 	simDays := flag.Int("sim-days", 3, "simulated days for the simulator probe")
 	flag.Parse()
@@ -156,6 +157,15 @@ func main() {
 			log.Fatalf("ftperf: %v", err)
 		}
 		fmt.Printf("ftperf: wrote %s\n%s", filepath.Clean(*lpOut), ldata)
+		if *lpGuardOn {
+			if fails := lpGuard(lrep); len(fails) > 0 {
+				for _, f := range fails {
+					log.Print("ftperf: ", f)
+				}
+				log.Fatalf("ftperf: lp-guard: %d regression(s)", len(fails))
+			}
+			fmt.Println("ftperf: lp-guard passed")
+		}
 	}
 
 	if *overloadOut != "" {

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"flowtime/internal/resource"
+	"flowtime/internal/sched"
+)
+
+// TestFoldAdHocDrainReservesCapacity drives the sched.AdHocFolder path
+// end to end inside the scheduler: a drain fold must (a) not trip an
+// urgent replan — it is batched as quality staleness — and (b) make the
+// next replan plan deadline work against cluster capacity minus the
+// reservations, while planCap keeps recording RAW capacity so the fold
+// itself never looks like a cluster capacity change.
+func TestFoldAdHocDrainReservesCapacity(t *testing.T) {
+	f := New(Config{Slack: 0, MaxLexRounds: 4})
+	capacity := resource.New(10, 1000)
+	rem := resource.New(100, 10000) // 20-slot window, ~5 cores/slot flattened
+	mk := func(now int64) sched.AssignContext {
+		return sched.AssignContext{
+			Now: now, Changed: true,
+			Jobs:    []sched.JobState{dlJob("j", 0, 20, rem, capacity)},
+			Cluster: view(capacity, 40),
+		}
+	}
+
+	step := func(now int64) {
+		t.Helper()
+		grants, err := f.Assign(mk(now))
+		if err != nil {
+			t.Fatalf("Assign(%d): %v", now, err)
+		}
+		rem = rem.SubClamped(grants["j"])
+	}
+
+	step(0)
+	if f.stats.Replans != 1 {
+		t.Fatalf("initial Replans = %d, want 1", f.stats.Replans)
+	}
+
+	// The gate retires an epoch: 5 cores / 500 MB admitted at slots 0..9.
+	consumed := make([]resource.Vector, 10)
+	for i := range consumed {
+		consumed[i] = resource.New(5, 500)
+	}
+	f.FoldAdHocDrain(0, consumed)
+	if f.stats.AdHocFolds != 1 {
+		t.Fatalf("AdHocFolds = %d, want 1", f.stats.AdHocFolds)
+	}
+
+	// Slots 1..4: the fold is quality staleness only — no replan before
+	// the batching interval elapses.
+	for now := int64(1); now < qualityReplanInterval; now++ {
+		step(now)
+		if f.stats.Replans != 1 {
+			t.Fatalf("slot %d tripped replan %d — fold must not be urgent", now, f.stats.Replans)
+		}
+	}
+
+	// Slot 5: the batched quality replan fires and folds the reservations.
+	step(qualityReplanInterval)
+	if f.stats.Replans != 2 {
+		t.Fatalf("Replans = %d after interval, want 2 (batched fold)", f.stats.Replans)
+	}
+	// Reserved slots (abs 5..9 = plan offsets 0..4) leave the admitted
+	// volume untouched; beyond them the full capacity is usable.
+	free := capacity.Sub(resource.New(5, 500))
+	for off := int64(0); off < 5 && off < int64(len(f.load)); off++ {
+		if !f.load[off].FitsIn(free) {
+			t.Errorf("plan offset %d load %v exceeds shaved capacity %v", off, f.load[off], free)
+		}
+	}
+	// planCap must keep the RAW capacity — otherwise every later slot
+	// would compare CapAt != planCap and trip an urgent replan.
+	for off, pc := range f.planCap {
+		if pc != capacity {
+			t.Fatalf("planCap[%d] = %v, want raw capacity %v", off, pc, capacity)
+		}
+	}
+	// And indeed the following slot must not replan again.
+	step(qualityReplanInterval + 1)
+	if f.stats.Replans != 2 {
+		t.Fatalf("Replans = %d one slot after fold, want still 2", f.stats.Replans)
+	}
+	// The plan must still cover the whole remaining demand: demand 75 over
+	// slots 5..19 under 5+5*... shaved capacity is feasible.
+	var planned resource.Vector
+	for _, g := range f.plan["j"] {
+		planned = planned.Add(g)
+	}
+	if planned.Get(resource.VCores) == 0 {
+		t.Fatal("no planned allocation after fold")
+	}
+}
+
+// TestFoldAdHocDrainMergeAndTrim unit-tests the reservation bookkeeping:
+// zero-slot trimming, cumulative overlap merging, and age-out.
+func TestFoldAdHocDrainMergeAndTrim(t *testing.T) {
+	f := New(DefaultConfig())
+
+	// All-zero drains are dropped without marking staleness.
+	f.FoldAdHocDrain(0, []resource.Vector{{}, {}})
+	if f.stats.AdHocFolds != 0 || f.adhocStale {
+		t.Fatalf("zero drain counted: folds=%d stale=%v", f.stats.AdHocFolds, f.adhocStale)
+	}
+
+	// Zero lead/tail slots are trimmed before storing.
+	f.FoldAdHocDrain(3, []resource.Vector{{}, resource.New(2, 20), resource.New(1, 10), {}})
+	if f.adhocFrom != 4 || len(f.adhocReserved) != 2 {
+		t.Fatalf("after first fold: from=%d len=%d, want 4/2", f.adhocFrom, len(f.adhocReserved))
+	}
+	if !f.adhocStale {
+		t.Fatal("fold did not mark quality staleness")
+	}
+
+	// An overlapping drain extends the range and ADDS on shared slots.
+	f.FoldAdHocDrain(2, []resource.Vector{resource.New(4, 40), {}, resource.New(3, 30)})
+	if f.adhocFrom != 2 || len(f.adhocReserved) != 4 {
+		t.Fatalf("after merge: from=%d len=%d, want 2/4", f.adhocFrom, len(f.adhocReserved))
+	}
+	want := []resource.Vector{
+		resource.New(4, 40), // slot 2
+		{},                  // slot 3
+		resource.New(5, 50), // slot 4: 2+3
+		resource.New(1, 10), // slot 5
+	}
+	for i, w := range want {
+		if f.adhocReservedAt(2+int64(i)) != w {
+			t.Errorf("reserved[slot %d] = %v, want %v", 2+i, f.adhocReservedAt(2+int64(i)), w)
+		}
+	}
+	if got := f.adhocReservedAt(6); !got.IsZero() {
+		t.Errorf("reserved beyond range = %v, want zero", got)
+	}
+
+	// Age-out keeps only current-and-future slots.
+	f.trimAdHocReserved(4)
+	if f.adhocFrom != 4 || len(f.adhocReserved) != 2 {
+		t.Fatalf("after trim(4): from=%d len=%d, want 4/2", f.adhocFrom, len(f.adhocReserved))
+	}
+	if f.adhocReservedAt(4) != resource.New(5, 50) || f.adhocReservedAt(5) != resource.New(1, 10) {
+		t.Fatalf("trim shifted values: %v %v", f.adhocReservedAt(4), f.adhocReservedAt(5))
+	}
+	f.trimAdHocReserved(100)
+	if len(f.adhocReserved) != 0 {
+		t.Fatalf("trim past end left %d slots", len(f.adhocReserved))
+	}
+}

@@ -118,6 +118,17 @@ type FlowTime struct {
 	// against (diagnostics and tests).
 	planWindows map[string]sched.PlanWindow
 
+	// adhocReserved[i] is the capacity the ad-hoc admission gate has
+	// already promised to admitted ad-hoc work at absolute slot
+	// adhocFrom+i (sched.AdHocFolder). Replans plan deadline work against
+	// cluster capacity minus these reservations; planCap keeps the raw
+	// capacity so a fold never looks like a cluster capacity change.
+	adhocFrom     int64
+	adhocReserved []resource.Vector
+	// adhocStale marks undrained gate admissions since the last replan;
+	// it is a quality (batched) staleness signal, never an urgent one.
+	adhocStale bool
+
 	// live is the versioned published plan (StreamPlans only); pending
 	// holds the diffs emitted since the last TakePlanDiffs drain.
 	live    *plan.Plan
@@ -147,6 +158,9 @@ type Stats struct {
 	// instance jointly infeasible and was dropped for that plan (the
 	// paper's slack is a preference, not a cause for deadline misses).
 	SlackDropped int
+	// AdHocFolds counts FoldAdHocDrain calls that carried non-zero
+	// admitted volume (sched.AdHocFolder).
+	AdHocFolds int
 	// LP aggregates solver work across all LexMinMax attempts: pivot
 	// counts, warm/cold starts, and wall time spent inside the solver.
 	LP lp.SolveStats
@@ -195,6 +209,94 @@ func (f *FlowTime) TakePlanDiffs() []*plan.Diff {
 	out := f.pending
 	f.pending = nil
 	return out
+}
+
+var _ sched.AdHocFolder = (*FlowTime)(nil)
+
+// FoldAdHocDrain implements sched.AdHocFolder: the admission gate retired
+// a leftover epoch and reports the volume it admitted per slot. The
+// volumes accumulate as per-slot capacity reservations that every later
+// replan subtracts from the cluster capacity it plans against, so the
+// admitted ad-hoc work reaches the LP as shaved load-row capacities (RHS
+// deltas on the θ-model's rows) at the next batched quality replan — the
+// gate never forces an urgent full rebuild, and the plan stops
+// double-booking capacity the gate already promised away.
+func (f *FlowTime) FoldAdHocDrain(from int64, consumed []resource.Vector) {
+	lo, hi := 0, len(consumed)
+	for lo < hi && consumed[lo].IsZero() {
+		lo++
+	}
+	for hi > lo && consumed[hi-1].IsZero() {
+		hi--
+	}
+	if lo == hi {
+		return
+	}
+	from, consumed = from+int64(lo), consumed[lo:hi]
+	if len(f.adhocReserved) == 0 {
+		f.adhocFrom = from
+		f.adhocReserved = append([]resource.Vector(nil), consumed...)
+	} else {
+		// Drains are cumulative (each reports one epoch's admissions):
+		// overlapping slots add.
+		start, end := f.adhocFrom, f.adhocFrom+int64(len(f.adhocReserved))
+		if from < start {
+			start = from
+		}
+		if e := from + int64(len(consumed)); e > end {
+			end = e
+		}
+		merged := make([]resource.Vector, end-start)
+		copy(merged[f.adhocFrom-start:], f.adhocReserved)
+		for i, v := range consumed {
+			j := from + int64(i) - start
+			merged[j] = merged[j].Add(v)
+		}
+		f.adhocFrom, f.adhocReserved = start, merged
+	}
+	f.adhocStale = true
+	f.stats.AdHocFolds++
+}
+
+// adhocReservedAt returns the capacity reserved for gate-admitted ad-hoc
+// work at absolute slot abs (zero outside the reserved range).
+func (f *FlowTime) adhocReservedAt(abs int64) resource.Vector {
+	if i := abs - f.adhocFrom; i >= 0 && i < int64(len(f.adhocReserved)) {
+		return f.adhocReserved[i]
+	}
+	return resource.Vector{}
+}
+
+// trimAdHocReserved ages out reservations for slots that have passed —
+// the admitted volume they covered has been delivered (or lapsed) and
+// must not constrain future plans.
+func (f *FlowTime) trimAdHocReserved(now int64) {
+	cut := now - f.adhocFrom
+	if cut <= 0 || len(f.adhocReserved) == 0 {
+		return
+	}
+	if cut >= int64(len(f.adhocReserved)) {
+		f.adhocFrom, f.adhocReserved = 0, nil
+		return
+	}
+	f.adhocReserved = append(f.adhocReserved[:0:0], f.adhocReserved[cut:]...)
+	f.adhocFrom = now
+}
+
+// kindCapAt builds the planning capacity closure for one kind: cluster
+// capacity at plan offset t minus the gate's ad-hoc reservations. planCap
+// and planNeeds keep comparing raw cluster capacity, so folding a drain
+// shaves what the LP may allocate without ever looking like a cluster
+// capacity change (which would trip an urgent replan every slot).
+func (f *FlowTime) kindCapAt(ctx sched.AssignContext, kind resource.Kind) func(int64) int64 {
+	return func(t int64) int64 {
+		abs := ctx.Now + t
+		c := ctx.Cluster.CapAt(abs).Get(kind) - f.adhocReservedAt(abs).Get(kind)
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
 }
 
 // publishPlan versions the replan's final output as the next live plan
@@ -398,6 +500,12 @@ func (f *FlowTime) planNeeds(ctx sched.AssignContext) (urgent, quality bool) {
 			quality = true
 		}
 	}
+	if f.adhocStale {
+		// Undrained gate admissions: correctness is unaffected (the gate
+		// already holds that capacity), so fold them at the next batched
+		// quality replan instead of forcing one now.
+		quality = true
+	}
 	return false, quality
 }
 
@@ -426,6 +534,8 @@ type planJob struct {
 func (f *FlowTime) replan(ctx sched.AssignContext) {
 	f.stats.Replans++
 	f.planFrom = ctx.Now
+	f.trimAdHocReserved(ctx.Now)
+	f.adhocStale = false
 	f.plan = make(map[string][]resource.Vector)
 	f.planRemaining = make(map[string]resource.Vector)
 	f.deferred = make(map[string]resource.Vector)
@@ -623,8 +733,7 @@ func (f *FlowTime) feasibleUnderWindows(ctx sched.AssignContext, jobs, order []*
 		if len(demand) == 0 {
 			continue
 		}
-		capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
-		if !greedyFeasible(order, demand, capAt, kind, ctx.Now, nSlots) {
+		if !greedyFeasible(order, demand, f.kindCapAt(ctx, kind), kind, ctx.Now, nSlots) {
 			return false
 		}
 	}
@@ -649,7 +758,7 @@ func (f *FlowTime) replanKind(ctx sched.AssignContext, kind resource.Kind, jobs,
 	if len(demand) == 0 {
 		return sched.DegradeNone, ""
 	}
-	capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
+	capAt := f.kindCapAt(ctx, kind)
 
 	level, reason := sched.DegradeNone, ""
 	trip := func(to sched.DegradeLevel, stage string, err error) {
@@ -862,7 +971,7 @@ func (f *FlowTime) greedyPlanKind(ctx sched.AssignContext, kind resource.Kind, o
 	for pj, d := range demand {
 		remaining[pj] = d
 	}
-	capAt := func(t int64) int64 { return ctx.Cluster.CapAt(ctx.Now + t).Get(kind) }
+	capAt := f.kindCapAt(ctx, kind)
 	for t := int64(0); t < nSlots; t++ {
 		f.fillSlot(order, remaining, alloc, kind, t, ctx.Now, capAt(t)-f.load[t].Get(kind))
 	}

@@ -80,8 +80,11 @@ type MinMaxOptions struct {
 	// Workspace, when non-nil, carries the incremental θ-model and its
 	// simplex basis across LexMinMax calls on the SAME base model and
 	// group list (e.g. the degradation ladder retrying with a smaller
-	// round budget). The zero value is ready to use. The caller must not
-	// mutate base between calls sharing a workspace.
+	// round budget). Group capacities may change between calls — the
+	// reset pass reapplies them as coefficient deltas the warm solver
+	// repairs — but the load terms must stay fixed and the caller must
+	// not mutate base between calls sharing a workspace. The zero value
+	// is ready to use.
 	Workspace *LexWorkspace
 }
 
@@ -183,11 +186,18 @@ type LexWorkspace struct {
 	// load_gi ≤ level·cap_gi. One row per group keeps the shared model the
 	// same size as each legacy per-round model, so warm pivots cost the
 	// same O(m²) basis update as cold ones.
-	capRow    []int
-	detached  []bool // detached[gi]: capRow[gi] is currently in frozen form
-	allTerms  []Term // concatenated group terms (final tie-break objective)
-	thetaTerm []Term // {θ, 1} (round objective)
-	ws        Workspace
+	capRow   []int
+	detached []bool // detached[gi]: capRow[gi] is currently in frozen form
+	// appliedCap[gi] is the capacity currently wired into capRow[gi]'s θ
+	// coefficient. Capacities MAY differ between calls sharing a
+	// workspace (e.g. ad-hoc reservations shaving slot capacity between
+	// replans): the reset pass reconciles each changed cap with one
+	// SetCoef, which reaches the warm solver as a coefficient/RHS delta
+	// repaired by dual pivots instead of invalidating the kept basis.
+	appliedCap []float64
+	allTerms   []Term // concatenated group terms (final tie-break objective)
+	thetaTerm  []Term // {θ, 1} (round objective)
+	ws         Workspace
 }
 
 // Reset discards the kept model and basis.
@@ -196,8 +206,9 @@ func (lw *LexWorkspace) Reset() {
 }
 
 // matches reports whether the kept model was built for this (base, groups)
-// pair. The group check is shallow (count and capacities): callers sharing
-// a workspace across calls pass the same slice.
+// pair. The group check is shallow (count only): callers sharing a
+// workspace across calls keep the same load terms, while capacities may
+// change freely — the reset pass in runIncremental reapplies them.
 func (lw *LexWorkspace) matches(base *Model, groups []LoadGroup) bool {
 	if lw.model == nil || lw.base != base || lw.nGroups != len(groups) {
 		return false
@@ -224,6 +235,7 @@ func (lw *LexWorkspace) prepare(base *Model, groups []LoadGroup) bool {
 		return false
 	}
 	capRow := make([]int, len(groups))
+	appliedCap := make([]float64, len(groups))
 	var allTerms []Term
 	for gi, g := range groups {
 		terms := append(append(make([]Term, 0, len(g.Terms)+1), g.Terms...),
@@ -232,6 +244,7 @@ func (lw *LexWorkspace) prepare(base *Model, groups []LoadGroup) bool {
 		if err := m.AddConstraint(terms, LE, 0); err != nil {
 			return false
 		}
+		appliedCap[gi] = g.Cap
 		allTerms = append(allTerms, g.Terms...)
 	}
 
@@ -243,6 +256,7 @@ func (lw *LexWorkspace) prepare(base *Model, groups []LoadGroup) bool {
 	lw.theta = theta
 	lw.capRow = capRow
 	lw.detached = make([]bool, len(groups))
+	lw.appliedCap = appliedCap
 	lw.allTerms = allTerms
 	lw.thetaTerm = []Term{{Var: theta, Coef: 1}}
 	return true
@@ -271,11 +285,12 @@ func (r *lexRun) runIncremental(lw *LexWorkspace) (*MinMaxResult, error) {
 	// best-effort dual repair; if the old basis is too far gone it falls
 	// back to a cold start on its own.
 	for gi := range groups {
-		if lw.detached[gi] {
+		if lw.detached[gi] || lw.appliedCap[gi] != groups[gi].Cap {
 			if err := m.SetCoef(lw.capRow[gi], lw.theta, -groups[gi].Cap); err != nil {
 				return nil, err
 			}
 			lw.detached[gi] = false
+			lw.appliedCap[gi] = groups[gi].Cap
 		}
 		if err := m.SetRHS(lw.capRow[gi], 0); err != nil {
 			return nil, err

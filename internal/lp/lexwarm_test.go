@@ -116,6 +116,49 @@ func TestLexMinMaxWorkspaceReuse(t *testing.T) {
 	}
 }
 
+// TestLexMinMaxWorkspaceCapChange reuses one LexWorkspace across calls
+// whose group CAPACITIES changed in between — the shape of the ad-hoc
+// drain fold, where gate admissions shave per-slot capacity between
+// replans. The kept θ-model must absorb the change as coefficient/RHS
+// deltas against the kept basis (warm starts, no rebuild) and still agree
+// with a cold reference solved directly on the shaved instance.
+func TestLexMinMaxWorkspaceCapChange(t *testing.T) {
+	base, groups := benchScheduling(t, 10, 50)
+	lw := &LexWorkspace{}
+	if _, err := LexMinMaxWithOptions(base, groups, MinMaxOptions{Workspace: lw}); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+
+	shaved := append([]LoadGroup(nil), groups...)
+	for gi := range shaved {
+		if gi%3 == 0 {
+			shaved[gi].Cap *= 0.7
+		}
+	}
+	res, err := LexMinMaxWithOptions(base, shaved, MinMaxOptions{Workspace: lw})
+	if err != nil {
+		t.Fatalf("shaved: %v", err)
+	}
+	if res.Stats.ColdStarts != 0 {
+		t.Fatalf("cap change cold-started despite kept workspace: %+v", res.Stats)
+	}
+	if res.Stats.WarmStarts == 0 {
+		t.Fatalf("cap change never warm-started: %+v", res.Stats)
+	}
+
+	ref, err := LexMinMaxWithOptions(base, shaved, MinMaxOptions{DisableWarmStart: true})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	rs, cs := SortedDescending(res.Levels), SortedDescending(ref.Levels)
+	for i := range rs {
+		if math.Abs(rs[i]-cs[i]) > 10*levelTol {
+			t.Fatalf("sorted level %d: workspace %.9g, reference %.9g\nworkspace %v\nreference %v",
+				i, rs[i], cs[i], rs, cs)
+		}
+	}
+}
+
 // TestLexMinMaxWarmStatsSurface checks that the new SolveStats counters
 // reach MinMaxResult.Stats so telemetry above the solver can report them.
 func TestLexMinMaxWarmStatsSurface(t *testing.T) {

@@ -1,0 +1,694 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// luFactor is the sparse basis representation: B = L·U computed by a
+// Markowitz-ordered elimination with threshold partial pivoting, plus a
+// file of Forrest-Tomlin-style product-form eta updates appended one
+// per pivot between refactorizations.
+//
+// FlowTime's scheduling LPs are extremely sparse and block-structured
+// (one capacity row per slot, each job touching only its window
+// interval; most basis columns have one or two nonzeros), so the
+// factorization is driven by a structural singleton peel — repeatedly
+// pivoting singleton columns and singleton rows, which provably perform
+// no arithmetic on the remaining submatrix — and only the small
+// irreducible "bump" that survives the peel pays for Markowitz pivot
+// selection with numeric elimination. FTRAN/BTRAN then run in
+// O(nnz(L+U+etas)) instead of the dense O(m²).
+const (
+	// luPivTol is the absolute floor below which an entry cannot pivot.
+	luPivTol = 1e-12
+	// luThreshold is the relative threshold for partial pivoting: a bump
+	// pivot must satisfy |a| >= luThreshold * max|column|.
+	luThreshold = 0.1
+	// etaMax caps the eta-file length; update refuses past it and the
+	// caller refactorizes (bounding solve cost and drift between
+	// refactorizations).
+	etaMax = 128
+	// etaPivAbsTol / etaPivRelTol reject unstable Forrest-Tomlin updates:
+	// the spike's pivot element must clear both an absolute floor and a
+	// fraction of the spike's largest entry.
+	etaPivAbsTol = 1e-9
+	etaPivRelTol = 1e-8
+	// etaDropTol drops negligible spike entries from the eta file.
+	etaDropTol = 1e-14
+)
+
+type luFactor struct {
+	m int
+
+	// Pivot sequence of the last factorization: pivot k eliminated
+	// matrix row pRow[k] and basis position (column) pPos[k] with pivot
+	// value pVal[k]; orderOfPos inverts pPos.
+	pRow, pPos []int32
+	pVal       []float64
+	orderOfPos []int32
+
+	// L multipliers, CSR over pivot order: applying pivot k subtracts
+	// lVal[i]*v[pRow[k]] from v[lRow[i]].
+	lPtr []int32
+	lRow []int32
+	lVal []float64
+
+	// U off-diagonals stored twice: by pivot row (entries at later pivot
+	// orders, for the FTRAN backsolve) and transposed by pivot column
+	// (entries at earlier orders, for the BTRAN forward solve).
+	uRowPtr []int32
+	uRowOrd []int32
+	uRowVal []float64
+	uColPtr []int32
+	uColOrd []int32
+	uColVal []float64
+
+	// Eta file: update e replaced basis position etaPos[e]; the spike
+	// w = B^-1 a_enter has pivot element etaPiv[e] and off-pivot entries
+	// etaRow/etaVal[etaPtr[e]:etaPtr[e+1]].
+	etaPos []int32
+	etaPiv []float64
+	etaPtr []int32
+	etaRow []int32
+	etaVal []float64
+
+	sol []float64 // order-indexed solve scratch
+	st  factorStats
+
+	// Factorization working state, reused across refactorizations.
+	colRows [][]int32
+	colVals [][]float64
+	rowCols [][]int32
+	rowCnt  []int32
+	colCnt  []int32
+	rowDone []bool
+	colDone []bool
+	colQ    []int32
+	rowQ    []int32
+	mark    []int32 // scatter index for bump elimination (0 = absent)
+	uPosTmp []int32 // U entry positions before order mapping
+	cnt     []int32 // counting-sort scratch for the U transpose
+}
+
+func (f *luFactor) isSparse() bool     { return true }
+func (f *luFactor) stats() factorStats { return f.st }
+
+// install builds the trivial factorization of B = diag(diag) directly.
+func (f *luFactor) install(s *simplex, diag []float64) {
+	m := s.m
+	f.m = m
+	f.sizeOutputs(m)
+	f.lPtr[0], f.uRowPtr[0], f.uColPtr[0] = 0, 0, 0
+	for k := 0; k < m; k++ {
+		f.pRow[k] = int32(k)
+		f.pPos[k] = int32(k)
+		f.pVal[k] = diag[k]
+		f.orderOfPos[k] = int32(k)
+		f.lPtr[k+1] = 0
+		f.uRowPtr[k+1] = 0
+		f.uColPtr[k+1] = 0
+	}
+	f.lRow, f.lVal = f.lRow[:0], f.lVal[:0]
+	f.uRowOrd, f.uRowVal = f.uRowOrd[:0], f.uRowVal[:0]
+	f.uColOrd, f.uColVal = f.uColOrd[:0], f.uColVal[:0]
+	f.clearEtas()
+}
+
+func (f *luFactor) sizeOutputs(m int) {
+	if cap(f.pRow) < m {
+		f.pRow = make([]int32, m)
+		f.pPos = make([]int32, m)
+		f.pVal = make([]float64, m)
+		f.orderOfPos = make([]int32, m)
+		f.sol = make([]float64, m)
+	}
+	f.pRow, f.pPos, f.pVal = f.pRow[:m], f.pPos[:m], f.pVal[:m]
+	f.orderOfPos, f.sol = f.orderOfPos[:m], f.sol[:m]
+	if cap(f.lPtr) < m+1 {
+		f.lPtr = make([]int32, m+1)
+		f.uRowPtr = make([]int32, m+1)
+		f.uColPtr = make([]int32, m+1)
+	}
+	f.lPtr, f.uRowPtr, f.uColPtr = f.lPtr[:m+1], f.uRowPtr[:m+1], f.uColPtr[:m+1]
+}
+
+func (f *luFactor) clearEtas() {
+	f.etaPos = f.etaPos[:0]
+	f.etaPiv = f.etaPiv[:0]
+	f.etaPtr = append(f.etaPtr[:0], 0)
+	f.etaRow = f.etaRow[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+func (f *luFactor) grow(s *simplex, m *Model, oldM int) error {
+	// Appended rows carry basic unit columns, so the extended basis is
+	// block-triangular over the old one; the singleton peel consumes the
+	// whole border in O(nnz), so a fresh factorization replaces the
+	// dense path's O(m²) inverse copy.
+	return f.refactor(s, false)
+}
+
+// refactor rebuilds L, U and the pivot order from s.basicVar and clears
+// the eta file. With repair set, a structurally or numerically singular
+// basis evicts stuck positions for nonbasic per-row unit columns and
+// restarts (bounded by m+1 evictions).
+func (f *luFactor) refactor(s *simplex, repair bool) error {
+	f.m = s.m
+	for attempt := 0; attempt <= s.m+1; attempt++ {
+		done, err := f.tryFactorize(s, repair)
+		if err != nil {
+			return err
+		}
+		if done {
+			f.st.refactors++
+			return nil
+		}
+	}
+	return fmt.Errorf("lp: internal: basis repair did not converge")
+}
+
+func (f *luFactor) sizeWork(m int) {
+	if cap(f.rowCnt) < m {
+		f.rowCnt = make([]int32, m)
+		f.colCnt = make([]int32, m)
+		f.rowDone = make([]bool, m)
+		f.colDone = make([]bool, m)
+		f.mark = make([]int32, m)
+	}
+	f.rowCnt, f.colCnt = f.rowCnt[:m], f.colCnt[:m]
+	f.rowDone, f.colDone = f.rowDone[:m], f.colDone[:m]
+	f.mark = f.mark[:m]
+	for i := 0; i < m; i++ {
+		f.rowDone[i], f.colDone[i] = false, false
+		f.mark[i] = 0
+	}
+	for len(f.colRows) < m {
+		f.colRows = append(f.colRows, nil)
+		f.colVals = append(f.colVals, nil)
+		f.rowCols = append(f.rowCols, nil)
+	}
+	f.colQ, f.rowQ = f.colQ[:0], f.rowQ[:0]
+}
+
+// tryFactorize runs one elimination attempt. It returns done=false with
+// a nil error when repair evicted a basis column and the caller should
+// retry from the modified basis.
+func (f *luFactor) tryFactorize(s *simplex, repair bool) (bool, error) {
+	m := s.m
+	f.sizeOutputs(m)
+	f.sizeWork(m)
+	f.lPtr[0], f.uRowPtr[0], f.uColPtr[0] = 0, 0, 0
+
+	// Load the basis columns and mirror them row-wise. The two adjacency
+	// lists stay exact mirrors throughout (entries are only appended,
+	// never individually deleted; retired rows/columns are skipped via
+	// the done flags), so membership never needs a lookup.
+	nnzB := 0
+	for p := 0; p < m; p++ {
+		c := &s.cols[s.basicVar[p]]
+		cr, cv := f.colRows[p][:0], f.colVals[p][:0]
+		for k, r := range c.rows {
+			if c.vals[k] == 0 {
+				continue
+			}
+			cr = append(cr, int32(r))
+			cv = append(cv, c.vals[k])
+		}
+		f.colRows[p], f.colVals[p] = cr, cv
+		nnzB += len(cr)
+	}
+	for r := 0; r < m; r++ {
+		f.rowCols[r] = f.rowCols[r][:0]
+	}
+	for p := 0; p < m; p++ {
+		for _, r := range f.colRows[p] {
+			f.rowCols[r] = append(f.rowCols[r], int32(p))
+		}
+	}
+	for p := 0; p < m; p++ {
+		f.colCnt[p] = int32(len(f.colRows[p]))
+		if f.colCnt[p] == 1 {
+			f.colQ = append(f.colQ, int32(p))
+		}
+	}
+	for r := 0; r < m; r++ {
+		f.rowCnt[r] = int32(len(f.rowCols[r]))
+		if f.rowCnt[r] == 1 {
+			f.rowQ = append(f.rowQ, int32(r))
+		}
+	}
+
+	f.lRow, f.lVal = f.lRow[:0], f.lVal[:0]
+	f.uRowOrd, f.uRowVal = f.uRowOrd[:0], f.uRowVal[:0]
+	f.uPosTmp = f.uPosTmp[:0]
+
+	for nPiv := 0; nPiv < m; nPiv++ {
+		if !f.pivotOnce(nPiv) {
+			// No acceptable pivot among the active submatrix: singular.
+			if !repair {
+				return false, fmt.Errorf("lp: internal: singular basis during sparse refactorization (pivot %d)", nPiv)
+			}
+			if !f.evictForRepair(s) {
+				return false, fmt.Errorf("lp: internal: singular basis during sparse refactorization (pivot %d, no unit column available)", nPiv)
+			}
+			return false, nil // retry from the repaired basis
+		}
+		f.lPtr[nPiv+1] = int32(len(f.lRow))
+		f.uRowPtr[nPiv+1] = int32(len(f.uPosTmp))
+	}
+
+	f.finishFactors()
+	f.clearEtas()
+	if nnzB < 1 {
+		nnzB = 1
+	}
+	fill := float64(m+len(f.lRow)+len(f.uPosTmp)) / float64(nnzB)
+	if fill > f.st.fillIn {
+		f.st.fillIn = fill
+	}
+	return true, nil
+}
+
+// pivotOnce performs elimination pivot k: a structural singleton when
+// one is available (no arithmetic — a singleton column has nothing to
+// eliminate, a singleton row has no off-pivot entries to spread), else
+// a Markowitz-selected bump pivot with threshold partial pivoting.
+func (f *luFactor) pivotOnce(k int) bool {
+	// Singleton columns first: they generate no L entries and no fill.
+	for len(f.colQ) > 0 {
+		p := f.colQ[len(f.colQ)-1]
+		f.colQ = f.colQ[:len(f.colQ)-1]
+		if f.colDone[p] || f.colCnt[p] != 1 {
+			continue
+		}
+		r, v := f.singleActiveRow(p)
+		if r < 0 || math.Abs(v) <= luPivTol {
+			continue // lost to staleness or numerically unusable: bump decides
+		}
+		f.recordPivot(k, r, p, v)
+		f.collectURow(k, r, p)
+		f.retire(r, p, nil)
+		return true
+	}
+	// Singleton rows: no U off-diagonals, multipliers only.
+	for len(f.rowQ) > 0 {
+		r := f.rowQ[len(f.rowQ)-1]
+		f.rowQ = f.rowQ[:len(f.rowQ)-1]
+		if f.rowDone[r] || f.rowCnt[r] != 1 {
+			continue
+		}
+		p, v := f.singleActiveCol(r)
+		if p < 0 || math.Abs(v) <= luPivTol {
+			continue
+		}
+		f.recordPivot(k, r, p, v)
+		lents := f.collectL(r, p, v)
+		f.retire(r, p, lents)
+		return true
+	}
+	return f.bumpPivot(k)
+}
+
+func (f *luFactor) singleActiveRow(p int32) (int32, float64) {
+	for i, r := range f.colRows[p] {
+		if !f.rowDone[r] {
+			return r, f.colVals[p][i]
+		}
+	}
+	return -1, 0
+}
+
+func (f *luFactor) singleActiveCol(r int32) (int32, float64) {
+	for _, p := range f.rowCols[r] {
+		if f.colDone[p] {
+			continue
+		}
+		for i, rr := range f.colRows[p] {
+			if rr == r {
+				return p, f.colVals[p][i]
+			}
+		}
+	}
+	return -1, 0
+}
+
+func (f *luFactor) recordPivot(k int, r, p int32, v float64) {
+	f.pRow[k] = r
+	f.pPos[k] = p
+	f.pVal[k] = v
+	f.orderOfPos[p] = int32(k)
+}
+
+// collectURow records the off-pivot entries of pivot row r as U entries
+// of order k (their positions map to later orders once known).
+func (f *luFactor) collectURow(k int, r, p int32) {
+	for _, pp := range f.rowCols[r] {
+		if pp == p || f.colDone[pp] {
+			continue
+		}
+		for i, rr := range f.colRows[pp] {
+			if rr == r {
+				f.uPosTmp = append(f.uPosTmp, pp)
+				f.uRowVal = append(f.uRowVal, f.colVals[pp][i])
+				break
+			}
+		}
+	}
+}
+
+// collectL records the multipliers eliminating pivot column p below
+// pivot value v at row r, and returns the rows they touched.
+func (f *luFactor) collectL(r, p int32, v float64) []int32 {
+	start := len(f.lRow)
+	for i, rr := range f.colRows[p] {
+		if rr == r || f.rowDone[rr] {
+			continue
+		}
+		f.lRow = append(f.lRow, rr)
+		f.lVal = append(f.lVal, f.colVals[p][i]/v)
+	}
+	return f.lRow[start:]
+}
+
+// retire marks pivot row r and column p eliminated and updates the
+// active counts. lents lists the rows whose column-p entry was just
+// eliminated into L (nil for a singleton-column pivot, which has none).
+func (f *luFactor) retire(r, p int32, lents []int32) {
+	f.rowDone[r] = true
+	f.colDone[p] = true
+	for _, pp := range f.rowCols[r] {
+		if f.colDone[pp] {
+			continue
+		}
+		f.colCnt[pp]--
+		if f.colCnt[pp] == 1 {
+			f.colQ = append(f.colQ, pp)
+		}
+	}
+	for _, rr := range lents {
+		f.rowCnt[rr]--
+		if f.rowCnt[rr] == 1 {
+			f.rowQ = append(f.rowQ, rr)
+		}
+	}
+}
+
+// bumpPivot eliminates one pivot of the irreducible bump: Markowitz
+// cost (rowCnt-1)*(colCnt-1) minimized over entries passing threshold
+// partial pivoting, then a right-looking sparse elimination with fill
+// tracked in both adjacency mirrors.
+func (f *luFactor) bumpPivot(k int) bool {
+	m := f.m
+	bestCost := int64(math.MaxInt64)
+	bestAbs := 0.0
+	var br, bp int32 = -1, -1
+	for p := 0; p < m; p++ {
+		if f.colDone[p] {
+			continue
+		}
+		colmax := 0.0
+		for i, r := range f.colRows[p] {
+			if f.rowDone[r] {
+				continue
+			}
+			if a := math.Abs(f.colVals[p][i]); a > colmax {
+				colmax = a
+			}
+		}
+		if colmax <= luPivTol {
+			continue // no usable pivot in this column
+		}
+		floor := luThreshold * colmax
+		for i, r := range f.colRows[p] {
+			if f.rowDone[r] {
+				continue
+			}
+			a := math.Abs(f.colVals[p][i])
+			if a < floor || a <= luPivTol {
+				continue
+			}
+			cost := int64(f.rowCnt[r]-1) * int64(f.colCnt[p]-1)
+			if cost < bestCost || (cost == bestCost && a > bestAbs) {
+				bestCost, bestAbs, br, bp = cost, a, r, int32(p)
+			}
+		}
+		if bestCost == 0 {
+			break // cannot do better than fill-free
+		}
+	}
+	if bp < 0 {
+		return false
+	}
+	f.eliminate(k, br, bp)
+	return true
+}
+
+func (f *luFactor) eliminate(k int, r, p int32) {
+	var pv float64
+	for i, rr := range f.colRows[p] {
+		if rr == r {
+			pv = f.colVals[p][i]
+			break
+		}
+	}
+	f.recordPivot(k, r, p, pv)
+	uStart := len(f.uPosTmp)
+	f.collectURow(k, r, p)
+	lents := f.collectL(r, p, pv)
+	lVals := f.lVal[len(f.lVal)-len(lents):]
+
+	// Right-looking update: for each U column, scatter its rows and fold
+	// a_{r',p'} -= mult * u into existing entries or append fill.
+	for ui := uStart; ui < len(f.uPosTmp); ui++ {
+		pp := f.uPosTmp[ui]
+		uval := f.uRowVal[ui]
+		cr, cv := f.colRows[pp], f.colVals[pp]
+		for i, rr := range cr {
+			f.mark[rr] = int32(i) + 1
+		}
+		for li, rr := range lents {
+			mult := lVals[li]
+			if mult == 0 {
+				continue
+			}
+			if idx := f.mark[rr]; idx > 0 {
+				cv[idx-1] -= mult * uval
+			} else {
+				cr = append(cr, rr)
+				cv = append(cv, -mult*uval)
+				f.rowCols[rr] = append(f.rowCols[rr], pp)
+				f.colCnt[pp]++
+				f.rowCnt[rr]++
+			}
+		}
+		for _, rr := range cr {
+			f.mark[rr] = 0
+		}
+		f.colRows[pp], f.colVals[pp] = cr, cv
+	}
+	f.retire(r, p, lents)
+}
+
+// evictForRepair swaps a stuck basis position for a nonbasic per-row
+// unit column covering a still-active row, mirroring the dense path's
+// repairBasisColumn, then asks the caller to refactorize from scratch.
+func (f *luFactor) evictForRepair(s *simplex) bool {
+	unit := -1
+	for r := 0; r < f.m; r++ {
+		if f.rowDone[r] {
+			continue
+		}
+		u := s.rowUnit[r]
+		if u >= 0 && s.status[u] != inBasis {
+			unit = u
+			break
+		}
+	}
+	if unit < 0 {
+		return false
+	}
+	// Prefer the emptiest active column as the evictee: it is the one
+	// the elimination could not use.
+	pos, best := -1, int32(math.MaxInt32)
+	for p := 0; p < f.m; p++ {
+		if f.colDone[p] {
+			continue
+		}
+		if f.colCnt[p] < best {
+			pos, best = p, f.colCnt[p]
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	s.evictBasic(pos, unit)
+	return true
+}
+
+// finishFactors maps the recorded U positions to pivot orders and
+// builds the column-wise transpose for BTRAN.
+func (f *luFactor) finishFactors() {
+	m := f.m
+	f.uRowOrd = f.uRowOrd[:0]
+	for _, p := range f.uPosTmp {
+		f.uRowOrd = append(f.uRowOrd, f.orderOfPos[p])
+	}
+	if cap(f.cnt) < m+1 {
+		f.cnt = make([]int32, m+1)
+	}
+	cnt := f.cnt[:m+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, j := range f.uRowOrd {
+		cnt[j+1]++
+	}
+	for j := 0; j < m; j++ {
+		cnt[j+1] += cnt[j]
+		f.uColPtr[j+1] = cnt[j+1]
+	}
+	nu := len(f.uRowOrd)
+	if cap(f.uColOrd) < nu {
+		f.uColOrd = make([]int32, nu)
+		f.uColVal = make([]float64, nu)
+	}
+	f.uColOrd, f.uColVal = f.uColOrd[:nu], f.uColVal[:nu]
+	for k := 0; k < m; k++ {
+		for i := f.uRowPtr[k]; i < f.uRowPtr[k+1]; i++ {
+			j := f.uRowOrd[i]
+			slot := cnt[j]
+			cnt[j]++
+			f.uColOrd[slot] = int32(k)
+			f.uColVal[slot] = f.uRowVal[i]
+		}
+	}
+}
+
+// ftranIn solves B x = v in place: apply the L operations in pivot
+// order, backsolve U, then apply the eta file oldest-first.
+func (f *luFactor) ftranIn(v []float64) {
+	m := f.m
+	for k := 0; k < m; k++ {
+		t := v[f.pRow[k]]
+		if t == 0 {
+			continue
+		}
+		for i := f.lPtr[k]; i < f.lPtr[k+1]; i++ {
+			v[f.lRow[i]] -= f.lVal[i] * t
+		}
+	}
+	z := f.sol[:m]
+	for k := m - 1; k >= 0; k-- {
+		t := v[f.pRow[k]]
+		for i := f.uRowPtr[k]; i < f.uRowPtr[k+1]; i++ {
+			t -= f.uRowVal[i] * z[f.uRowOrd[i]]
+		}
+		z[k] = t / f.pVal[k]
+	}
+	for k := 0; k < m; k++ {
+		v[f.pPos[k]] = z[k]
+	}
+	for e := 0; e < len(f.etaPos); e++ {
+		p := f.etaPos[e]
+		t := v[p] / f.etaPiv[e]
+		if t != 0 {
+			for i := f.etaPtr[e]; i < f.etaPtr[e+1]; i++ {
+				v[f.etaRow[i]] -= f.etaVal[i] * t
+			}
+		}
+		v[p] = t
+	}
+}
+
+func (f *luFactor) ftranCol(c *sparseCol, out []float64) {
+	for i := 0; i < f.m; i++ {
+		out[i] = 0
+	}
+	for k, r := range c.rows {
+		out[r] += c.vals[k]
+	}
+	f.ftranIn(out[:f.m])
+}
+
+// btranIn solves B^T y = v in place: apply the eta transposes
+// newest-first, forward-solve U^T in pivot order, then apply the L
+// transposes newest-first.
+func (f *luFactor) btranIn(v []float64) {
+	m := f.m
+	for e := len(f.etaPos) - 1; e >= 0; e-- {
+		p := f.etaPos[e]
+		t := v[p]
+		for i := f.etaPtr[e]; i < f.etaPtr[e+1]; i++ {
+			t -= f.etaVal[i] * v[f.etaRow[i]]
+		}
+		v[p] = t / f.etaPiv[e]
+	}
+	z := f.sol[:m]
+	for k := 0; k < m; k++ {
+		t := v[f.pPos[k]]
+		for i := f.uColPtr[k]; i < f.uColPtr[k+1]; i++ {
+			t -= f.uColVal[i] * z[f.uColOrd[i]]
+		}
+		z[k] = t / f.pVal[k]
+	}
+	for k := 0; k < m; k++ {
+		v[f.pRow[k]] = z[k]
+	}
+	for k := m - 1; k >= 0; k-- {
+		acc := 0.0
+		for i := f.lPtr[k]; i < f.lPtr[k+1]; i++ {
+			acc += f.lVal[i] * v[f.lRow[i]]
+		}
+		if acc != 0 {
+			v[f.pRow[k]] -= acc
+		}
+	}
+}
+
+func (f *luFactor) rowInv(r int, out []float64) {
+	for i := 0; i < f.m; i++ {
+		out[i] = 0
+	}
+	out[r] = 1
+	f.btranIn(out[:f.m])
+}
+
+// update appends a Forrest-Tomlin product-form eta for the basis change
+// at row leave, with w = B^-1 a_enter. It refuses — asking the caller
+// to refactorize — when the eta file is full or the spike's pivot
+// element is too small for a stable update.
+func (f *luFactor) update(leave int, w []float64) bool {
+	if len(f.etaPos) >= etaMax {
+		return false
+	}
+	piv := w[leave]
+	start := len(f.etaRow)
+	wmax := 0.0
+	for r := 0; r < f.m; r++ {
+		if r == leave {
+			continue
+		}
+		x := w[r]
+		if x > -etaDropTol && x < etaDropTol {
+			continue
+		}
+		if a := math.Abs(x); a > wmax {
+			wmax = a
+		}
+		f.etaRow = append(f.etaRow, int32(r))
+		f.etaVal = append(f.etaVal, x)
+	}
+	if a := math.Abs(piv); a < etaPivAbsTol || a < etaPivRelTol*wmax {
+		f.etaRow = f.etaRow[:start]
+		f.etaVal = f.etaVal[:start]
+		return false
+	}
+	f.etaPos = append(f.etaPos, int32(leave))
+	f.etaPiv = append(f.etaPiv, piv)
+	f.etaPtr = append(f.etaPtr, int32(len(f.etaRow)))
+	if l := len(f.etaPos); l > f.st.maxEta {
+		f.st.maxEta = l
+	}
+	return true
+}

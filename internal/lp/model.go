@@ -2,11 +2,15 @@
 // FlowTime's scheduling formulation exactly, replacing the IBM CPLEX
 // dependency of the paper (ICDCS 2018, §V).
 //
-// The solver is a bounded-variable primal simplex (revised form with an
-// explicitly maintained basis inverse, periodic refactorization, and Bland's
-// rule as an anti-cycling fallback). Variables carry individual [lower,
-// upper] bounds so per-variable caps — such as a job's parallelism limit —
-// cost nothing at solve time. The package also provides:
+// The solver is a bounded-variable primal simplex (revised form over a
+// sparse LU factorization of the basis with Markowitz pivot selection,
+// Forrest–Tomlin eta updates, periodic and drift-triggered
+// refactorization, a presolve/postsolve pass for cold starts, and
+// Bland's rule as an anti-cycling fallback; the legacy dense inverse
+// remains available via SolveOptions.DenseBasis as a differential
+// reference). Variables carry individual [lower, upper] bounds so
+// per-variable caps — such as a job's parallelism limit — cost nothing
+// at solve time. The package also provides:
 //
 //   - dual values and reduced costs, used by tests to certify optimality
 //     through complementary slackness rather than trusting the solver;
@@ -64,6 +68,16 @@ type SolveOptions struct {
 	// numerical trouble on the warm path falls back to the cold start, so
 	// results are identical within tolerance. See Workspace.
 	Workspace *Workspace
+	// DenseBasis selects the legacy dense basis-inverse representation
+	// (explicit Binv updated with product-form row operations) instead of
+	// the default sparse LU factorization with Forrest–Tomlin updates.
+	// It exists as the differential reference for the sparse core — slow
+	// at scale but numerically independent.
+	DenseBasis bool
+	// DisablePresolve skips the presolve/postsolve pass on cold starts.
+	// Warm starts (Workspace set) never presolve: the reductions would
+	// invalidate the kept basis mapping.
+	DisablePresolve bool
 }
 
 // SolveStats reports what a solve cost, whether or not it succeeded.
@@ -84,6 +98,19 @@ type SolveStats struct {
 	// WarmFallbacks counts warm-start attempts abandoned for a cold
 	// restart (stall or numerical trouble on the warm path).
 	WarmFallbacks int
+	// BlandPivots is the subset of Pivots performed under an anti-cycling
+	// guard (Bland's rule in the primal, lowest-index tie-breaking in the
+	// dual) after a degenerate stall.
+	BlandPivots int
+	// Refactors counts full basis refactorizations (periodic, drift-
+	// triggered, and update-rejection recoveries).
+	Refactors int
+	// MaxEta is the peak Forrest–Tomlin eta-file length reached between
+	// refactorizations (0 on the dense path).
+	MaxEta int
+	// FillIn is the peak nnz(L+U)/nnz(B) ratio observed across
+	// factorizations (0 on the dense path).
+	FillIn float64
 	// Duration is the wall-clock time the solve took.
 	Duration time.Duration
 }
@@ -100,6 +127,14 @@ func (s *SolveStats) accumulate(o SolveStats) {
 	s.WarmStarts += o.WarmStarts
 	s.ColdStarts += o.ColdStarts
 	s.WarmFallbacks += o.WarmFallbacks
+	s.BlandPivots += o.BlandPivots
+	s.Refactors += o.Refactors
+	if o.MaxEta > s.MaxEta {
+		s.MaxEta = o.MaxEta
+	}
+	if o.FillIn > s.FillIn {
+		s.FillIn = o.FillIn
+	}
 	s.Duration += o.Duration
 }
 

@@ -1,0 +1,626 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the presolve/postsolve pass run on cold,
+// workspace-free solves. Presolve shrinks the model before the simplex
+// sees it — empty, singleton, and redundant rows are dropped, fixed and
+// empty columns removed, and implied-free column singletons on equality
+// rows substituted out — and postsolve maps the reduced solution back to
+// the original model, reconstructing primal values exactly and dual
+// values/reduced costs so that the full KKT certificate
+// (verifyOptimal's conditions) still holds on the original model.
+//
+// Every reduction strictly decreases #active rows + #active columns, so
+// the fixpoint loop terminates without an iteration cap. Reductions are
+// recorded on a stack and replayed in reverse by postsolve:
+//
+//   - psFix: a column fixed at a value (fixed bounds, empty column, or
+//     an equality singleton row). Value replay is direct; the dual story
+//     is handled by the singleton-row transfer below.
+//   - psDropRow: a row dropped as vacuous or redundant (implied by the
+//     column bounds). Its dual is 0, which satisfies complementary
+//     slackness whether or not the row is tight, and stationarity is
+//     untouched by a zero multiplier.
+//   - psSingletonRow: a one-term row folded into the column's bounds.
+//     If at the solution the column presses against the folded bound —
+//     nonzero reduced cost at a point strictly inside its original
+//     bounds — the multiplier belongs to the dropped row, not the
+//     bound, and postsolve transfers it: y_row = d/a zeroes the
+//     column's reduced cost and carries the right sign for the row
+//     sense by construction of the fold direction.
+//   - psFreeSingleton: an implied-free column singleton on an EQ row,
+//     substituted out Gaussian-style. The recorded working objective
+//     coefficient cj already folds the multipliers of previously
+//     substituted rows, so y_row = cj/a restores stationarity of the
+//     eliminated column exactly; the other columns' stationarity was
+//     preserved by the objective update obj_k -= cj*a_k/a.
+type psKind uint8
+
+const (
+	psFix psKind = iota + 1
+	psDropRow
+	psSingletonRow
+	psFreeSingleton
+)
+
+const (
+	// psTol is the relative feasibility/redundancy tolerance.
+	psTol = 1e-9
+	// psFixTol decides when a column's bounds have collapsed to a point.
+	psFixTol = 1e-12
+	// psDualTol is the reduced-cost tolerance of the postsolve dual
+	// transfer (below verifyOptimal's certificate tolerance).
+	psDualTol = 1e-7
+	// psPivTol is the minimum coefficient magnitude presolve will divide
+	// by; smaller pivots amplify error and are left to the simplex.
+	psPivTol = 1e-7
+)
+
+type psAction struct {
+	kind  psKind
+	v     int     // column (psFix, psFreeSingleton)
+	row   int     // row (psDropRow, psSingletonRow, psFreeSingleton)
+	val   float64 // fixed value (psFix)
+	a     float64 // coefficient of v in row
+	rhs   float64 // row rhs at processing time
+	cj    float64 // working objective coefficient of v (psFreeSingleton)
+	sense Sense
+	terms []Term // the row's other terms at processing time (psFreeSingleton)
+}
+
+type presolveResult struct {
+	infeasible bool
+	infeasMsg  string
+	reduced    *Model
+	varMap     []int // original var -> reduced var, or -1 if eliminated
+	rowMap     []int // original row -> reduced row, or -1 if dropped
+	stack      []psAction
+}
+
+// psState is the mutable working copy presolve reduces.
+type psState struct {
+	lo, hi   []float64
+	obj      []float64
+	rowTerms [][]Term // merged per row; fixed columns removed in place
+	rhs      []float64
+	sense    []Sense
+	rowAct   []bool
+	varAct   []bool
+	colRows  [][]int // static: rows whose ORIGINAL merged form mentions the var
+	varCnt   []int   // live count of active rows with a nonzero term on the var
+	stack    []psAction
+}
+
+// presolveModel reduces m and returns the mapping bundle, or nil when no
+// reduction applies (the caller then solves m directly). A non-nil
+// result with infeasible set proves the model infeasible outright.
+func presolveModel(m *Model) *presolveResult {
+	nv, nr := m.NumVars(), m.NumConstraints()
+	st := &psState{
+		lo:       append([]float64(nil), m.lo...),
+		hi:       append([]float64(nil), m.hi...),
+		obj:      append([]float64(nil), m.obj...),
+		rowTerms: make([][]Term, nr),
+		rhs:      make([]float64, nr),
+		sense:    make([]Sense, nr),
+		rowAct:   make([]bool, nr),
+		varAct:   make([]bool, nv),
+		colRows:  make([][]int, nv),
+		varCnt:   make([]int, nv),
+	}
+	for j := range st.varAct {
+		st.varAct[j] = true
+	}
+	for i := range m.rows {
+		terms := mergeRowTerms(&m.rows[i])
+		kept := terms[:0]
+		for _, t := range terms {
+			if t.Coef != 0 {
+				kept = append(kept, t)
+			}
+		}
+		st.rowTerms[i] = kept
+		st.rhs[i] = m.rows[i].rhs
+		st.sense[i] = m.rows[i].sense
+		st.rowAct[i] = true
+		for _, t := range kept {
+			st.colRows[t.Var] = append(st.colRows[t.Var], i)
+			st.varCnt[t.Var]++
+		}
+	}
+
+	if msg := st.reduce(); msg != "" {
+		return &presolveResult{infeasible: true, infeasMsg: msg}
+	}
+	if len(st.stack) == 0 {
+		return nil
+	}
+	return st.build(m)
+}
+
+// dropRow deactivates row i and releases its columns' counts.
+func (st *psState) dropRow(i int) {
+	st.rowAct[i] = false
+	for _, t := range st.rowTerms[i] {
+		st.varCnt[t.Var]--
+	}
+}
+
+// removeTerm deletes column v's term from row i (order-preserving, so
+// the reduced model is deterministic) and returns its coefficient.
+func (st *psState) removeTerm(i, v int) (float64, bool) {
+	terms := st.rowTerms[i]
+	for k := range terms {
+		if int(terms[k].Var) == v {
+			coef := terms[k].Coef
+			st.rowTerms[i] = append(terms[:k], terms[k+1:]...)
+			st.varCnt[v]--
+			return coef, true
+		}
+	}
+	return 0, false
+}
+
+// reduce runs the reduction passes to fixpoint. It returns a non-empty
+// message when the model is proven infeasible.
+func (st *psState) reduce() string {
+	for changed := true; changed; {
+		changed = false
+
+		// Empty and singleton rows.
+		for i := range st.rowAct {
+			if !st.rowAct[i] {
+				continue
+			}
+			switch len(st.rowTerms[i]) {
+			case 0:
+				if msg := st.checkVacuous(i); msg != "" {
+					return msg
+				}
+				st.dropRow(i)
+				st.stack = append(st.stack, psAction{kind: psDropRow, row: i})
+				changed = true
+			case 1:
+				t := st.rowTerms[i][0]
+				if math.Abs(t.Coef) < psPivTol {
+					continue // too small to divide by; leave to the simplex
+				}
+				if msg := st.foldSingletonRow(i, int(t.Var), t.Coef); msg != "" {
+					return msg
+				}
+				changed = true
+			}
+		}
+
+		// Fixed columns: substitute the point value into every row.
+		for v := range st.varAct {
+			if !st.varAct[v] || st.hi[v]-st.lo[v] > psFixTol*(1+math.Abs(st.lo[v])) {
+				continue
+			}
+			val := st.lo[v]
+			if st.hi[v] != st.lo[v] {
+				val = 0.5 * (st.lo[v] + st.hi[v])
+			}
+			for _, i := range st.colRows[v] {
+				if !st.rowAct[i] {
+					continue
+				}
+				if coef, ok := st.removeTerm(i, v); ok {
+					st.rhs[i] -= coef * val
+				}
+			}
+			st.varAct[v] = false
+			st.stack = append(st.stack, psAction{kind: psFix, v: v, val: val})
+			changed = true
+		}
+
+		// Empty columns: fixed by objective sign. A column with negative
+		// cost and no upper bound witnesses unboundedness; it is left in
+		// the model so the simplex reports ErrUnbounded through the normal
+		// path.
+		for v := range st.varAct {
+			if !st.varAct[v] || st.varCnt[v] != 0 {
+				continue
+			}
+			c := st.obj[v]
+			val := st.lo[v]
+			if c < 0 {
+				if math.IsInf(st.hi[v], 1) {
+					continue
+				}
+				val = st.hi[v]
+			}
+			st.varAct[v] = false
+			st.stack = append(st.stack, psAction{kind: psFix, v: v, val: val})
+			changed = true
+		}
+
+		// Redundant rows: activity bounds from the column bounds.
+		for i := range st.rowAct {
+			if !st.rowAct[i] || len(st.rowTerms[i]) < 2 {
+				continue
+			}
+			minAct, maxAct, minInf, maxInf := st.activityBounds(i)
+			tol := psTol * (1 + math.Abs(st.rhs[i]))
+			switch st.sense[i] {
+			case LE:
+				if !minInf && minAct > st.rhs[i]+tol {
+					return fmt.Sprintf("row %d: minimum activity %g exceeds <= %g", i, minAct, st.rhs[i])
+				}
+				if !maxInf && maxAct <= st.rhs[i]+tol {
+					st.dropRow(i)
+					st.stack = append(st.stack, psAction{kind: psDropRow, row: i})
+					changed = true
+				}
+			case GE:
+				if !maxInf && maxAct < st.rhs[i]-tol {
+					return fmt.Sprintf("row %d: maximum activity %g below >= %g", i, maxAct, st.rhs[i])
+				}
+				if !minInf && minAct >= st.rhs[i]-tol {
+					st.dropRow(i)
+					st.stack = append(st.stack, psAction{kind: psDropRow, row: i})
+					changed = true
+				}
+			case EQ:
+				if !minInf && minAct > st.rhs[i]+tol {
+					return fmt.Sprintf("row %d: minimum activity %g exceeds = %g", i, minAct, st.rhs[i])
+				}
+				if !maxInf && maxAct < st.rhs[i]-tol {
+					return fmt.Sprintf("row %d: maximum activity %g below = %g", i, maxAct, st.rhs[i])
+				}
+			}
+		}
+
+		// Implied-free column singletons on EQ rows: substitute out.
+		for v := range st.varAct {
+			if !st.varAct[v] || st.varCnt[v] != 1 {
+				continue
+			}
+			if st.freeSingleton(v) {
+				changed = true
+			}
+		}
+	}
+	return ""
+}
+
+// checkVacuous validates a termless row's constant constraint.
+func (st *psState) checkVacuous(i int) string {
+	tol := psTol * (1 + math.Abs(st.rhs[i]))
+	switch st.sense[i] {
+	case LE:
+		if st.rhs[i] < -tol {
+			return fmt.Sprintf("row %d reduced to 0 <= %g", i, st.rhs[i])
+		}
+	case GE:
+		if st.rhs[i] > tol {
+			return fmt.Sprintf("row %d reduced to 0 >= %g", i, st.rhs[i])
+		}
+	case EQ:
+		if math.Abs(st.rhs[i]) > tol {
+			return fmt.Sprintf("row %d reduced to 0 = %g", i, st.rhs[i])
+		}
+	}
+	return ""
+}
+
+// foldSingletonRow folds the one-term row a*x (sense) rhs into x's
+// bounds and drops the row, recording the action for the postsolve dual
+// transfer. Returns an infeasibility message if the fold empties x's
+// domain.
+func (st *psState) foldSingletonRow(i, v int, a float64) string {
+	ratio := st.rhs[i] / a
+	st.stack = append(st.stack, psAction{
+		kind: psSingletonRow, row: i, v: v, a: a, rhs: st.rhs[i], sense: st.sense[i],
+	})
+	tightenHi := false
+	tightenLo := false
+	switch st.sense[i] {
+	case LE:
+		if a > 0 {
+			tightenHi = true
+		} else {
+			tightenLo = true
+		}
+	case GE:
+		if a > 0 {
+			tightenLo = true
+		} else {
+			tightenHi = true
+		}
+	case EQ:
+		tightenLo, tightenHi = true, true
+	}
+	if tightenHi && ratio < st.hi[v] {
+		st.hi[v] = ratio
+	}
+	if tightenLo && ratio > st.lo[v] {
+		st.lo[v] = ratio
+	}
+	if st.lo[v] > st.hi[v] {
+		if st.lo[v]-st.hi[v] > psTol*(1+math.Abs(st.lo[v])) {
+			return fmt.Sprintf("row %d forces variable %d into empty domain [%g, %g]", i, v, st.lo[v], st.hi[v])
+		}
+		st.hi[v] = st.lo[v] // collapse a tolerance-level inversion
+	}
+	st.dropRow(i)
+	return ""
+}
+
+// activityBounds returns the row's [min, max] activity over the column
+// bounds, with infinity flags.
+func (st *psState) activityBounds(i int) (minAct, maxAct float64, minInf, maxInf bool) {
+	for _, t := range st.rowTerms[i] {
+		v := int(t.Var)
+		if t.Coef > 0 {
+			minAct += t.Coef * st.lo[v]
+			if math.IsInf(st.hi[v], 1) {
+				maxInf = true
+			} else {
+				maxAct += t.Coef * st.hi[v]
+			}
+		} else {
+			maxAct += t.Coef * st.lo[v]
+			if math.IsInf(st.hi[v], 1) {
+				minInf = true
+			} else {
+				minAct += t.Coef * st.hi[v]
+			}
+		}
+	}
+	return minAct, maxAct, minInf, maxInf
+}
+
+// freeSingleton substitutes out column v when it appears in exactly one
+// active row, that row is an equality, and the row implies bounds on v
+// at least as tight as its own (so v's bounds can never bind). Reports
+// whether a substitution happened.
+func (st *psState) freeSingleton(v int) bool {
+	rowI := -1
+	for _, i := range st.colRows[v] {
+		if !st.rowAct[i] {
+			continue
+		}
+		for _, t := range st.rowTerms[i] {
+			if int(t.Var) == v {
+				rowI = i
+				break
+			}
+		}
+		if rowI >= 0 {
+			break
+		}
+	}
+	if rowI < 0 || st.sense[rowI] != EQ || len(st.rowTerms[rowI]) < 2 {
+		return false
+	}
+	var a float64
+	others := make([]Term, 0, len(st.rowTerms[rowI])-1)
+	for _, t := range st.rowTerms[rowI] {
+		if int(t.Var) == v {
+			a = t.Coef
+		} else {
+			others = append(others, t)
+		}
+	}
+	if math.Abs(a) < psPivTol {
+		return false
+	}
+
+	// Implied bounds for v from the row: v = (rhs - other)/a with the
+	// other terms ranging over their activity interval.
+	minO, maxO, minInf, maxInf := st.activityBoundsOf(others)
+	var impLo, impHi float64
+	var impLoInf, impHiInf bool
+	if a > 0 {
+		impLo, impLoInf = (st.rhs[rowI]-maxO)/a, maxInf
+		impHi, impHiInf = (st.rhs[rowI]-minO)/a, minInf
+	} else {
+		impLo, impLoInf = (st.rhs[rowI]-minO)/a, minInf
+		impHi, impHiInf = (st.rhs[rowI]-maxO)/a, maxInf
+	}
+	tol := psTol * (1 + math.Abs(st.lo[v]) + math.Abs(st.rhs[rowI]))
+	if impLoInf || impLo < st.lo[v]-tol {
+		return false // lower bound could bind (model lo is always finite)
+	}
+	if !math.IsInf(st.hi[v], 1) && (impHiInf || impHi > st.hi[v]+tol) {
+		return false
+	}
+
+	cj := st.obj[v]
+	st.stack = append(st.stack, psAction{
+		kind: psFreeSingleton, row: rowI, v: v, a: a, rhs: st.rhs[rowI], cj: cj,
+		terms: append([]Term(nil), others...),
+	})
+	for _, t := range others {
+		st.obj[t.Var] -= cj * t.Coef / a
+	}
+	st.dropRow(rowI)
+	st.varAct[v] = false
+	return true
+}
+
+// activityBoundsOf is activityBounds over an explicit term list.
+func (st *psState) activityBoundsOf(terms []Term) (minAct, maxAct float64, minInf, maxInf bool) {
+	for _, t := range terms {
+		v := int(t.Var)
+		if t.Coef > 0 {
+			minAct += t.Coef * st.lo[v]
+			if math.IsInf(st.hi[v], 1) {
+				maxInf = true
+			} else {
+				maxAct += t.Coef * st.hi[v]
+			}
+		} else {
+			maxAct += t.Coef * st.lo[v]
+			if math.IsInf(st.hi[v], 1) {
+				minInf = true
+			} else {
+				minAct += t.Coef * st.hi[v]
+			}
+		}
+	}
+	return minAct, maxAct, minInf, maxInf
+}
+
+// build assembles the reduced model and the index maps. A nil return
+// means assembly failed validation and the caller should solve the
+// original model unreduced (never expected; purely defensive).
+func (st *psState) build(m *Model) *presolveResult {
+	pr := &presolveResult{
+		reduced: NewModel(),
+		varMap:  make([]int, m.NumVars()),
+		rowMap:  make([]int, m.NumConstraints()),
+		stack:   st.stack,
+	}
+	for j := range pr.varMap {
+		pr.varMap[j] = -1
+		if !st.varAct[j] {
+			continue
+		}
+		rv, err := pr.reduced.NewVar(m.names[j], st.lo[j], st.hi[j])
+		if err != nil {
+			return nil
+		}
+		pr.varMap[j] = int(rv)
+		pr.reduced.obj[rv] = st.obj[j]
+	}
+	terms := make([]Term, 0, 16)
+	for i := range pr.rowMap {
+		pr.rowMap[i] = -1
+		if !st.rowAct[i] {
+			continue
+		}
+		terms = terms[:0]
+		for _, t := range st.rowTerms[i] {
+			terms = append(terms, Term{Var: Var(pr.varMap[t.Var]), Coef: t.Coef})
+		}
+		if err := pr.reduced.AddConstraint(terms, st.sense[i], st.rhs[i]); err != nil {
+			return nil
+		}
+		pr.rowMap[i] = pr.reduced.NumConstraints() - 1
+	}
+	return pr
+}
+
+// postsolve maps the reduced model's solution back onto the original
+// model: surviving entries copy through the index maps, the reduction
+// stack replays in reverse for eliminated values and substituted-row
+// duals, folded singleton-row multipliers are transferred where the
+// certificate needs them, and reduced costs plus the objective are
+// recomputed from the original matrix so the returned Solution is
+// indistinguishable from an unreduced solve.
+func (pr *presolveResult) postsolve(m *Model, rsol *Solution) *Solution {
+	nv, nr := m.NumVars(), m.NumConstraints()
+	sol := &Solution{
+		values:  make([]float64, nv),
+		duals:   make([]float64, nr),
+		reduced: make([]float64, nv),
+	}
+	for j, rj := range pr.varMap {
+		if rj >= 0 {
+			sol.values[j] = rsol.values[rj]
+		}
+	}
+	for i, ri := range pr.rowMap {
+		if ri >= 0 {
+			sol.duals[i] = rsol.duals[ri]
+		}
+	}
+
+	// Reverse replay: each action's inputs were recorded at processing
+	// time, so later-eliminated entities are already restored when an
+	// earlier action needs them.
+	for k := len(pr.stack) - 1; k >= 0; k-- {
+		act := &pr.stack[k]
+		switch act.kind {
+		case psFix:
+			sol.values[act.v] = act.val
+		case psDropRow, psSingletonRow:
+			sol.duals[act.row] = 0
+		case psFreeSingleton:
+			sum := 0.0
+			for _, t := range act.terms {
+				sum += t.Coef * sol.values[t.Var]
+			}
+			sol.values[act.v] = (act.rhs - sum) / act.a
+			sol.duals[act.row] = act.cj / act.a
+		}
+	}
+
+	// Columns of the original matrix (merged), for reduced costs and the
+	// singleton-row dual transfer.
+	cols := make([][]Term, nv)
+	for i := range m.rows {
+		for _, t := range mergeRowTerms(&m.rows[i]) {
+			if t.Coef != 0 {
+				cols[t.Var] = append(cols[t.Var], Term{Var: Var(i), Coef: t.Coef})
+			}
+		}
+	}
+	redCost := func(v int) float64 {
+		d := m.obj[v]
+		for _, t := range cols[v] {
+			d -= sol.duals[t.Var] * t.Coef
+		}
+		return d
+	}
+
+	// Singleton-row dual transfer: when the eliminated row's fold left
+	// its column pressing a bound that is not an original bound, the
+	// multiplier belongs to the row. Transferring y = d/a zeroes the
+	// column's reduced cost; the fold direction guarantees the sign is
+	// valid for the row sense, checked anyway for safety.
+	for k := len(pr.stack) - 1; k >= 0; k-- {
+		act := &pr.stack[k]
+		if act.kind != psSingletonRow {
+			continue
+		}
+		x := sol.values[act.v]
+		if math.Abs(act.a*x-act.rhs) > psDualTol*(1+math.Abs(act.rhs)) {
+			continue // row is slack at the solution: y = 0 is right
+		}
+		d := redCost(act.v)
+		atLo := math.Abs(x-m.lo[act.v]) <= psDualTol*(1+math.Abs(x))
+		atHi := !math.IsInf(m.hi[act.v], 1) && math.Abs(x-m.hi[act.v]) <= psDualTol*(1+math.Abs(x))
+		switch {
+		case atLo && atHi:
+			continue // fixed column: any reduced-cost sign is valid
+		case atLo && d >= -psDualTol:
+			continue
+		case atHi && d <= psDualTol:
+			continue
+		case !atLo && !atHi && math.Abs(d) <= psDualTol:
+			continue
+		}
+		y := d / act.a
+		if act.sense == LE && y > psDualTol {
+			continue
+		}
+		if act.sense == GE && y < -psDualTol {
+			continue
+		}
+		sol.duals[act.row] = y
+	}
+
+	// Final assembly against the original model: snap values into the
+	// original bounds (implied-free reconstruction can sit a rounding
+	// error outside) and recompute reduced costs and the objective.
+	for j := 0; j < nv; j++ {
+		if sol.values[j] < m.lo[j] {
+			sol.values[j] = m.lo[j]
+		}
+		if sol.values[j] > m.hi[j] {
+			sol.values[j] = m.hi[j]
+		}
+	}
+	for j := 0; j < nv; j++ {
+		sol.reduced[j] = redCost(j)
+		sol.Objective += m.obj[j] * sol.values[j]
+	}
+	return sol
+}

@@ -1,0 +1,204 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPresolveReductionsFire builds one model exercising every reduction
+// class and checks (a) presolve actually shrinks it, (b) the reduced
+// solve plus postsolve yields the same optimum as solving the original
+// directly, and (c) the postsolved point carries a full KKT certificate
+// on the ORIGINAL model — values, duals, and reduced costs included.
+func TestPresolveReductionsFire(t *testing.T) {
+	m := NewModel()
+	fixed := m.MustVar("fixed", 3, 3) // collapsed bounds -> psFix
+	x := m.MustVar("x", 0, 10)
+	y := m.MustVar("y", 0, 10)
+	s := m.MustVar("s", -50, 50) // implied-free singleton on the EQ row
+
+	m.MustConstraint([]Term{{fixed, 1}}, LE, 5)             // vacuous once fixed -> drop
+	m.MustConstraint([]Term{{x, 2}}, LE, 8)                 // singleton row -> x <= 4
+	m.MustConstraint([]Term{{x, 1}, {y, 1}}, LE, 100)       // redundant (max activity 20)
+	m.MustConstraint([]Term{{x, 1}, {y, 1}}, GE, 5)         // binding row, survives
+	m.MustConstraint([]Term{{s, 1}, {x, 1}, {y, 1}}, EQ, 9) // free singleton -> substitute s
+	if err := m.SetObjective([]Term{{x, 1}, {y, 2}, {s, 0.5}, {fixed, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	pr := presolveModel(m)
+	if pr == nil {
+		t.Fatal("presolve found nothing to reduce on a model built from reducible parts")
+	}
+	if pr.infeasible {
+		t.Fatalf("presolve declared a feasible model infeasible: %s", pr.infeasMsg)
+	}
+	if got, want := pr.reduced.NumVars(), m.NumVars(); got >= want {
+		t.Errorf("reduced vars = %d, want < %d", got, want)
+	}
+	if got, want := pr.reduced.NumConstraints(), m.NumConstraints(); got >= want {
+		t.Errorf("reduced rows = %d, want < %d", got, want)
+	}
+	kinds := map[psKind]bool{}
+	for _, a := range pr.stack {
+		kinds[a.kind] = true
+	}
+	for _, want := range []struct {
+		k    psKind
+		name string
+	}{
+		{psFix, "psFix"},
+		{psDropRow, "psDropRow"},
+		{psSingletonRow, "psSingletonRow"},
+		{psFreeSingleton, "psFreeSingleton"},
+	} {
+		if !kinds[want.k] {
+			t.Errorf("reduction %s never fired (stack %v)", want.name, kinds)
+		}
+	}
+
+	with, _, err := m.SolveWithOptions(SolveOptions{})
+	if err != nil {
+		t.Fatalf("solve with presolve: %v", err)
+	}
+	without, _, err := m.SolveWithOptions(SolveOptions{DisablePresolve: true})
+	if err != nil {
+		t.Fatalf("solve without presolve: %v", err)
+	}
+	if math.Abs(with.Objective-without.Objective) > 1e-7*(1+math.Abs(without.Objective)) {
+		t.Fatalf("objective with presolve %.12g != without %.12g", with.Objective, without.Objective)
+	}
+	verifyOptimal(t, m, with)
+	if v := with.Value(fixed); !approx(v, 3, 1e-9) {
+		t.Errorf("fixed var = %g, want 3", v)
+	}
+	// s was eliminated by substitution; its restored value must satisfy
+	// the EQ row exactly.
+	if got := with.Value(s) + with.Value(x) + with.Value(y); !approx(got, 9, 1e-7) {
+		t.Errorf("substituted row activity = %g, want 9", got)
+	}
+}
+
+// TestPresolveDetectsInfeasible: contradictory singleton rows collapse a
+// column's domain; presolve must prove infeasibility without a simplex
+// run, and agree with the no-presolve solver.
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar("x", 0, 10)
+	m.MustConstraint([]Term{{x, 1}}, GE, 8)
+	m.MustConstraint([]Term{{x, 1}}, LE, 2)
+	if err := m.SetObjective([]Term{{x, 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	pr := presolveModel(m)
+	if pr == nil || !pr.infeasible {
+		t.Fatalf("presolve did not prove infeasibility: %+v", pr)
+	}
+	_, _, errWith := m.SolveWithOptions(SolveOptions{})
+	_, _, errWithout := m.SolveWithOptions(SolveOptions{DisablePresolve: true})
+	if !errors.Is(errWith, ErrInfeasible) || !errors.Is(errWithout, ErrInfeasible) {
+		t.Fatalf("with=%v without=%v, want ErrInfeasible from both", errWith, errWithout)
+	}
+}
+
+// TestPresolvePreservesUnbounded: an empty column with negative cost and
+// no upper bound makes the instance unbounded; presolve must leave that
+// for the solver to report rather than silently fixing the column.
+func TestPresolvePreservesUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.MustVar("x", 0, 5)
+	u := m.MustVar("u", 0, Inf) // in no constraint, cost < 0
+	m.MustConstraint([]Term{{x, 1}}, LE, 5)
+	if err := m.SetObjective([]Term{{x, -1}, {u, -1}}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, errWith := m.SolveWithOptions(SolveOptions{})
+	_, _, errWithout := m.SolveWithOptions(SolveOptions{DisablePresolve: true})
+	if !errors.Is(errWith, ErrUnbounded) || !errors.Is(errWithout, ErrUnbounded) {
+		t.Fatalf("with=%v without=%v, want ErrUnbounded from both", errWith, errWithout)
+	}
+}
+
+// TestPresolveRoundTripRandomized sweeps seeded random models with
+// reducible structure injected (fixed columns, singleton rows, loose
+// rows) and checks presolve+postsolve against the direct solve: same
+// feasibility verdict, same objective, and a full KKT certificate on the
+// original model for the postsolved point.
+func TestPresolveRoundTripRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := NewModel()
+			nVars := 3 + rng.Intn(6)
+			vars := make([]Var, nVars)
+			for i := range vars {
+				lo := 0.0
+				hi := 5 + rng.Float64()*20
+				if rng.Intn(5) == 0 { // fixed column
+					lo = math.Round(rng.Float64() * 5)
+					hi = lo
+				}
+				vars[i] = m.MustVar(fmt.Sprintf("x%d", i), lo, hi)
+			}
+			nRows := 2 + rng.Intn(5)
+			for r := 0; r < nRows; r++ {
+				switch rng.Intn(4) {
+				case 0: // singleton row
+					m.MustConstraint([]Term{{vars[rng.Intn(nVars)], 0.5 + rng.Float64()}},
+						LE, 1+rng.Float64()*20)
+				case 1: // likely-redundant loose row
+					ts := make([]Term, 0, nVars)
+					for _, v := range vars {
+						ts = append(ts, Term{v, rng.Float64()})
+					}
+					m.MustConstraint(ts, LE, 200+rng.Float64()*100)
+				default: // general row
+					k := 2 + rng.Intn(nVars-1)
+					ts := make([]Term, 0, k)
+					seen := map[int]bool{}
+					for len(ts) < k {
+						vi := rng.Intn(nVars)
+						if seen[vi] {
+							continue
+						}
+						seen[vi] = true
+						ts = append(ts, Term{vars[vi], 0.2 + rng.Float64()})
+					}
+					if rng.Intn(3) == 0 {
+						m.MustConstraint(ts, GE, rng.Float64()*4)
+					} else {
+						m.MustConstraint(ts, LE, 3+rng.Float64()*25)
+					}
+				}
+			}
+			obj := make([]Term, nVars)
+			for i, v := range vars {
+				obj[i] = Term{v, rng.Float64()*3 - 1.5}
+			}
+			if err := m.SetObjective(obj); err != nil {
+				t.Fatal(err)
+			}
+
+			with, _, errWith := m.SolveWithOptions(SolveOptions{})
+			without, _, errWithout := m.SolveWithOptions(SolveOptions{DisablePresolve: true})
+			if (errWith == nil) != (errWithout == nil) {
+				t.Fatalf("with presolve err %v, without %v", errWith, errWithout)
+			}
+			if errWith != nil {
+				if !errors.Is(errWith, ErrInfeasible) {
+					t.Fatalf("unexpected error: %v", errWith)
+				}
+				return
+			}
+			if math.Abs(with.Objective-without.Objective) > 1e-6*(1+math.Abs(without.Objective)) {
+				t.Fatalf("objective with presolve %.12g != without %.12g", with.Objective, without.Objective)
+			}
+			verifyOptimal(t, m, with)
+		})
+	}
+}

@@ -19,6 +19,13 @@ const (
 	degenerateLimit = 64
 	// refactorEvery is the pivot interval between basis refactorizations.
 	refactorEvery = 256
+	// driftCheckEvery is the pivot interval between accuracy probes of the
+	// sparse factors: the residual ‖B·xB − (b − N·xN)‖∞ is measured in
+	// O(nnz) and drift beyond driftTol (relative to the RHS scale)
+	// triggers an early refactorization before the eta file poisons the
+	// solve.
+	driftCheckEvery = 64
+	driftTol        = 1e-7
 )
 
 type varStatus uint8
@@ -55,18 +62,22 @@ type simplex struct {
 	rowOf    []int     // rowOf[j] = row where j is basic, or -1
 	rowSlack []int     // rowSlack[r] = slack column of inequality row r, or -1 (EQ)
 	rowUnit  []int     // rowUnit[r] = a unit column for row r (artificial or slack), for basis repair
-	// binv is the dense basis inverse, flattened row-major into a single
-	// backing slice (row r is binv[r*m : (r+1)*m]). One allocation instead
-	// of m row slices keeps pivot row operations on contiguous memory.
-	binv []float64
-	xB   []float64
+	// factor is the basis-inverse representation: sparse LU with
+	// Forrest-Tomlin eta updates by default, the legacy dense explicit
+	// inverse behind SolveOptions.DenseBasis.
+	factor basisFactor
+	xB     []float64
 
 	y      []float64 // dual vector, maintained incrementally across pivots
 	yValid bool
 	w      []float64 // pivot column scratch
+	rowBuf []float64 // scratch for one row of the basis inverse
 	pivots int
 	degen  int
 	bland  bool
+	// blandPivots counts pivots taken under the anti-cycling rule (see
+	// SolveStats.BlandPivots).
+	blandPivots int
 	// maxIter caps pivots per phase (0 = default formula); deadline is the
 	// wall-clock cutoff (zero time = none). Both come from SolveOptions.
 	maxIter  int
@@ -77,15 +88,24 @@ type simplex struct {
 	// dualPivots counts the dual-simplex basis changes (warm restarts);
 	// they are included in pivots as well.
 	dualPivots int
-	// scratch and resid are reusable buffers for refactorize, so the
-	// periodic refactorization does not allocate on the solve hot path.
-	scratch []float64
-	resid   []float64
+	// resid is a reusable buffer for recomputeXB and the drift probe, so
+	// neither allocates on the solve hot path.
+	resid []float64
 }
 
-// binvRow returns row r of the basis inverse as a subslice.
-func (s *simplex) binvRow(r int) []float64 {
-	return s.binv[r*s.m : (r+1)*s.m]
+// evictBasic replaces the basic variable at basis position pos with the
+// nonbasic unit column `unit`, sending the evicted variable to its lower
+// bound. Shared by the dense and sparse singular-basis repair paths.
+func (s *simplex) evictBasic(pos, unit int) {
+	out := s.basicVar[pos]
+	s.rowOf[out] = -1
+	s.status[out] = atLower
+	s.xN[out] = s.lo[out]
+	s.basicVar[pos] = unit
+	s.rowOf[unit] = pos
+	s.status[unit] = inBasis
+	s.xN[unit] = 0
+	s.yValid = false
 }
 
 // Solve optimizes the model and returns the optimal solution.
@@ -108,6 +128,15 @@ func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, erro
 	done := func(sol *Solution, s *simplex, err error) (*Solution, SolveStats, error) {
 		if s != nil {
 			stats.Pivots += s.pivots
+			stats.BlandPivots += s.blandPivots
+			fs := s.factor.stats()
+			stats.Refactors += fs.refactors
+			if fs.maxEta > stats.MaxEta {
+				stats.MaxEta = fs.maxEta
+			}
+			if fs.fillIn > stats.FillIn {
+				stats.FillIn = fs.fillIn
+			}
 		}
 		stats.Duration = time.Since(start)
 		return sol, stats, err
@@ -120,10 +149,20 @@ func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, erro
 	// unboundedness surface directly so the budget is not paid twice.
 	if ws := opts.Workspace; ws != nil && ws.compatible(m) {
 		s := ws.s
-		pivots0, dual0 := s.pivots, s.dualPivots
+		pivots0, dual0, bland0 := s.pivots, s.dualPivots, s.blandPivots
+		refactor0 := s.factor.stats().refactors
 		sol, err := ws.warmSolve(m, opts, start)
 		stats.Pivots += s.pivots - pivots0
 		stats.DualPivots += s.dualPivots - dual0
+		stats.BlandPivots += s.blandPivots - bland0
+		fs := s.factor.stats()
+		stats.Refactors += fs.refactors - refactor0
+		if fs.maxEta > stats.MaxEta {
+			stats.MaxEta = fs.maxEta
+		}
+		if fs.fillIn > stats.FillIn {
+			stats.FillIn = fs.fillIn
+		}
 		if err == nil {
 			stats.WarmStarts++
 			stats.Duration = time.Since(start)
@@ -137,8 +176,33 @@ func (m *Model) SolveWithOptions(opts SolveOptions) (*Solution, SolveStats, erro
 		ws.Reset()
 	}
 
+	// Presolve gate: cold, workspace-free solves run the reduction pass
+	// first (fixed and implied-free columns, singleton and redundant
+	// rows); the reduced model is solved recursively and the solution
+	// mapped back through postsolve. Workspace-carrying solves skip it —
+	// presolve changes the model shape, which would invalidate basis
+	// reuse across calls.
+	if opts.Workspace == nil && !opts.DisablePresolve {
+		if pr := presolveModel(m); pr != nil {
+			if pr.infeasible {
+				stats.ColdStarts++
+				stats.Duration = time.Since(start)
+				return nil, stats, fmt.Errorf("%w (presolve: %s)", ErrInfeasible, pr.infeasMsg)
+			}
+			ropts := opts
+			ropts.DisablePresolve = true
+			rsol, rstats, err := pr.reduced.SolveWithOptions(ropts)
+			stats.accumulate(rstats)
+			stats.Duration = time.Since(start)
+			if err != nil {
+				return nil, stats, err
+			}
+			return pr.postsolve(m, rsol), stats, nil
+		}
+	}
+
 	stats.ColdStarts++
-	s, err := newSimplex(m)
+	s, err := newSimplex(m, opts.DenseBasis)
 	if err != nil {
 		return done(nil, nil, err)
 	}
@@ -215,8 +279,9 @@ func (s *simplex) checkNumerics() error {
 }
 
 // newSimplex builds the computational form: one slack per inequality row,
-// artificials forming the initial basis.
-func newSimplex(m *Model) (*simplex, error) {
+// artificials forming the initial basis. dense selects the legacy dense
+// basis-inverse representation instead of the sparse LU default.
+func newSimplex(m *Model, dense bool) (*simplex, error) {
 	nRows := len(m.rows)
 	nStruct := len(m.lo)
 	nSlack := 0
@@ -303,8 +368,8 @@ func newSimplex(m *Model) (*simplex, error) {
 
 	s.basicVar = make([]int, nRows)
 	s.xB = make([]float64, nRows)
-	s.binv = make([]float64, nRows*nRows)
 	s.rowUnit = make([]int, nRows)
+	diag := make([]float64, nRows)
 	for i := 0; i < nRows; i++ {
 		coef := 1.0
 		if resid[i] < 0 {
@@ -319,7 +384,7 @@ func newSimplex(m *Model) (*simplex, error) {
 		s.basicVar[i] = j
 		s.rowUnit[i] = j
 		s.xB[i] = math.Abs(resid[i])
-		s.binv[i*nRows+i] = coef // inverse of diag(±1) is itself
+		diag[i] = coef
 	}
 	s.nArt = nRows
 	s.n = len(s.cols)
@@ -333,6 +398,9 @@ func newSimplex(m *Model) (*simplex, error) {
 	}
 	s.y = make([]float64, nRows)
 	s.w = make([]float64, nRows)
+	s.rowBuf = make([]float64, nRows)
+	s.factor = newBasisFactor(dense)
+	s.factor.install(s, diag)
 	return s, nil
 }
 
@@ -369,6 +437,12 @@ func (s *simplex) iterate(phase1 bool) error {
 			}
 			s.pivots++ // avoid immediate re-refactorization
 			s.yValid = false
+		} else if s.pivots > 0 && s.pivots%driftCheckEvery == 0 && s.driftExceeded() {
+			if err := s.refactorize(); err != nil {
+				return err
+			}
+			s.pivots++
+			s.yValid = false
 		}
 		if !s.yValid {
 			s.computeDuals()
@@ -386,21 +460,12 @@ func (s *simplex) iterate(phase1 bool) error {
 	return fmt.Errorf("%w after %d pivots", ErrIterationLimit, s.pivots)
 }
 
-// computeDuals sets y = c_B^T * Binv.
+// computeDuals solves B^T y = c_B (BTRAN) against the factors.
 func (s *simplex) computeDuals() {
-	for i := range s.y {
-		s.y[i] = 0
-	}
 	for r := 0; r < s.m; r++ {
-		cb := s.cost[s.basicVar[r]]
-		if cb == 0 {
-			continue
-		}
-		row := s.binvRow(r)
-		for i := 0; i < s.m; i++ {
-			s.y[i] += cb * row[i]
-		}
+		s.y[r] = s.cost[s.basicVar[r]]
 	}
+	s.factor.btranIn(s.y)
 }
 
 // reducedCost returns c_j - y·A_j.
@@ -483,18 +548,9 @@ func (s *simplex) chooseEntering() (j, dir int, dj float64) {
 	return j, dir, dj
 }
 
-// computeDirection sets w = Binv * A_j.
+// computeDirection solves B w = A_j (FTRAN) against the factors.
 func (s *simplex) computeDirection(j int) {
-	for i := range s.w {
-		s.w[i] = 0
-	}
-	c := &s.cols[j]
-	for k, r := range c.rows {
-		v := c.vals[k]
-		for i := 0; i < s.m; i++ {
-			s.w[i] += s.binv[i*s.m+r] * v
-		}
-	}
+	s.factor.ftranCol(&s.cols[j], s.w)
 }
 
 // pivot performs the ratio test and basis change for entering variable j
@@ -573,6 +629,9 @@ func (s *simplex) pivot(j, dir int, dj float64, phase1 bool) error {
 			s.xN[j] = s.lo[j]
 		}
 		s.pivots++
+		if s.bland {
+			s.blandPivots++
+		}
 		return nil
 	}
 
@@ -601,46 +660,49 @@ func (s *simplex) pivot(j, dir int, dj float64, phase1 bool) error {
 		return s.refactorize()
 	}
 
-	// Incremental dual update: y' = y + (d_j / w_r) * (old row r of Binv),
-	// which zeroes the entering column's reduced cost. O(m) instead of the
-	// O(m^2) from-scratch recomputation.
-	rowL := s.binvRow(leave)
-	theta := dj / piv
-	for i := range s.y {
-		s.y[i] += theta * rowL[i]
+	if s.factor.isSparse() {
+		// On the sparse path the duals are recomputed with one O(nnz)
+		// BTRAN next iteration — extracting the old inverse row here
+		// would itself cost a BTRAN, so incremental is not cheaper.
+		s.yValid = false
+	} else {
+		// Incremental dual update: y' = y + (d_j / w_r) * (old row r of
+		// Binv), which zeroes the entering column's reduced cost. O(m)
+		// instead of the O(m^2) from-scratch recomputation.
+		s.factor.rowInv(leave, s.rowBuf)
+		theta := dj / piv
+		for i := range s.y {
+			s.y[i] += theta * s.rowBuf[i]
+		}
 	}
 
-	s.updateBasis(j, leave, enterVal)
+	if err := s.updateBasis(j, leave, enterVal); err != nil {
+		return err
+	}
 	s.pivots++
+	if s.bland {
+		s.blandPivots++
+	}
 	return nil
 }
 
 // updateBasis makes column j basic in row leave at value enterVal,
-// applying the product-form update to Binv: row `leave` scaled by the
-// pivot element, other rows eliminated. s.w must hold Binv*A_j.
-func (s *simplex) updateBasis(j, leave int, enterVal float64) {
-	rowL := s.binvRow(leave)
-	inv := 1 / s.w[leave]
-	for i := range rowL {
-		rowL[i] *= inv
-	}
-	for r := 0; r < s.m; r++ {
-		if r == leave {
-			continue
-		}
-		f := s.w[r]
-		if f == 0 {
-			continue
-		}
-		rowR := s.binvRow(r)
-		for i := range rowR {
-			rowR[i] -= f * rowL[i]
-		}
-	}
+// folding the basis change into the factors (product-form row
+// operations on the dense inverse; a Forrest-Tomlin eta on the sparse
+// factors). s.w must hold B^-1*A_j. When the factors refuse the update
+// (unstable spike or full eta file) the basis bookkeeping still changes
+// and the factors are rebuilt from it instead.
+func (s *simplex) updateBasis(j, leave int, enterVal float64) error {
+	accepted := s.factor.update(leave, s.w)
 	s.basicVar[leave] = j
 	s.rowOf[j] = leave
 	s.status[j] = inBasis
 	s.xB[leave] = enterVal
+	if !accepted {
+		s.yValid = false
+		return s.refactorize()
+	}
+	return nil
 }
 
 // shouldPreferLeaving breaks ratio-test ties: under Bland's rule pick the
@@ -664,12 +726,16 @@ func (s *simplex) applyStep(dir int, t float64) {
 	}
 }
 
-// refactorize rebuilds Binv from the basis columns by Gauss-Jordan with
-// partial pivoting and recomputes the basic values, clearing accumulated
-// floating-point drift. The working matrix lives in a scratch buffer kept
-// on the simplex, so the periodic refactorization does not allocate.
+// refactorize rebuilds the basis factors from the basis columns and
+// recomputes the basic values, clearing accumulated floating-point
+// drift (Gauss-Jordan on the dense path, a fresh sparse LU with the eta
+// file emptied on the sparse path).
 func (s *simplex) refactorize() error {
-	return s.refactorizeImpl(false)
+	if err := s.factor.refactor(s, false); err != nil {
+		return err
+	}
+	s.recomputeXB()
+	return nil
 }
 
 // refactorizeRepair is refactorize for a basis that may have gone
@@ -680,130 +746,16 @@ func (s *simplex) refactorize() error {
 // but not necessarily dual feasible; the caller treats the follow-up
 // repair as best effort.
 func (s *simplex) refactorizeRepair() error {
-	return s.refactorizeImpl(true)
-}
-
-func (s *simplex) refactorizeImpl(repair bool) error {
-	m := s.m
-	// Assemble the basis matrix augmented with the identity, row-major
-	// with stride 2m in the reusable scratch buffer.
-	if cap(s.scratch) < m*2*m {
-		s.scratch = make([]float64, m*2*m)
+	if err := s.factor.refactor(s, true); err != nil {
+		return err
 	}
-	a := s.scratch[:m*2*m]
-	for i := range a {
-		a[i] = 0
-	}
-	row := func(r int) []float64 { return a[r*2*m : (r+1)*2*m] }
-	for i := 0; i < m; i++ {
-		row(i)[m+i] = 1
-	}
-	for r := 0; r < m; r++ {
-		c := &s.cols[s.basicVar[r]]
-		for k, ri := range c.rows {
-			row(ri)[r] = c.vals[k]
-		}
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		p, best := -1, 1e-12
-		for r := col; r < m; r++ {
-			if v := math.Abs(row(r)[col]); v > best {
-				p, best = r, v
-			}
-		}
-		if p < 0 {
-			if !repair || !s.repairBasisColumn(a, col) {
-				return fmt.Errorf("lp: internal: singular basis during refactorization (col %d)", col)
-			}
-			for r := col; r < m; r++ {
-				if v := math.Abs(row(r)[col]); v > best {
-					p, best = r, v
-				}
-			}
-			if p < 0 {
-				return fmt.Errorf("lp: internal: singular basis during refactorization (col %d)", col)
-			}
-		}
-		if p != col {
-			rc, rp := row(col), row(p)
-			for k := 0; k < 2*m; k++ {
-				rc[k], rp[k] = rp[k], rc[k]
-			}
-		}
-		rc := row(col)
-		inv := 1 / rc[col]
-		for k := col; k < 2*m; k++ {
-			rc[k] *= inv
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			rr := row(r)
-			f := rr[col]
-			if f == 0 {
-				continue
-			}
-			for k := col; k < 2*m; k++ {
-				rr[k] -= f * rc[k]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(s.binvRow(i), row(i)[m:])
-	}
-
 	s.recomputeXB()
 	return nil
 }
 
-// repairBasisColumn handles a dependent basis column discovered mid
-// Gauss-Jordan at position col: the basic variable there is evicted to its
-// lower bound and replaced by a nonbasic per-row unit column (slack or
-// artificial). The augmented right half of the working matrix holds the
-// accumulated row operations E, so column m+orig is E*e_orig — the
-// transformed image of row orig's unit vector — which lets the replacement
-// column be installed without restarting the factorization. Returns false
-// if no unit column has a usable pivot in the remaining working rows.
-func (s *simplex) repairBasisColumn(a []float64, col int) bool {
-	m := s.m
-	row := func(r int) []float64 { return a[r*2*m : (r+1)*2*m] }
-	bestOrig, bestV := -1, 1e-9
-	for orig := 0; orig < m; orig++ {
-		u := s.rowUnit[orig]
-		if u < 0 || s.status[u] == inBasis {
-			continue
-		}
-		for r := col; r < m; r++ {
-			if v := math.Abs(row(r)[m+orig]); v > bestV {
-				bestOrig, bestV = orig, v
-			}
-		}
-	}
-	if bestOrig < 0 {
-		return false
-	}
-	u := s.rowUnit[bestOrig]
-	sigma := s.cols[u].vals[0]
-	for r := 0; r < m; r++ {
-		row(r)[col] = sigma * row(r)[m+bestOrig]
-	}
-	out := s.basicVar[col]
-	s.rowOf[out] = -1
-	s.status[out] = atLower
-	s.xN[out] = s.lo[out]
-	s.basicVar[col] = u
-	s.rowOf[u] = col
-	s.status[u] = inBasis
-	s.xN[u] = 0
-	s.yValid = false
-	return true
-}
-
-// recomputeXB sets xB = Binv * (b - N x_N) from scratch, using the
-// reusable residual buffer.
-func (s *simplex) recomputeXB() {
+// nonbasicResidual fills the reusable residual buffer with b - N x_N
+// (the RHS the basic variables must absorb) and returns it.
+func (s *simplex) nonbasicResidual() []float64 {
 	m := s.m
 	if cap(s.resid) < m {
 		s.resid = make([]float64, m)
@@ -821,14 +773,49 @@ func (s *simplex) recomputeXB() {
 			}
 		}
 	}
-	for r := 0; r < m; r++ {
-		v := 0.0
-		binvR := s.binvRow(r)
-		for i := 0; i < m; i++ {
-			v += binvR[i] * resid[i]
-		}
-		s.xB[r] = v
+	return resid
+}
+
+// recomputeXB solves B xB = b - N x_N from scratch (one FTRAN).
+func (s *simplex) recomputeXB() {
+	resid := s.nonbasicResidual()
+	s.factor.ftranIn(resid)
+	copy(s.xB, resid[:s.m])
+}
+
+// driftExceeded probes factorization accuracy in O(nnz): it measures
+// ‖B·xB − (b − N·x_N)‖∞ — which is zero in exact arithmetic whatever
+// the basis — against the RHS scale. The sparse eta file accumulates
+// error with every update, so the probe catches drift between the
+// periodic refactorizations; the dense path skips it (its row
+// operations are the historical behavior, refreshed every
+// refactorEvery pivots).
+func (s *simplex) driftExceeded() bool {
+	if !s.factor.isSparse() {
+		return false
 	}
+	resid := s.nonbasicResidual()
+	scale := 1.0
+	worst := 0.0
+	for r := 0; r < s.m; r++ {
+		if a := math.Abs(resid[r]); a > scale {
+			scale = a
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		c := &s.cols[s.basicVar[r]]
+		if x := s.xB[r]; x != 0 {
+			for k, ri := range c.rows {
+				resid[ri] -= c.vals[k] * x
+			}
+		}
+	}
+	for r := 0; r < s.m; r++ {
+		if a := math.Abs(resid[r]); a > worst {
+			worst = a
+		}
+	}
+	return worst > driftTol*scale
 }
 
 // solution extracts values, duals and reduced costs for the original model.

@@ -1,0 +1,189 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mutateStep applies one seeded mutation (RHS retune, sparse constraint
+// append, or objective change) to m — the same mutation family as
+// TestWarmVsColdRandomized, shared with the sparse-vs-dense sweep and the
+// Forrest–Tomlin fuzz target.
+func mutateStep(t testing.TB, m *Model, vars []Var, obj []Term, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		i := rng.Intn(m.NumConstraints())
+		delta := (rng.Float64() - 0.45) * 10
+		rhs := m.RHS(i) + delta
+		if m.rows[i].sense == LE && rhs < 1 {
+			rhs = 1
+		}
+		if err := m.SetRHS(i, rhs); err != nil {
+			t.Fatal(err)
+		}
+	case 1:
+		k := 1 + rng.Intn(3)
+		ct := make([]Term, 0, k)
+		seen := map[int]bool{}
+		for len(ct) < k {
+			vi := rng.Intn(len(vars))
+			if seen[vi] {
+				continue
+			}
+			seen[vi] = true
+			ct = append(ct, Term{vars[vi], 0.5 + rng.Float64()})
+		}
+		sense := LE
+		rhs := 5 + rng.Float64()*30
+		if rng.Intn(4) == 0 {
+			sense = GE
+			rhs = rng.Float64() * 3
+		}
+		if err := m.AddConstraint(ct, sense, rhs); err != nil {
+			t.Fatal(err)
+		}
+	case 2:
+		for i, v := range vars {
+			obj[i] = Term{v, rng.Float64()*2 - 1.5}
+		}
+		if err := m.SetObjective(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// randomMutableModel builds the sweep's starting model: bounded vars, one
+// generous packing row, a random objective.
+func randomMutableModel(t testing.TB, rng *rand.Rand) (*Model, []Var, []Term) {
+	nVars := 4 + rng.Intn(5)
+	m := NewModel()
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = m.MustVar(fmt.Sprintf("x%d", i), 0, 10+rng.Float64()*40)
+	}
+	terms := make([]Term, nVars)
+	for i, v := range vars {
+		terms[i] = Term{v, 1 + rng.Float64()}
+	}
+	m.MustConstraint(terms, LE, 40+rng.Float64()*40)
+	obj := make([]Term, nVars)
+	for i, v := range vars {
+		obj[i] = Term{v, -rng.Float64()}
+	}
+	if err := m.SetObjective(obj); err != nil {
+		t.Fatal(err)
+	}
+	return m, vars, obj
+}
+
+// TestSparseVsDenseRandomized runs randomized mutation sequences through
+// TWO shared workspaces — the default sparse LU basis and the legacy
+// dense inverse (DenseBasis) — plus a cold reference, asserting all three
+// agree at every step. This is the differential gate for the
+// Forrest–Tomlin update machinery: an eta-update bug that drifts the
+// factors off the true basis inverse cannot agree with the dense
+// product-form path across 30 mutations.
+func TestSparseVsDenseRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m, vars, obj := randomMutableModel(t, rng)
+
+			wsSparse, wsDense := &Workspace{}, &Workspace{}
+			var sparseStats SolveStats
+			for step := 0; step < 30; step++ {
+				mutateStep(t, m, vars, obj, rng)
+
+				sparseSol, st, sparseErr := m.SolveWithOptions(SolveOptions{Workspace: wsSparse})
+				sparseStats.accumulate(st)
+				denseSol, _, denseErr := m.SolveWithOptions(SolveOptions{Workspace: wsDense, DenseBasis: true})
+				coldSol, coldErr := m.Solve()
+				if (sparseErr == nil) != (coldErr == nil) || (denseErr == nil) != (coldErr == nil) {
+					t.Fatalf("step %d: sparse err %v, dense err %v, cold err %v", step, sparseErr, denseErr, coldErr)
+				}
+				if sparseErr != nil {
+					if !errors.Is(sparseErr, ErrInfeasible) || !errors.Is(denseErr, ErrInfeasible) {
+						t.Fatalf("step %d: unexpected errors sparse=%v dense=%v", step, sparseErr, denseErr)
+					}
+					continue
+				}
+				if wsSparse.s != nil && !wsSparse.s.factor.isSparse() {
+					t.Fatalf("step %d: default workspace is not on the sparse LU factor", step)
+				}
+				if wsDense.s != nil && wsDense.s.factor.isSparse() {
+					t.Fatalf("step %d: DenseBasis workspace is not on the dense factor", step)
+				}
+				checkFeasible(t, m, sparseSol)
+				checkFeasible(t, m, denseSol)
+				tol := 1e-6 * (1 + math.Abs(coldSol.Objective))
+				if math.Abs(sparseSol.Objective-coldSol.Objective) > tol {
+					t.Fatalf("step %d: sparse objective %.12g != cold %.12g", step, sparseSol.Objective, coldSol.Objective)
+				}
+				if math.Abs(denseSol.Objective-coldSol.Objective) > tol {
+					t.Fatalf("step %d: dense objective %.12g != cold %.12g", step, denseSol.Objective, coldSol.Objective)
+				}
+			}
+			if sparseStats.WarmStarts == 0 {
+				t.Fatal("sparse sweep never warm-started")
+			}
+			t.Logf("sparse stats: %+v", sparseStats)
+		})
+	}
+}
+
+// FuzzForrestTomlin compares the Forrest–Tomlin eta-updated factors
+// against a refactorization from scratch of the same basis: after every
+// warm solve on a fuzz-chosen mutation sequence, the basic solution xB
+// computed through the (possibly long) eta file must match the xB
+// recomputed from a fresh LU of the final basis, and the per-step
+// objective must match the dense reference. Run via
+// `go test -fuzz FuzzForrestTomlin ./internal/lp/`.
+func FuzzForrestTomlin(f *testing.F) {
+	f.Add(int64(1), uint8(12))
+	f.Add(int64(42), uint8(30))
+	f.Add(int64(7), uint8(5))
+	f.Add(int64(-3), uint8(25))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
+		nSteps := int(steps%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m, vars, obj := randomMutableModel(t, rng)
+		ws := &Workspace{}
+		for step := 0; step < nSteps; step++ {
+			mutateStep(t, m, vars, obj, rng)
+			sol, _, err := m.SolveWithOptions(SolveOptions{Workspace: ws})
+			dense, _, denseErr := m.SolveWithOptions(SolveOptions{DenseBasis: true, DisablePresolve: true})
+			if (err == nil) != (denseErr == nil) {
+				t.Fatalf("step %d: sparse err %v, dense err %v", step, err, denseErr)
+			}
+			if err != nil {
+				continue
+			}
+			tol := 1e-6 * (1 + math.Abs(dense.Objective))
+			if math.Abs(sol.Objective-dense.Objective) > tol {
+				t.Fatalf("step %d: sparse objective %.12g != dense %.12g", step, sol.Objective, dense.Objective)
+			}
+
+			// FT-vs-scratch: snapshot xB as produced through the eta file,
+			// force a from-scratch refactorization of the SAME basis, and
+			// require the recomputed xB to agree.
+			s := ws.s
+			if s == nil || !s.factor.isSparse() {
+				t.Fatal("workspace did not keep a sparse simplex")
+			}
+			before := append([]float64(nil), s.xB...)
+			if err := s.refactorize(); err != nil {
+				t.Fatalf("step %d: scratch refactorization of an FT-accepted basis failed: %v", step, err)
+			}
+			for i := range before {
+				if d := math.Abs(s.xB[i] - before[i]); d > 1e-6*(1+math.Abs(before[i])) {
+					t.Fatalf("step %d: xB[%d] drifted %.3g between eta-updated factors (%.12g) and scratch LU (%.12g)",
+						step, i, d, before[i], s.xB[i])
+				}
+			}
+		}
+	})
+}

@@ -94,7 +94,9 @@ func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*S
 	}
 
 	if len(m.rows) > ws.nRows {
-		s.appendRows(m, ws.nRows)
+		if err := s.appendRows(m, ws.nRows); err != nil {
+			return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+		}
 		ws.nRows = len(m.rows)
 	}
 
@@ -125,7 +127,10 @@ func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*S
 	// nonbasic value and leave any violation to the dual phase; relaxed
 	// bounds first try to pivot the pinned variable into the basis so it
 	// is not forced to jump to the surviving bound.
-	boundsChanged := s.refreshBounds(m)
+	boundsChanged, err := s.refreshBounds(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+	}
 
 	// The RHS refresh is split by direction. Tightenings (and EQ moves)
 	// are applied first and repaired by the dual phase under the old cost
@@ -165,7 +170,7 @@ func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*S
 	// basis was last optimal for (dual feasible by construction — except
 	// after coefficient edits or re-entry pivots, where the repair is best
 	// effort and failure falls back to the cold start).
-	if leave, _ := s.primalInfeas(); leave >= 0 {
+	if leave, _, _ := s.primalInfeas(); leave >= 0 {
 		if !wasOptimal {
 			return nil, fmt.Errorf("%w: kept basis is neither optimal nor feasible", errWarmStart)
 		}
@@ -175,12 +180,14 @@ func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*S
 	}
 
 	if anyRelax {
-		s.slackReentry(m)
+		if err := s.slackReentry(m); err != nil {
+			return nil, fmt.Errorf("%w: %v", errWarmStart, err)
+		}
 		for i := range s.b {
 			s.b[i] = m.rows[i].rhs
 		}
 		s.recomputeXB()
-		if leave, _ := s.primalInfeas(); leave >= 0 {
+		if leave, _, _ := s.primalInfeas(); leave >= 0 {
 			// Rows whose relax edge was unbounded stayed pinned; one more
 			// repair pass.
 			if err := s.iterateDual(); err != nil {
@@ -220,7 +227,7 @@ func (ws *Workspace) warmSolve(m *Model, opts SolveOptions, start time.Time) (*S
 // while the old RHS is still in effect — a legal feasible step — after
 // which the relax is absorbed by the basic slack for free. Rows whose
 // relax edge is unbounded are left for the dual phase.
-func (s *simplex) slackReentry(m *Model) {
+func (s *simplex) slackReentry(m *Model) error {
 	for i := 0; i < s.m; i++ {
 		j := s.rowSlack[i]
 		if j < 0 || s.status[j] == inBasis {
@@ -240,17 +247,21 @@ func (s *simplex) slackReentry(m *Model) {
 		// The slack sits at its lower bound 0 (hi is +inf, so nonbasic
 		// means at-lower) and a relax always wants it to increase. Rows
 		// where pivotIn finds no limiting row are left for the dual phase.
-		s.pivotIn(j, 1)
+		if err := s.pivotIn(j, 1); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // pivotIn tries to bring nonbasic variable j into the basis with a single
 // primal ratio-test pivot in direction dir (+1 increasing, -1 decreasing),
-// which is feasibility-preserving by construction. It reports false — and
-// changes nothing — when no row limits the move before j's own opposite
-// bound would (a bound flip is not an entry) or the pivot element is
-// numerically unusable.
-func (s *simplex) pivotIn(j, dir int) bool {
+// which is feasibility-preserving by construction. It changes nothing
+// when no row limits the move before j's own opposite bound would (a
+// bound flip is not an entry) or the pivot element is numerically
+// unusable; a non-nil error means the factor update forced a
+// refactorization that failed.
+func (s *simplex) pivotIn(j, dir int) error {
 	s.computeDirection(j)
 	limit := math.Inf(1)
 	leave := -1
@@ -283,10 +294,10 @@ func (s *simplex) pivotIn(j, dir int) bool {
 		}
 	}
 	if leave < 0 || math.Abs(s.w[leave]) < 1e-12 {
-		return false
+		return nil
 	}
 	if span := s.hi[j] - s.lo[j]; limit > span {
-		return false
+		return nil
 	}
 	enterVal := s.xN[j] + float64(dir)*limit
 	s.applyStep(dir, limit)
@@ -299,10 +310,12 @@ func (s *simplex) pivotIn(j, dir int) bool {
 		s.status[out] = atLower
 		s.xN[out] = s.lo[out]
 	}
-	s.updateBasis(j, leave, enterVal)
+	if err := s.updateBasis(j, leave, enterVal); err != nil {
+		return err
+	}
 	s.pivots++
 	s.yValid = false
-	return true
+	return nil
 }
 
 // refreshBounds folds SetVarBounds edits into the simplex and reports
@@ -311,7 +324,7 @@ func (s *simplex) pivotIn(j, dir int) bool {
 // along with it, so it first gets one feasible pivot into the basis; a
 // tightened bound just snaps the nonbasic value and leaves any induced
 // violation to the dual phase (which bound changes keep dual feasible).
-func (s *simplex) refreshBounds(m *Model) bool {
+func (s *simplex) refreshBounds(m *Model) (bool, error) {
 	changed := false
 	for j := 0; j < s.nStruct; j++ {
 		lo, hi := m.lo[j], m.hi[j]
@@ -322,11 +335,15 @@ func (s *simplex) refreshBounds(m *Model) bool {
 		switch s.status[j] {
 		case atLower:
 			if lo < s.lo[j] {
-				s.pivotIn(j, 1)
+				if err := s.pivotIn(j, 1); err != nil {
+					return changed, err
+				}
 			}
 		case atUpper:
 			if hi > s.hi[j] {
-				s.pivotIn(j, -1)
+				if err := s.pivotIn(j, -1); err != nil {
+					return changed, err
+				}
 			}
 		}
 		s.lo[j], s.hi[j] = lo, hi
@@ -342,7 +359,7 @@ func (s *simplex) refreshBounds(m *Model) bool {
 			}
 		}
 	}
-	return changed
+	return changed, nil
 }
 
 // reloadCoefs rebuilds the structural columns from the model rows after
@@ -373,11 +390,12 @@ func (s *simplex) reloadCoefs(m *Model) {
 
 // primalInfeas returns the row of the worst basic bound violation, or
 // leave = -1 when the basis is primal feasible within tolerance. below
-// reports which bound is violated. The tolerance is scale-aware and
-// sits above refresh rounding but far below any meaningful RHS change.
-func (s *simplex) primalInfeas() (leave int, below bool) {
+// reports which bound is violated and worst the violation magnitude
+// (the dual phase's anti-stall guard watches it for progress). The
+// tolerance is scale-aware and sits above refresh rounding but far
+// below any meaningful RHS change.
+func (s *simplex) primalInfeas() (leave int, below bool, worst float64) {
 	leave = -1
-	worst := 0.0
 	for r := 0; r < s.m; r++ {
 		bv := s.basicVar[r]
 		tol := 1e-8 * (1 + math.Abs(s.xB[r]))
@@ -390,7 +408,7 @@ func (s *simplex) primalInfeas() (leave int, below bool) {
 			}
 		}
 	}
-	return leave, below
+	return leave, below, worst
 }
 
 // iterateDual runs bounded-variable dual-simplex pivots until every basic
@@ -399,11 +417,20 @@ func (s *simplex) primalInfeas() (leave int, below bool) {
 // the usual ratio test on reduced costs. Dual unboundedness — no entering
 // candidate — proves primal infeasibility, but is reported as a warm-start
 // failure so the authoritative answer comes from a cold start.
+//
+// Anti-stall guard: when the worst infeasibility fails to shrink for
+// degenerateLimit consecutive pivots (a degenerate plateau where cycling
+// is possible), the entering tie-break switches to Bland-style
+// lowest-index selection until progress resumes; those pivots are counted
+// in SolveStats.BlandPivots alongside the primal guard's.
 func (s *simplex) iterateDual() error {
 	maxIter := s.maxIter
 	if maxIter <= 0 {
 		maxIter = 200*(s.m+s.n) + 20000
 	}
+	stall := 0
+	dualBland := false
+	prevWorst := math.Inf(1)
 	for iter := 0; iter < maxIter; iter++ {
 		if iter&15 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			return fmt.Errorf("%w after %d pivots (dual phase)", ErrTimeLimit, s.pivots)
@@ -417,24 +444,34 @@ func (s *simplex) iterateDual() error {
 			continue // re-scan infeasibility against the cleaned values
 		}
 
-		leave, below := s.primalInfeas()
+		leave, below, worst := s.primalInfeas()
 		if leave < 0 {
 			return nil // primal feasible again
 		}
+		if worst < prevWorst-feasTol*(1+prevWorst) {
+			stall = 0
+			dualBland = false
+		} else if stall++; stall >= degenerateLimit {
+			dualBland = true
+		}
+		prevWorst = worst
 
 		// Duals are maintained incrementally across dual pivots (same O(m)
-		// update as the primal pivot), so the O(m^2) recomputation happens
+		// update as the primal pivot), so the full recomputation happens
 		// only on entry and after refactorization.
 		if !s.yValid {
 			s.computeDuals()
 			s.yValid = true
 		}
-		row := s.binvRow(leave)
+		s.factor.rowInv(leave, s.rowBuf)
+		row := s.rowBuf
 
 		// Entering choice: among nonbasic columns whose pivot moves the
 		// leaving variable toward its bound, take the smallest dual ratio
 		// |d_j|/|alpha_j| (preserves dual feasibility), breaking near-ties
-		// by pivot magnitude for numerical stability.
+		// by pivot magnitude for numerical stability — or, under the
+		// anti-stall guard, by lowest index (ascending scan keeps the
+		// first minimal-ratio candidate).
 		enter := -1
 		bestRatio, bestAlpha, bestD := math.Inf(1), 0.0, 0.0
 		for j := 0; j < s.n; j++ {
@@ -465,7 +502,7 @@ func (s *simplex) iterateDual() error {
 			switch {
 			case ratio < bestRatio-costTol:
 				bestRatio, enter, bestAlpha, bestD = ratio, j, alpha, d
-			case ratio < bestRatio+costTol && math.Abs(alpha) > math.Abs(bestAlpha):
+			case !dualBland && ratio < bestRatio+costTol && math.Abs(alpha) > math.Abs(bestAlpha):
 				if ratio < bestRatio {
 					bestRatio = ratio
 				}
@@ -507,49 +544,49 @@ func (s *simplex) iterateDual() error {
 			s.status[bv] = atUpper
 		}
 		s.xN[bv] = target
-		// Incremental dual update before Binv changes (same identity as the
-		// primal pivot: zero the entering column's reduced cost).
-		rowL := s.binvRow(leave)
+		// Incremental dual update before the factors change (same identity
+		// as the primal pivot: zero the entering column's reduced cost).
+		// rowBuf still holds row `leave` of Binv from the alpha scan.
 		thetaY := bestD / piv
 		for i := range s.y {
-			s.y[i] += thetaY * rowL[i]
+			s.y[i] += thetaY * s.rowBuf[i]
 		}
-		s.updateBasis(enter, leave, enterVal)
+		if err := s.updateBasis(enter, leave, enterVal); err != nil {
+			return fmt.Errorf("%w: %v", errWarmStart, err)
+		}
 		s.pivots++
 		s.dualPivots++
+		if dualBland {
+			s.blandPivots++
+		}
 	}
 	return fmt.Errorf("%w after %d pivots (dual phase)", ErrIterationLimit, s.pivots)
 }
 
 // appendRows extends the simplex with model rows [from, len(m.rows)).
 // Each new row contributes its coefficients to the structural columns and
-// receives a basic unit column; the basis inverse grows by the
-// block-triangular identity
+// receives a basic unit column, so the basis grows block-triangularly:
 //
-//	[B 0; C D]^-1 = [Binv 0; -D^-1 C Binv, D^-1]
+//	B' = [B 0; C D],  D = diag(±1) of the unit columns.
 //
-// with D = diag(±1) of the unit columns, which keeps the kept inverse
-// exact without refactorization. The caller recomputes xB afterwards.
-func (s *simplex) appendRows(m *Model, from int) {
+// The simplex bookkeeping is extended here; how the factor absorbs the
+// growth is delegated to it. The dense reference materializes the
+// block-inverse identity (an O(m²) copy); the sparse LU refactorizes,
+// whose singleton peel consumes the block-triangular border in O(nnz) —
+// growth no longer touches a dense m×m matrix on the default path. The
+// caller recomputes xB afterwards.
+func (s *simplex) appendRows(m *Model, from int) error {
 	old := s.m
 	newM := len(m.rows)
 	add := newM - old
 
-	// Grow the flattened Binv into the wider stride; the upper-right
-	// block is zero (no old basic column has support on the new rows).
-	nb := make([]float64, newM*newM)
-	for r := 0; r < old; r++ {
-		copy(nb[r*newM:r*newM+old], s.binv[r*old:(r+1)*old])
-	}
-	oldBinv := s.binv
-	s.binv = nb
 	s.m = newM
-
 	s.b = append(s.b, make([]float64, add)...)
 	s.xB = append(s.xB, make([]float64, add)...)
 	s.basicVar = append(s.basicVar, make([]int, add)...)
 	s.y = make([]float64, newM)
 	s.w = make([]float64, newM)
+	s.rowBuf = make([]float64, newM)
 
 	for i := from; i < newM; i++ {
 		r := m.rows[i]
@@ -558,21 +595,7 @@ func (s *simplex) appendRows(m *Model, from int) {
 		// Merge duplicate variables within the row, then splice the merged
 		// coefficients into the structural columns. Row indices only grow,
 		// so each column's row list stays sorted.
-		merged := make([]Term, 0, len(r.terms))
-		for _, t := range r.terms {
-			found := false
-			for k := range merged {
-				if merged[k].Var == t.Var {
-					merged[k].Coef += t.Coef
-					found = true
-					break
-				}
-			}
-			if !found {
-				merged = append(merged, t)
-			}
-		}
-		for _, t := range merged {
+		for _, t := range mergeRowTerms(&m.rows[i]) {
 			col := &s.cols[t.Var]
 			col.rows = append(col.rows, i)
 			col.vals = append(col.vals, t.Coef)
@@ -604,25 +627,8 @@ func (s *simplex) appendRows(m *Model, from int) {
 			s.rowSlack = append(s.rowSlack, j)
 		}
 		s.rowUnit = append(s.rowUnit, j)
-
-		// New Binv row: -sigma * (a_B · Binv) over the old block, sigma at
-		// its own diagonal. Structural variables can only be basic in old
-		// rows here (every new row's basic is its own unit column), so the
-		// products read exclusively from the pre-append inverse.
-		rowI := s.binv[i*newM : (i+1)*newM]
-		for _, t := range merged {
-			rv := s.rowOf[t.Var]
-			if rv < 0 {
-				continue // nonbasic: contributes to xB only, not to Binv
-			}
-			f := sigma * t.Coef
-			src := oldBinv[rv*old : (rv+1)*old]
-			for k := 0; k < old; k++ {
-				rowI[k] -= f * src[k]
-			}
-		}
-		rowI[i] = sigma
 	}
 	s.n = len(s.cols)
 	s.yValid = false
+	return s.factor.grow(s, m, old)
 }

@@ -34,19 +34,31 @@ func TestWarmColdEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: cold: %v\ninstance: %+v", i, err, in)
 		}
+		// Third arm: the same warm pipeline on the legacy DENSE basis
+		// inverse. The sparse LU core (default) and the dense reference
+		// must be interchangeable through the whole pipeline.
+		dense, err := SolveLPWithOptions(in, lp.MinMaxOptions{Solve: lp.SolveOptions{DenseBasis: true}})
+		if err != nil {
+			t.Fatalf("case %d: dense: %v\ninstance: %+v", i, err, in)
+		}
 
-		if warm.Feasible != cold.Feasible {
-			t.Fatalf("case %d: warm feasible=%v, cold feasible=%v\ninstance: %+v",
-				i, warm.Feasible, cold.Feasible, in)
+		if warm.Feasible != cold.Feasible || warm.Feasible != dense.Feasible {
+			t.Fatalf("case %d: warm feasible=%v, cold feasible=%v, dense feasible=%v\ninstance: %+v",
+				i, warm.Feasible, cold.Feasible, dense.Feasible, in)
 		}
 		if !warm.Feasible {
 			continue
 		}
 		ws, cs := lp.SortedDescending(warm.Levels), lp.SortedDescending(cold.Levels)
+		ds := lp.SortedDescending(dense.Levels)
 		for gi := range ws {
 			if math.Abs(ws[gi]-cs[gi]) > Tol {
 				t.Fatalf("case %d: sorted level %d: warm %.9g, cold %.9g\ninstance: %+v",
 					i, gi, ws[gi], cs[gi], in)
+			}
+			if math.Abs(ws[gi]-ds[gi]) > Tol {
+				t.Fatalf("case %d: sorted level %d: sparse %.9g, dense %.9g\ninstance: %+v",
+					i, gi, ws[gi], ds[gi], in)
 			}
 		}
 		if err := CheckSolution(in, warm, Tol); err != nil {
@@ -54,6 +66,9 @@ func TestWarmColdEquivalence(t *testing.T) {
 		}
 		if err := CheckSolution(in, cold, Tol); err != nil {
 			t.Fatalf("case %d: cold allocation rejected: %v\ninstance: %+v", i, err, in)
+		}
+		if err := CheckSolution(in, dense, Tol); err != nil {
+			t.Fatalf("case %d: dense allocation rejected: %v\ninstance: %+v", i, err, in)
 		}
 	}
 }

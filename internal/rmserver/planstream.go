@@ -168,7 +168,14 @@ func (s *Server) rebaseAdHocLocked() {
 			n = s.cfg.Horizon
 		}
 	}
-	s.adhocQ.Rebase(lp.Rev, from, s.adhocLeftoverLocked(lp, from, n))
+	drain := s.adhocQ.Rebase(lp.Rev, from, s.adhocLeftoverLocked(lp, from, n))
+	// Hand the retired epoch's admitted volume back to the scheduler as
+	// capacity reservations (sched.AdHocFolder): the next batched replan
+	// folds it into its LP as shaved load-row capacities instead of the
+	// plan double-booking capacity the gate already promised away.
+	if folder, ok := s.cfg.Scheduler.(sched.AdHocFolder); ok {
+		folder.FoldAdHocDrain(drain.From, drain.Consumed)
+	}
 }
 
 // adhocLeftoverLocked computes the per-slot free capacity the ad-hoc

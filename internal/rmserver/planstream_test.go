@@ -252,6 +252,49 @@ func TestAdHocGateAdmitsAgainstLeftover(t *testing.T) {
 	}
 }
 
+// TestAdHocDrainFoldsIntoScheduler: when a plan rebase retires a gate
+// epoch that carried admissions, the drained per-slot consumption must
+// reach the scheduler through sched.AdHocFolder so the next plan reserves
+// it instead of double-booking capacity the gate already promised away.
+func TestAdHocDrainFoldsIntoScheduler(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Policy: store.SyncAlways})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg := core.DefaultConfig()
+	cfg.StreamPlans = true
+	ft := core.New(cfg)
+	rm, err := New(Config{SlotDur: slotDur, Scheduler: ft, Store: st, AdHocGate: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	register(t, rm, "n1", 8, 16384)
+
+	// First tick publishes the empty plan revision the gate admits against.
+	if err := rm.Tick(time.Now()); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	resp, err := rm.SubmitAdHoc(rmproto.SubmitAdHocRequest{Job: trace.AdHocRecord{
+		ID: "burst", Tasks: 4, TaskDurSec: 10, DemandVCores: 2, DemandMemMB: 1024,
+	}})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("SubmitAdHoc: accepted=%v err=%v", resp.Accepted, err)
+	}
+
+	// A deadline workflow forces a new plan revision; the rebase that
+	// follows retires the gate epoch holding the admission, and its drain
+	// must be folded into the scheduler.
+	if _, err := rm.SubmitWorkflow(rmproto.SubmitWorkflowRequest{Workflow: chainWorkflow(600)}); err != nil {
+		t.Fatalf("SubmitWorkflow: %v", err)
+	}
+	runSlots(t, rm, "n1", 2, nil)
+
+	if got := ft.Stats().AdHocFolds; got < 1 {
+		t.Fatalf("AdHocFolds = %d, want >= 1: the gate's drain never reached the scheduler", got)
+	}
+}
+
 // TestGateRequiresStreamingScheduler: the gate without a plan-streaming
 // scheduler is a configuration error, not a silent always-reject queue.
 func TestGateRequiresStreamingScheduler(t *testing.T) {

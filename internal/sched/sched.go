@@ -140,6 +140,20 @@ type PlanStreamer interface {
 	TakePlanDiffs() []*plan.Diff
 }
 
+// AdHocFolder is an optional extension of planning schedulers: the
+// resource manager's ad-hoc admission gate reports, at every plan rebase,
+// the volume it admitted against the retired leftover profile (one vector
+// per slot starting at from — adhoc.Drain.Consumed). A scheduler that
+// implements it folds those volumes back into its capacity view as
+// per-slot reservations, so the next plan's LP sees the shaved capacity
+// as RHS deltas on its load rows instead of the gate having to force an
+// urgent full replan (or, worse, the plan double-booking capacity the
+// gate already promised to admitted ad-hoc work). Folds are cumulative:
+// each call reports only the admissions of the epoch being retired.
+type AdHocFolder interface {
+	FoldAdHocDrain(from int64, consumed []resource.Vector)
+}
+
 // grantUpTo grants min(request, available) component-wise and debits
 // available in place.
 func grantUpTo(request resource.Vector, available *resource.Vector) resource.Vector {
